@@ -1,0 +1,25 @@
+"""Section 4.1 ablation: run-time reconfigurable precision.
+
+Paper: the 2560-bit word line reconfigures into 320x8-bit, 160x16-bit
+or 80x32-bit lanes; 32-bit multiply/divide has "4x less throughput"
+than 8-bit image processing (lane count), plus the longer shift-add
+loop.
+"""
+
+from repro.analysis import format_table, run_precision_ablation
+
+
+def test_precision_ablation(benchmark, record_report):
+    res = benchmark.pedantic(run_precision_ablation, rounds=1,
+                             iterations=1)
+    rows = [[f"{p}-bit", data["lanes"],
+             f"{data['add_elems_per_cycle']:.0f}",
+             f"{data['mul_elems_per_cycle']:.2f}"]
+            for p, data in sorted(res.items())]
+    record_report("ablation_precision", format_table(
+        ["mode", "lanes", "add elems/cycle", "mul elems/cycle"],
+        rows, title="Precision reconfiguration throughput"))
+
+    assert res[8]["lanes"] == 4 * res[32]["lanes"]
+    assert res[8]["mul_elems_per_cycle"] > \
+        10 * res[32]["mul_elems_per_cycle"]

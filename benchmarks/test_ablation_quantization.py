@@ -1,0 +1,24 @@
+"""Section 3.3 ablation: warp error vs feature quantization width.
+
+Paper: 8-bit features give "completely fault results"; 16-bit (Q4.12)
+warps with less than one pixel of error against float.
+"""
+
+from repro.analysis import format_table, run_quantization_ablation
+
+
+def test_quantization_ablation(benchmark, record_report):
+    res = benchmark.pedantic(run_quantization_ablation, rounds=1,
+                             iterations=1)
+    rows = [[f"Q4.{bits - 4} ({bits}b)",
+             f"{data['max_error_px']:.2f}",
+             f"{data['mean_error_px']:.2f}",
+             f"{data['valid_fraction']:.1%}"]
+            for bits, data in sorted(res.items())]
+    record_report("ablation_quantization", format_table(
+        ["format", "max err (px)", "mean err (px)", "valid"],
+        rows, title="Feature quantization vs warp error "
+                    "(paper: 8b fails, 16b < 1 px)"))
+
+    assert res[16]["max_error_px"] < 1.0
+    assert res[8]["max_error_px"] > 5.0

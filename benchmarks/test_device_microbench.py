@@ -1,0 +1,54 @@
+"""Microbenchmarks of the simulator itself (wall-clock, not modelled
+cycles): how fast the Python device executes full-word-line micro-ops
+and the in-PIM edge kernels.  Useful for gauging how long the
+full-sequence benches will take on a given machine."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.common import load_image
+from repro.kernels.edge_detect import detect_edges_pim
+from repro.kernels.lpf import lpf_pim
+from repro.pim import PIMDevice, TMP
+
+
+@pytest.fixture
+def qvga_image():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, size=(240, 320)).astype(np.int64)
+
+
+def test_bench_device_add(benchmark):
+    dev = PIMDevice()
+    dev.load(0, np.arange(320) % 250, signed=False)
+    dev.load(1, np.arange(320) % 31, signed=False)
+    benchmark(dev.add, TMP, 0, 1, signed=False)
+
+
+def test_bench_device_mul16(benchmark):
+    dev = PIMDevice()
+    dev.set_precision(16)
+    rng = np.random.default_rng(1)
+    dev.load(0, rng.integers(-30000, 30000, 160))
+    dev.load(1, rng.integers(-30000, 30000, 160))
+    benchmark(dev.mul, TMP, 0, 1)
+
+
+def test_bench_lpf_qvga(benchmark, qvga_image):
+    def run():
+        dev = PIMDevice()
+        load_image(dev, qvga_image)
+        lpf_pim(dev, qvga_image.shape[0])
+        return dev.ledger.cycles
+
+    cycles = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert cycles > 0
+
+
+def test_bench_edge_detection_qvga(benchmark, qvga_image):
+    def run():
+        dev = PIMDevice()
+        return detect_edges_pim(dev, qvga_image).total_cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cycles > 0

@@ -1,0 +1,49 @@
+"""Supplementary: cycle scaling over the paper's feature range.
+
+Section 2.3: "EBVO typically tracks 3000~6000 features within 10
+iterations depending on the texture layout".  This bench sweeps the
+feature count across that range and reports LM cycles and speedup for
+both architectures - the PIM's SIMD batches make its cost a staircase
+of the lane count while the MCU's is linear.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.experiments import CAM, prepare_lm_inputs
+from repro.baseline import lm_iteration_cycles
+from repro.kernels.lm_pipeline import lm_iteration_pim
+from repro.pim import PIMDevice
+
+
+def run_sweep(counts=(3000, 4000, 5000, 6000)):
+    out = {}
+    for n in counts:
+        qpose, qfeats, maps, clamp = prepare_lm_inputs(n)
+        device = PIMDevice()
+        _, _, breakdown = lm_iteration_pim(device, qpose, qfeats, CAM,
+                                           *maps, clamp)
+        mcu = lm_iteration_cycles(len(qfeats))
+        out[n] = {
+            "actual_features": len(qfeats),
+            "pim_cycles": breakdown.total,
+            "mcu_cycles": mcu,
+            "speedup": mcu / breakdown.total,
+        }
+    return out
+
+
+def test_feature_scaling(benchmark, record_report):
+    res = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [[n, d["actual_features"], d["mcu_cycles"], d["pim_cycles"],
+             f"{d['speedup']:.1f}x"] for n, d in sorted(res.items())]
+    record_report("feature_scaling", format_table(
+        ["budget", "features", "MCU LM cycles", "PIM LM cycles",
+         "speedup"],
+        rows, title="LM cycles vs feature count (paper: 3000~6000)"))
+
+    counts = sorted(res)
+    # Both sides scale with features; the speedup stays in the
+    # paper's ~9x class across the whole range.
+    assert res[counts[-1]]["pim_cycles"] > res[counts[0]]["pim_cycles"]
+    for n in counts:
+        if res[n]["actual_features"] >= 3000:
+            assert 5 < res[n]["speedup"] < 15

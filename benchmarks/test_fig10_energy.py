@@ -1,0 +1,38 @@
+"""Fig. 10 / section 5.4: energy per frame and its decomposition.
+
+Paper: PicoVO 10.3 mJ/frame, PIM EBVO 0.495 mJ/frame (20.8x); SRAM is
+~86 % of the PIM energy (~7x the other components combined); memory
+writes are a small slice (~7 %) of accesses thanks to Tmp-register
+chaining.
+"""
+
+from repro.analysis import format_table, run_fig10_energy
+
+
+def test_fig10_energy(benchmark, record_report):
+    res = benchmark.pedantic(run_fig10_energy, rounds=1, iterations=1)
+    paper = res["paper"]
+    table = format_table(
+        ["quantity", "measured", "paper"],
+        [["PicoVO mJ/frame", f"{res['picovo_frame_mj']:.2f}",
+          paper["picovo_frame_mj"]],
+         ["PIM mJ/frame", f"{res['pim_frame_mj']:.3f}",
+          paper["pim_frame_mj"]],
+         ["energy reduction", f"{res['energy_reduction']:.1f}x",
+          f"{paper['energy_reduction']}x"],
+         ["SRAM energy share", f"{res['component_shares']['sram']:.1%}",
+          f"{paper['sram_energy_share']:.0%}"]],
+        title="Fig. 10 - energy")
+    comp = format_table(
+        ["component", "share"],
+        [[k, f"{v:.1%}"] for k, v in res["component_shares"].items()],
+        title="Fig. 10-a - PIM component energy")
+    acc = format_table(
+        ["access type", "share"],
+        [[k, f"{v:.1%}"] for k, v in res["access_shares"].items()],
+        title="Fig. 10-b - memory access decomposition")
+    record_report("fig10_energy", f"{table}\n\n{comp}\n\n{acc}")
+
+    assert 0.75 < res["component_shares"]["sram"] < 0.95
+    assert res["energy_reduction"] > 10
+    assert res["access_shares"]["mem_wr"] < 0.15

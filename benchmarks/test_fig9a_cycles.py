@@ -1,0 +1,47 @@
+"""Fig. 9-a: computing cycles, PicoVO-on-MCU vs PIM EBVO.
+
+Paper: edge detection 1 419 120 -> 29 104 cycles (48x); LM (8 iters)
+4 320 000 -> 471 192 (9x per iteration); overall ~11x.
+"""
+
+from conftest import bench_frames  # noqa: F401  (shared env contract)
+
+from repro.analysis import format_table, run_fig9a_cycles
+from repro.analysis.reporting import bar_chart
+
+
+def test_fig9a_cycles(benchmark, record_report):
+    res = benchmark.pedantic(run_fig9a_cycles, rounds=1, iterations=1)
+    paper = res["paper"]
+    table = format_table(
+        ["phase", "PicoVO (meas)", "PicoVO (paper)", "PIM (meas)",
+         "PIM (paper)", "speedup (meas)"],
+        [["edge", res["picovo_edge"], paper["picovo_edge"],
+          res["pim_edge"], paper["pim_edge"],
+          f"{res['edge_speedup']:.1f}x"],
+         ["LM x8", res["picovo_lm8"], paper["picovo_lm8"],
+          res["pim_lm8"], paper["pim_lm8"],
+          f"{res['lm_speedup']:.1f}x"],
+         ["overall", res["picovo_edge"] + res["picovo_lm8"],
+          paper["picovo_edge"] + paper["picovo_lm8"],
+          res["pim_edge"] + res["pim_lm8"],
+          paper["pim_edge"] + paper["pim_lm8"],
+          f"{res['overall_speedup']:.1f}x"]],
+        title=f"Fig. 9-a - per-frame cycles ({res['n_features']} features)")
+    chart = bar_chart({
+        "PicoVO edge": res["picovo_edge"],
+        "PicoVO LM x8": res["picovo_lm8"],
+        "PIM edge": res["pim_edge"],
+        "PIM LM x8": res["pim_lm8"],
+    })
+    stages = format_table(
+        ["stage", "cycles"],
+        [[k, v] for k, v in res["pim_edge_stages"].items()] +
+        [[f"lm.{k}", v] for k, v in res["pim_lm_stages"].items()],
+        title="PIM stage breakdown")
+    record_report("fig9a_cycles", f"{table}\n\n{chart}\n\n{stages}")
+
+    # Shape assertions: PIM wins both phases, by the paper's orders.
+    assert res["edge_speedup"] > 20
+    assert 5 < res["lm_speedup"] < 15
+    assert 7 < res["overall_speedup"] < 20

@@ -1,0 +1,37 @@
+"""Fig. 9-b: naive vs optimized PIM mappings per kernel.
+
+Paper (cycles): LPF 9 282 -> 3 107, HPF ~16 411 -> 9 599, NMS 27 351
+-> 16 411, LM 83 715 -> 58 899; overall ratios ~1.7x (edge) and
+~1.4x (LM).
+"""
+
+from repro.analysis import format_table, run_fig9b_naive_vs_opt
+
+
+def test_fig9b_naive_vs_opt(benchmark, record_report):
+    res = benchmark.pedantic(run_fig9b_naive_vs_opt, rounds=1,
+                             iterations=1)
+    paper = res["paper"]
+    rows = []
+    for kernel in ("lpf", "hpf", "nms", "lm"):
+        meas = res[kernel]
+        rows.append([
+            kernel,
+            meas["naive"], paper[kernel]["naive"],
+            meas["opt"], paper[kernel]["opt"],
+            f"{meas['naive'] / meas['opt']:.2f}x",
+            f"{paper[kernel]['naive'] / paper[kernel]['opt']:.2f}x",
+        ])
+    table = format_table(
+        ["kernel", "naive (meas)", "naive (paper)", "opt (meas)",
+         "opt (paper)", "ratio (meas)", "ratio (paper)"],
+        rows, title="Fig. 9-b - naive vs optimized PIM mappings")
+    summary = (f"edge ratio: measured {res['summary']['edge_ratio']:.2f}x"
+               f" (paper ~1.7x);  LM ratio: measured "
+               f"{res['summary']['lm_ratio']:.2f}x (paper ~1.4x)")
+    record_report("fig9b_naive_vs_opt", f"{table}\n\n{summary}")
+
+    for kernel in ("lpf", "hpf", "nms", "lm"):
+        assert res[kernel]["opt"] < res[kernel]["naive"], kernel
+    assert 1.3 < res["summary"]["edge_ratio"] < 3.0
+    assert 1.2 < res["summary"]["lm_ratio"] < 1.8

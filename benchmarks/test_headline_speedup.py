@@ -1,0 +1,44 @@
+"""Section 5.3/5.4 headline: 11x speedup, 20.8x energy, ~19 MHz
+iso-performance clock - plus the accelerator-table efficiency metrics
+derivable from the area/energy models."""
+
+from repro.analysis import format_table, run_headline
+from repro.analysis.experiments import run_area_efficiency
+
+
+def test_headline(benchmark, record_report):
+    res = benchmark.pedantic(run_headline, rounds=1, iterations=1)
+    paper = res["paper"]
+    table = format_table(
+        ["metric", "measured", "paper"],
+        [["edge detection speedup", f"{res['edge_speedup']:.1f}x",
+          f"{paper['edge_speedup']:.0f}x"],
+         ["LM iteration speedup", f"{res['lm_speedup']:.1f}x",
+          f"{paper['lm_speedup']:.0f}x"],
+         ["overall speedup", f"{res['overall_speedup']:.1f}x",
+          f"{paper['overall_speedup']:.0f}x"],
+         ["energy reduction", f"{res['energy_reduction']:.1f}x",
+          "20.8x"],
+         ["iso-performance clock",
+          f"{res['iso_performance_clock_mhz']:.1f} MHz",
+          f"{paper['iso_performance_clock_mhz']:.0f} MHz"]],
+        title="Headline results (section 5.3/5.4)")
+    eff = run_area_efficiency()
+    eff_table = format_table(
+        ["metric", "value"],
+        [["macro area (90 nm)", f"{eff['macro_area_mm2']:.2f} mm^2"],
+         ["compute-logic area overhead",
+          f"{eff['logic_overhead']:.1%} (paper: 5.1%)"],
+         ["peak 8-bit throughput", f"{eff['peak_gops_8b']:.0f} GOPS"],
+         ["area efficiency",
+          f"{eff['peak_gops_per_mm2']:.1f} GOPS/mm^2"],
+         ["EBVO frames per mJ", f"{eff['frames_per_mj']:.1f}"],
+         ["EBVO fps at 216 MHz", f"{eff['fps_at_216mhz']:.0f}"]],
+        title="Derived accelerator metrics")
+    record_report("headline_speedup", f"{table}\n\n{eff_table}")
+
+    assert res["overall_speedup"] > 7
+    assert res["energy_reduction"] > 10
+    assert res["iso_performance_clock_mhz"] < 40
+    assert 0.04 < eff["logic_overhead"] < 0.06
+    assert eff["fps_at_216mhz"] > 100  # far beyond the 30 fps target

@@ -1,0 +1,51 @@
+"""Per-frame energy report of the PIM EBVO accelerator.
+
+Executes one frame's worth of work (edge detection + 8 LM iterations)
+on the device simulator and decomposes the energy by component
+(Fig. 10-a) and the accesses by type (Fig. 10-b), next to the MCU
+baseline.
+
+Usage::
+
+    python examples/energy_report.py [--features N] [--iterations N]
+"""
+
+import argparse
+
+from repro.analysis import run_fig10_energy
+from repro.analysis.reporting import bar_chart, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--features", type=int, default=3500)
+    parser.add_argument("--iterations", type=int, default=8)
+    args = parser.parse_args()
+
+    res = run_fig10_energy(n_features=args.features,
+                           iterations=args.iterations)
+    paper = res["paper"]
+
+    print(format_table(
+        ["quantity", "measured", "paper"],
+        [["PIM cycles/frame", res["cycles"], "~500 000"],
+         ["PIM energy (mJ/frame)", f"{res['pim_frame_mj']:.3f}",
+          paper["pim_frame_mj"]],
+         ["PicoVO energy (mJ/frame)", f"{res['picovo_frame_mj']:.2f}",
+          paper["picovo_frame_mj"]],
+         ["reduction", f"{res['energy_reduction']:.1f}x",
+          f"{paper['energy_reduction']}x"]],
+        title="Per-frame energy"))
+
+    print()
+    print(bar_chart({k: v * 100 for k, v in
+                     res["component_shares"].items()},
+                    title="Fig. 10-a: component energy shares (%)"))
+    print()
+    print(bar_chart({k: v * 100 for k, v in
+                     res["access_shares"].items()},
+                    title="Fig. 10-b: access decomposition (%)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: drive the SRAM-PIM device directly.
+
+Runs a handful of micro-ops on the bit-parallel PIM device, shows the
+Fig. 7 multi-stage arithmetic, and reads the cycle/energy ledger.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.fixedpoint import Q4_12
+from repro.pim import Imm, PIMDevice, TMP
+
+
+def main() -> None:
+    device = PIMDevice()  # the paper's 2560 x 256-bit array
+    print(f"array: {device.config.num_rows} rows x "
+          f"{device.config.wordline_bits} bits "
+          f"({device.config.capacity_bytes // 1024} KiB)")
+    print(f"lanes: {device.config.lanes(8)}x8b / "
+          f"{device.config.lanes(16)}x16b / {device.config.lanes(32)}x32b")
+
+    # --- 8-bit image-style ops across 320 lanes --------------------------
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 256, 320)
+    b = rng.integers(0, 256, 320)
+    device.load(0, a, signed=False)
+    device.load(1, b, signed=False)
+
+    device.avg(TMP, 0, 1)                      # the LPF primitive
+    device.abs_diff(2, 0, 1)                   # Fig. 7-a
+    device.maximum(3, 0, 1)                    # Fig. 7-b, branch-free
+    print("\navg[0:6]     ", device.read_tmp(signed=False)[:6])
+    print("absdiff[0:6] ", device.store(2, signed=False)[:6])
+    print("max[0:6]     ", device.store(3, signed=False)[:6])
+
+    # --- 16-bit fixed-point: Q1.15 x Q4.12 multiply ----------------------
+    device.set_precision(16)
+    half_q115 = 1 << 14                        # 0.5 in Q1.15
+    x = Q4_12.quantize([1.0, 2.0, -3.0, 7.9])
+    device.load(4, x)
+    device.mul(5, 4, Imm(half_q115), rshift=15)
+    print("\n0.5 * [1, 2, -3, 7.9] =",
+          Q4_12.to_float(device.store(5)[:4]))
+
+    # --- restoring division (Fig. 7-d) ------------------------------------
+    device.load(6, [143, -150, 1000, 7])
+    device.load(7, [11, 7, 0, 2])
+    device.div(8, 6, 7)
+    print("div results  ", device.store(8)[:4],
+          "(division by zero saturates)")
+
+    # --- the ledger --------------------------------------------------------
+    ledger = device.ledger
+    report = ledger.energy()
+    print(f"\ncycles: {ledger.cycles}  "
+          f"(sram rd {ledger.sram_reads}, wr {ledger.sram_writes}, "
+          f"tmp {ledger.tmp_accesses})")
+    print(f"energy: {report.total_pj / 1000:.1f} nJ  "
+          f"(sram {report.shares()['sram']:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of "Processing-in-SRAM Acceleration for Ultra-Low Power
+Visual 3D Perception" (He et al., DAC 2022).
+
+The package is organised in layers mirroring the paper:
+
+* :mod:`repro.fixedpoint` -- Q-format fixed-point arithmetic substrate.
+* :mod:`repro.pim` -- the physical layer: a bit-parallel SRAM-PIM device
+  simulator with cycle and energy accounting.
+* :mod:`repro.vision`, :mod:`repro.geometry` -- image-processing and 3D
+  geometry substrates (float reference implementations).
+* :mod:`repro.kernels` -- the algorithm layer: PIM-friendly mappings of the
+  EBVO hot kernels (LPF, HPF, NMS, warp, Jacobian, Hessian).
+* :mod:`repro.vo` -- the edge-based visual odometry system itself.
+* :mod:`repro.dataset` -- synthetic RGB-D sequences and TUM format I/O.
+* :mod:`repro.evaluation` -- RPE/ATE trajectory metrics.
+* :mod:`repro.baseline` -- the PicoVO-on-MCU cost baseline.
+* :mod:`repro.analysis` -- experiment drivers that regenerate every table
+  and figure of the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

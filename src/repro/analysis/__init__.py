@@ -1,0 +1,42 @@
+"""Experiment drivers that regenerate every table and figure of the
+paper's evaluation section, plus the paper's published values for
+side-by-side comparison."""
+
+from repro.analysis import paper_data
+from repro.analysis.experiments import (
+    run_area_efficiency,
+    run_bitserial_comparison,
+    run_fault_robustness,
+    run_fig8_trajectories,
+    run_fig9a_cycles,
+    run_fig9b_naive_vs_opt,
+    run_fig10_energy,
+    run_headline,
+    run_multireg_ablation,
+    run_precision_ablation,
+    run_quantization_ablation,
+    run_sobel_vs_sad,
+    run_table1_rpe,
+    run_tmpreg_ablation,
+)
+from repro.analysis.reporting import format_table, trajectory_svg
+
+__all__ = [
+    "paper_data",
+    "run_table1_rpe",
+    "run_fig8_trajectories",
+    "run_fig9a_cycles",
+    "run_fig9b_naive_vs_opt",
+    "run_fig10_energy",
+    "run_headline",
+    "run_bitserial_comparison",
+    "run_quantization_ablation",
+    "run_tmpreg_ablation",
+    "run_multireg_ablation",
+    "run_sobel_vs_sad",
+    "run_fault_robustness",
+    "run_area_efficiency",
+    "run_precision_ablation",
+    "format_table",
+    "trajectory_svg",
+]

@@ -1,0 +1,161 @@
+"""Regenerate every paper table/figure from the command line.
+
+Usage::
+
+    python -m repro.analysis [--frames N] [--out DIR]
+
+Runs all experiment drivers and writes the text reports (and Fig. 8
+SVGs) to the output directory.  Equivalent to the benchmark harness
+without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import (
+    run_area_efficiency,
+    run_bitserial_comparison,
+    run_fig8_trajectories,
+    run_fig9a_cycles,
+    run_fig9b_naive_vs_opt,
+    run_fig10_energy,
+    run_headline,
+    run_multireg_ablation,
+    run_precision_ablation,
+    run_quantization_ablation,
+    run_sobel_vs_sad,
+    run_table1_rpe,
+    run_tmpreg_ablation,
+    trajectory_svg,
+)
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=60,
+                        help="sequence length for the tracking runs")
+    parser.add_argument("--out", default="analysis_output")
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        print(f"\n== {name} " + "=" * max(0, 60 - len(name)))
+        print(text)
+        (out / f"{name}.txt").write_text(text + "\n")
+
+    start = time.time()
+
+    rows = run_table1_rpe(n_frames=args.frames)
+    emit("table1", format_table(
+        ["sequence", "float t/rot", "PIM t/rot", "paper PIM"],
+        [[name,
+          f"{d['picovo'][0]:.3f}/{d['picovo'][1]:.2f}",
+          f"{d['pim'][0]:.3f}/{d['pim'][1]:.2f}",
+          f"{d['paper']['pim'][0]:.3f}/{d['paper']['pim'][1]:.2f}"]
+         for name, d in rows.items()],
+        title="Table 1 - RPE RMSE"))
+
+    fig8 = run_fig8_trajectories(n_frames=args.frames)
+    for name, data in fig8.items():
+        trajectory_svg({"groundtruth": data["groundtruth"],
+                        "estimated": data["estimated"]},
+                       out / f"fig8_{name}.svg")
+    emit("fig8", format_table(
+        ["sequence", "RPE t", "RPE rot", "max gap (m)"],
+        [[name, f"{d['rpe_t']:.3f}", f"{d['rpe_rot']:.2f}",
+          f"{np.linalg.norm(d['estimated'] - d['groundtruth'], axis=1).max():.3f}"]
+         for name, d in fig8.items()],
+        title="Fig. 8 - trajectories (SVGs written alongside)"))
+
+    f9a = run_fig9a_cycles()
+    emit("fig9a", format_table(
+        ["phase", "PicoVO", "PIM", "speedup"],
+        [["edge", f9a["picovo_edge"], f9a["pim_edge"],
+          f"{f9a['edge_speedup']:.1f}x"],
+         ["LM x8", f9a["picovo_lm8"], f9a["pim_lm8"],
+          f"{f9a['lm_speedup']:.1f}x"]],
+        title="Fig. 9-a - cycles"))
+
+    f9b = run_fig9b_naive_vs_opt()
+    emit("fig9b", format_table(
+        ["kernel", "naive", "opt", "ratio"],
+        [[k, f9b[k]["naive"], f9b[k]["opt"],
+          f"{f9b[k]['naive'] / f9b[k]['opt']:.2f}x"]
+         for k in ("lpf", "hpf", "nms", "lm")],
+        title="Fig. 9-b - naive vs optimized"))
+
+    f10 = run_fig10_energy()
+    emit("fig10", format_table(
+        ["quantity", "value"],
+        [["PIM mJ/frame", f"{f10['pim_frame_mj']:.3f}"],
+         ["PicoVO mJ/frame", f"{f10['picovo_frame_mj']:.2f}"],
+         ["reduction", f"{f10['energy_reduction']:.1f}x"],
+         ["SRAM share", f"{f10['component_shares']['sram']:.1%}"]],
+        title="Fig. 10 - energy"))
+
+    head = run_headline()
+    emit("headline", format_table(
+        ["metric", "measured", "paper"],
+        [["overall speedup", f"{head['overall_speedup']:.1f}x", "11x"],
+         ["energy reduction", f"{head['energy_reduction']:.1f}x",
+          "20.8x"],
+         ["iso clock", f"{head['iso_performance_clock_mhz']:.1f} MHz",
+          "~19 MHz"]],
+        title="Headline"))
+
+    quant = run_quantization_ablation()
+    emit("ablation_quantization", format_table(
+        ["bits", "max err (px)"],
+        [[b, f"{d['max_error_px']:.2f}"] for b, d in sorted(quant.items())],
+        title="Feature quantization"))
+
+    tmp = run_tmpreg_ablation()
+    multi = run_multireg_ablation()
+    serial = run_bitserial_comparison()
+    prec = run_precision_ablation()
+    sobel = run_sobel_vs_sad()
+    eff = run_area_efficiency()
+    emit("ablations", "\n\n".join([
+        format_table(["mapping", "cycles", "sram wr"],
+                     [[k, tmp[k]["cycles"], tmp[k]["sram_writes"]]
+                      for k in ("tmp_chained", "sram_materialized")],
+                     title="Tmp chaining (HPF)"),
+        format_table(["bank", "cycles", "sram wr"],
+                     [[k, multi[k]["cycles"], multi[k]["sram_writes"]]
+                      for k in (1, 2)],
+                     title="Tmp bank size (edge pipeline)"),
+        format_table(["phase", "bit-serial latency slowdown"],
+                     [[k, f"{serial[k]['latency_slowdown']:.1f}x"]
+                      for k in ("edge", "lm_iteration")],
+                     title="Bit-serial comparison"),
+        format_table(["mode", "lanes", "mul elems/cycle"],
+                     [[f"{p}b", d["lanes"],
+                       f"{d['mul_elems_per_cycle']:.2f}"]
+                      for p, d in sorted(prec.items())],
+                     title="Precision modes"),
+        format_table(["HPF variant", "cycles"],
+                     [["sat-SAD", sobel["sad"]["cycles"]],
+                      ["Sobel |gx|+|gy|", sobel["sobel_abs"]["cycles"]],
+                      ["Sobel exact", sobel["sobel_exact"]["cycles"]]],
+                     title="Sobel vs SAD (section 3.2)"),
+        format_table(["metric", "value"],
+                     [["macro area", f"{eff['macro_area_mm2']:.2f} mm^2"],
+                      ["peak 8-bit", f"{eff['peak_gops_8b']:.0f} GOPS"],
+                      ["EBVO fps @216 MHz",
+                       f"{eff['fps_at_216mhz']:.0f}"]],
+                     title="Derived accelerator metrics"),
+    ]))
+
+    print(f"\nall reports written to {out}/ "
+          f"({time.time() - start:.0f} s)")
+
+
+if __name__ == "__main__":
+    main()

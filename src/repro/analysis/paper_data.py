@@ -1,0 +1,56 @@
+"""The paper's published evaluation numbers (He et al., DAC 2022).
+
+Every benchmark prints its measured values next to these so the
+paper-vs-measured comparison of EXPERIMENTS.md is regenerated, not
+hand-maintained.  Values marked *inferred* are read off bar charts
+whose exact numbers the text does not state.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE1", "FIG9A", "FIG9B", "FIG10", "HEADLINE"]
+
+#: Table 1 - RMSE of relative pose error (translation m/s, rotation
+#: deg/s) on the three TUM sequences.
+TABLE1 = {
+    "fr1_xyz": {"picovo": (0.030, 1.82), "pim": (0.039, 1.92)},
+    "fr2_desk": {"picovo": (0.020, 0.69), "pim": (0.019, 0.64)},
+    "fr3_st_ntex_far": {"picovo": (0.028, 0.77), "pim": (0.030, 0.86)},
+}
+
+#: Fig. 9-a - per-frame cycles, PicoVO on MCU vs PIM EBVO
+#: (LM bar = 8 iterations).
+FIG9A = {
+    "picovo_edge": 1_419_120,
+    "picovo_lm8": 4_320_000,
+    "pim_edge": 29_104,       # text also quotes 29 117 as the sum
+    "pim_lm8": 471_192,       # 8 x 58 899
+}
+
+#: Fig. 9-b - naive vs optimized PIM mappings (cycles).  The LPF/HPF/
+#: NMS opt values and the LM values are quoted in the text; the naive
+#: bars are inferred from the figure.  The text states overall ratios
+#: of ~1.7x (edge) and 1.4x (LM).
+FIG9B = {
+    "lpf": {"naive": 9_282, "opt": 3_107},
+    "hpf": {"naive": 16_411, "opt": 9_599},      # naive inferred
+    "nms": {"naive": 27_351, "opt": 16_411},
+    "lm": {"naive": 83_715, "opt": 58_899},
+}
+
+#: Fig. 10 and section 5.4 - energy.
+FIG10 = {
+    "picovo_frame_mj": 10.3,
+    "pim_frame_mj": 0.495,
+    "energy_reduction": 20.8,
+    "sram_energy_share": 0.86,
+}
+
+#: Section 5.3 headline figures.
+HEADLINE = {
+    "edge_speedup": 48.0,
+    "lm_speedup": 9.0,
+    "overall_speedup": 11.0,
+    "lm_iterations_mean": 8.1,
+    "iso_performance_clock_mhz": 19.0,
+}

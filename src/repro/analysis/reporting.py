@@ -1,0 +1,87 @@
+"""Table formatting and trajectory plots (dependency-free SVG)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "bar_chart", "trajectory_svg"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.4g}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(values: Dict[str, float], width: int = 50,
+              title: Optional[str] = None) -> str:
+    """ASCII horizontal bar chart (log-friendly figures like Fig. 9)."""
+    if not values:
+        return title or ""
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, val in values.items():
+        bar = "#" * max(1, int(round(width * val / max(peak, 1e-12))))
+        lines.append(f"{key.ljust(label_w)} | {bar} {val:,.0f}")
+    return "\n".join(lines)
+
+
+def trajectory_svg(series: Dict[str, np.ndarray], path,
+                   axes: tuple = (0, 2), size: int = 480,
+                   colors: Optional[Dict[str, str]] = None) -> None:
+    """Write a Fig. 8-style top-view trajectory overlay as SVG.
+
+    Args:
+        series: Name -> (N, 3) positions; conventionally
+            ``{"groundtruth": ..., "estimated": ...}``.
+        path: Output file path.
+        axes: Which position axes to plot (default x/z top view).
+        size: Canvas size in pixels.
+        colors: Name -> SVG color (ground truth red, estimate green by
+            default, matching the paper's figure).
+    """
+    colors = colors or {"groundtruth": "#cc2222", "estimated": "#22aa44"}
+    pts = np.concatenate([np.asarray(s)[:, list(axes)]
+                          for s in series.values()])
+    lo = pts.min(axis=0)
+    hi = pts.max(axis=0)
+    span = np.maximum(hi - lo, 1e-6)
+    margin = 30
+
+    def to_px(xy):
+        scale = (size - 2 * margin) / span.max()
+        return (margin + (xy[:, 0] - lo[0]) * scale,
+                size - margin - (xy[:, 1] - lo[1]) * scale)
+
+    parts = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+             f'height="{size}" viewBox="0 0 {size} {size}">',
+             f'<rect width="{size}" height="{size}" fill="white"/>']
+    legend_y = 20
+    for name, arr in series.items():
+        xs, ys = to_px(np.asarray(arr)[:, list(axes)])
+        points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+        color = colors.get(name, "#333333")
+        parts.append(f'<polyline fill="none" stroke="{color}" '
+                     f'stroke-width="2" points="{points}"/>')
+        parts.append(f'<text x="{margin}" y="{legend_y}" fill="{color}" '
+                     f'font-size="14">{name}</text>')
+        legend_y += 18
+    parts.append("</svg>")
+    with open(path, "w") as fh:
+        fh.write("\n".join(parts))

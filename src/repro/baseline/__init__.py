@@ -1,0 +1,31 @@
+"""The PicoVO-on-MCU baseline (paper section 5.1).
+
+The paper compares against PicoVO [He et al., ICRA 2021] running on a
+216 MHz STM32F7-class microcontroller in the same 90 nm node.  Without
+board access we model the baseline analytically: a Cortex-M7-style
+per-operation cycle table applied to the published inner loops of
+PicoEdge and the LM pipeline, calibrated against PicoVO's published
+per-frame cycle and energy figures.
+"""
+
+from repro.baseline.mcu import MCUCostModel, MCUCycleTable, OpCounts
+from repro.baseline.picovo import (
+    PICOVO_PAPER,
+    lm_iteration_cycles,
+    picoedge_cycles,
+    picovo_frame_cycles,
+    picovo_frame_energy_mj,
+    solve_6x6_cycles,
+)
+
+__all__ = [
+    "MCUCostModel",
+    "MCUCycleTable",
+    "OpCounts",
+    "PICOVO_PAPER",
+    "picoedge_cycles",
+    "lm_iteration_cycles",
+    "solve_6x6_cycles",
+    "picovo_frame_cycles",
+    "picovo_frame_energy_mj",
+]

@@ -1,0 +1,148 @@
+"""PicoVO inner-loop cost estimators, calibrated to the published totals.
+
+PicoVO's published numbers (paper section 5.3/5.4, QVGA):
+
+* PicoEdge detector: **1 419 120 cycles** per frame,
+* LM solver: **~540 000 cycles** per iteration (~4500 features),
+* energy: **10.3 mJ** per frame (8.1 LM iterations average).
+
+The instruction mixes below are the modelled inner-loop bodies of
+PicoVO's fixed-point implementation (PicoEdge streams a simplified
+detector with row buffers in registers; the LM loop uses the same
+kernel structure as the PIM mapping, executed scalar).  They land
+within a few percent of the published totals at the published operating
+points; tests pin that calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baseline.mcu import MCUCostModel, OpCounts
+
+__all__ = [
+    "PICOVO_PAPER",
+    "PICOEDGE_PIXEL_OPS",
+    "LM_FEATURE_OPS",
+    "picoedge_cycles",
+    "lm_iteration_cycles",
+    "solve_6x6_cycles",
+    "picovo_frame_cycles",
+    "picovo_frame_energy_mj",
+    "data_movement_share",
+]
+
+#: Published PicoVO reference points (for calibration checks and the
+#: EXPERIMENTS.md paper-vs-measured tables).
+PICOVO_PAPER: Dict[str, float] = {
+    "picoedge_cycles": 1419120.0,
+    "lm_iteration_cycles": 540000.0,
+    "lm_iterations_mean": 8.1,
+    "frame_energy_mj": 10.3,
+    "nominal_features": 4500,
+}
+
+#: PicoEdge per-pixel work: streaming LPF (incremental 2x2 cascade with
+#: the previous row buffered in registers), simplified 2-direction SAD
+#: HPF, and an early-exit NMS (most pixels fail the strength threshold
+#: after one compare).
+PICOEDGE_PIXEL_OPS = {
+    "lpf": OpCounts(load=1, alu=3, store=1),
+    "hpf": OpCounts(load=1, alu=6, store=1),
+    "nms": OpCounts(cmp=1, branch_taken=1, branch_not=1),
+}
+
+#: LM per-feature work (fixed-point scalar): the warp's 9 multiplies,
+#: 2 divides and projection; three table lookups with address
+#: arithmetic; the factored Jacobian pipeline (9 multiplies, 1 divide);
+#: and the 27 multiply-accumulates of the symmetric Hessian update.
+LM_FEATURE_OPS = {
+    "warp": OpCounts(load=3, store=2, alu=11, mul=11, div=2),
+    "lookup": OpCounts(load=3, alu=3),
+    "jacobian": OpCounts(alu=7, mul=9, div=1),
+    "hessian": OpCounts(mac=27),
+}
+
+
+def picoedge_cycles(width: int = 320, height: int = 240,
+                    model: MCUCostModel = MCUCostModel()) -> int:
+    """PicoEdge detector cycles for one frame."""
+    per_pixel = sum(PICOEDGE_PIXEL_OPS.values(), OpCounts())
+    return model.cycles(per_pixel, repetitions=width * height)
+
+
+def lm_iteration_cycles(n_features: int = 4500,
+                        model: MCUCostModel = MCUCostModel(),
+                        include_solve: bool = True) -> int:
+    """One LM iteration on the MCU (per-feature work + 6x6 solve)."""
+    per_feature = sum(LM_FEATURE_OPS.values(), OpCounts())
+    total = model.cycles(per_feature, repetitions=n_features)
+    if include_solve:
+        total += solve_6x6_cycles(model)
+    return total
+
+
+def solve_6x6_cycles(model: MCUCostModel = MCUCostModel()) -> int:
+    """Cholesky solve of the 6x6 system (runs on the CPU for both the
+    baseline and the PIM accelerator, per paper section 3.4)."""
+    ops = OpCounts(mac=56, div=21, alu=36, load=27, store=27)
+    return model.cycles(ops)
+
+
+def picovo_frame_cycles(n_features: int = 4500,
+                        lm_iterations: float = 8.0,
+                        width: int = 320, height: int = 240,
+                        model: MCUCostModel = MCUCostModel()) -> int:
+    """Whole-frame PicoVO cycles: edge detection + LM iterations."""
+    return int(picoedge_cycles(width, height, model) +
+               lm_iterations * lm_iteration_cycles(n_features, model))
+
+
+def data_movement_share(n_features: int = 4500,
+                        lm_iterations: float = 8.0,
+                        model: MCUCostModel = MCUCostModel()) -> Dict:
+    """Fraction of baseline *cycles* spent moving data (paper section 1).
+
+    The paper's Valgrind profiling of REVO attributes 43 % of the
+    instructions to data movement on x86 and 51 % on ARM - the
+    memory-wall motivation for PIM.  This computes the equivalent share
+    for the modelled PicoVO op streams: loads and stores versus
+    everything else, cycle-weighted.
+
+    Note the expected gap: REVO is a full desktop C++ implementation
+    (floats, copies, framework overhead), whereas these streams model
+    PicoVO's register-blocked fixed-point inner loops - the most
+    movement-lean implementation possible.  Even so, roughly a sixth
+    of the baseline's cycles are pure data movement that the PIM
+    executes *in place*; on the real software stack the share is the
+    paper's 43-51 %.
+    """
+    per_pixel = sum(PICOEDGE_PIXEL_OPS.values(), OpCounts())
+    per_feature = sum(LM_FEATURE_OPS.values(), OpCounts())
+    pixels = 320 * 240
+
+    def movement_cycles(ops: OpCounts) -> int:
+        return (ops.load * model.table.load +
+                ops.store * model.table.store)
+
+    move = (movement_cycles(per_pixel) * pixels +
+            movement_cycles(per_feature) * n_features * lm_iterations)
+    total = (per_pixel.cycles(model.table) * pixels +
+             per_feature.cycles(model.table) * n_features *
+             lm_iterations)
+    return {
+        "movement_cycles": float(move),
+        "total_cycles": float(total),
+        "share": move / total,
+        "paper_x86": 0.43,
+        "paper_arm": 0.51,
+    }
+
+
+def picovo_frame_energy_mj(n_features: int = 4500,
+                           lm_iterations: float = 8.0,
+                           width: int = 320, height: int = 240,
+                           model: MCUCostModel = MCUCostModel()) -> float:
+    """Whole-frame PicoVO energy in mJ."""
+    return model.energy_mj(picovo_frame_cycles(
+        n_features, lm_iterations, width, height, model))

@@ -1,0 +1,62 @@
+"""Data substrate: synthetic RGB-D sequences and TUM format I/O.
+
+The paper evaluates on three TUM RGB-D sequences (fr1_xyz, fr2_desk,
+fr3_str_notex_far).  Real TUM data cannot be bundled, so
+:mod:`repro.dataset.synthetic` ray-casts textured plane scenes with
+analytic depth, and :mod:`repro.dataset.trajectories` generates camera
+paths with the same motion character as each sequence.  The TUM file
+format (:mod:`repro.dataset.tum`) is fully supported so real sequences
+drop in unchanged.
+"""
+
+from repro.dataset.synthetic import (
+    Frame,
+    PlaneScene,
+    TexturedPlane,
+    apply_kinect_noise,
+    checkerboard_texture,
+    noise_texture,
+    render_sequence,
+    make_room_scene,
+    make_desk_scene,
+    make_corridor_scene,
+    make_structure_notex_scene,
+)
+from repro.dataset.trajectories import (
+    corridor_walk_trajectory,
+    desk_orbit_trajectory,
+    notex_far_trajectory,
+    xyz_shake_trajectory,
+)
+from repro.dataset.tum import (
+    load_trajectory_tum,
+    save_trajectory_tum,
+    associate,
+)
+from repro.dataset.sequences import SyntheticSequence, make_sequence
+from repro.dataset.storage import export_sequence, load_sequence
+
+__all__ = [
+    "Frame",
+    "PlaneScene",
+    "TexturedPlane",
+    "apply_kinect_noise",
+    "checkerboard_texture",
+    "noise_texture",
+    "render_sequence",
+    "make_room_scene",
+    "make_desk_scene",
+    "make_corridor_scene",
+    "make_structure_notex_scene",
+    "xyz_shake_trajectory",
+    "desk_orbit_trajectory",
+    "corridor_walk_trajectory",
+    "notex_far_trajectory",
+    "load_trajectory_tum",
+    "save_trajectory_tum",
+    "associate",
+    "SyntheticSequence",
+    "make_sequence",
+    "export_sequence",
+    "load_sequence",
+]

@@ -1,0 +1,88 @@
+"""Named synthetic sequences standing in for the paper's TUM set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dataset.synthetic import (
+    Frame,
+    PlaneScene,
+    apply_kinect_noise,
+    make_corridor_scene,
+    make_desk_scene,
+    make_room_scene,
+    make_structure_notex_scene,
+    render_sequence,
+)
+from repro.dataset.trajectories import (
+    corridor_walk_trajectory,
+    desk_orbit_trajectory,
+    notex_far_trajectory,
+    xyz_shake_trajectory,
+)
+from repro.geometry.camera import CameraIntrinsics, TUM_QVGA
+from repro.geometry.se3 import SE3
+
+__all__ = ["SyntheticSequence", "make_sequence", "SEQUENCE_NAMES"]
+
+#: The three sequences of Table 1 (paper naming).
+SEQUENCE_NAMES = ("fr1_xyz", "fr2_desk", "fr3_st_ntex_far")
+#: Additional scene beyond the paper's set (rotation-dominant walk).
+EXTRA_SEQUENCE_NAMES = ("corridor",)
+
+
+@dataclass
+class SyntheticSequence:
+    """A rendered sequence with ground truth."""
+
+    name: str
+    frames: List[Frame]
+    groundtruth: List[SE3]
+    camera: CameraIntrinsics
+    fps: float = 30.0
+
+    @property
+    def timestamps(self) -> List[float]:
+        return [f.timestamp for f in self.frames]
+
+
+def make_sequence(name: str, n_frames: int = 120,
+                  camera: CameraIntrinsics = TUM_QVGA,
+                  fps: float = 30.0, seed: int = 0,
+                  sensor_noise: bool = False) -> SyntheticSequence:
+    """Build one of the named synthetic analogues.
+
+    Args:
+        name: One of :data:`SEQUENCE_NAMES` (or ``"corridor"``).
+        n_frames: Sequence length (the benches use ~120, i.e. 4 s).
+        camera: Render intrinsics (QVGA by default, as in the paper).
+        fps: Frame rate used for timestamps and motion scaling.
+        seed: Texture/placement seed.
+        sensor_noise: Apply the Kinect-style depth/intensity noise
+            model, approximating the real TUM recordings' sensor.
+    """
+    if name == "fr1_xyz":
+        scene = make_room_scene(seed=seed)
+        trajectory = xyz_shake_trajectory(n_frames, fps)
+    elif name == "fr2_desk":
+        scene = make_desk_scene(seed=10 + seed)
+        trajectory = desk_orbit_trajectory(n_frames, fps)
+    elif name == "fr3_st_ntex_far":
+        scene = make_structure_notex_scene(seed=20 + seed)
+        trajectory = notex_far_trajectory(n_frames, fps)
+    elif name == "corridor":
+        scene = make_corridor_scene(seed=30 + seed)
+        trajectory = corridor_walk_trajectory(n_frames, fps)
+    else:
+        raise ValueError(
+            f"unknown sequence {name!r}; choose from "
+            f"{SEQUENCE_NAMES + EXTRA_SEQUENCE_NAMES}")
+    frames = render_sequence(scene, trajectory, camera, fps)
+    if sensor_noise:
+        import numpy as np
+        rng = np.random.default_rng(1000 + seed)
+        frames = [apply_kinect_noise(f, rng) for f in frames]
+    return SyntheticSequence(name=name, frames=frames,
+                             groundtruth=trajectory, camera=camera,
+                             fps=fps)

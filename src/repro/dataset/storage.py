@@ -1,0 +1,165 @@
+"""On-disk sequences in the TUM RGB-D directory layout.
+
+A sequence directory mirrors the benchmark's structure::
+
+    <dir>/gray/<timestamp>.pgm      8-bit grayscale frames
+    <dir>/depth/<timestamp>.pgm     16-bit depth (5000 units per metre,
+                                    0 = invalid - the TUM convention)
+    <dir>/gray.txt, depth.txt       timestamped file listings
+    <dir>/groundtruth.txt           TUM trajectory file
+
+Synthetic sequences export losslessly (up to the depth quantization of
+0.2 mm) and load back for tracking, and real TUM sequences converted to
+PGM drop in unchanged.  PGM is used because it needs no image library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dataset.sequences import SyntheticSequence
+from repro.dataset.synthetic import Frame
+from repro.dataset.tum import load_trajectory_tum, save_trajectory_tum
+from repro.geometry.camera import CameraIntrinsics, TUM_QVGA
+
+__all__ = ["save_pgm", "load_pgm", "export_sequence", "load_sequence",
+           "DEPTH_SCALE"]
+
+#: TUM depth convention: stored value = metres * 5000.
+DEPTH_SCALE = 5000.0
+
+
+def save_pgm(path, image: np.ndarray, max_value: int = 255) -> None:
+    """Write a binary PGM (8-bit for 255, big-endian 16-bit above)."""
+    img = np.asarray(image)
+    if img.ndim != 2:
+        raise ValueError("PGM images are 2D")
+    if img.min() < 0 or img.max() > max_value:
+        raise ValueError("image values outside PGM range")
+    header = f"P5\n{img.shape[1]} {img.shape[0]}\n{max_value}\n".encode()
+    if max_value < 256:
+        payload = img.astype(np.uint8).tobytes()
+    else:
+        payload = img.astype(">u2").tobytes()
+    with open(path, "wb") as fh:
+        fh.write(header + payload)
+
+
+def load_pgm(path) -> np.ndarray:
+    """Read a binary PGM written by :func:`save_pgm` (or any P5 file)."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if not data.startswith(b"P5"):
+        raise ValueError(f"{path}: not a binary PGM")
+    # Parse the three header tokens (width, height, maxval), skipping
+    # comments.
+    tokens: List[bytes] = []
+    pos = 2
+    while len(tokens) < 3:
+        while pos < len(data) and data[pos:pos + 1].isspace():
+            pos += 1
+        if data[pos:pos + 1] == b"#":
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos:pos + 1].isspace():
+            pos += 1
+        tokens.append(data[start:pos])
+    pos += 1  # single whitespace after maxval
+    width, height, maxval = (int(t) for t in tokens)
+    dtype = np.uint8 if maxval < 256 else np.dtype(">u2")
+    count = width * height
+    img = np.frombuffer(data, dtype=dtype, count=count, offset=pos)
+    return img.reshape(height, width).astype(np.int64)
+
+
+def export_sequence(sequence: SyntheticSequence, directory) -> Path:
+    """Write a sequence to disk in the TUM layout.
+
+    Returns:
+        The sequence directory path.
+    """
+    root = Path(directory)
+    (root / "gray").mkdir(parents=True, exist_ok=True)
+    (root / "depth").mkdir(parents=True, exist_ok=True)
+    gray_lines = []
+    depth_lines = []
+    for frame in sequence.frames:
+        stamp = f"{frame.timestamp:.6f}"
+        gray_rel = f"gray/{stamp}.pgm"
+        depth_rel = f"depth/{stamp}.pgm"
+        save_pgm(root / gray_rel,
+                 np.clip(np.rint(frame.gray), 0, 255))
+        depth_raw = np.where(np.isfinite(frame.depth),
+                             np.rint(frame.depth * DEPTH_SCALE), 0)
+        depth_raw = np.clip(depth_raw, 0, 65535)
+        save_pgm(root / depth_rel, depth_raw, max_value=65535)
+        gray_lines.append(f"{stamp} {gray_rel}")
+        depth_lines.append(f"{stamp} {depth_rel}")
+    header = "# timestamp filename\n"
+    (root / "gray.txt").write_text(header + "\n".join(gray_lines) + "\n")
+    (root / "depth.txt").write_text(header + "\n".join(depth_lines) + "\n")
+    save_trajectory_tum(root / "groundtruth.txt", sequence.timestamps,
+                        sequence.groundtruth)
+    (root / "sequence.txt").write_text(
+        f"name {sequence.name}\nfps {sequence.fps}\n"
+        f"fx {sequence.camera.fx}\nfy {sequence.camera.fy}\n"
+        f"cx {sequence.camera.cx}\ncy {sequence.camera.cy}\n"
+        f"width {sequence.camera.width}\nheight {sequence.camera.height}\n")
+    return root
+
+
+def _read_listing(path) -> List[tuple]:
+    entries = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stamp, rel = line.split()
+        entries.append((float(stamp), rel))
+    return sorted(entries)
+
+
+def load_sequence(directory,
+                  camera: Optional[CameraIntrinsics] = None
+                  ) -> SyntheticSequence:
+    """Load a sequence directory written by :func:`export_sequence`.
+
+    Also reads real TUM-style directories, provided the images are PGM
+    and gray/depth listings share timestamps.
+    """
+    root = Path(directory)
+    meta = {}
+    meta_path = root / "sequence.txt"
+    if meta_path.exists():
+        for line in meta_path.read_text().splitlines():
+            key, val = line.split(maxsplit=1)
+            meta[key] = val
+    if camera is None:
+        if {"fx", "fy", "cx", "cy", "width", "height"} <= meta.keys():
+            camera = CameraIntrinsics(
+                fx=float(meta["fx"]), fy=float(meta["fy"]),
+                cx=float(meta["cx"]), cy=float(meta["cy"]),
+                width=int(meta["width"]), height=int(meta["height"]))
+        else:
+            camera = TUM_QVGA
+    gray_entries = _read_listing(root / "gray.txt")
+    depth_entries = dict(_read_listing(root / "depth.txt"))
+    frames = []
+    for stamp, rel in gray_entries:
+        depth_rel = depth_entries.get(stamp)
+        if depth_rel is None:
+            continue
+        gray = load_pgm(root / rel).astype(np.float64)
+        depth_raw = load_pgm(root / depth_rel).astype(np.float64)
+        depth = np.where(depth_raw > 0, depth_raw / DEPTH_SCALE, np.inf)
+        frames.append(Frame(gray=gray, depth=depth, timestamp=stamp))
+    _, groundtruth = load_trajectory_tum(root / "groundtruth.txt")
+    return SyntheticSequence(
+        name=meta.get("name", root.name), frames=frames,
+        groundtruth=groundtruth, camera=camera,
+        fps=float(meta.get("fps", 30.0)))

@@ -1,0 +1,310 @@
+"""Synthetic RGB-D rendering: textured planes ray-cast with exact depth.
+
+The renderer substitutes for the TUM RGB-D camera: a scene is a set of
+finite textured rectangles in world space; each frame is produced by
+intersecting the pinhole rays of a posed camera with every plane and
+bilinearly sampling the winning plane's texture.  Depth is the analytic
+camera-space Z of the intersection, so the geometry consumed by EBVO is
+exact - the same property the Kinect's registered depth approximates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.geometry.camera import CameraIntrinsics
+from repro.geometry.se3 import SE3
+
+__all__ = [
+    "TexturedPlane", "PlaneScene", "Frame",
+    "checkerboard_texture", "noise_texture", "uniform_texture",
+    "make_room_scene", "make_desk_scene", "make_structure_notex_scene",
+    "render_frame", "render_sequence",
+]
+
+#: Intensity of rays that miss every plane.
+BACKGROUND_INTENSITY = 12.0
+
+
+def checkerboard_texture(size: int = 256, squares: int = 8,
+                         lo: int = 60, hi: int = 200,
+                         seed: Optional[int] = None) -> np.ndarray:
+    """Checkerboard with optional per-square intensity jitter."""
+    cell = size // squares
+    ys, xs = np.mgrid[0:size, 0:size]
+    board = ((ys // cell + xs // cell) % 2).astype(np.float64)
+    tex = lo + board * (hi - lo)
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        jitter = rng.uniform(-20, 20, (squares + 1, squares + 1))
+        tex = tex + jitter[ys // cell, xs // cell]
+    return np.clip(tex, 0, 255)
+
+
+def noise_texture(size: int = 256, smoothness: float = 6.0,
+                  lo: int = 30, hi: int = 225,
+                  seed: int = 0) -> np.ndarray:
+    """Smoothed random field with strong, irregular gradients."""
+    rng = np.random.default_rng(seed)
+    field = gaussian_filter(rng.normal(size=(size, size)), smoothness)
+    field = (field - field.min()) / max(np.ptp(field), 1e-12)
+    return lo + field * (hi - lo)
+
+
+def uniform_texture(intensity: float, size: int = 8) -> np.ndarray:
+    """Flat texture: only the plane's silhouette produces edges."""
+    return np.full((size, size), float(intensity))
+
+
+@dataclass
+class TexturedPlane:
+    """A finite textured rectangle.
+
+    Points are ``origin + s * axis_u + t * axis_v`` for
+    ``s, t in [0, 1]``; the axes carry the physical extent (metres) and
+    should be orthogonal for undistorted texture mapping.
+    """
+
+    origin: np.ndarray
+    axis_u: np.ndarray
+    axis_v: np.ndarray
+    texture: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.origin = np.asarray(self.origin, dtype=np.float64)
+        self.axis_u = np.asarray(self.axis_u, dtype=np.float64)
+        self.axis_v = np.asarray(self.axis_v, dtype=np.float64)
+        self.texture = np.asarray(self.texture, dtype=np.float64)
+        self._normal = np.cross(self.axis_u, self.axis_v)
+        self._uu = float(self.axis_u @ self.axis_u)
+        self._vv = float(self.axis_v @ self.axis_v)
+
+    def intersect(self, origin: np.ndarray, dirs: np.ndarray) -> tuple:
+        """Ray-plane intersection for a bundle of rays.
+
+        Args:
+            origin: Common ray origin (3,).
+            dirs: Ray directions (..., 3); the camera-space Z component
+                of each direction must be 1 so the ray parameter *is*
+                the depth.
+
+        Returns:
+            ``(tau, s, t, hit)``: depth, texture coordinates and a hit
+            mask.
+        """
+        denom = dirs @ self._normal
+        safe = np.where(np.abs(denom) < 1e-12, 1e-12, denom)
+        tau = ((self.origin - origin) @ self._normal) / safe
+        pts = origin + tau[..., None] * dirs
+        rel = pts - self.origin
+        s = (rel @ self.axis_u) / self._uu
+        t = (rel @ self.axis_v) / self._vv
+        hit = (np.abs(denom) > 1e-12) & (tau > 1e-6) & \
+            (s >= 0) & (s <= 1) & (t >= 0) & (t <= 1)
+        return tau, s, t, hit
+
+    def sample(self, s: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Bilinear texture lookup at normalized coordinates."""
+        th, tw = self.texture.shape
+        x = np.clip(s, 0, 1) * (tw - 1)
+        y = np.clip(t, 0, 1) * (th - 1)
+        x0 = np.floor(x).astype(np.int64)
+        y0 = np.floor(y).astype(np.int64)
+        x1 = np.minimum(x0 + 1, tw - 1)
+        y1 = np.minimum(y0 + 1, th - 1)
+        fx = x - x0
+        fy = y - y0
+        tex = self.texture
+        return ((1 - fy) * ((1 - fx) * tex[y0, x0] + fx * tex[y0, x1]) +
+                fy * ((1 - fx) * tex[y1, x0] + fx * tex[y1, x1]))
+
+
+@dataclass
+class PlaneScene:
+    """A collection of textured planes."""
+
+    planes: List[TexturedPlane]
+
+
+@dataclass
+class Frame:
+    """One rendered RGB-D frame."""
+
+    gray: np.ndarray       # float intensities 0..255
+    depth: np.ndarray      # metres; inf where no geometry
+    timestamp: float = 0.0
+
+
+def apply_kinect_noise(frame: Frame, rng,
+                       intensity_sigma: float = 2.0) -> Frame:
+    """Perturb a clean frame with a Kinect-style sensor model.
+
+    Depth noise follows Khoshelham & Elberink (2012): the random error
+    of the first-generation Kinect grows quadratically with distance,
+    ``sigma_z(z) ~ 0.0012 + 0.0019 (z - 0.4)^2`` metres, and the
+    device quantizes inverse depth (disparity steps).  Intensity gets
+    mild Gaussian read noise.  Rays beyond the sensor's ~5 m range
+    lose their depth, as the real device would.
+    """
+    depth = frame.depth.copy()
+    finite = np.isfinite(depth)
+    z = depth[finite]
+    sigma = 0.0012 + 0.0019 * np.maximum(z - 0.4, 0.0) ** 2
+    noisy = z + rng.normal(0.0, 1.0, z.shape) * sigma
+    # Disparity quantization: d = 1/z in steps of ~1/8 pixel of the
+    # Kinect's normalized disparity (~2.85e-3 m^-1 at unit baseline).
+    step = 2.85e-3
+    noisy = 1.0 / (np.round((1.0 / np.maximum(noisy, 0.1)) / step) * step)
+    noisy[z > 5.0] = np.inf
+    depth[finite] = noisy
+    gray = np.clip(frame.gray +
+                   rng.normal(0.0, intensity_sigma, frame.gray.shape),
+                   0, 255)
+    return Frame(gray=gray, depth=depth, timestamp=frame.timestamp)
+
+
+def render_frame(scene: PlaneScene, pose_wc: SE3,
+                 camera: CameraIntrinsics,
+                 timestamp: float = 0.0) -> Frame:
+    """Render the scene from a camera-to-world pose."""
+    u, v = camera.pixel_grid()
+    dirs_cam = np.stack([(u - camera.cx) / camera.fx,
+                         (v - camera.cy) / camera.fy,
+                         np.ones_like(u)], axis=-1)
+    dirs_world = dirs_cam @ pose_wc.R.T
+    origin = pose_wc.t
+
+    depth = np.full(u.shape, np.inf)
+    gray = np.full(u.shape, BACKGROUND_INTENSITY)
+    for plane in scene.planes:
+        tau, s, t, hit = plane.intersect(origin, dirs_world)
+        closer = hit & (tau < depth)
+        if not closer.any():
+            continue
+        depth = np.where(closer, tau, depth)
+        shade = plane.sample(s[closer], t[closer])
+        gray[closer] = shade
+    return Frame(gray=np.clip(gray, 0, 255), depth=depth,
+                 timestamp=timestamp)
+
+
+def render_sequence(scene: PlaneScene, trajectory: List[SE3],
+                    camera: CameraIntrinsics,
+                    fps: float = 30.0) -> List[Frame]:
+    """Render a whole trajectory (one frame per pose)."""
+    return [render_frame(scene, pose, camera, timestamp=i / fps)
+            for i, pose in enumerate(trajectory)]
+
+
+def make_room_scene(seed: int = 0) -> PlaneScene:
+    """A texture-rich room: back wall, floor, side walls and boxes.
+
+    The stand-in for the fr1 office environment: dense irregular
+    texture everywhere, depth between roughly 1 and 5 metres.
+    """
+    planes = [
+        # Back wall at z = 4, spanning x in [-3, 3], y in [-2, 2].
+        TexturedPlane([-3.0, -2.0, 4.0], [6.0, 0.0, 0.0],
+                      [0.0, 4.0, 0.0], noise_texture(seed=seed)),
+        # Floor at y = 1.2 (camera looks slightly over it).
+        TexturedPlane([-3.0, 1.2, 0.5], [6.0, 0.0, 0.0],
+                      [0.0, 0.0, 4.0],
+                      checkerboard_texture(squares=12, seed=seed + 1)),
+        # Left and right walls.
+        TexturedPlane([-3.0, -2.0, 0.5], [0.0, 0.0, 3.5],
+                      [0.0, 4.0, 0.0], noise_texture(seed=seed + 2)),
+        TexturedPlane([3.0, -2.0, 0.5], [0.0, 0.0, 3.5],
+                      [0.0, 4.0, 0.0],
+                      checkerboard_texture(squares=10, seed=seed + 3)),
+        # Two boxes (front faces only; enough for parallax).
+        TexturedPlane([-1.2, -0.3, 2.2], [0.8, 0.0, 0.0],
+                      [0.0, 0.9, 0.0], noise_texture(
+                          smoothness=3.0, seed=seed + 4)),
+        TexturedPlane([0.6, 0.1, 2.8], [1.0, 0.0, 0.0],
+                      [0.0, 0.7, 0.0],
+                      checkerboard_texture(squares=6, seed=seed + 5)),
+    ]
+    return PlaneScene(planes)
+
+
+def make_desk_scene(seed: int = 10) -> PlaneScene:
+    """A desk with objects, viewed from above at mid range (fr2_desk)."""
+    planes = [
+        # Desk surface, slightly below and in front of the camera.
+        TexturedPlane([-1.5, 0.8, 1.0], [3.0, 0.0, 0.0],
+                      [0.0, 0.4, 2.5],
+                      noise_texture(smoothness=4.0, seed=seed)),
+        # Background wall.
+        TexturedPlane([-2.5, -1.5, 3.8], [5.0, 0.0, 0.0],
+                      [0.0, 3.0, 0.0],
+                      noise_texture(smoothness=8.0, seed=seed + 1)),
+        # Objects on the desk: small upright textured cards.
+        TexturedPlane([-0.8, 0.25, 1.8], [0.5, 0.0, 0.0],
+                      [0.0, 0.55, 0.0],
+                      checkerboard_texture(squares=5, seed=seed + 2)),
+        TexturedPlane([0.4, 0.35, 2.1], [0.6, 0.0, 0.1],
+                      [0.0, 0.45, 0.0],
+                      noise_texture(smoothness=2.5, seed=seed + 3)),
+        TexturedPlane([-0.1, 0.45, 1.5], [0.35, 0.0, -0.05],
+                      [0.0, 0.35, 0.0],
+                      checkerboard_texture(squares=4, seed=seed + 4)),
+    ]
+    return PlaneScene(planes)
+
+
+def make_corridor_scene(seed: int = 30) -> PlaneScene:
+    """A long corridor: textured side walls converging to a far end.
+
+    Stress case for rotation-dominant motion (yaw sweeps change the
+    visible wall content quickly) and for strongly varying depth along
+    the view axis.
+    """
+    planes = [
+        # Left and right walls along z.
+        TexturedPlane([-1.2, -2.0, 0.3], [0.0, 0.0, 9.0],
+                      [0.0, 4.0, 0.0],
+                      noise_texture(smoothness=4.0, seed=seed)),
+        TexturedPlane([1.2, -2.0, 0.3], [0.0, 0.0, 9.0],
+                      [0.0, 4.0, 0.0],
+                      checkerboard_texture(squares=14, seed=seed + 1)),
+        # Floor and ceiling strips.
+        TexturedPlane([-1.2, 1.1, 0.3], [2.4, 0.0, 0.0],
+                      [0.0, 0.0, 9.0],
+                      checkerboard_texture(squares=10, seed=seed + 2)),
+        TexturedPlane([-1.2, -1.8, 0.3], [2.4, 0.0, 0.0],
+                      [0.0, 0.0, 9.0],
+                      noise_texture(smoothness=7.0, seed=seed + 3)),
+        # End wall.
+        TexturedPlane([-1.2, -2.0, 9.3], [2.4, 0.0, 0.0],
+                      [0.0, 4.0, 0.0],
+                      noise_texture(smoothness=3.0, seed=seed + 4)),
+    ]
+    return PlaneScene(planes)
+
+
+def make_structure_notex_scene(seed: int = 20) -> PlaneScene:
+    """Untextured structure at long range (fr3_structure_notexture_far).
+
+    Flat-shaded panels at staggered depths: the only image gradients
+    are the geometric silhouettes, exercising EBVO's behaviour in
+    texture-poor scenes.
+    """
+    intensities = [70, 150, 100, 200, 120, 180]
+    planes = [
+        # Large far background.
+        TexturedPlane([-5.0, -3.0, 9.0], [10.0, 0.0, 0.0],
+                      [0.0, 6.0, 0.0], uniform_texture(45)),
+    ]
+    rng = np.random.default_rng(seed)
+    xs = np.linspace(-3.2, 2.4, 6)
+    for i, x in enumerate(xs):
+        z = 5.0 + float(rng.uniform(-0.8, 1.2))
+        y = float(rng.uniform(-1.8, -0.2))
+        planes.append(TexturedPlane(
+            [x, y, z], [1.1, 0.0, 0.0], [0.0, 2.4, 0.0],
+            uniform_texture(intensities[i % len(intensities)])))
+    return PlaneScene(planes)

@@ -1,0 +1,88 @@
+"""Camera trajectories with the motion character of the TUM sequences."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.geometry.se3 import SE3, so3_exp
+
+__all__ = ["xyz_shake_trajectory", "desk_orbit_trajectory",
+           "notex_far_trajectory", "corridor_walk_trajectory"]
+
+
+def corridor_walk_trajectory(n_frames: int = 120, fps: float = 30.0,
+                             speed: float = 0.25,
+                             yaw_amplitude: float = 0.12) -> List[SE3]:
+    """Walking down a corridor with gaze sweeps: forward translation
+    plus a rotation-dominant yaw oscillation."""
+    poses = []
+    for i in range(n_frames):
+        t = i / fps
+        trans = np.array([0.04 * np.sin(2 * np.pi * 0.5 * t),
+                          0.02 * np.sin(2 * np.pi * 0.9 * t),
+                          speed * t])
+        yaw = yaw_amplitude * np.sin(2 * np.pi * 0.3 * t)
+        poses.append(SE3(so3_exp(np.array([0.0, yaw, 0.0])), trans))
+    return poses
+
+
+def xyz_shake_trajectory(n_frames: int = 120, fps: float = 30.0,
+                         amplitude: float = 0.12,
+                         rot_amplitude: float = 0.02) -> List[SE3]:
+    """fr1_xyz-style motion: hand-held translation along the axes.
+
+    The original sequence moves the camera back and forth along x, y
+    and z in turn with the orientation held roughly fixed; this
+    generator superposes three out-of-phase sinusoids plus a small
+    rotational wobble.
+    """
+    poses = []
+    for i in range(n_frames):
+        t = i / fps
+        trans = amplitude * np.array([
+            np.sin(2 * np.pi * 0.35 * t),
+            0.7 * np.sin(2 * np.pi * 0.27 * t + 1.0),
+            0.8 * np.sin(2 * np.pi * 0.21 * t + 2.1),
+        ])
+        wobble = rot_amplitude * np.array([
+            np.sin(2 * np.pi * 0.30 * t + 0.3),
+            np.sin(2 * np.pi * 0.24 * t + 1.7),
+            0.5 * np.sin(2 * np.pi * 0.18 * t),
+        ])
+        poses.append(SE3(so3_exp(wobble), trans))
+    return poses
+
+
+def desk_orbit_trajectory(n_frames: int = 120, fps: float = 30.0,
+                          radius: float = 0.35,
+                          angular_rate: float = 0.25) -> List[SE3]:
+    """fr2_desk-style motion: a slow arc around the desk, yawing to
+    keep the scene centred."""
+    poses = []
+    for i in range(n_frames):
+        t = i / fps
+        angle = angular_rate * t
+        # Move sideways along the arc while yawing by the same angle so
+        # the view stays on the desk centre (~2 m ahead).
+        trans = np.array([radius * np.sin(angle),
+                          0.03 * np.sin(2 * np.pi * 0.2 * t),
+                          radius * (1 - np.cos(angle))])
+        rot = so3_exp(np.array([0.0, -angle * 0.8, 0.0]))
+        poses.append(SE3(rot, trans))
+    return poses
+
+
+def notex_far_trajectory(n_frames: int = 120, fps: float = 30.0,
+                         speed: float = 0.10) -> List[SE3]:
+    """fr3_str_notex_far-style motion: slow lateral drift at range."""
+    poses = []
+    for i in range(n_frames):
+        t = i / fps
+        trans = np.array([speed * t,
+                          0.02 * np.sin(2 * np.pi * 0.15 * t),
+                          0.05 * np.sin(2 * np.pi * 0.1 * t)])
+        rot = so3_exp(np.array([0.0, -0.015 * t, 0.0]))
+        poses.append(SE3(rot, trans))
+    return poses

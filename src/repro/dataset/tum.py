@@ -1,0 +1,85 @@
+"""TUM RGB-D benchmark file-format support (Sturm et al. 2012).
+
+Trajectories are text files with lines
+``timestamp tx ty tz qx qy qz qw``; sensor listings associate
+timestamps across modalities.  The synthetic sequences export to the
+same format so the standard external tooling can process them, and real
+TUM sequences can be loaded unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.se3 import SE3
+
+__all__ = ["save_trajectory_tum", "load_trajectory_tum", "associate"]
+
+
+def save_trajectory_tum(path, timestamps: Sequence[float],
+                        poses: Sequence[SE3]) -> None:
+    """Write a trajectory in TUM format (camera-to-world poses)."""
+    if len(timestamps) != len(poses):
+        raise ValueError("timestamps and poses differ in length")
+    with open(path, "w") as fh:
+        fh.write("# timestamp tx ty tz qx qy qz qw\n")
+        for ts, pose in zip(timestamps, poses):
+            q = pose.to_quaternion()
+            t = pose.t
+            fh.write(f"{ts:.6f} {t[0]:.6f} {t[1]:.6f} {t[2]:.6f} "
+                     f"{q[0]:.6f} {q[1]:.6f} {q[2]:.6f} {q[3]:.6f}\n")
+
+
+def load_trajectory_tum(path) -> Tuple[np.ndarray, List[SE3]]:
+    """Read a TUM trajectory file.
+
+    Returns:
+        ``(timestamps, poses)`` with camera-to-world :class:`SE3`.
+    """
+    timestamps = []
+    poses = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 8:
+                raise ValueError(f"malformed TUM line: {line!r}")
+            vals = [float(p) for p in parts[:8]]
+            timestamps.append(vals[0])
+            poses.append(SE3.from_quaternion(np.array(vals[1:4]),
+                                             np.array(vals[4:8])))
+    return np.asarray(timestamps), poses
+
+
+def associate(stamps_a: Sequence[float], stamps_b: Sequence[float],
+              max_difference: float = 0.02) -> List[Tuple[int, int]]:
+    """Greedy timestamp association (the TUM ``associate.py`` policy).
+
+    Pairs each timestamp of ``a`` with the closest unclaimed timestamp
+    of ``b`` within ``max_difference`` seconds, best matches first.
+
+    Returns:
+        Sorted list of index pairs ``(ia, ib)``.
+    """
+    a = np.asarray(stamps_a, dtype=np.float64)
+    b = np.asarray(stamps_b, dtype=np.float64)
+    candidates = []
+    for ia in range(a.size):
+        diffs = np.abs(b - a[ia])
+        for ib in np.nonzero(diffs <= max_difference)[0]:
+            candidates.append((float(diffs[ib]), ia, int(ib)))
+    candidates.sort()
+    taken_a: Dict[int, bool] = {}
+    taken_b: Dict[int, bool] = {}
+    matches = []
+    for _, ia, ib in candidates:
+        if ia in taken_a or ib in taken_b:
+            continue
+        taken_a[ia] = True
+        taken_b[ib] = True
+        matches.append((ia, ib))
+    return sorted(matches)

@@ -1,0 +1,7 @@
+"""Trajectory evaluation metrics (Sturm et al. 2012 semantics)."""
+
+from repro.evaluation.rpe import RPEResult, relative_pose_error
+from repro.evaluation.ate import ATEResult, absolute_trajectory_error
+
+__all__ = ["RPEResult", "relative_pose_error",
+           "ATEResult", "absolute_trajectory_error"]

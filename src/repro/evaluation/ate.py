@@ -1,0 +1,60 @@
+"""Absolute trajectory error (ATE) with Horn alignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.se3 import SE3
+
+__all__ = ["ATEResult", "absolute_trajectory_error", "horn_align"]
+
+
+@dataclass
+class ATEResult:
+    """RMSE of aligned position errors plus the raw errors."""
+
+    rmse: float
+    errors: np.ndarray
+    alignment: SE3
+
+    def __str__(self) -> str:
+        return f"ATE rmse={self.rmse:.3f} m"
+
+
+def horn_align(source: np.ndarray, target: np.ndarray) -> SE3:
+    """Least-squares rigid alignment ``target ~ R source + t`` (Horn).
+
+    Args:
+        source, target: (N, 3) point sets.
+    """
+    src = np.asarray(source, dtype=np.float64)
+    dst = np.asarray(target, dtype=np.float64)
+    if src.shape != dst.shape or src.ndim != 2 or src.shape[1] != 3:
+        raise ValueError("point sets must both be (N, 3)")
+    mu_s = src.mean(axis=0)
+    mu_d = dst.mean(axis=0)
+    cov = (dst - mu_d).T @ (src - mu_s)
+    u, _, vt = np.linalg.svd(cov)
+    s = np.eye(3)
+    if np.linalg.det(u @ vt) < 0:
+        s[2, 2] = -1.0
+    rot = u @ s @ vt
+    t = mu_d - rot @ mu_s
+    return SE3(rot, t)
+
+
+def absolute_trajectory_error(estimated: Sequence[SE3],
+                              groundtruth: Sequence[SE3]) -> ATEResult:
+    """ATE RMSE after optimal rigid alignment of the position tracks."""
+    if len(estimated) != len(groundtruth):
+        raise ValueError("trajectories differ in length")
+    est = np.stack([p.t for p in estimated])
+    gt = np.stack([p.t for p in groundtruth])
+    align = horn_align(est, gt)
+    aligned = est @ align.R.T + align.t
+    errors = np.linalg.norm(aligned - gt, axis=1)
+    return ATEResult(rmse=float(np.sqrt(np.mean(errors ** 2))),
+                     errors=errors, alignment=align)

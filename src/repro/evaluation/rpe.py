@@ -1,0 +1,76 @@
+"""Relative pose error (RPE), the drift metric of Table 1.
+
+For estimated poses ``P_i`` and ground truth ``Q_i`` (camera-to-world)
+the relative error over a window ``delta`` is
+
+``E_i = (Q_i^-1 Q_{i+delta})^-1 (P_i^-1 P_{i+delta})``
+
+The paper reports the RMSE of the translational component in m/s and
+of the rotational component in deg/s, i.e. errors over one-second
+windows (``delta = fps`` frames) normalized by the window duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.se3 import SE3, so3_log
+
+__all__ = ["RPEResult", "relative_pose_error"]
+
+
+@dataclass
+class RPEResult:
+    """RMSE drift rates plus the raw per-window errors."""
+
+    translation_rmse: float     # m/s
+    rotation_rmse: float        # deg/s
+    translation_errors: np.ndarray
+    rotation_errors: np.ndarray
+
+    def __str__(self) -> str:
+        return (f"RPE t={self.translation_rmse:.3f} m/s, "
+                f"rot={self.rotation_rmse:.2f} deg/s")
+
+
+def relative_pose_error(estimated: Sequence[SE3],
+                        groundtruth: Sequence[SE3],
+                        delta: int = 30,
+                        fps: float = 30.0) -> RPEResult:
+    """RPE RMSE over fixed-size frame windows.
+
+    Args:
+        estimated: Estimated camera-to-world poses.
+        groundtruth: Ground-truth poses (same length and order).
+        delta: Window size in frames (``fps`` frames = one second,
+            giving the paper's per-second units).
+        fps: Frame rate used to normalize to rates.
+
+    Returns:
+        :class:`RPEResult` with RMSE in m/s and deg/s.
+    """
+    if len(estimated) != len(groundtruth):
+        raise ValueError("trajectories differ in length")
+    n = len(estimated)
+    if n <= delta:
+        raise ValueError(f"need more than {delta} poses, got {n}")
+    window_seconds = delta / fps
+    t_errs: List[float] = []
+    r_errs: List[float] = []
+    for i in range(n - delta):
+        gt_rel = groundtruth[i].inverse() @ groundtruth[i + delta]
+        est_rel = estimated[i].inverse() @ estimated[i + delta]
+        err = gt_rel.inverse() @ est_rel
+        t_errs.append(float(np.linalg.norm(err.t)) / window_seconds)
+        r_errs.append(np.degrees(float(np.linalg.norm(so3_log(err.R))))
+                      / window_seconds)
+    t = np.asarray(t_errs)
+    r = np.asarray(r_errs)
+    return RPEResult(
+        translation_rmse=float(np.sqrt(np.mean(t ** 2))),
+        rotation_rmse=float(np.sqrt(np.mean(r ** 2))),
+        translation_errors=t,
+        rotation_errors=r)

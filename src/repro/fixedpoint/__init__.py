@@ -1,0 +1,37 @@
+"""Q-format fixed-point arithmetic substrate.
+
+The paper quantizes every EBVO quantity to a specific Q format (ARM
+notation, sign bit included in the integer field):
+
+* features in inverse-depth coordinates: **Q4.12** (16 bit),
+* rotation/translation entries: **Q1.15** (16 bit),
+* Jacobian entries: **Q14.2** (16 bit),
+* Hessian and steepest-descent accumulators: **Q29.3** (32 bit).
+
+:class:`QFormat` captures a format; :mod:`repro.fixedpoint.ops` provides
+the saturating/wrapping lane arithmetic the PIM ALU is built from.
+"""
+
+from repro.fixedpoint.qformat import (
+    Q1_15,
+    Q4_12,
+    Q8_8,
+    Q14_2,
+    Q29_3,
+    UQ8_0,
+    UQ16_0,
+    QFormat,
+)
+from repro.fixedpoint import ops
+
+__all__ = [
+    "QFormat",
+    "Q1_15",
+    "Q4_12",
+    "Q8_8",
+    "Q14_2",
+    "Q29_3",
+    "UQ8_0",
+    "UQ16_0",
+    "ops",
+]

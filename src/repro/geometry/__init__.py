@@ -1,0 +1,19 @@
+"""3D geometry substrate: Lie groups and the pinhole camera model."""
+
+from repro.geometry.se3 import SE3, se3_exp, se3_log, so3_exp, so3_log
+from repro.geometry.camera import (
+    CameraIntrinsics,
+    TUM_QVGA,
+    inverse_depth_coords,
+)
+
+__all__ = [
+    "SE3",
+    "se3_exp",
+    "se3_log",
+    "so3_exp",
+    "so3_log",
+    "CameraIntrinsics",
+    "TUM_QVGA",
+    "inverse_depth_coords",
+]

@@ -1,0 +1,102 @@
+"""Pinhole camera model and the inverse-depth feature coordinates.
+
+The paper expresses a 3D feature anchored at pixel ``(u, v)`` with depth
+``d`` as the quantized inverse-depth triple (Fig. 5-a):
+
+``a = (u - cx) / f``, ``b = (v - cy) / f``, ``c = 1 / d``.
+
+The triple embeds the intrinsics, keeps every component in a small
+dynamic range (Q4.12-friendly), and makes the warp of Fig. 5-b a pure
+multiply-add: ``(X, Y, Z) = R (a, b, 1) + T c`` followed by projection,
+which is scale-invariant so the missing factor ``d`` cancels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CameraIntrinsics", "TUM_QVGA", "inverse_depth_coords"]
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Pinhole intrinsics with image bounds."""
+
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    width: int
+    height: int
+
+    def project(self, points: np.ndarray) -> tuple:
+        """Project camera-frame points (..., 3) to pixels.
+
+        Returns:
+            ``(uv, valid)``: pixel coordinates (..., 2) and a mask that
+            is True where the point is in front of the camera and the
+            projection lands inside the image.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        z = pts[..., 2]
+        safe_z = np.where(np.abs(z) < 1e-12, 1e-12, z)
+        u = self.fx * pts[..., 0] / safe_z + self.cx
+        v = self.fy * pts[..., 1] / safe_z + self.cy
+        uv = np.stack([u, v], axis=-1)
+        valid = (z > 1e-6) & (u >= 0) & (u <= self.width - 1) & \
+            (v >= 0) & (v <= self.height - 1)
+        return uv, valid
+
+    def backproject(self, u, v, depth) -> np.ndarray:
+        """Lift pixels with depth to camera-frame 3D points (..., 3)."""
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        depth = np.asarray(depth, dtype=np.float64)
+        x = (u - self.cx) / self.fx * depth
+        y = (v - self.cy) / self.fy * depth
+        return np.stack([x, y, depth], axis=-1)
+
+    def pixel_grid(self) -> tuple:
+        """Meshgrid of pixel coordinates ``(u, v)`` for the full image."""
+        u, v = np.meshgrid(np.arange(self.width, dtype=np.float64),
+                           np.arange(self.height, dtype=np.float64))
+        return u, v
+
+    def scaled(self, factor: float) -> "CameraIntrinsics":
+        """Intrinsics for an image resized by ``factor``."""
+        return CameraIntrinsics(
+            fx=self.fx * factor, fy=self.fy * factor,
+            cx=self.cx * factor, cy=self.cy * factor,
+            width=int(round(self.width * factor)),
+            height=int(round(self.height * factor)))
+
+
+#: TUM fr1-style intrinsics scaled from 640x480 to QVGA, the paper's
+#: working resolution.
+TUM_QVGA = CameraIntrinsics(fx=258.6, fy=262.6, cx=159.2, cy=127.0,
+                            width=320, height=240)
+
+
+def inverse_depth_coords(camera: CameraIntrinsics, u, v, depth) -> tuple:
+    """The paper's inverse-depth feature triple ``(a, b, c)`` (Fig. 5-a).
+
+    Args:
+        camera: Intrinsics of the anchoring frame.
+        u, v: Pixel coordinates of the features.
+        depth: Depths (must be positive).
+
+    Returns:
+        Arrays ``(a, b, c)`` with ``a = (u - cx)/fx``, ``b = (v - cy)/fy``
+        and ``c = 1/d``.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    depth = np.asarray(depth, dtype=np.float64)
+    if np.any(depth <= 0):
+        raise ValueError("depths must be positive")
+    a = (u - camera.cx) / camera.fx
+    b = (v - camera.cy) / camera.fy
+    c = 1.0 / depth
+    return a, b, c

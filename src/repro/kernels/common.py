@@ -1,0 +1,50 @@
+"""Shared helpers for mapping images onto the PIM array.
+
+Layout convention: one image row per SRAM word line, one 8-bit pixel
+per lane, row ``r`` of the image in SRAM row ``r``.  Kernels that need
+16-bit arithmetic split the image into two vertical tiles (the word
+line holds half as many 16-bit lanes), which is exactly the throughput
+penalty the paper describes for wider precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["load_image", "read_image", "shift_pixels"]
+
+
+def load_image(device, image: np.ndarray, base_row: int = 0) -> None:
+    """Host-DMA an 8-bit image into the array, one row per word line."""
+    image = np.asarray(image)
+    height, width = image.shape
+    if width > device.lanes:
+        raise ValueError(f"image width {width} exceeds {device.lanes} lanes")
+    if base_row + height > device.config.num_rows:
+        raise ValueError("image does not fit the array")
+    for r in range(height):
+        device.load(base_row + r, image[r], signed=False)
+
+
+def read_image(device, height: int, width: int,
+               base_row: int = 0, signed: bool = False) -> np.ndarray:
+    """Host-DMA an image back out of the array."""
+    rows = [device.store(base_row + r, signed=signed)[:width]
+            for r in range(height)]
+    return np.stack(rows).astype(np.int64)
+
+
+def shift_pixels(array: np.ndarray, pixels: int) -> np.ndarray:
+    """Numpy mirror of ``device.shift_lanes`` along the last axis.
+
+    Positive ``pixels`` moves each lane's right neighbour in:
+    ``out[..., i] = in[..., i + pixels]``, zero-filled.
+    """
+    out = np.zeros_like(array)
+    if pixels == 0:
+        out[...] = array
+    elif pixels > 0:
+        out[..., :-pixels or None] = array[..., pixels:]
+    else:
+        out[..., -pixels:] = array[..., :pixels]
+    return out

@@ -1,0 +1,260 @@
+"""General 2D convolution on the PIM array (conclusion's CNN extension).
+
+The paper closes with: "The proposed SRAM-PIM architecture has
+developed a general-purpose SIMD computing scheme ... and it may also
+benefit the integration of a broader range of applications such as
+CNN."  This module realizes that extension: int8-weight convolution
+layers with 32-bit accumulation, ReLU and 2x2 max-pooling, mapped with
+the same shift/multiply/accumulate vocabulary as the EBVO kernels.
+
+Mapping: one feature-map row per SRAM row, one pixel per 32-bit lane
+(80 lanes, enough for CIFAR-scale maps).  For every tap, the input row
+is lane-shifted to alignment, multiplied by the broadcast weight (the
+multiplier loop runs only the weight's 8 bits), and accumulated -
+in the second Tmp register when the bank has one.  The requantization
+(arithmetic shift + saturation) and ReLU (branch-free max against 0)
+reuse the existing primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fixedpoint import ops
+from repro.kernels.common import shift_pixels
+from repro.pim.device import TMP, Imm, Tmp
+
+__all__ = ["conv2d_fast", "conv2d_pim", "relu_fast", "maxpool2x2_fast",
+           "maxpool2x2_pim", "Conv2dLayer", "quantize_weights"]
+
+_ACC_BITS = 32
+_WEIGHT_BITS = 8
+
+
+def quantize_weights(weights: np.ndarray, scale: Optional[float] = None
+                     ) -> tuple:
+    """Symmetric int8 quantization of a float weight tensor.
+
+    Returns:
+        ``(w_q, scale)`` with ``w_q ~ weights / scale`` in [-127, 127].
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if scale is None:
+        peak = np.abs(weights).max()
+        scale = max(peak, 1e-12) / 127.0
+    w_q = np.clip(np.rint(weights / scale), -127, 127).astype(np.int64)
+    return w_q, float(scale)
+
+
+def conv2d_fast(plane: np.ndarray, kernel_q: np.ndarray,
+                rshift: int = 0, relu: bool = False) -> np.ndarray:
+    """Valid-mode integer convolution with exact PIM arithmetic.
+
+    Args:
+        plane: 2D integer activation map.
+        kernel_q: KxK int8 weights (correlation orientation, like
+            every CNN framework).
+        rshift: Requantization shift applied to the 32-bit accumulator.
+        relu: Clamp negatives to zero after requantization.
+
+    Returns:
+        (H-K+1, W-K+1) integer map.
+    """
+    plane = np.asarray(plane, dtype=np.int64)
+    kernel_q = np.asarray(kernel_q, dtype=np.int64)
+    kh, kw = kernel_q.shape
+    height, width = plane.shape
+    out_h, out_w = height - kh + 1, width - kw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("plane smaller than kernel")
+    acc = np.zeros((out_h, width), dtype=np.int64)
+    for dy in range(kh):
+        rows = plane[dy:dy + out_h]
+        for dx in range(kw):
+            w = int(kernel_q[dy, dx])
+            if w == 0:
+                continue
+            tap = ops.saturate(shift_pixels(rows, dx) * w, _ACC_BITS)
+            acc = ops.sat_add(acc, tap, _ACC_BITS)
+    out = ops.saturate(acc >> rshift, _ACC_BITS)
+    if relu:
+        out = np.maximum(out, 0)
+    return out[:, :out_w]
+
+
+def conv2d_pim(device, in_rows: Sequence[int], out_rows: Sequence[int],
+               kernel_q: np.ndarray, width: int, rshift: int = 0,
+               relu: bool = False, accumulate: bool = False) -> None:
+    """Device program: one KxK filter over one input plane.
+
+    Args:
+        device: PIM device in any precision (switched to 32-bit).
+        in_rows: SRAM rows holding the input plane (one map row each).
+        out_rows: Destination rows, ``len(in_rows) - K + 1`` of them.
+        kernel_q: KxK int8 weights.
+        width: Valid pixels per row.
+        rshift: Requantization shift.
+        relu: Apply branch-free ReLU.
+        accumulate: Add onto the existing output rows (multi-channel
+            accumulation) instead of overwriting.
+    """
+    kernel_q = np.asarray(kernel_q, dtype=np.int64)
+    kh, kw = kernel_q.shape
+    if len(out_rows) != len(in_rows) - kh + 1:
+        raise ValueError("output row count must be in_rows - K + 1")
+    if np.abs(kernel_q).max() > 127:
+        raise ValueError("weights exceed int8")
+    device.set_precision(_ACC_BITS)
+    multi_reg = device.config.num_tmp_registers > 1
+    for oi, out_row in enumerate(out_rows):
+        acc = Tmp(1) if multi_reg else out_row
+        first = not accumulate
+        if accumulate and multi_reg:
+            device.copy(acc, out_row)  # resume the channel partial sum
+        for dy in range(kh):
+            src = in_rows[oi + dy]
+            for dx in range(kw):
+                w = int(kernel_q[dy, dx])
+                if w == 0:
+                    continue
+                if dx:
+                    device.shift_lanes(TMP, src, dx, signed=True)
+                    device.mul(TMP, TMP, Imm(w),
+                               multiplier_bits=_WEIGHT_BITS)
+                else:
+                    device.mul(TMP, src, Imm(w),
+                               multiplier_bits=_WEIGHT_BITS)
+                if first and acc is not out_row:
+                    device.copy(acc, TMP)
+                elif first:
+                    device.copy(out_row, TMP)
+                else:
+                    device.add(acc, acc, TMP, saturate=True)
+                first = False
+        if rshift:
+            device.shift_bits(acc, acc, -rshift, signed=True)
+        if relu:
+            device.maximum(out_row, acc, Imm(0), signed=True)
+        elif acc is not out_row:
+            device.copy(out_row, acc)
+
+
+def relu_fast(plane: np.ndarray) -> np.ndarray:
+    """Branch-free ReLU (max against zero)."""
+    return np.maximum(np.asarray(plane, dtype=np.int64), 0)
+
+
+def maxpool2x2_fast(plane: np.ndarray) -> np.ndarray:
+    """2x2 max pooling with stride 2 (exact PIM arithmetic)."""
+    plane = np.asarray(plane, dtype=np.int64)
+    h2, w2 = plane.shape[0] // 2, plane.shape[1] // 2
+    p = plane[:h2 * 2, :w2 * 2]
+    return np.maximum.reduce([p[0::2, 0::2], p[0::2, 1::2],
+                              p[1::2, 0::2], p[1::2, 1::2]])
+
+
+def maxpool2x2_pim(device, in_rows: Sequence[int],
+                   out_rows: Sequence[int], width: int) -> np.ndarray:
+    """Device program: 2x2/stride-2 max pooling.
+
+    Horizontal pairs fold with one lane shift + branch-free max;
+    vertical pairs with a row-row max.  The stride-2 compaction
+    (gathering even lanes) is a host read-back, like the feature
+    extraction scan of the EBVO pipeline.
+
+    Returns:
+        The pooled plane (rows x width//2), also left in ``out_rows``
+        in compacted form via host DMA.
+    """
+    device.set_precision(_ACC_BITS)
+    h2, w2 = len(in_rows) // 2, width // 2
+    if len(out_rows) < h2:
+        raise ValueError("not enough output rows")
+    pooled = np.zeros((h2, w2), dtype=np.int64)
+    for oi in range(h2):
+        top, bot = in_rows[2 * oi], in_rows[2 * oi + 1]
+        device.shift_lanes(TMP, top, 1, signed=True)
+        device.maximum(top, top, TMP, signed=True)      # horizontal max
+        device.shift_lanes(TMP, bot, 1, signed=True)
+        device.maximum(bot, bot, TMP, signed=True)
+        device.maximum(out_rows[oi], top, bot, signed=True)  # vertical
+        row = device.store(out_rows[oi])[:width]
+        pooled[oi] = row[0:w2 * 2:2]
+        device.load(out_rows[oi], pooled[oi])
+    return pooled
+
+
+@dataclass
+class Conv2dLayer:
+    """An int8 convolution layer executable on the PIM device.
+
+    Attributes:
+        weights_q: (Cout, Cin, K, K) int8 weights.
+        rshift: Requantization shift after accumulation.
+        relu: Apply ReLU.
+        scale: Float scale of the quantized weights (bookkeeping).
+    """
+
+    weights_q: np.ndarray
+    rshift: int = 0
+    relu: bool = True
+    scale: float = 1.0
+
+    @classmethod
+    def from_float(cls, weights: np.ndarray, rshift: int = 0,
+                   relu: bool = True) -> "Conv2dLayer":
+        """Quantize float weights (Cout, Cin, K, K) to int8."""
+        w_q, scale = quantize_weights(weights)
+        return cls(weights_q=w_q, rshift=rshift, relu=relu, scale=scale)
+
+    def forward_fast(self, planes: Sequence[np.ndarray]
+                     ) -> List[np.ndarray]:
+        """Vectorized forward pass (exact PIM arithmetic)."""
+        cout, cin = self.weights_q.shape[:2]
+        if len(planes) != cin:
+            raise ValueError(f"expected {cin} input planes")
+        outputs = []
+        for co in range(cout):
+            acc = None
+            for ci in range(cin):
+                part = conv2d_fast(planes[ci], self.weights_q[co, ci])
+                acc = part if acc is None else \
+                    ops.sat_add(acc, part, _ACC_BITS)
+            out = ops.saturate(acc >> self.rshift, _ACC_BITS)
+            if self.relu:
+                out = np.maximum(out, 0)
+            outputs.append(out)
+        return outputs
+
+    def forward_pim(self, device, planes: Sequence[np.ndarray]
+                    ) -> List[np.ndarray]:
+        """Device forward pass; returns the output planes.
+
+        Planes are DMA-staged channel by channel (the array holds one
+        working set at a time, as in the EBVO pipeline).
+        """
+        cout, cin, kh, kw = self.weights_q.shape
+        height, width = planes[0].shape
+        out_h = height - kh + 1
+        in_rows = list(range(height))
+        out_rows = list(range(height, height + out_h))
+        if height + out_h > device.config.num_rows:
+            raise ValueError("plane too tall for the array")
+        device.set_precision(_ACC_BITS)
+        outputs = []
+        for co in range(cout):
+            for ci in range(cin):
+                for r in in_rows:
+                    device.load(r, planes[ci][r])
+                conv2d_pim(device, in_rows, out_rows,
+                           self.weights_q[co, ci], width,
+                           rshift=self.rshift if ci == cin - 1 else 0,
+                           relu=self.relu and ci == cin - 1,
+                           accumulate=ci > 0)
+            out = np.stack([device.store(r)[:width - kw + 1]
+                            for r in out_rows])
+            outputs.append(out)
+        return outputs

@@ -1,0 +1,173 @@
+"""The HPF kernel: saturated 4-direction SAD (paper Fig. 3).
+
+The response at centre pixel ``(r, c)`` is
+
+``sat8( |A(c-1)-C(c+1)| + |A(c+1)-C(c-1)| + |B(c-1)-B(c+1)|
++ |A(c)-C(c)| )``
+
+with ``A, B, C`` the rows above/at/below the centre.  The optimized
+mapping aligns every operand pair by *shifting whole rows by two
+pixels* and reuses the shifted copies across output rows (when row
+``r+1`` is processed, the shifts of what was row ``C`` are already in
+scratch).  Partial sums chain through the Tmp register; the final
+result lands in row ``r - 1``, which is dead by then, so the transform
+runs in place.
+
+The naive mapping shifts each pair to centre alignment separately,
+materializes every absolute difference in SRAM, and reuses nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint import ops
+from repro.kernels.common import shift_pixels
+from repro.pim.device import TMP, Tmp
+
+__all__ = ["hpf_fast", "hpf_naive_fast", "hpf_pim", "hpf_pim_naive",
+           "HPF_ROW_OFFSET"]
+
+#: Row alignment: output row ``i`` holds the response centred at input
+#: row ``i + HPF_ROW_OFFSET`` (columns are centre-aligned).
+HPF_ROW_OFFSET = 1
+
+
+def hpf_fast(image: np.ndarray) -> np.ndarray:
+    """Optimized SAD HPF with exact PIM arithmetic (vectorized).
+
+    Args:
+        image: Smoothed 8-bit image (rows x cols).
+
+    Returns:
+        Response array of the same shape; row ``i`` is centred at input
+        row ``i + 1``; columns are centre-aligned; column 0 and the two
+        rightmost columns are invalid, as are the two bottom rows.
+    """
+    img = np.asarray(image, dtype=np.int64)
+    a = img[:-2]
+    b = img[1:-1]
+    c = img[2:]
+    d1 = ops.abs_diff(a, shift_pixels(c, 2))
+    d2 = ops.abs_diff(shift_pixels(a, 2), c)
+    d3 = ops.abs_diff(b, shift_pixels(b, 2))
+    d4 = ops.abs_diff(shift_pixels(a, 1), shift_pixels(c, 1))
+    acc = ops.sat_add(d1, d2, 8, signed=False)
+    acc = ops.sat_add(acc, d3, 8, signed=False)
+    acc = ops.sat_add(acc, d4, 8, signed=False)
+    out = np.zeros_like(img)
+    out[:-2] = shift_pixels(acc, -1)
+    return out
+
+
+def hpf_naive_fast(image: np.ndarray) -> np.ndarray:
+    """Naive SAD HPF (centre-aligned per pair), vectorized mirror.
+
+    Numerically identical to :func:`hpf_fast` in the interior; the
+    border behaviour differs (each pair is shifted to centre alignment
+    independently, so zeros leak one column less on the left and one
+    more on the right).
+    """
+    img = np.asarray(image, dtype=np.int64)
+    a = img[:-2]
+    b = img[1:-1]
+    c = img[2:]
+    pairs = [
+        (shift_pixels(a, -1), shift_pixels(c, 1)),
+        (shift_pixels(a, 1), shift_pixels(c, -1)),
+        (shift_pixels(b, -1), shift_pixels(b, 1)),
+        (a, c),
+    ]
+    acc = np.zeros_like(a)
+    for left, right in pairs:
+        acc = ops.sat_add(acc, ops.abs_diff(left, right), 8, signed=False)
+    out = np.zeros_like(img)
+    out[1:-1] = acc  # centre-aligned rows, unlike the optimized mapping
+    return out
+
+
+def hpf_pim(device, height: int, base_row: int = 0,
+            scratch_base: int = None) -> None:
+    """Optimized device program (Fig. 3) with pipelined row shifts.
+
+    The smoothed image in rows ``base_row .. base_row + height - 1`` is
+    replaced in place by the response: output row ``i`` (centred at
+    input row ``i + 1``) overwrites input row ``i`` once it is dead.
+    Uses 7 scratch rows: a ring of 3 x (row << 2pix, row << 1pix) plus
+    one accumulator.
+    """
+    if scratch_base is None:
+        scratch_base = base_row + height
+    s2 = [scratch_base + i for i in range(3)]       # row << 2pix ring
+    s1 = [scratch_base + 3 + i for i in range(3)]   # row << 1pix ring
+    # With a second Tmp register (section 5.4 extension) the partial
+    # sum never round-trips through SRAM.
+    acc = Tmp(1) if device.config.num_tmp_registers > 1 \
+        else scratch_base + 6
+
+    # Prologue: shifts of the first two rows enter the ring.
+    for i, r in enumerate((base_row, base_row + 1)):
+        device.shift_lanes(s2[i], r, 2)
+        device.shift_lanes(s1[i], r, 1)
+
+    for r in range(base_row + 1, base_row + height - 1):
+        ia = (r - 1 - base_row) % 3   # ring slot of row A = r - 1
+        ib = (r - base_row) % 3       # slot of row B = r
+        ic = (r + 1 - base_row) % 3   # slot of row C = r + 1
+        row_a, row_b, row_c = r - 1, r, r + 1
+        device.shift_lanes(s2[ic], row_c, 2)
+        device.shift_lanes(s1[ic], row_c, 1)
+        device.abs_diff(acc, row_a, s2[ic])          # |A - C<<2|
+        device.abs_diff(TMP, s2[ia], row_c)          # |A<<2 - C|
+        device.add(acc, acc, TMP, saturate=True, signed=False)
+        device.abs_diff(TMP, row_b, s2[ib])          # |B - B<<2|
+        device.add(acc, acc, TMP, saturate=True, signed=False)
+        device.abs_diff(TMP, s1[ia], s1[ic])         # |A<<1 - C<<1|
+        device.add(TMP, acc, TMP, saturate=True, signed=False)
+        device.shift_lanes(row_a, TMP, -1)           # centre-align, in place
+
+
+def hpf_pim_naive(device, image: np.ndarray, base_row: int = 0,
+                  scratch_base: int = None) -> np.ndarray:
+    """Naive device program: per-pair alignment, everything in SRAM.
+
+    Streams three input rows per output row (host DMA, excluded from
+    cycles), shifts both operands of every pair to centre alignment,
+    materializes each absolute difference in a scratch row and
+    accumulates in another.
+
+    Returns:
+        The centre-aligned response image.
+    """
+    img = np.asarray(image, dtype=np.int64)
+    height, width = img.shape
+    if scratch_base is None:
+        scratch_base = device.config.num_rows - 8
+    in_rows = [scratch_base, scratch_base + 1, scratch_base + 2]
+    t1, t2, td, acc = (scratch_base + 3, scratch_base + 4,
+                       scratch_base + 5, scratch_base + 6)
+    pair_shifts = [((-1, 0), (1, 2)),   # (row index, dx) per operand
+                   ((1, 0), (-1, 2)),
+                   ((-1, 1), (1, 1)),
+                   ((0, 0), (0, 2))]
+    out = np.zeros_like(img)
+    for r in range(1, height - 1):
+        for i, dy in enumerate((-1, 0, 1)):
+            device.load(in_rows[i], img[r + dy], signed=False)
+        first = True
+        for (dx_l, ri_l), (dx_r, ri_r) in pair_shifts:
+            left, right = in_rows[ri_l], in_rows[ri_r]
+            if dx_l != 0:
+                device.shift_lanes(t1, left, dx_l)
+                left = t1
+            if dx_r != 0:
+                device.shift_lanes(t2, right, dx_r)
+                right = t2
+            device.abs_diff(td, left, right)
+            if first:
+                device.copy(acc, td)
+                first = False
+            else:
+                device.add(acc, acc, td, saturate=True, signed=False)
+        out[r] = device.store(acc, signed=False)[:width]
+    return out

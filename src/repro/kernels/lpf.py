@@ -1,0 +1,150 @@
+"""The LPF kernel: 3x3 binomial filter as two 2x2 averaging passes.
+
+Paper Fig. 2.  The 3x3 kernel ``[1 2 1; 2 4 2; 1 2 1]/16`` factors into
+two cascaded 2x2 box filters whose coefficients are all ``1/4`` -- each
+realized per image row with exactly three PIM micro-ops:
+
+1. ``C = avg(row_r, row_{r+1})`` written in place over ``row_r``,
+2. ``D = C << 1pix`` into the Tmp register,
+3. ``E = avg(C, D)`` written back over ``row_r``.
+
+Everything stays in 8 bits because each stage is an average, never a
+raw sum.  After both passes, position ``(r, c)`` of the output holds
+the binomial response centred at ``(r + 1, c + 1)`` of the input; the
+valid region is ``rows [0, H-3], cols [0, W-3]``.
+
+The naive mapping implements the textbook 3x3 convolution directly:
+for every tap, shift, pre-scale (losing low bits to stay in 8 bits) and
+accumulate, with no decomposition and no inter-row reuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint import ops
+from repro.kernels.common import load_image, read_image, shift_pixels
+from repro.pim.device import TMP, Imm, Tmp
+
+__all__ = ["lpf_fast", "lpf_naive_fast", "lpf_pim", "lpf_pim_naive",
+           "LPF_OFFSET"]
+
+#: Output (row, col) offset: ``out[r, c]`` is centred at input
+#: ``(r + LPF_OFFSET, c + LPF_OFFSET)``.
+LPF_OFFSET = 1
+
+#: The 3x3 binomial taps as (dy, dx, right-shift) with shift = 4 - log2(w).
+_NAIVE_TAPS = [(-1, -1, 4), (-1, 0, 3), (-1, 1, 4),
+               (0, -1, 3), (0, 0, 2), (0, 1, 3),
+               (1, -1, 4), (1, 0, 3), (1, 1, 4)]
+
+
+def _box_pass(a: np.ndarray) -> np.ndarray:
+    """One in-place 2x2 averaging pass (numpy mirror of the device)."""
+    c = a.copy()
+    c[:-1] = ops.average(a[:-1], a[1:])
+    e = c.copy()
+    e[:-1] = ops.average(c[:-1], shift_pixels(c[:-1], 1))
+    return e
+
+
+def lpf_fast(image: np.ndarray) -> np.ndarray:
+    """Optimized LPF with exact PIM arithmetic (vectorized).
+
+    Args:
+        image: 8-bit grayscale image.
+
+    Returns:
+        Smoothed image, same shape; entry ``(r, c)`` is the binomial
+        response at input ``(r + 1, c + 1)``; the last two rows/cols
+        are invalid.
+    """
+    a = np.asarray(image, dtype=np.int64)
+    return _box_pass(_box_pass(a))
+
+
+def lpf_naive_fast(image: np.ndarray) -> np.ndarray:
+    """Naive LPF with exact PIM arithmetic (vectorized mirror).
+
+    Direct 3x3 convolution with per-tap pre-scaling: each tap
+    contributes ``pixel >> (4 - log2 w)`` (low bits lost before the
+    sum, unlike the optimized cascade).  Output is centre-aligned;
+    the one-pixel border is invalid.
+    """
+    img = np.asarray(image, dtype=np.int64)
+    acc = np.zeros_like(img)
+    for dy, dx, shift in _NAIVE_TAPS:
+        rows = np.roll(img, -dy, axis=0)
+        if dy > 0:
+            rows[-dy:] = 0
+        elif dy < 0:
+            rows[:-dy] = 0
+        tap = shift_pixels(rows, dx) >> shift
+        acc = ops.sat_add(acc, tap, 8, signed=False)
+    return acc
+
+
+def lpf_pim(device, height: int, base_row: int = 0) -> None:
+    """Optimized device program: two in-place 2x2 passes (Fig. 2).
+
+    The image must already reside in rows ``base_row ..
+    base_row + height - 1``; the result replaces it.  Costs 5 cycles
+    per row per pass with the paper's single Tmp register; with a
+    second register (the section 5.4 extension) the intermediate row
+    ``C`` never touches SRAM, saving one cycle and one write-back per
+    row.
+    """
+    multi_reg = device.config.num_tmp_registers > 1
+    for _ in range(2):
+        for r in range(base_row, base_row + height - 1):
+            if multi_reg:
+                device.avg(Tmp(1), r, r + 1)     # C = (A + B) / 2
+                device.shift_lanes(TMP, Tmp(1), 1)   # D = C << 1pix
+                device.avg(r, Tmp(1), TMP)       # E = (C + D) / 2
+            else:
+                device.avg(r, r, r + 1)          # C = (A + B) / 2
+                device.shift_lanes(TMP, r, 1)    # D = C << 1pix
+                device.avg(r, r, TMP)            # E = (C + D) / 2
+
+
+def lpf_pim_naive(device, image: np.ndarray, base_row: int = 0,
+                  scratch_row: int = None) -> np.ndarray:
+    """Naive device program: direct 3x3 convolution, no reuse.
+
+    Processes one output row at a time: the three needed input rows are
+    streamed in (host DMA, excluded from cycles per the paper), each of
+    the nine taps is shifted, pre-scaled and accumulated, and the row
+    is streamed back out.
+
+    Returns:
+        The filtered image (centre-aligned, border invalid).
+    """
+    img = np.asarray(image, dtype=np.int64)
+    height, width = img.shape
+    if scratch_row is None:
+        scratch_row = device.config.num_rows - 1
+    in_rows = [base_row, base_row + 1, base_row + 2]
+    acc_row = scratch_row
+    out = np.zeros_like(img)
+    for r in range(1, height - 1):
+        for i, dy in enumerate((-1, 0, 1)):
+            device.load(in_rows[i], img[r + dy], signed=False)
+        device.copy(acc_row, Imm(0), signed=False)
+        for dy, dx, shift in _NAIVE_TAPS:
+            src = in_rows[dy + 1]
+            if dx != 0:
+                device.shift_lanes(TMP, src, dx)
+                device.shift_bits(TMP, TMP, -shift, signed=False)
+            else:
+                device.shift_bits(TMP, src, -shift, signed=False)
+            device.add(acc_row, acc_row, TMP, saturate=True, signed=False)
+        out[r] = device.store(acc_row, signed=False)[:width]
+    return out
+
+
+def run_lpf_pim(device, image: np.ndarray, base_row: int = 0) -> np.ndarray:
+    """Convenience: load, run the optimized program, read back."""
+    image = np.asarray(image)
+    load_image(device, image, base_row)
+    lpf_pim(device, image.shape[0], base_row)
+    return read_image(device, image.shape[0], image.shape[1], base_row)

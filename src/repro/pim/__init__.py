@@ -1,0 +1,36 @@
+"""The physical layer: a bit-parallel SRAM-PIM device simulator.
+
+The package models the architecture of paper section 4:
+
+* :mod:`repro.pim.config` -- array geometry and precision modes.
+* :mod:`repro.pim.bitsram` -- bit-true SRAM array with sense-amp
+  AND/NOR/XOR/OR bitline logic (Fig. 6-a).
+* :mod:`repro.pim.accumulator` -- the peripheral accumulator/shifter in
+  8-bit slices with run-time carry control (Fig. 6-c).
+* :mod:`repro.pim.alu` -- lane-level functional semantics of every
+  multi-stage operation (Fig. 7).
+* :mod:`repro.pim.device` -- :class:`PIMDevice`, the word-level
+  cycle/energy-accounted device the EBVO kernels program, and
+  :class:`BitPIMDevice`, a bit-true reference device pinned to it by
+  equivalence tests.
+* :mod:`repro.pim.cost` / :mod:`repro.pim.energy` -- the cycle ledger and
+  the 90 nm energy/area model.
+"""
+
+from repro.pim.config import PIMConfig
+from repro.pim.cost import CostLedger
+from repro.pim.device import TMP, BitPIMDevice, Imm, PIMDevice, Tmp
+from repro.pim.energy import AreaModel, EnergyModel, EnergyReport
+
+__all__ = [
+    "PIMConfig",
+    "CostLedger",
+    "PIMDevice",
+    "BitPIMDevice",
+    "TMP",
+    "Tmp",
+    "Imm",
+    "EnergyModel",
+    "EnergyReport",
+    "AreaModel",
+]

@@ -1,0 +1,157 @@
+"""The bit-parallel accumulator/shifter in 8-bit slices (Fig. 6-c).
+
+The peripheral computing logic is organised as one slice per 8 bitlines.
+Each slice contains an 8-bit adder; the Carry Control gates carry
+propagation between adjacent slices so that the same silicon computes
+320x8-bit, 160x16-bit or 80x32-bit additions.  The Carry Extension
+captures the carry out of each *lane* as a bitmask used for comparison
+and saturation.
+
+This module models the slice datapath explicitly: inputs are bit
+vectors, the addition walks slice by slice with gated carries, and the
+outputs are the sum bits plus the per-lane carry mask.  It is the
+bit-true reference the fast word-level ALU is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SliceAccumulator", "SliceAddResult"]
+
+
+@dataclass
+class SliceAddResult:
+    """Output of one accumulator pass."""
+
+    sum_bits: np.ndarray
+    #: Per-lane carry out (1 = lane overflowed its unsigned range).
+    carry_mask: np.ndarray
+
+
+class SliceAccumulator:
+    """Slice-level adder with run-time carry control.
+
+    Args:
+        wordline_bits: Bits per word line.
+        slice_bits: Bits per slice (8 in the paper).
+    """
+
+    def __init__(self, wordline_bits: int, slice_bits: int = 8):
+        if wordline_bits % slice_bits:
+            raise ValueError("word line must be a whole number of slices")
+        self.wordline_bits = wordline_bits
+        self.slice_bits = slice_bits
+        self.num_slices = wordline_bits // slice_bits
+
+    def _slices(self, bits: np.ndarray) -> np.ndarray:
+        """View a word line as (num_slices, slice_bits) little-endian."""
+        bits = np.asarray(bits, dtype=np.uint64)
+        if bits.shape != (self.wordline_bits,):
+            raise ValueError("bit vector does not match word line width")
+        return bits.reshape(self.num_slices, self.slice_bits)
+
+    def _slice_values(self, bits: np.ndarray) -> np.ndarray:
+        shifts = np.arange(self.slice_bits, dtype=np.uint64)
+        return (self._slices(bits) << shifts[None, :]).sum(
+            axis=1, dtype=np.uint64)
+
+    def _values_to_bits(self, values: np.ndarray) -> np.ndarray:
+        shifts = np.arange(self.slice_bits, dtype=np.uint64)
+        bits = (values[:, None] >> shifts[None, :]) & np.uint64(1)
+        return bits.reshape(-1).astype(np.uint8)
+
+    def add(self, a_bits: np.ndarray, b_bits: np.ndarray,
+            precision: int, carry_in: int = 0) -> SliceAddResult:
+        """Add two word lines as unsigned n-bit lanes.
+
+        Carries ripple between slices only inside a lane; the carry out
+        of each lane's top slice is latched into the carry mask instead
+        of propagating onward.
+
+        Args:
+            a_bits, b_bits: Word lines as 0/1 vectors.
+            precision: Lane width; must be a multiple of ``slice_bits``.
+            carry_in: Carry injected into the lowest slice of every lane
+                (used to build subtraction as ``a + ~b + 1``).
+        """
+        if precision % self.slice_bits:
+            raise ValueError("lane width must be a multiple of slice width")
+        slices_per_lane = precision // self.slice_bits
+        num_lanes = self.wordline_bits // precision
+
+        a_vals = self._slice_values(a_bits)
+        b_vals = self._slice_values(b_bits)
+        sum_vals = np.zeros(self.num_slices, dtype=np.uint64)
+        carry_mask = np.zeros(num_lanes, dtype=np.uint8)
+
+        slice_max = np.uint64((1 << self.slice_bits) - 1)
+        for lane in range(num_lanes):
+            carry = np.uint64(carry_in)
+            base = lane * slices_per_lane
+            for s in range(slices_per_lane):
+                total = a_vals[base + s] + b_vals[base + s] + carry
+                sum_vals[base + s] = total & slice_max
+                carry = total >> np.uint64(self.slice_bits)
+            carry_mask[lane] = int(carry)
+        return SliceAddResult(self._values_to_bits(sum_vals), carry_mask)
+
+    def subtract(self, a_bits: np.ndarray, b_bits: np.ndarray,
+                 precision: int) -> SliceAddResult:
+        """``a - b`` via two's complement: ``a + ~b + 1``.
+
+        The carry mask is the *not-borrow*: 1 where ``a >= b`` treating
+        lanes as unsigned.
+        """
+        b_inv = 1 - np.asarray(b_bits, dtype=np.uint8)
+        return self.add(a_bits, b_inv, precision, carry_in=1)
+
+    def shift_lanes(self, bits: np.ndarray, pixels: int,
+                    precision: int) -> np.ndarray:
+        """Shift the word line by whole lanes.
+
+        Positive ``pixels`` moves lane ``i + pixels`` into lane ``i``
+        (the "<< 1pix" of Fig. 2: each lane sees its right neighbour);
+        vacated lanes fill with zero.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        out = np.zeros_like(bits)
+        shift = pixels * precision
+        if shift == 0:
+            return bits.copy()
+        if shift > 0:
+            out[:-shift or None] = bits[shift:]
+        else:
+            out[-shift:] = bits[:shift]
+        return out
+
+    def shift_bits_right(self, bits: np.ndarray, n: int, precision: int,
+                         arithmetic: bool = False) -> np.ndarray:
+        """Shift each lane right by ``n`` bits (within-lane)."""
+        vals = bits_view(bits, precision)
+        if arithmetic:
+            sign = (vals >> np.uint64(precision - 1)) & np.uint64(1)
+            vals = vals >> np.uint64(n)
+            fill = ((np.uint64(1) << np.uint64(n)) - np.uint64(1)) << np.uint64(
+                precision - n)
+            vals = np.where(sign.astype(bool), vals | fill, vals)
+        else:
+            vals = vals >> np.uint64(n)
+        return lanes_view(vals, precision, self.wordline_bits)
+
+
+def bits_view(bits: np.ndarray, precision: int) -> np.ndarray:
+    """Unpack bits to unsigned lane values (little-endian)."""
+    from repro.pim.bitsram import bits_to_lanes
+    return bits_to_lanes(bits, precision)
+
+
+def lanes_view(values: np.ndarray, precision: int,
+               wordline_bits: int) -> np.ndarray:
+    """Pack unsigned lane values to bits (little-endian)."""
+    from repro.pim.bitsram import lanes_to_bits
+    mask = np.uint64((1 << precision) - 1) if precision < 64 else np.uint64(-1)
+    return lanes_to_bits(np.asarray(values, dtype=np.uint64) & mask,
+                         precision, wordline_bits)

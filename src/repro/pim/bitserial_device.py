@@ -1,0 +1,146 @@
+"""A functional bit-serial in-SRAM computer (Neural-Cache style).
+
+The section 2.2 comparison uses :mod:`repro.pim.bitserial`'s *cost
+model*; this module provides the matching *functional* machine so the
+algorithms themselves are demonstrated, not just priced:
+
+* Data lives **transposed**: element ``j`` occupies bitline column
+  ``j``; bit ``i`` of an n-bit operand lives in row ``base + i``
+  (LSB first).  One array operation touches all columns at once.
+* Each cycle the array performs one bulk bitwise step: a dual-row
+  activation reads ``AND`` and ``XOR`` of two bit planes through the
+  two sense amplifiers, combined with a carry latch row, and one
+  result plane is written back.
+* Addition ripples through the bit planes serially (2 ops per bit:
+  the sum plane and the carry update), subtraction adds the inverted
+  subtrahend with carry-in 1, and multiplication performs one masked
+  addition per multiplier bit - the textbook bit-serial algorithms
+  whose latency the paper's bit-parallel design avoids.
+
+The ledger charges one cycle per bulk bitwise step, so measured op
+counts can be compared against the analytic formulas of
+:class:`~repro.pim.bitserial.BitSerialCostModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pim.bitsram import BitSRAM
+from repro.pim.cost import CostLedger
+from repro.pim.isa import OpKind
+
+__all__ = ["BitSerialDevice"]
+
+
+class BitSerialDevice:
+    """Transposed bit-plane computer over a :class:`BitSRAM` array."""
+
+    def __init__(self, columns: int = 256, num_rows: int = 128):
+        self.columns = columns
+        self.num_rows = num_rows
+        self.sram = BitSRAM(num_rows, columns)
+        self.ledger = CostLedger()
+
+    # -- host DMA (transposition included; excluded from cycles, like
+    # the word-level device's I/O) ---------------------------------------
+
+    def load(self, base_row: int, values, bits: int) -> None:
+        """Write unsigned values as ``bits`` bit planes (LSB first)."""
+        vals = np.zeros(self.columns, dtype=np.int64)
+        arr = np.asarray(values, dtype=np.int64).ravel()
+        if arr.size > self.columns:
+            raise ValueError("more elements than columns")
+        if arr.size and (arr.min() < 0 or arr.max() >> bits):
+            raise ValueError(f"values exceed unsigned {bits}-bit range")
+        vals[:arr.size] = arr
+        for i in range(bits):
+            plane = ((vals >> i) & 1).astype(np.uint8)
+            self.sram.write_row(base_row + i, plane)
+        self.ledger.charge_host_transfer(bits)
+
+    def store(self, base_row: int, bits: int) -> np.ndarray:
+        """Read ``bits`` bit planes back as unsigned values."""
+        out = np.zeros(self.columns, dtype=np.int64)
+        for i in range(bits):
+            out |= self.sram.read_row(base_row + i).astype(np.int64) << i
+        self.ledger.charge_host_transfer(bits)
+        return out
+
+    # -- bulk bitwise steps ------------------------------------------------
+
+    def _step(self, kind: OpKind) -> None:
+        self.ledger.charge(kind, cycles=1, sram_reads=1, sram_writes=1,
+                           logic_ops=1)
+
+    def add(self, dst: int, a: int, b: int, bits: int,
+            carry_in: int = 0) -> np.ndarray:
+        """Ripple addition over bit planes; returns the carry-out plane.
+
+        Two bulk steps per bit: the dual-row activation yields
+        ``a AND b`` and ``a XOR b`` in one access; combining with the
+        carry latch and writing the sum plane is the second.
+        """
+        carry = np.full(self.columns, carry_in, dtype=np.uint8)
+        for i in range(bits):
+            a_and_b = self.sram.bitline_and(a + i, b + i)
+            a_xor_b = self.sram.bitline_xor(a + i, b + i)
+            self._step(OpKind.AND)
+            total = a_xor_b ^ carry
+            carry = a_and_b | (a_xor_b & carry)
+            self.sram.write_row(dst + i, total)
+            self._step(OpKind.ADD)
+        return carry
+
+    def invert(self, dst: int, a: int, bits: int) -> None:
+        """Plane-wise complement (one step per bit via NOR with self)."""
+        for i in range(bits):
+            plane = 1 - self.sram.read_row(a + i)
+            self.sram.write_row(dst + i, plane)
+            self._step(OpKind.NOR)
+
+    def sub(self, dst: int, a: int, b: int, bits: int,
+            scratch: int = None) -> np.ndarray:
+        """``a - b`` as ``a + ~b + 1``; returns the not-borrow plane."""
+        if scratch is None:
+            scratch = self.num_rows - bits
+        self.invert(scratch, b, bits)
+        return self.add(dst, a, scratch, bits, carry_in=1)
+
+    def multiply(self, dst: int, a: int, b: int, bits: int,
+                 scratch: int = None) -> None:
+        """Bit-serial multiplication: one masked addition per
+        multiplier bit into a ``2 * bits``-plane accumulator at
+        ``dst``.
+
+        Per multiplier bit ``i``: the multiplicand planes are ANDed
+        with the multiplier's bit plane (predication) and ripple-added
+        into the accumulator at offset ``i`` - ~3 bulk steps per
+        (multiplier bit x addend bit), the quadratic cost the paper's
+        bit-parallel multiplier avoids.
+        """
+        if scratch is None:
+            scratch = self.num_rows - bits
+        zero = np.zeros(self.columns, dtype=np.uint8)
+        for i in range(2 * bits):
+            self.sram.write_row(dst + i, zero)
+        for i in range(bits):
+            # Predicated addend planes: multiplicand AND multiplier bit
+            # (a dual-row activation per plane).
+            for k in range(bits):
+                plane = self.sram.bitline_and(a + k, b + i)
+                self.sram.write_row(scratch + k, plane)
+                self._step(OpKind.AND)
+            # Ripple the addend into acc[i .. i+bits] with carry.
+            carry = np.zeros(self.columns, dtype=np.uint8)
+            for k in range(bits):
+                acc = self.sram.read_row(dst + i + k)
+                add = self.sram.read_row(scratch + k)
+                total = acc ^ add ^ carry
+                carry = (acc & add) | (carry & (acc ^ add))
+                self.sram.write_row(dst + i + k, total)
+                self._step(OpKind.ADD)
+                self._step(OpKind.ADD)
+            if i + bits < 2 * bits:
+                self.sram.write_row(dst + i + bits, carry)
+                self._step(OpKind.ADD)

@@ -1,0 +1,105 @@
+"""Bit-true SRAM array with sense-amp bitline logic.
+
+Models the in-memory compute primitive of Fig. 6-a: activating two word
+lines simultaneously lets the two sense amplifiers per bitline read out
+``A AND B`` and ``A NOR B`` in one access; a NOR gate combines them into
+``A XOR B`` and an inverter gives ``A OR B``.
+
+Bits are stored explicitly (one uint8 per cell) so tests can pin the
+word-level device to the physical bit layout.  Lanes are little-endian:
+lane ``i`` of width ``w`` occupies bits ``[i*w, (i+1)*w)`` with the LSB
+first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitSRAM", "lanes_to_bits", "bits_to_lanes"]
+
+
+def lanes_to_bits(lanes, precision: int, wordline_bits: int) -> np.ndarray:
+    """Pack unsigned lane values into a little-endian bit vector.
+
+    Args:
+        lanes: Unsigned integers, one per lane (shorter vectors are
+            zero-padded on the right).
+        precision: Lane width in bits.
+        wordline_bits: Total bits in the word line.
+
+    Returns:
+        A uint8 vector of 0/1 of length ``wordline_bits``.
+    """
+    num_lanes = wordline_bits // precision
+    lanes = np.asarray(lanes, dtype=np.uint64)
+    if lanes.size > num_lanes:
+        raise ValueError("more lane values than lanes")
+    full = np.zeros(num_lanes, dtype=np.uint64)
+    full[:lanes.size] = lanes
+    if np.any(full >> np.uint64(precision)):
+        raise ValueError(f"lane value exceeds {precision} bits")
+    shifts = np.arange(precision, dtype=np.uint64)
+    bits = (full[:, None] >> shifts[None, :]) & np.uint64(1)
+    return bits.reshape(-1).astype(np.uint8)
+
+
+def bits_to_lanes(bits: np.ndarray, precision: int) -> np.ndarray:
+    """Unpack a little-endian bit vector into unsigned lane values."""
+    bits = np.asarray(bits, dtype=np.uint64)
+    if bits.size % precision:
+        raise ValueError("bit vector is not a whole number of lanes")
+    grouped = bits.reshape(-1, precision)
+    shifts = np.arange(precision, dtype=np.uint64)
+    return (grouped << shifts[None, :]).sum(axis=1, dtype=np.uint64)
+
+
+class BitSRAM:
+    """A rows x cols array of explicit bits with dual-row bitline logic."""
+
+    def __init__(self, num_rows: int, wordline_bits: int):
+        if num_rows <= 0 or wordline_bits <= 0:
+            raise ValueError("geometry must be positive")
+        self.num_rows = num_rows
+        self.wordline_bits = wordline_bits
+        self._cells = np.zeros((num_rows, wordline_bits), dtype=np.uint8)
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of range [0, {self.num_rows})")
+
+    def write_row(self, row: int, bits: np.ndarray) -> None:
+        """Write a full word line of bits."""
+        self._check_row(row)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.wordline_bits,):
+            raise ValueError("bit vector does not match word line width")
+        if np.any(bits > 1):
+            raise ValueError("bits must be 0 or 1")
+        self._cells[row] = bits
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Read a full word line of bits (copy)."""
+        self._check_row(row)
+        return self._cells[row].copy()
+
+    def bitline_and(self, row_a: int, row_b: int) -> np.ndarray:
+        """Dual-row activation, AND sense amplifier output."""
+        self._check_row(row_a)
+        self._check_row(row_b)
+        return self._cells[row_a] & self._cells[row_b]
+
+    def bitline_nor(self, row_a: int, row_b: int) -> np.ndarray:
+        """Dual-row activation, NOR sense amplifier output."""
+        self._check_row(row_a)
+        self._check_row(row_b)
+        return 1 - (self._cells[row_a] | self._cells[row_b])
+
+    def bitline_xor(self, row_a: int, row_b: int) -> np.ndarray:
+        """XOR derived as ``NOR(AND, NOR)`` of the two SA outputs."""
+        a = self.bitline_and(row_a, row_b)
+        n = self.bitline_nor(row_a, row_b)
+        return 1 - (a | n)
+
+    def bitline_or(self, row_a: int, row_b: int) -> np.ndarray:
+        """OR derived as ``NOT NOR``."""
+        return 1 - self.bitline_nor(row_a, row_b)

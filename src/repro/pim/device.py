@@ -1,0 +1,774 @@
+"""The SRAM-PIM device simulators.
+
+Two devices share one micro-op interface and one cost contract:
+
+* :class:`PIMDevice` -- the word-level device.  Rows are stored as raw
+  bytes; every micro-op interprets them as lanes of the current
+  precision, computes with the lane semantics of
+  :mod:`repro.fixedpoint.ops`, and charges the
+  :class:`~repro.pim.cost.CostLedger`.  This is the device the EBVO
+  kernels program, fast enough to process full QVGA frames.
+
+* :class:`BitPIMDevice` -- the bit-true reference.  Rows live in a
+  :class:`~repro.pim.bitsram.BitSRAM`; addition/subtraction walk the
+  8-bit accumulator slices with gated carries
+  (:class:`~repro.pim.accumulator.SliceAccumulator`); multiplication and
+  division execute the actual MSB-first shift-add and restoring-division
+  loops of Fig. 7.  Property tests pin :class:`PIMDevice` to it.
+
+Operands are SRAM rows (``int`` indices), the Tmp register (the
+:data:`TMP` sentinel) or broadcast immediates (:class:`Imm`, routed
+through the input multiplexer).  Results go to a row (paying the
+write-back cycle) or to the Tmp register (free, the paper's key energy
+optimization).
+
+Cost contract (DESIGN.md section 5):
+
+* every basic op is 1 cycle; ``mul``/``div`` are ``n + 2`` cycles
+  including their internal SRAM read/write overhead;
+* an SRAM destination adds 1 write-back cycle and 1 SRAM write access;
+* each SRAM source costs one row activation; each Tmp source or
+  destination costs one Tmp access;
+* composite ops (absolute difference, min/max) are built from the basic
+  ops, so their cost emerges from composition;
+* host DMA (``load``/``store``) is tracked separately and excluded from
+  cycle counts, matching the paper's exclusion of I/O overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.fixedpoint import ops
+from repro.pim.accumulator import SliceAccumulator
+from repro.pim.bitsram import BitSRAM, bits_to_lanes, lanes_to_bits
+from repro.pim.config import DEFAULT_CONFIG, PIMConfig
+from repro.pim.cost import CostLedger
+from repro.pim.isa import OpKind, TraceRecord, op_cycles
+
+__all__ = ["PIMDevice", "BitPIMDevice", "TMP", "Tmp", "Imm"]
+
+
+class _TmpSentinel:
+    """Marker for a Tmp register operand.
+
+    The paper's design has one Tmp register; section 5.4 notes that
+    "we could use more registers to further improve the efficiency".
+    The device supports a configurable bank: :data:`TMP` is register 0,
+    ``Tmp(i)`` addresses the others.
+    """
+
+    def __init__(self, index: int = 0):
+        self.index = index
+
+    def __repr__(self) -> str:
+        return "TMP" if self.index == 0 else f"TMP{self.index}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _TmpSentinel) and \
+            other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash(("tmp", self.index))
+
+
+#: The (first) Tmp register operand.
+TMP = _TmpSentinel(0)
+
+
+def Tmp(index: int) -> _TmpSentinel:  # noqa: N802 (operand constructor)
+    """Operand for Tmp register ``index`` (0 is :data:`TMP`)."""
+    return _TmpSentinel(index)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A broadcast immediate routed through the input multiplexer.
+
+    The hardware feeds constants (thresholds, shift counts) to the
+    accumulator without an SRAM access; we model that as a free operand.
+    """
+
+    value: Union[int, float]
+
+
+Src = Union[int, _TmpSentinel, Imm]
+Dst = Union[int, _TmpSentinel]
+
+_LANE_DTYPES = {8: "<u1", 16: "<u2", 32: "<u4", 64: "<u8"}
+
+
+class _DeviceCore:
+    """State and cost accounting shared by both device flavours."""
+
+    def __init__(self, config: PIMConfig = DEFAULT_CONFIG,
+                 trace: bool = False):
+        self.config = config
+        self.ledger = CostLedger()
+        self._precision = 8
+        self._trace_enabled = trace
+        self.trace: List[TraceRecord] = []
+
+    # -- configuration -------------------------------------------------
+
+    @property
+    def precision(self) -> int:
+        """Current lane width in bits."""
+        return self._precision
+
+    def set_precision(self, precision: int) -> None:
+        """Reconfigure the carry control to a new lane width.
+
+        Run-time reconfiguration is a control-register write; we charge
+        no cycles for it (it overlaps with instruction issue).
+        """
+        self.config.validate_precision(precision)
+        self._precision = precision
+
+    @property
+    def lanes(self) -> int:
+        """SIMD lanes at the current precision."""
+        return self.config.lanes(self._precision)
+
+    # -- cost accounting -----------------------------------------------
+
+    def _charge(self, kind: OpKind, srcs, dst: Dst,
+                note: Optional[str] = None,
+                operand_bits: Optional[int] = None) -> None:
+        n = operand_bits or self._precision
+        cycles = op_cycles(kind, n)
+        sram_reads = sum(1 for s in srcs if isinstance(s, int))
+        tmp_accesses = sum(1 for s in srcs if isinstance(s, _TmpSentinel))
+        sram_writes = 0
+        logic = 1
+        if kind in (OpKind.MUL, OpKind.DIV):
+            # n shift-add/subtract steps, partial results held in Tmp.
+            logic = n
+            tmp_accesses += n
+        if isinstance(dst, int):
+            sram_writes += 1
+            if kind not in (OpKind.MUL, OpKind.DIV):
+                cycles += 1  # write-back cycle (mul/div include theirs)
+        else:
+            tmp_accesses += 1
+        self.ledger.charge(kind, cycles, sram_reads=sram_reads,
+                           sram_writes=sram_writes,
+                           tmp_accesses=tmp_accesses, logic_ops=logic,
+                           precision=n)
+        if self._trace_enabled:
+            self.trace.append(TraceRecord(
+                kind=kind, precision=n, cycles=cycles,
+                dst=self._name(dst),
+                srcs=tuple(self._name(s) for s in srcs), note=note))
+
+    @staticmethod
+    def _name(operand) -> str:
+        if isinstance(operand, Imm):
+            return f"#{operand.value}"
+        if isinstance(operand, _TmpSentinel):
+            return "tmp" if operand.index == 0 else f"tmp{operand.index}"
+        return f"r{operand}"
+
+
+class PIMDevice(_DeviceCore):
+    """Word-level SRAM-PIM device with cycle/energy accounting."""
+
+    def __init__(self, config: PIMConfig = DEFAULT_CONFIG,
+                 trace: bool = False):
+        super().__init__(config, trace)
+        self._mem = np.zeros((config.num_rows, config.row_bytes),
+                             dtype=np.uint8)
+        self._tmp = [np.zeros(config.row_bytes, dtype=np.uint8)
+                     for _ in range(config.num_tmp_registers)]
+
+    # -- storage views ---------------------------------------------------
+
+    def _unpack(self, raw_bytes: np.ndarray, signed: bool) -> np.ndarray:
+        """Interpret row bytes as int64 lane values at current precision."""
+        lanes = raw_bytes.view(_LANE_DTYPES[self._precision])
+        vals = lanes.astype(np.int64) if self._precision < 64 else \
+            lanes.view(np.int64).copy()
+        if signed:
+            vals = ops.wrap(vals, self._precision, signed=True)
+        return vals
+
+    def _pack(self, values: np.ndarray) -> np.ndarray:
+        """Pack int64 lane values (any sign) into row bytes, wrapping."""
+        n = self._precision
+        u = np.asarray(values, dtype=np.int64)
+        if n < 64:
+            u = u & ((1 << n) - 1)
+            return u.astype(_LANE_DTYPES[n]).view(np.uint8)
+        return u.view(np.uint64).astype("<u8").view(np.uint8)
+
+    def _read(self, src: Src, signed: bool) -> np.ndarray:
+        if isinstance(src, Imm):
+            val = int(src.value)
+            lo, hi = (-(1 << (self._precision - 1)),
+                      (1 << (self._precision - 1)) - 1) if signed else \
+                (0, (1 << self._precision) - 1)
+            if not lo <= val <= hi:
+                raise ValueError(
+                    f"immediate {val} exceeds {self._precision}-bit range")
+            return np.full(self.lanes, val, dtype=np.int64)
+        if isinstance(src, _TmpSentinel):
+            self._check_tmp(src)
+            return self._unpack(self._tmp[src.index], signed)
+        self._check_row(src)
+        return self._unpack(self._mem[src], signed)
+
+    def _write(self, dst: Dst, values: np.ndarray) -> None:
+        packed = self._pack(values)
+        if isinstance(dst, _TmpSentinel):
+            self._check_tmp(dst)
+            self._tmp[dst.index][:] = packed
+        else:
+            self._check_row(dst)
+            self._mem[dst][:] = packed
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.config.num_rows:
+            raise IndexError(
+                f"row {row} out of range [0, {self.config.num_rows})")
+
+    def _check_tmp(self, tmp: _TmpSentinel) -> None:
+        if not 0 <= tmp.index < self.config.num_tmp_registers:
+            raise IndexError(
+                f"tmp register {tmp.index} out of range "
+                f"[0, {self.config.num_tmp_registers})")
+
+    # -- host DMA (excluded from cycle counts) ---------------------------
+
+    def load(self, row: int, values, signed: bool = True) -> None:
+        """Host DMA: write lane values into a row.
+
+        Short vectors are zero-padded; values must fit the current lane
+        width (signed or unsigned per ``signed``).
+        """
+        self._check_row(row)
+        vals = np.asarray(values, dtype=np.int64).ravel()
+        if vals.size > self.lanes:
+            raise ValueError(f"{vals.size} values exceed {self.lanes} lanes")
+        lo = -(1 << (self._precision - 1)) if signed else 0
+        hi = (1 << (self._precision - 1)) - 1 if signed \
+            else (1 << self._precision) - 1
+        if vals.size and (vals.min() < lo or vals.max() > hi):
+            raise ValueError(f"values exceed {self._precision}-bit range")
+        full = np.zeros(self.lanes, dtype=np.int64)
+        full[:vals.size] = vals
+        self._mem[row][:] = self._pack(full)
+        self.ledger.charge_host_transfer()
+
+    def store(self, row: int, signed: bool = True) -> np.ndarray:
+        """Host DMA: read a row back as lane values."""
+        self._check_row(row)
+        self.ledger.charge_host_transfer()
+        return self._read(row, signed)
+
+    def read_tmp(self, signed: bool = True, index: int = 0) -> np.ndarray:
+        """Host debug view of a Tmp register (no charge)."""
+        return self._unpack(self._tmp[index], signed)
+
+    def inject_fault(self, row: int, bit: int) -> None:
+        """Flip one stored SRAM bit (fault-injection hook for tests).
+
+        Args:
+            row: Word line index.
+            bit: Bit position within the word line (0 = LSB of lane 0).
+        """
+        self._check_row(row)
+        if not 0 <= bit < self.config.wordline_bits:
+            raise IndexError(f"bit {bit} outside the word line")
+        self._mem[row][bit // 8] ^= np.uint8(1 << (bit % 8))
+
+    # -- single-cycle micro-ops -------------------------------------------
+
+    def _binary(self, kind: OpKind, dst: Dst, a: Src, b: Src, fn,
+                signed: bool, note: Optional[str] = None) -> None:
+        va = self._read(a, signed)
+        vb = self._read(b, signed)
+        self._charge(kind, (a, b), dst, note)
+        self._write(dst, fn(va, vb))
+
+    def add(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
+            signed: bool = True) -> None:
+        """``dst = a + b`` (wrapping, or saturating when requested)."""
+        n = self._precision
+        fn = (lambda x, y: ops.sat_add(x, y, n, signed)) if saturate else \
+            (lambda x, y: ops.wrap(x + y, n, signed))
+        self._binary(OpKind.ADD, dst, a, b, fn, signed,
+                     "sat" if saturate else None)
+
+    def sub(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
+            signed: bool = True) -> None:
+        """``dst = a - b`` (wrapping, or saturating when requested)."""
+        n = self._precision
+        fn = (lambda x, y: ops.sat_sub(x, y, n, signed)) if saturate else \
+            (lambda x, y: ops.wrap(x - y, n, signed))
+        self._binary(OpKind.SUB, dst, a, b, fn, signed,
+                     "sat" if saturate else None)
+
+    def avg(self, dst: Dst, a: Src, b: Src, signed: bool = False) -> None:
+        """``dst = (a + b) >> 1`` -- the LPF primitive."""
+        self._binary(OpKind.AVG, dst, a, b, ops.average, signed)
+
+    def cmp_gt(self, dst: Dst, a: Src, b: Src, signed: bool = True) -> None:
+        """``dst = (a > b) ? 1 : 0`` per lane (borrow-derived mask)."""
+        self._binary(OpKind.CMP_GT, dst, a, b, ops.greater_than, signed)
+
+    def logic_and(self, dst: Dst, a: Src, b: Src) -> None:
+        """Bitwise AND (in-array when both operands are rows)."""
+        self._binary(OpKind.AND, dst, a, b, lambda x, y: x & y, False)
+
+    def logic_or(self, dst: Dst, a: Src, b: Src) -> None:
+        """Bitwise OR."""
+        self._binary(OpKind.OR, dst, a, b, lambda x, y: x | y, False)
+
+    def logic_xor(self, dst: Dst, a: Src, b: Src) -> None:
+        """Bitwise XOR."""
+        self._binary(OpKind.XOR, dst, a, b, lambda x, y: x ^ y, False)
+
+    def shift_lanes(self, dst: Dst, a: Src, pixels: int,
+                    signed: bool = False) -> None:
+        """Shift by whole lanes: lane ``i`` receives lane ``i + pixels``.
+
+        Positive shifts bring in right-hand neighbours (the "<< 1pix"
+        of Fig. 2); vacated lanes are zero-filled.
+        """
+        va = self._read(a, signed)
+        self._charge(OpKind.SHIFT_LANES, (a,), dst, f"{pixels}pix")
+        out = np.zeros_like(va)
+        if pixels == 0:
+            out[:] = va
+        elif pixels > 0:
+            out[:-pixels or None] = va[pixels:]
+        else:
+            out[-pixels:] = va[:pixels]
+        self._write(dst, out)
+
+    def shift_bits(self, dst: Dst, a: Src, amount: int,
+                   signed: bool = True) -> None:
+        """Shift each lane by ``amount`` bits (positive = left, wrapping;
+        negative = right, arithmetic when ``signed``)."""
+        va = self._read(a, signed)
+        self._charge(OpKind.SHIFT_BITS, (a,), dst, f"{amount}b")
+        if amount >= 0:
+            out = ops.shift_left(va, amount, self._precision, signed)
+        else:
+            out = ops.shift_right(va, -amount, arithmetic=signed)
+        self._write(dst, out)
+
+    def copy(self, dst: Dst, src: Src, signed: bool = True) -> None:
+        """Move a value through the accumulator unchanged."""
+        va = self._read(src, signed)
+        self._charge(OpKind.COPY, (src,), dst)
+        self._write(dst, va)
+
+    # -- composite single-cycle-per-step macros ----------------------------
+
+    def abs_diff(self, dst: Dst, a: Src, b: Src,
+                 signed: bool = False) -> None:
+        """``dst = |a - b|`` via the carry-extension trick (Fig. 7-a).
+
+        Two accumulator steps: the subtraction that latches the borrow
+        mask, then the conditional negation ``(M + N) ^ N``.
+        """
+        va = self._read(a, signed)
+        vb = self._read(b, signed)
+        self._charge(OpKind.SUB, (a, b), TMP, "absdiff:diff")
+        self._charge(OpKind.XOR, (TMP,), dst, "absdiff:neg")
+        self._write(dst, ops.abs_diff(va, vb))
+
+    def maximum(self, dst: Dst, a: Src, b: Src,
+                signed: bool = False) -> None:
+        """``dst = max(a, b) = sat0(a - b) + b`` (Fig. 7-b)."""
+        va = self._read(a, signed)
+        vb = self._read(b, signed)
+        n = self._precision
+        self._charge(OpKind.SUB, (a, b), TMP, "max:satsub")
+        self._charge(OpKind.ADD, (TMP, b), dst, "max:add")
+        self._write(dst, ops.branchfree_max(va, vb, n, signed))
+
+    def minimum(self, dst: Dst, a: Src, b: Src,
+                signed: bool = False) -> None:
+        """``dst = min(a, b) = a - sat0(a - b)`` (Fig. 7-b)."""
+        va = self._read(a, signed)
+        vb = self._read(b, signed)
+        n = self._precision
+        self._charge(OpKind.SUB, (a, b), TMP, "min:satsub")
+        self._charge(OpKind.SUB, (a, TMP), dst, "min:sub")
+        self._write(dst, ops.branchfree_min(va, vb, n, signed))
+
+    # -- multi-cycle ops ----------------------------------------------------
+
+    def mul(self, dst: Dst, a: Src, b: Src, rshift: int = 0,
+            saturate: bool = True, signed: bool = True,
+            multiplier_bits: Optional[int] = None) -> None:
+        """``dst = (a * b) >> rshift`` in ``n + 2`` cycles (Fig. 7-c).
+
+        The full 2n-bit product is formed MSB-first in the accumulator;
+        ``rshift`` realigns fixed-point products (for example Q1.15 x
+        Q4.12 with ``rshift=15`` yields Q4.12).  The narrowed result
+        saturates by default, wraps otherwise.
+
+        ``multiplier_bits`` shortens the MSB-first loop when operand
+        ``b`` is known to be narrower than the lane (e.g. 16-bit Q14.2
+        Jacobians multiplied inside 32-bit Q29.3 accumulation lanes):
+        the loop runs one step per multiplier bit, so cycles become
+        ``multiplier_bits + 2``.  The values of ``b`` are checked
+        against the declared width.
+        """
+        va = self._read(a, signed)
+        vb = self._read(b, signed)
+        n = self._precision
+        if multiplier_bits is not None:
+            lo = -(1 << (multiplier_bits - 1)) if signed else 0
+            hi = (1 << (multiplier_bits - 1)) - 1 if signed \
+                else (1 << multiplier_bits) - 1
+            if vb.size and (vb.min() < lo or vb.max() > hi):
+                raise ValueError(
+                    f"multiplier values exceed {multiplier_bits} bits")
+        self._charge(OpKind.MUL, (a, b), dst, f">>{rshift}",
+                     operand_bits=multiplier_bits)
+        prod = ops.multiply(va, vb, n, signed) >> rshift
+        out = ops.saturate(prod, n, signed) if saturate else \
+            ops.wrap(prod, n, signed)
+        self._write(dst, out)
+
+    def div(self, dst: Dst, a: Src, b: Src, lshift: int = 0,
+            signed: bool = True) -> None:
+        """``dst = (a << lshift) / b`` in ``n + 2`` cycles (Fig. 7-d).
+
+        Restoring division on magnitudes with sign fix-up (C-style
+        truncation); ``lshift`` pre-scales the numerator for fixed-point
+        quotients.  Division by zero saturates toward the signed bound.
+        """
+        va = self._read(a, signed) << lshift
+        vb = self._read(b, signed)
+        n = self._precision
+        self._charge(OpKind.DIV, (a, b), dst, f"<<{lshift}")
+        wide = max(n, int(va.dtype.itemsize * 8) - 1)
+        q = ops.divide(va, vb, wide, signed)
+        # Division by zero saturates toward the *lane* bound, as the
+        # restoring loop would leave an all-ones quotient.
+        lane_hi = (1 << (n - 1)) - 1 if signed else (1 << n) - 1
+        q = np.where(vb == 0, np.where(va >= 0, lane_hi,
+                                       -lane_hi if signed else lane_hi), q)
+        self._write(dst, ops.saturate(q, n, signed))
+
+
+class BitPIMDevice(_DeviceCore):
+    """Bit-true reference device built on the slice accumulator.
+
+    Supports the same micro-ops as :class:`PIMDevice` (minus the
+    fixed-point ``rshift``/``lshift`` conveniences) but computes through
+    the explicit bit datapath: sense-amp logic for AND/OR/XOR, gated
+    slice carries for add/sub, and the genuine iterative algorithms of
+    Fig. 7 for absolute difference, min/max, multiplication and
+    division.  Intended for small configurations in equivalence tests.
+    """
+
+    def __init__(self, config: PIMConfig = PIMConfig(wordline_bits=64,
+                                                     num_rows=16),
+                 trace: bool = False):
+        super().__init__(config, trace)
+        self.sram = BitSRAM(config.num_rows, config.wordline_bits)
+        self.acc = SliceAccumulator(config.wordline_bits, config.slice_bits)
+        self._tmp_bits = [np.zeros(config.wordline_bits, dtype=np.uint8)
+                          for _ in range(config.num_tmp_registers)]
+
+    # -- bit-level operand plumbing --------------------------------------
+
+    def _to_unsigned(self, vals: np.ndarray) -> np.ndarray:
+        mask = (1 << self._precision) - 1
+        return (np.asarray(vals, dtype=np.int64) & mask).astype(np.uint64)
+
+    def _from_unsigned(self, u: np.ndarray, signed: bool) -> np.ndarray:
+        vals = u.astype(np.int64)
+        return ops.wrap(vals, self._precision, signed) if signed else vals
+
+    def _read_bits(self, src: Src) -> np.ndarray:
+        if isinstance(src, Imm):
+            u = self._to_unsigned(np.full(self.lanes, int(src.value)))
+            return lanes_to_bits(u, self._precision,
+                                 self.config.wordline_bits)
+        if isinstance(src, _TmpSentinel):
+            return self._tmp_bits[src.index].copy()
+        return self.sram.read_row(src)
+
+    def _write_bits(self, dst: Dst, bits: np.ndarray) -> None:
+        if isinstance(dst, _TmpSentinel):
+            self._tmp_bits[dst.index] = np.asarray(bits,
+                                                   dtype=np.uint8).copy()
+        else:
+            self.sram.write_row(dst, bits)
+
+    def _lanes_of(self, bits: np.ndarray, signed: bool) -> np.ndarray:
+        return self._from_unsigned(
+            bits_to_lanes(bits, self._precision), signed)
+
+    def _bits_of(self, vals: np.ndarray) -> np.ndarray:
+        return lanes_to_bits(self._to_unsigned(vals), self._precision,
+                             self.config.wordline_bits)
+
+    # -- host DMA ---------------------------------------------------------
+
+    def load(self, row: int, values, signed: bool = True) -> None:
+        """Host DMA: write lane values into a row."""
+        vals = np.asarray(values, dtype=np.int64).ravel()
+        full = np.zeros(self.lanes, dtype=np.int64)
+        full[:vals.size] = vals
+        self.sram.write_row(row, self._bits_of(full))
+        self.ledger.charge_host_transfer()
+
+    def store(self, row: int, signed: bool = True) -> np.ndarray:
+        """Host DMA: read a row back as lane values."""
+        self.ledger.charge_host_transfer()
+        return self._lanes_of(self.sram.read_row(row), signed)
+
+    def read_tmp(self, signed: bool = True, index: int = 0) -> np.ndarray:
+        """Host debug view of a Tmp register (no charge)."""
+        return self._lanes_of(self._tmp_bits[index], signed)
+
+    # -- micro-ops through the slice datapath ------------------------------
+
+    def _saturate_from_masks(self, sum_bits: np.ndarray, va: np.ndarray,
+                             vb: np.ndarray, subtract: bool,
+                             signed: bool) -> np.ndarray:
+        """Apply the saturation unit to a raw accumulator result.
+
+        The hardware decides saturation from the carry-extension mask
+        and the operand sign bits; functionally that equals clamping the
+        wide-precision result, which is what we compute here from the
+        already-available lane values.
+        """
+        wide = va - vb if subtract else va + vb
+        return self._bits_of(ops.saturate(wide, self._precision, signed))
+
+    def add(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
+            signed: bool = True) -> None:
+        """``dst = a + b`` through the slice adder."""
+        a_bits, b_bits = self._read_bits(a), self._read_bits(b)
+        self._charge(OpKind.ADD, (a, b), dst)
+        result = self.acc.add(a_bits, b_bits, self._precision)
+        out = result.sum_bits
+        if saturate:
+            out = self._saturate_from_masks(
+                out, self._lanes_of(a_bits, signed),
+                self._lanes_of(b_bits, signed), False, signed)
+        self._write_bits(dst, out)
+
+    def sub(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
+            signed: bool = True) -> None:
+        """``dst = a - b`` via two's complement through the slice adder."""
+        a_bits, b_bits = self._read_bits(a), self._read_bits(b)
+        self._charge(OpKind.SUB, (a, b), dst)
+        result = self.acc.subtract(a_bits, b_bits, self._precision)
+        out = result.sum_bits
+        if saturate:
+            out = self._saturate_from_masks(
+                out, self._lanes_of(a_bits, signed),
+                self._lanes_of(b_bits, signed), True, signed)
+        self._write_bits(dst, out)
+
+    def avg(self, dst: Dst, a: Src, b: Src, signed: bool = False) -> None:
+        """``dst = (a + b) >> 1`` -- slice add, then the carry mask
+        supplies the shifted-out ninth bit."""
+        a_bits, b_bits = self._read_bits(a), self._read_bits(b)
+        self._charge(OpKind.AVG, (a, b), dst)
+        result = self.acc.add(a_bits, b_bits, self._precision)
+        vals = bits_to_lanes(result.sum_bits, self._precision).astype(
+            np.int64)
+        vals |= result.carry_mask.astype(np.int64) << self._precision
+        if signed:
+            sa = self._lanes_of(a_bits, True)
+            sb = self._lanes_of(b_bits, True)
+            vals = (sa + sb)
+        self._write_bits(dst, self._bits_of(vals >> 1))
+
+    def cmp_gt(self, dst: Dst, a: Src, b: Src, signed: bool = True) -> None:
+        """``dst = a > b`` from the borrow mask of ``b - a``."""
+        a_bits, b_bits = self._read_bits(a), self._read_bits(b)
+        self._charge(OpKind.CMP_GT, (a, b), dst)
+        if signed:
+            mask = (self._lanes_of(a_bits, True) >
+                    self._lanes_of(b_bits, True)).astype(np.int64)
+        else:
+            # not-borrow of (b - a) is 1 when b >= a; invert for a > b.
+            result = self.acc.subtract(b_bits, a_bits, self._precision)
+            mask = 1 - result.carry_mask.astype(np.int64)
+        self._write_bits(dst, self._bits_of(mask))
+
+    def logic_and(self, dst: Dst, a: Src, b: Src) -> None:
+        """In-array AND when both operands are rows, else gate logic."""
+        self._charge(OpKind.AND, (a, b), dst)
+        if isinstance(a, int) and isinstance(b, int):
+            self._write_bits(dst, self.sram.bitline_and(a, b))
+        else:
+            self._write_bits(dst, self._read_bits(a) & self._read_bits(b))
+
+    def logic_or(self, dst: Dst, a: Src, b: Src) -> None:
+        """In-array OR (NOT NOR) when both operands are rows."""
+        self._charge(OpKind.OR, (a, b), dst)
+        if isinstance(a, int) and isinstance(b, int):
+            self._write_bits(dst, self.sram.bitline_or(a, b))
+        else:
+            self._write_bits(dst, self._read_bits(a) | self._read_bits(b))
+
+    def logic_xor(self, dst: Dst, a: Src, b: Src) -> None:
+        """In-array XOR (NOR of the two SA outputs) for row operands."""
+        self._charge(OpKind.XOR, (a, b), dst)
+        if isinstance(a, int) and isinstance(b, int):
+            self._write_bits(dst, self.sram.bitline_xor(a, b))
+        else:
+            self._write_bits(dst, self._read_bits(a) ^ self._read_bits(b))
+
+    def shift_lanes(self, dst: Dst, a: Src, pixels: int,
+                    signed: bool = False) -> None:
+        """Shift the word line by whole lanes through the shifter."""
+        bits = self._read_bits(a)
+        self._charge(OpKind.SHIFT_LANES, (a,), dst, f"{pixels}pix")
+        self._write_bits(
+            dst, self.acc.shift_lanes(bits, pixels, self._precision))
+
+    def shift_bits(self, dst: Dst, a: Src, amount: int,
+                   signed: bool = True) -> None:
+        """Shift each lane by ``amount`` bits (left positive)."""
+        bits = self._read_bits(a)
+        self._charge(OpKind.SHIFT_BITS, (a,), dst, f"{amount}b")
+        if amount >= 0:
+            vals = self._lanes_of(bits, signed)
+            out = ops.shift_left(vals, amount, self._precision, signed)
+            self._write_bits(dst, self._bits_of(out))
+        else:
+            self._write_bits(dst, self.acc.shift_bits_right(
+                bits, -amount, self._precision, arithmetic=signed))
+
+    def copy(self, dst: Dst, src: Src, signed: bool = True) -> None:
+        """Move a value through the accumulator unchanged."""
+        bits = self._read_bits(src)
+        self._charge(OpKind.COPY, (src,), dst)
+        self._write_bits(dst, bits)
+
+    def abs_diff(self, dst: Dst, a: Src, b: Src,
+                 signed: bool = False) -> None:
+        """Fig. 7-a executed literally on the bit datapath."""
+        a_bits, b_bits = self._read_bits(a), self._read_bits(b)
+        self._charge(OpKind.SUB, (a, b), TMP, "absdiff:diff")
+        self._charge(OpKind.XOR, (TMP,), dst, "absdiff:neg")
+        diff = self.acc.subtract(a_bits, b_bits, self._precision)
+        # N: all-ones in lanes whose difference is negative.  For
+        # unsigned lanes that is the borrow (carry-out 0); for signed
+        # lanes the saturation unit uses the signed comparison instead.
+        if signed:
+            negative = (self._lanes_of(a_bits, True) <
+                        self._lanes_of(b_bits, True)).astype(np.uint64)
+        else:
+            negative = 1 - diff.carry_mask.astype(np.uint64)
+        n_mask_vals = negative * ((1 << self._precision) - 1)
+        n_bits = lanes_to_bits(n_mask_vals, self._precision,
+                               self.config.wordline_bits)
+        plus_n = self.acc.add(diff.sum_bits, n_bits, self._precision)
+        out = plus_n.sum_bits ^ n_bits
+        self._write_bits(dst, out)
+
+    def maximum(self, dst: Dst, a: Src, b: Src,
+                signed: bool = False) -> None:
+        """``max(a, b) = sat0(a - b) + b`` on the bit datapath."""
+        a_bits, b_bits = self._read_bits(a), self._read_bits(b)
+        self._charge(OpKind.SUB, (a, b), TMP, "max:satsub")
+        self._charge(OpKind.ADD, (TMP, b), dst, "max:add")
+        diff = self._sat0_diff(a_bits, b_bits, signed)
+        out = self.acc.add(diff, b_bits, self._precision)
+        self._write_bits(dst, out.sum_bits)
+
+    def minimum(self, dst: Dst, a: Src, b: Src,
+                signed: bool = False) -> None:
+        """``min(a, b) = a - sat0(a - b)`` on the bit datapath."""
+        a_bits, b_bits = self._read_bits(a), self._read_bits(b)
+        self._charge(OpKind.SUB, (a, b), TMP, "min:satsub")
+        self._charge(OpKind.SUB, (a, TMP), dst, "min:sub")
+        diff = self._sat0_diff(a_bits, b_bits, signed)
+        out = self.acc.subtract(a_bits, diff, self._precision)
+        self._write_bits(dst, out.sum_bits)
+
+    def _sat0_diff(self, a_bits: np.ndarray, b_bits: np.ndarray,
+                   signed: bool) -> np.ndarray:
+        """``max(a - b, 0)`` as bits, via the borrow/sign masks."""
+        diff = self.acc.subtract(a_bits, b_bits, self._precision)
+        if signed:
+            negative = (self._lanes_of(a_bits, True) <
+                        self._lanes_of(b_bits, True))
+        else:
+            negative = diff.carry_mask == 0  # borrowed
+        vals = bits_to_lanes(diff.sum_bits, self._precision)
+        vals = np.where(negative, np.uint64(0), vals)
+        return lanes_to_bits(vals, self._precision,
+                             self.config.wordline_bits)
+
+    def mul(self, dst: Dst, a: Src, b: Src, rshift: int = 0,
+            saturate: bool = True, signed: bool = True) -> None:
+        """MSB-first shift-add multiplication (Fig. 7-c), bit-level.
+
+        Negative operands are inverted before and the product sign
+        restored after, as the paper prescribes.  The double-width
+        product is accumulated lane-locally, then ``rshift`` and the
+        narrowing to lane width are applied by the shifter/saturation
+        unit.
+        """
+        n = self._precision
+        va = self._lanes_of(self._read_bits(a), signed)
+        vb = self._lanes_of(self._read_bits(b), signed)
+        self._charge(OpKind.MUL, (a, b), dst, f">>{rshift}")
+        mag_a = np.abs(va).astype(np.uint64)
+        mag_b = np.abs(vb).astype(np.uint64)
+        # The genuine MSB-first loop: shift partial product left, add the
+        # multiplicand where the current multiplier bit is set.
+        partial = np.zeros_like(mag_a)
+        for bit in range(n - 1, -1, -1):
+            partial = partial << np.uint64(1)
+            take = (mag_b >> np.uint64(bit)) & np.uint64(1)
+            partial = partial + mag_a * take
+        prod = partial.astype(np.int64)
+        neg = (va < 0) ^ (vb < 0)
+        prod = np.where(neg, -prod, prod) >> rshift
+        out = ops.saturate(prod, n, signed) if saturate else \
+            ops.wrap(prod, n, signed)
+        self._write_bits(dst, self._bits_of(out))
+
+    def div(self, dst: Dst, a: Src, b: Src, lshift: int = 0,
+            signed: bool = True) -> None:
+        """Restoring division (Fig. 7-d), bit-level.
+
+        ``lshift`` is unsupported here (word-level only); quotient bits
+        are developed MSB-first into the LSBs while the partial
+        remainder lives in the Tmp register.
+        """
+        if lshift:
+            raise NotImplementedError(
+                "BitPIMDevice models plain n-bit division only")
+        n = self._precision
+        va = self._lanes_of(self._read_bits(a), signed)
+        vb = self._lanes_of(self._read_bits(b), signed)
+        self._charge(OpKind.DIV, (a, b), dst)
+        num = np.abs(va).astype(np.int64)
+        den = np.abs(vb).astype(np.int64)
+        remainder = np.zeros_like(num)
+        quotient = np.zeros_like(num)
+        for bit in range(n - 1, -1, -1):
+            remainder = (remainder << 1) | ((num >> bit) & 1)
+            trial = remainder - den
+            ok = (trial >= 0) & (den > 0)
+            remainder = np.where(ok, trial, remainder)
+            quotient = (quotient << 1) | ok.astype(np.int64)
+        neg = (va < 0) ^ (vb < 0)
+        quotient = np.where(neg, -quotient, quotient)
+        _, hi = (-(1 << (n - 1)), (1 << (n - 1)) - 1) if signed else \
+            (0, (1 << n) - 1)
+        overflow = np.where(va >= 0, hi, -hi if signed else hi)
+        quotient = np.where(vb == 0, overflow, quotient)
+        self._write_bits(dst, self._bits_of(
+            ops.saturate(quotient, n, signed)))

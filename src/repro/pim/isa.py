@@ -1,0 +1,81 @@
+"""Micro-operation definitions and execution traces.
+
+Every kernel in the algorithm layer compiles down to this small
+instruction set, which matches what the hardware of paper section 4 can
+issue in one (or, for multiply/divide, ``n + 2``) clock cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["OpKind", "TraceRecord", "op_cycles"]
+
+
+class OpKind(enum.Enum):
+    """The micro-operations the device can issue.
+
+    Single-cycle operations (paper section 5.1: "all basic operations
+    are single-cycle"):
+
+    * ``AND/OR/XOR/NOR`` -- in-array sense-amp logic (Fig. 6-a).
+    * ``ADD/SUB`` -- accumulator add/sub, optionally saturating.
+    * ``AVG`` -- add then shift-right-one (the LPF primitive).
+    * ``CMP_GT`` -- comparison mask from the borrow/carry extension.
+    * ``SHIFT_LANES`` -- shift the word line by whole lanes (pixels).
+    * ``SHIFT_BITS`` -- arithmetic shift within lanes.
+    * ``COPY`` -- move a value through the accumulator unchanged.
+
+    Multi-cycle operations (``n + 2`` cycles for n-bit lanes,
+    section 4.2):
+
+    * ``MUL`` -- MSB-first shift-add multiplication (Fig. 7-c).
+    * ``DIV`` -- restoring division (Fig. 7-d).
+    """
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    ADD = "add"
+    SUB = "sub"
+    AVG = "avg"
+    CMP_GT = "cmp_gt"
+    SHIFT_LANES = "shift_lanes"
+    SHIFT_BITS = "shift_bits"
+    COPY = "copy"
+    MUL = "mul"
+    DIV = "div"
+
+
+def op_cycles(kind: OpKind, precision: int) -> int:
+    """Issue cycles for one micro-op at the given lane width.
+
+    Multiplication and division take ``n + 2`` cycles including their
+    SRAM read/write overhead (paper section 4.2); everything else is a
+    single cycle.  The extra write-back cycle for SRAM destinations is
+    charged separately by the device.
+    """
+    if kind in (OpKind.MUL, OpKind.DIV):
+        return precision + 2
+    return 1
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed micro-op, for debugging and mapping validation."""
+
+    kind: OpKind
+    precision: int
+    cycles: int
+    dst: str
+    srcs: Tuple[str, ...]
+    note: Optional[str] = None
+
+    def __str__(self) -> str:
+        srcs = ", ".join(self.srcs)
+        suffix = f"  ; {self.note}" if self.note else ""
+        return (f"{self.kind.value:<12} {self.dst:<8} <- {srcs:<20} "
+                f"[{self.precision}b, {self.cycles}cyc]{suffix}")

@@ -1,0 +1,88 @@
+"""Derived multi-step PIM routines built from the micro-op ISA.
+
+Section 2.2 notes that prior bit-serial work explored "more complicated
+functions such as square root"; this module provides a branch-free
+integer square root for the bit-parallel device, used by the
+traditional Sobel-magnitude HPF that the paper's SAD kernel replaces
+(section 3.2's cost argument).
+
+The algorithm is the classic digit-recurrence (restoring) square root:
+per result bit, two quotient digits of the radicand enter the partial
+remainder, a trial subtrahend ``(root << 2) | 1`` is compared, and the
+comparison mask conditionally updates remainder and root - all with
+single-cycle shift/logic/add/compare micro-ops, so the cost emerges
+from composition (~12 ops per result bit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint import ops
+from repro.pim.device import Imm, TMP
+
+__all__ = ["isqrt_fast", "isqrt_pim", "IsqrtRows"]
+
+
+def isqrt_fast(values, bits: int = 16) -> np.ndarray:
+    """Vectorized integer square root (floor), PIM-exact semantics.
+
+    Args:
+        values: Non-negative integers below ``2**bits``.
+        bits: Radicand width; the result has ``bits // 2`` bits.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    if np.any(v < 0) or np.any(v >> bits):
+        raise ValueError(f"radicands must be unsigned {bits}-bit")
+    root = np.zeros_like(v)
+    rem = np.zeros_like(v)
+    for i in reversed(range(bits // 2)):
+        rem = (rem << 2) | ((v >> (2 * i)) & 3)
+        trial = (root << 2) | 1
+        ge = ops.greater_than(rem, trial - 1)
+        rem = rem - trial * ge
+        root = (root << 1) + ge
+    return root
+
+
+class IsqrtRows:
+    """Scratch-row allocation for the device square root."""
+
+    def __init__(self, rem: int, root: int, trial: int, mask: int):
+        self.rem = rem
+        self.root = root
+        self.trial = trial
+        self.mask = mask
+
+
+def isqrt_pim(device, dst: int, src: int, rows: IsqrtRows,
+              bits: int = 16) -> None:
+    """Device program: lane-wise integer square root.
+
+    ``dst`` receives ``floor(sqrt(src))`` treating lanes as unsigned
+    ``bits``-wide radicands.  Costs ~12 micro-ops per result bit
+    (compare-select realized with the carry-extension mask, like the
+    branch-free min/max of Fig. 7).
+    """
+    device.copy(rows.rem, Imm(0), signed=False)
+    device.copy(rows.root, Imm(0), signed=False)
+    for i in reversed(range(bits // 2)):
+        # rem = (rem << 2) | next two radicand bits.
+        device.shift_bits(TMP, src, -2 * i, signed=False)
+        device.logic_and(TMP, TMP, Imm(3))
+        device.shift_bits(rows.rem, rows.rem, 2, signed=False)
+        device.add(rows.rem, rows.rem, TMP, signed=False)
+        # trial = (root << 2) | 1.
+        device.shift_bits(rows.trial, rows.root, 2, signed=False)
+        device.add(rows.trial, rows.trial, Imm(1), signed=False)
+        # ge = rem >= trial  (as rem > trial - 1).
+        device.sub(TMP, rows.trial, Imm(1), signed=False)
+        device.cmp_gt(rows.mask, rows.rem, TMP, signed=False)
+        # rem -= trial & extend(ge).
+        device.sub(TMP, Imm(0), rows.mask)          # 0/-1 extension
+        device.logic_and(TMP, rows.trial, TMP)
+        device.sub(rows.rem, rows.rem, TMP, signed=False)
+        # root = (root << 1) + ge.
+        device.shift_bits(rows.root, rows.root, 1, signed=False)
+        device.add(rows.root, rows.root, rows.mask, signed=False)
+    device.copy(dst, rows.root, signed=False)

@@ -1,0 +1,41 @@
+"""Image-processing substrate: float/integer reference implementations.
+
+These are the *algorithmic ground truth* the PIM kernel mappings are
+tested against: plain-numpy convolution, Sobel gradients, the paper's
+reference edge-detection pipeline, and the exact Euclidean distance
+transform EBVO uses for residual lookup.
+"""
+
+from repro.vision.filters import (
+    BINOMIAL_3x3,
+    binomial_lpf,
+    conv2d,
+    sobel,
+    sobel_magnitude,
+)
+from repro.vision.edges import (
+    detect_edges_reference,
+    hpf_sad_reference,
+    nms_reference,
+)
+from repro.vision.distance_transform import (
+    distance_transform,
+    dt_gradient,
+    edt_1d_reference,
+    distance_transform_reference,
+)
+
+__all__ = [
+    "BINOMIAL_3x3",
+    "conv2d",
+    "binomial_lpf",
+    "sobel",
+    "sobel_magnitude",
+    "detect_edges_reference",
+    "hpf_sad_reference",
+    "nms_reference",
+    "distance_transform",
+    "distance_transform_reference",
+    "edt_1d_reference",
+    "dt_gradient",
+]

@@ -1,0 +1,115 @@
+"""Reference edge-detection pipeline (paper Fig. 1-a, Figs. 2-4).
+
+The pipeline is LPF -> HPF -> NMS:
+
+* the LPF smooths sensor noise (3x3 binomial),
+* the HPF produces an edge-strength response; the paper replaces the
+  Sobel magnitude with a saturated sum of absolute differences (SAD)
+  over the four opposite-neighbour directions,
+* the NMS keeps pixels that are both strong (``> th1``) and locally
+  maximal along at least one direction by a margin (``> th2``).
+
+These are the semantics the PIM kernel mappings in
+:mod:`repro.kernels` must match exactly (in integer arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.filters import binomial_lpf
+
+__all__ = ["hpf_sad_reference", "nms_reference", "detect_edges_reference",
+           "DEFAULT_TH1", "DEFAULT_TH2"]
+
+#: Default absolute edge-strength threshold (on the 8-bit HPF response).
+DEFAULT_TH1 = 40
+#: Default local-maximum margin.
+DEFAULT_TH2 = 2
+
+
+def _shifted(img: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """The image sampled at ``(y + dy, x + dx)``, zero outside."""
+    out = np.zeros_like(img)
+    h, w = img.shape
+    ys = slice(max(dy, 0), h + min(dy, 0))
+    xs = slice(max(dx, 0), w + min(dx, 0))
+    yd = slice(max(-dy, 0), h + min(-dy, 0))
+    xd = slice(max(-dx, 0), w + min(-dx, 0))
+    out[yd, xd] = img[ys, xs]
+    return out
+
+
+#: The four opposite-neighbour pairs around the centre pixel, as
+#: (dy, dx) of the first neighbour (the second is its negation):
+#: main diagonal, anti-diagonal, horizontal, vertical.
+_PAIRS = ((-1, -1), (-1, 1), (0, -1), (-1, 0))
+
+
+def hpf_sad_reference(image: np.ndarray, saturate_bits: int = 8
+                      ) -> np.ndarray:
+    """Saturated 4-direction SAD high-pass filter (Fig. 3).
+
+    ``HPF(p) = sat( |p(-1,-1) - p(1,1)| + |p(-1,1) - p(1,-1)|
+    + |p(0,-1) - p(0,1)| + |p(-1,0) - p(1,0)| )``.
+
+    Args:
+        image: 2D integer-valued array (typically the LPF output).
+        saturate_bits: Saturation width of the response (8 in the
+            paper, matching the pixel lanes).
+
+    Returns:
+        Integer response array of the image's shape; the one-pixel
+        border is zero (no full neighbourhood).
+    """
+    img = np.asarray(image, dtype=np.int64)
+    acc = np.zeros_like(img)
+    for dy, dx in _PAIRS:
+        acc += np.abs(_shifted(img, dy, dx) - _shifted(img, -dy, -dx))
+    acc = np.minimum(acc, (1 << saturate_bits) - 1)
+    acc[0, :] = acc[-1, :] = 0
+    acc[:, 0] = acc[:, -1] = 0
+    return acc
+
+
+def nms_reference(response: np.ndarray, th1: int = DEFAULT_TH1,
+                  th2: int = DEFAULT_TH2) -> np.ndarray:
+    """The *original* branchy NMS kernel (Fig. 4, left).
+
+    A pixel is an edge when its response exceeds ``th1`` and it beats
+    *both* neighbours of at least one opposite-direction pair by more
+    than ``th2``:
+
+    ``b2 > th1 AND ( (b2-a1 > th2 AND b2-c3 > th2) OR ... )``
+
+    over the four pairs (diagonals, horizontal, vertical).  The PIM
+    kernel implements the branch-free simplification
+    ``b2 > th1 AND b2 - th2 > min(max(pair) for each pair)`` and is
+    tested to be exactly equivalent.
+    """
+    r = np.asarray(response, dtype=np.int64)
+    strong = r > th1
+    any_direction = np.zeros(r.shape, dtype=bool)
+    for dy, dx in _PAIRS:
+        first = _shifted(r, dy, dx)
+        second = _shifted(r, -dy, -dx)
+        any_direction |= ((r - first) > th2) & ((r - second) > th2)
+    edges = strong & any_direction
+    edges[0, :] = edges[-1, :] = False
+    edges[:, 0] = edges[:, -1] = False
+    return edges
+
+
+def detect_edges_reference(image: np.ndarray, th1: int = DEFAULT_TH1,
+                           th2: int = DEFAULT_TH2) -> np.ndarray:
+    """Full reference edge detector: LPF -> SAD HPF -> NMS.
+
+    Args:
+        image: 8-bit grayscale image (any numeric dtype, values 0-255).
+
+    Returns:
+        Boolean edge map of the image's shape.
+    """
+    smooth = np.floor(binomial_lpf(image)).astype(np.int64)
+    response = hpf_sad_reference(smooth)
+    return nms_reference(response, th1, th2)

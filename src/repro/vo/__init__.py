@@ -1,0 +1,37 @@
+"""The edge-based visual odometry system (paper Fig. 1).
+
+Frame-to-keyframe tracking: edges detected per frame anchor 3D features
+(via the depth map); the per-frame pose is estimated by aligning the
+warped features against the keyframe's edge distance transform with a
+Levenberg-Marquardt solver.
+
+Two interchangeable frontends carry the arithmetic:
+
+* :class:`~repro.vo.frontend.FloatFrontend` -- double-precision
+  pipeline (the PicoVO-on-MCU stand-in for Table 1).
+* :class:`~repro.vo.frontend.PIMFrontend` -- fully quantized pipeline
+  with exact PIM arithmetic (Q4.12 features, Q1.15 poses, Q14.2
+  Jacobians, Q29.3 Hessian).
+"""
+
+from repro.vo.config import TrackerConfig
+from repro.vo.features import FeatureSet, extract_features
+from repro.vo.frontend import FloatFrontend, KeyframeMaps, PIMFrontend
+from repro.vo.lm import LMStats, lm_estimate
+from repro.vo.posegraph import PoseGraph, PoseGraphEdge
+from repro.vo.tracker import EBVOTracker, FrameResult
+
+__all__ = [
+    "TrackerConfig",
+    "FeatureSet",
+    "extract_features",
+    "FloatFrontend",
+    "PIMFrontend",
+    "KeyframeMaps",
+    "LMStats",
+    "lm_estimate",
+    "PoseGraph",
+    "PoseGraphEdge",
+    "EBVOTracker",
+    "FrameResult",
+]

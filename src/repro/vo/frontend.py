@@ -1,0 +1,238 @@
+"""Float and PIM-quantized EBVO frontends.
+
+A frontend owns the arithmetic of the pipeline: edge detection,
+keyframe map preparation, feature representation, and the per-iteration
+linearization (residuals, Jacobians, Gauss-Newton system).  The LM
+solver and the tracker are frontend-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fixedpoint import Q14_2
+from repro.geometry.camera import inverse_depth_coords
+from repro.geometry.se3 import SE3
+from repro.kernels.edge_detect import detect_edges_fast
+from repro.kernels.hessian import hessian_fast, unpack_symmetric
+from repro.kernels.jacobian import jacobian_fast, jacobian_float
+from repro.kernels.warp import (
+    UV_FORMAT,
+    quantize_features,
+    quantize_pose,
+    warp_fast,
+    warp_float,
+)
+from repro.vision.distance_transform import distance_transform, dt_gradient
+from repro.vision.edges import detect_edges_reference
+from repro.vo.config import TrackerConfig
+from repro.vo.features import FeatureSet
+
+__all__ = ["KeyframeMaps", "FloatFrontend", "PIMFrontend"]
+
+
+@dataclass
+class KeyframeMaps:
+    """Pre-computed lookup maps of one keyframe (paper section 2.3).
+
+    ``grad_u``/``grad_v`` are the DT gradients pre-multiplied by the
+    focal lengths, matching the ``(I_u, I_v)`` of Fig. 5-c.  The
+    quantized fields are present only for the PIM frontend.
+    """
+
+    dt: np.ndarray
+    grad_u: np.ndarray
+    grad_v: np.ndarray
+    dt_raw: Optional[np.ndarray] = None
+    gu_raw: Optional[np.ndarray] = None
+    gv_raw: Optional[np.ndarray] = None
+
+
+def _bilinear(grid: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Bilinear interpolation with edge clamping."""
+    h, w = grid.shape
+    u = np.clip(u, 0.0, w - 1.0)
+    v = np.clip(v, 0.0, h - 1.0)
+    u0 = np.floor(u).astype(np.int64)
+    v0 = np.floor(v).astype(np.int64)
+    u1 = np.minimum(u0 + 1, w - 1)
+    v1 = np.minimum(v0 + 1, h - 1)
+    fu = u - u0
+    fv = v - v0
+    return ((1 - fv) * ((1 - fu) * grid[v0, u0] + fu * grid[v0, u1]) +
+            fv * ((1 - fu) * grid[v1, u0] + fu * grid[v1, u1]))
+
+
+class FloatFrontend:
+    """Double-precision pipeline (the PicoVO-class baseline)."""
+
+    def __init__(self, config: TrackerConfig):
+        self.config = config
+
+    def detect(self, gray: np.ndarray) -> np.ndarray:
+        """Boolean edge map of a frame."""
+        return detect_edges_reference(gray, self.config.th1,
+                                      self.config.th2)
+
+    def prepare_keyframe(self, edge_map: np.ndarray) -> KeyframeMaps:
+        """Distance transform and focal-scaled gradient maps."""
+        cam = self.config.camera
+        dt = distance_transform(edge_map)
+        gu, gv = dt_gradient(dt)
+        return KeyframeMaps(dt=dt, grad_u=gu * cam.fx, grad_v=gv * cam.fy)
+
+    def make_features(self, features: FeatureSet):
+        """Frontend representation: float inverse-depth triples."""
+        return inverse_depth_coords(self.config.camera, features.u,
+                                    features.v, features.depth)
+
+    def _warp_and_lookup(self, feats, pose: SE3, maps: KeyframeMaps):
+        a, b, c = feats
+        res = warp_float(pose, a, b, c, self.config.camera)
+        valid = res.valid
+        r = np.zeros_like(res.u)
+        r[valid] = _bilinear(maps.dt, res.u[valid], res.v[valid])
+        r = np.minimum(r, self.config.residual_clamp)
+        return res, r, valid
+
+    def error(self, feats, pose: SE3, maps: KeyframeMaps) -> Tuple[float,
+                                                                   int]:
+        """Mean squared residual and valid count at a pose."""
+        _, r, valid = self._warp_and_lookup(feats, pose, maps)
+        n = int(valid.sum())
+        if n == 0:
+            return np.inf, 0
+        return float(np.mean(r[valid] ** 2)), n
+
+    def linearize(self, feats, pose: SE3, maps: KeyframeMaps):
+        """Gauss-Newton system ``(H, b, err, n_valid)`` at a pose."""
+        a, b, c = feats
+        res, r, valid = self._warp_and_lookup(feats, pose, maps)
+        n = int(valid.sum())
+        if n == 0:
+            return np.zeros((6, 6)), np.zeros(6), np.inf, 0
+        u, v = res.u[valid], res.v[valid]
+        gu = _bilinear(maps.grad_u, u, v)
+        gv = _bilinear(maps.grad_v, u, v)
+        cv = np.asarray(c)[valid]
+        z_real = res.z[valid] / cv
+        x_real = res.rx[valid] * z_real
+        y_real = res.ry[valid] * z_real
+        jac = jacobian_float(x_real, y_real, z_real, gu, gv)
+        rv = r[valid]
+        if self.config.huber_delta is not None:
+            # Iteratively reweighted least squares with Huber weights
+            # w = min(1, delta / |r|) applied to H and b.
+            delta = self.config.huber_delta
+            w = np.minimum(1.0, delta / np.maximum(np.abs(rv), 1e-12))
+            jw = jac * w[:, None]
+            h = jw.T @ jac
+            g = jw.T @ rv
+        else:
+            h = jac.T @ jac
+            g = jac.T @ rv
+        return h, g, float(np.mean(rv ** 2)), n
+
+
+class PIMFrontend:
+    """Fully quantized pipeline with exact PIM arithmetic."""
+
+    def __init__(self, config: TrackerConfig):
+        self.config = config
+
+    def detect(self, gray: np.ndarray) -> np.ndarray:
+        """Boolean edge map via the in-PIM kernel chain."""
+        return detect_edges_fast(gray, self.config.th1,
+                                 self.config.th2).edge_map
+
+    def prepare_keyframe(self, edge_map: np.ndarray) -> KeyframeMaps:
+        """DT on the host (per the paper), lookups quantized to Q14.2."""
+        cam = self.config.camera
+        dt = distance_transform(edge_map)
+        gu, gv = dt_gradient(dt)
+        grad_u, grad_v = gu * cam.fx, gv * cam.fy
+        return KeyframeMaps(
+            dt=dt, grad_u=grad_u, grad_v=grad_v,
+            dt_raw=np.asarray(Q14_2.quantize(dt), dtype=np.int64),
+            gu_raw=np.asarray(Q14_2.quantize(grad_u), dtype=np.int64),
+            gv_raw=np.asarray(Q14_2.quantize(grad_v), dtype=np.int64))
+
+    def make_features(self, features: FeatureSet):
+        """Frontend representation: Q4.12 inverse-depth raws."""
+        a, b, c = inverse_depth_coords(self.config.camera, features.u,
+                                       features.v, features.depth)
+        return quantize_features(a, b, c)
+
+    @staticmethod
+    def _bilinear_q2(grid_raw: np.ndarray, u_raw: np.ndarray,
+                     v_raw: np.ndarray) -> np.ndarray:
+        """Quarter-pixel bilinear lookup from Q14.2 coordinates.
+
+        The blend weights are the two fractional bits themselves
+        (values 0..4 in quarter units), so the interpolation is pure
+        integer arithmetic: ``sum(w_i * raw_i) >> 4``.
+        """
+        h, w = grid_raw.shape
+        u0 = np.clip(u_raw >> 2, 0, w - 1)
+        v0 = np.clip(v_raw >> 2, 0, h - 1)
+        u1 = np.minimum(u0 + 1, w - 1)
+        v1 = np.minimum(v0 + 1, h - 1)
+        fu = u_raw & 3
+        fv = v_raw & 3
+        top = (4 - fu) * grid_raw[v0, u0] + fu * grid_raw[v0, u1]
+        bot = (4 - fu) * grid_raw[v1, u0] + fu * grid_raw[v1, u1]
+        return ((4 - fv) * top + fv * bot) >> 4
+
+    def _warp_and_lookup(self, qfeats, pose: SE3, maps: KeyframeMaps):
+        qpose = quantize_pose(pose)
+        res = warp_fast(qpose, qfeats, self.config.camera)
+        valid = res.valid
+        h, w = maps.dt_raw.shape
+        # Nearest integer pixel for the gradient lookups.
+        half = UV_FORMAT.scale // 2
+        ui = np.clip((res.u + half) >> 2, 0, w - 1).astype(np.int64)
+        vi = np.clip((res.v + half) >> 2, 0, h - 1).astype(np.int64)
+        clamp_raw = int(Q14_2.quantize(self.config.residual_clamp))
+        r_raw = np.zeros_like(res.u)
+        if self.config.pim_bilinear_residual:
+            looked_up = self._bilinear_q2(maps.dt_raw, res.u[valid],
+                                          res.v[valid])
+        else:
+            looked_up = maps.dt_raw[vi[valid], ui[valid]]
+        r_raw[valid] = np.minimum(looked_up, clamp_raw)
+        return res, r_raw, ui, vi, valid
+
+    def error(self, qfeats, pose: SE3, maps: KeyframeMaps) -> Tuple[float,
+                                                                    int]:
+        """Mean squared residual (in pixels) and valid count."""
+        _, r_raw, _, _, valid = self._warp_and_lookup(qfeats, pose, maps)
+        n = int(valid.sum())
+        if n == 0:
+            return np.inf, 0
+        r = Q14_2.to_float(r_raw[valid])
+        return float(np.mean(r ** 2)), n
+
+    def linearize(self, qfeats, pose: SE3, maps: KeyframeMaps):
+        """Gauss-Newton system from the quantized kernels."""
+        res, r_raw, ui, vi, valid = self._warp_and_lookup(qfeats, pose,
+                                                          maps)
+        n = int(valid.sum())
+        if n == 0:
+            return np.zeros((6, 6)), np.zeros(6), np.inf, 0
+        iu = np.zeros_like(res.u)
+        iv = np.zeros_like(res.u)
+        iu[valid] = maps.gu_raw[vi[valid], ui[valid]]
+        iv[valid] = maps.gv_raw[vi[valid], ui[valid]]
+        jac = jacobian_fast(res, qfeats.c, iu, iv,
+                            feature_frac=qfeats.fmt.fraction_bits)
+        # Invalid features contribute zero rows/residuals.
+        jac = np.where(valid[:, None], jac, 0)
+        r_used = np.where(valid, r_raw, 0)
+        h_raw, b_raw = hessian_fast(jac, r_used)
+        h = unpack_symmetric(np.asarray(h_raw, dtype=np.float64) / 8.0)
+        b = np.asarray(b_raw, dtype=np.float64) / 8.0
+        r = Q14_2.to_float(r_raw[valid])
+        return h, b, float(np.mean(r ** 2)), n

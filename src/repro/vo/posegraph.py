@@ -1,0 +1,176 @@
+"""Minimal pose-graph optimization (a g2o-style backend, paper ref [15]).
+
+EBVO is the *frontend* of a vSLAM system; the paper's LM solver cites
+g2o [Kuemmerle et al. 2011], the standard graph-optimization backend.
+This module provides the matching backend substrate: a 6-DOF pose
+graph over the tracker's keyframe odometry, optimized by damped
+Gauss-Newton, so loop closures (re-recognizing a previously visited
+view and measuring the relative pose with the same DT alignment)
+can be folded back into the trajectory.
+
+The implementation favours clarity over scale: residuals are
+``log(meas^-1 (T_i^-1 T_j))`` with numerical Jacobians, solved densely
+- ample for the tens of keyframes a VO session produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.se3 import SE3, se3_exp, se3_log
+
+__all__ = ["PoseGraphEdge", "PoseGraph"]
+
+_EPS = 1e-7
+
+
+@dataclass
+class PoseGraphEdge:
+    """A relative-pose constraint ``T_i^-1 T_j ~ measurement``."""
+
+    i: int
+    j: int
+    measurement: SE3
+    weight: float = 1.0
+
+
+@dataclass
+class PoseGraph:
+    """A 6-DOF pose graph with dense damped Gauss-Newton optimization.
+
+    Vertex 0 is the gauge anchor (held fixed).
+    """
+
+    vertices: List[SE3] = field(default_factory=list)
+    edges: List[PoseGraphEdge] = field(default_factory=list)
+
+    def add_vertex(self, pose: SE3) -> int:
+        """Add a pose; returns its index."""
+        self.vertices.append(SE3(pose.R.copy(), pose.t.copy()))
+        return len(self.vertices) - 1
+
+    def add_edge(self, i: int, j: int, measurement: SE3,
+                 weight: float = 1.0) -> None:
+        """Constrain ``T_i^-1 T_j`` to the measured relative pose."""
+        n = len(self.vertices)
+        if not (0 <= i < n and 0 <= j < n) or i == j:
+            raise ValueError(f"invalid edge ({i}, {j}) for {n} vertices")
+        self.edges.append(PoseGraphEdge(i, j, measurement, weight))
+
+    # -- residuals ---------------------------------------------------------
+
+    def _edge_residual(self, edge: PoseGraphEdge,
+                       poses: List[SE3]) -> np.ndarray:
+        rel = poses[edge.i].inverse() @ poses[edge.j]
+        return np.sqrt(edge.weight) * se3_log(
+            edge.measurement.inverse() @ rel)
+
+    def total_error(self, poses: Optional[List[SE3]] = None) -> float:
+        """Sum of squared edge residuals."""
+        poses = poses if poses is not None else self.vertices
+        return float(sum(
+            np.sum(self._edge_residual(e, poses) ** 2)
+            for e in self.edges))
+
+    # -- optimization --------------------------------------------------------
+
+    def optimize(self, iterations: int = 15, damping: float = 1e-6,
+                 tol: float = 1e-10) -> dict:
+        """Damped Gauss-Newton over all vertices but the anchor.
+
+        Returns:
+            Stats dict with initial/final error and iteration count.
+        """
+        n = len(self.vertices)
+        if n < 2 or not self.edges:
+            return {"initial_error": 0.0, "final_error": 0.0,
+                    "iterations": 0}
+        initial = self.total_error()
+        lam = damping
+        current = initial
+        done_iters = 0
+        for _ in range(iterations):
+            jac, res = self._linearize()
+            h = jac.T @ jac
+            g = jac.T @ res
+            h += lam * np.diag(np.maximum(np.diagonal(h), 1e-9))
+            try:
+                delta = np.linalg.solve(h, -g)
+            except np.linalg.LinAlgError:
+                break
+            candidate = self._retract(delta)
+            cand_err = self.total_error(candidate)
+            done_iters += 1
+            if cand_err < current:
+                self.vertices = candidate
+                lam = max(lam * 0.5, 1e-9)
+                if current - cand_err < tol * max(current, 1.0):
+                    current = cand_err
+                    break
+                current = cand_err
+            else:
+                lam *= 10.0
+                if lam > 1e3:
+                    break
+        return {"initial_error": initial, "final_error": current,
+                "iterations": done_iters}
+
+    def _retract(self, delta: np.ndarray) -> List[SE3]:
+        poses = [SE3(self.vertices[0].R.copy(),
+                     self.vertices[0].t.copy())]
+        for k in range(1, len(self.vertices)):
+            xi = delta[6 * (k - 1): 6 * k]
+            poses.append(se3_exp(xi) @ self.vertices[k])
+        return poses
+
+    def _linearize(self):
+        """Stack residuals and numerical Jacobians over free vertices."""
+        n_free = len(self.vertices) - 1
+        rows = 6 * len(self.edges)
+        jac = np.zeros((rows, 6 * n_free))
+        res = np.zeros(rows)
+        for e_idx, edge in enumerate(self.edges):
+            sl = slice(6 * e_idx, 6 * e_idx + 6)
+            res[sl] = self._edge_residual(edge, self.vertices)
+            for vertex in (edge.i, edge.j):
+                if vertex == 0:
+                    continue
+                col = slice(6 * (vertex - 1), 6 * vertex)
+                jac[sl, col] = self._numeric_block(edge, vertex)
+        return jac, res
+
+    def _numeric_block(self, edge: PoseGraphEdge,
+                       vertex: int) -> np.ndarray:
+        """d(residual)/d(xi_vertex) by central differences."""
+        block = np.zeros((6, 6))
+        base = self.vertices[vertex]
+        for axis in range(6):
+            xi = np.zeros(6)
+            xi[axis] = _EPS
+            for sign, target in ((1.0, 0), (-1.0, 1)):
+                self.vertices[vertex] = se3_exp(sign * xi) @ base
+                r = self._edge_residual(edge, self.vertices)
+                if target == 0:
+                    plus = r
+                else:
+                    minus = r
+            block[:, axis] = (plus - minus) / (2 * _EPS)
+        self.vertices[vertex] = base
+        return block
+
+    # -- convenience ---------------------------------------------------------
+
+    @classmethod
+    def from_trajectory(cls, poses: List[SE3],
+                        odometry_weight: float = 1.0) -> "PoseGraph":
+        """Chain graph from a trajectory (consecutive odometry edges)."""
+        graph = cls()
+        for pose in poses:
+            graph.add_vertex(pose)
+        for k in range(len(poses) - 1):
+            rel = poses[k].inverse() @ poses[k + 1]
+            graph.add_edge(k, k + 1, rel, odometry_weight)
+        return graph

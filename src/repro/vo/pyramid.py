@@ -1,0 +1,52 @@
+"""Image pyramids for coarse-to-fine edge alignment.
+
+The EBVO literature (REVO, Canny-VO) tracks over an image pyramid so
+that inter-frame motions larger than the DT convergence basin are first
+resolved at coarse scale.  The paper tracks at a single QVGA level
+(its sequences are 30 fps hand-held motion); this extension adds the
+pyramid for robustness to faster motion, with the downsampling built
+from the same PIM-friendly 2x2 averaging as the LPF kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.fixedpoint import ops
+
+__all__ = ["downsample_gray", "downsample_depth", "build_pyramid"]
+
+
+def downsample_gray(gray: np.ndarray) -> np.ndarray:
+    """Half-resolution intensity via exact 2x2 averaging (PIM floor)."""
+    img = np.asarray(gray, dtype=np.int64)
+    h2, w2 = img.shape[0] // 2, img.shape[1] // 2
+    img = img[:h2 * 2, :w2 * 2]
+    top = ops.average(img[0::2, 0::2], img[0::2, 1::2])
+    bot = ops.average(img[1::2, 0::2], img[1::2, 1::2])
+    return ops.average(top, bot)
+
+
+def downsample_depth(depth: np.ndarray) -> np.ndarray:
+    """Half-resolution depth by nearest sampling (no mixing across
+    depth discontinuities, matching how RGB-D pyramids are built)."""
+    depth = np.asarray(depth, dtype=np.float64)
+    h2, w2 = depth.shape[0] // 2, depth.shape[1] // 2
+    return depth[:h2 * 2:2, :w2 * 2:2]
+
+
+def build_pyramid(gray: np.ndarray, depth: np.ndarray,
+                  levels: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Pyramid of ``(gray, depth)`` pairs, level 0 = full resolution."""
+    if levels < 1:
+        raise ValueError("need at least one level")
+    out = [(np.asarray(gray, dtype=np.int64),
+            np.asarray(depth, dtype=np.float64))]
+    for _ in range(levels - 1):
+        g, d = out[-1]
+        if min(g.shape) < 32:
+            break
+        out.append((downsample_gray(g), downsample_depth(d)))
+    return out

@@ -1,0 +1,159 @@
+"""Frame-to-keyframe EBVO tracking with keyframe management.
+
+Optionally tracks coarse-to-fine over an image pyramid
+(``config.pyramid_levels > 1``): the relative pose is first estimated
+at the coarsest level, then refined downward - the standard robustness
+extension for motions larger than the DT convergence basin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.se3 import SE3, so3_log
+from repro.vo.config import TrackerConfig
+from repro.vo.features import extract_features
+from repro.vo.frontend import FloatFrontend, KeyframeMaps
+from repro.vo.lm import LMStats, lm_estimate
+from repro.vo.pyramid import build_pyramid
+
+__all__ = ["EBVOTracker", "FrameResult"]
+
+
+@dataclass
+class FrameResult:
+    """Per-frame tracking output."""
+
+    pose: SE3                 # camera-to-world
+    is_keyframe: bool
+    lm: Optional[LMStats]
+    num_features: int
+    timestamp: float = 0.0
+
+
+@dataclass
+class _Keyframe:
+    pose_world: SE3           # keyframe camera-to-world
+    maps: List[KeyframeMaps]  # one per pyramid level (0 = full res)
+
+
+class EBVOTracker:
+    """The EBVO system of Fig. 1 with a pluggable arithmetic frontend.
+
+    Usage::
+
+        tracker = EBVOTracker(PIMFrontend(config), config)
+        for gray, depth, ts in frames:
+            result = tracker.process(gray, depth, ts)
+    """
+
+    def __init__(self, frontend=None, config: Optional[TrackerConfig] = None):
+        self.config = config or TrackerConfig()
+        base = frontend or FloatFrontend(self.config)
+        self.frontend = base
+        self._frontends = [base]
+        for level in range(1, self.config.pyramid_levels):
+            self._frontends.append(
+                type(base)(self.config.scaled_for_level(level)))
+        self._keyframe: Optional[_Keyframe] = None
+        self._last_rel = SE3.identity()   # current -> keyframe
+        self.results: List[FrameResult] = []
+
+    @property
+    def trajectory(self) -> List[SE3]:
+        """Estimated camera-to-world poses, one per processed frame."""
+        return [r.pose for r in self.results]
+
+    def _make_keyframe(self, pyramid, pose_world: SE3,
+                       edge_map_l0: np.ndarray) -> None:
+        maps = [self._frontends[0].prepare_keyframe(edge_map_l0)]
+        for level in range(1, min(len(self._frontends), len(pyramid))):
+            frontend = self._frontends[level]
+            edges = frontend.detect(pyramid[level][0])
+            maps.append(frontend.prepare_keyframe(edges))
+        self._keyframe = _Keyframe(pose_world=pose_world, maps=maps)
+        self._last_rel = SE3.identity()
+
+    def _needs_keyframe(self, rel_pose: SE3, stats: LMStats,
+                        n_features: int) -> bool:
+        cfg = self.config
+        t_dist = float(np.linalg.norm(rel_pose.t))
+        r_dist = float(np.linalg.norm(so3_log(rel_pose.R)))
+        if t_dist > cfg.keyframe_translation:
+            return True
+        if r_dist > cfg.keyframe_rotation:
+            return True
+        if n_features and stats.valid_features / max(n_features, 1) < \
+                cfg.keyframe_min_valid:
+            return True
+        if stats.final_error > cfg.keyframe_max_error:
+            return True
+        return False
+
+    def _estimate(self, pyramid, features_l0, init: SE3):
+        """Coarse-to-fine pose estimation against the keyframe maps."""
+        pose = init
+        stats = None
+        levels = min(len(self._keyframe.maps), len(pyramid))
+        for level in reversed(range(levels)):
+            frontend = self._frontends[level]
+            cfg = frontend.config
+            if level == 0:
+                feature_set = features_l0
+            else:
+                edges = frontend.detect(pyramid[level][0])
+                feature_set = extract_features(
+                    edges, pyramid[level][1], cfg.max_features,
+                    cfg.min_depth, cfg.max_depth)
+            feats = frontend.make_features(feature_set)
+            pose, stats = lm_estimate(frontend, feats,
+                                      self._keyframe.maps[level], pose,
+                                      cfg)
+            if stats.lost and level > 0:
+                pose = init  # coarse level unusable; retry finer
+        return pose, stats
+
+    def process(self, gray: np.ndarray, depth: np.ndarray,
+                timestamp: float = 0.0) -> FrameResult:
+        """Track one RGB-D frame; returns its world pose estimate."""
+        cfg = self.config
+        pyramid = build_pyramid(gray, depth, cfg.pyramid_levels)
+        edge_map = self._frontends[0].detect(pyramid[0][0])
+        features = extract_features(edge_map, pyramid[0][1],
+                                    cfg.max_features, cfg.min_depth,
+                                    cfg.max_depth)
+
+        if self._keyframe is None:
+            self._make_keyframe(pyramid, SE3.identity(), edge_map)
+            result = FrameResult(pose=SE3.identity(), is_keyframe=True,
+                                 lm=None, num_features=len(features),
+                                 timestamp=timestamp)
+            self.results.append(result)
+            return result
+
+        # Initialize from the last relative pose.  At 30 fps the
+        # inter-frame motion is a few millimetres, well inside the LM
+        # convergence basin; constant-velocity extrapolation is riskier
+        # (an overshoot near a motion reversal can land in a wrong DT
+        # basin and corrupt the next keyframe).
+        rel_pose, stats = self._estimate(pyramid, features,
+                                         self._last_rel)
+        if stats.lost:
+            rel_pose = self._last_rel  # hold pose, re-anchor below
+        pose_world = self._keyframe.pose_world @ rel_pose
+
+        is_keyframe = stats.lost or self._needs_keyframe(
+            rel_pose, stats, len(features))
+        if is_keyframe:
+            self._make_keyframe(pyramid, pose_world, edge_map)
+        else:
+            self._last_rel = rel_pose
+
+        result = FrameResult(pose=pose_world, is_keyframe=is_keyframe,
+                             lm=stats, num_features=len(features),
+                             timestamp=timestamp)
+        self.results.append(result)
+        return result

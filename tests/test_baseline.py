@@ -1,0 +1,66 @@
+"""Tests for the MCU cost model and its PicoVO calibration."""
+
+import pytest
+
+from repro.baseline import (
+    MCUCostModel,
+    MCUCycleTable,
+    OpCounts,
+    PICOVO_PAPER,
+    lm_iteration_cycles,
+    picoedge_cycles,
+    picovo_frame_cycles,
+    picovo_frame_energy_mj,
+    solve_6x6_cycles,
+)
+
+
+class TestOpCounts:
+    def test_cycles_weighted_sum(self):
+        table = MCUCycleTable()
+        ops = OpCounts(load=2, store=1, alu=3, div=1)
+        assert ops.cycles(table) == 2 * 2 + 1 + 3 + 12
+
+    def test_addition(self):
+        total = OpCounts(load=1, mul=2) + OpCounts(load=3, div=1)
+        assert total.load == 4 and total.mul == 2 and total.div == 1
+
+    def test_model_repetitions(self):
+        model = MCUCostModel()
+        ops = OpCounts(alu=5)
+        assert model.cycles(ops, repetitions=10) == 50
+
+    def test_seconds_and_energy(self):
+        model = MCUCostModel()
+        assert model.seconds(216_000_000) == pytest.approx(1.0)
+        assert model.energy_mj(1_000_000) == pytest.approx(1.794)
+
+
+class TestPicoVOCalibration:
+    """The modelled loops must land near the published totals."""
+
+    def test_picoedge_within_5_percent(self):
+        assert picoedge_cycles() == pytest.approx(
+            PICOVO_PAPER["picoedge_cycles"], rel=0.05)
+
+    def test_lm_iteration_within_5_percent(self):
+        assert lm_iteration_cycles(4500) == pytest.approx(
+            PICOVO_PAPER["lm_iteration_cycles"], rel=0.05)
+
+    def test_frame_energy_within_10_percent(self):
+        energy = picovo_frame_energy_mj(4500, lm_iterations=8.0)
+        assert energy == pytest.approx(PICOVO_PAPER["frame_energy_mj"],
+                                       rel=0.10)
+
+    def test_frame_cycles_composition(self):
+        frame = picovo_frame_cycles(4500, lm_iterations=8.0)
+        assert frame == picoedge_cycles() + 8 * lm_iteration_cycles(4500)
+
+    def test_lm_scales_with_features(self):
+        assert lm_iteration_cycles(6000) > lm_iteration_cycles(3000) * 1.8
+
+    def test_solve_is_small_share(self):
+        assert solve_6x6_cycles() < 0.02 * lm_iteration_cycles(4500)
+
+    def test_edge_scales_with_resolution(self):
+        assert picoedge_cycles(640, 480) == 4 * picoedge_cycles(320, 240)

@@ -1,0 +1,77 @@
+"""Tests for the Kinect-style sensor noise model."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import apply_kinect_noise, make_sequence
+from repro.dataset.synthetic import Frame
+from repro.geometry import TUM_QVGA
+
+
+def clean_frame(depths):
+    gray = np.full((4, len(depths)), 128.0)
+    depth = np.tile(np.asarray(depths, dtype=np.float64), (4, 1))
+    return Frame(gray=gray, depth=depth, timestamp=0.0)
+
+
+class TestNoiseModel:
+    def test_error_grows_with_depth(self):
+        rng = np.random.default_rng(0)
+        depths = [1.0] * 200 + [4.0] * 200
+        errors = {1.0: [], 4.0: []}
+        for _ in range(30):
+            frame = clean_frame(depths)
+            noisy = apply_kinect_noise(frame, rng)
+            for z in (1.0, 4.0):
+                mask = np.isclose(frame.depth, z)
+                errors[z].append(
+                    np.abs(noisy.depth[mask] - z).mean())
+        assert np.mean(errors[4.0]) > 3 * np.mean(errors[1.0])
+
+    def test_near_depth_subcentimetre(self):
+        rng = np.random.default_rng(1)
+        noisy = apply_kinect_noise(clean_frame([1.0] * 500), rng)
+        err = np.abs(noisy.depth - 1.0)
+        assert np.median(err) < 0.01
+
+    def test_far_range_cut(self):
+        rng = np.random.default_rng(2)
+        noisy = apply_kinect_noise(clean_frame([6.0] * 10), rng)
+        assert np.isinf(noisy.depth).all()
+
+    def test_disparity_quantization(self):
+        rng = np.random.default_rng(3)
+        noisy = apply_kinect_noise(clean_frame([2.0] * 400), rng)
+        finite = noisy.depth[np.isfinite(noisy.depth)]
+        # Quantized inverse depth: few distinct levels, spaced evenly.
+        inv = np.unique(np.round(1.0 / finite, 9))
+        assert inv.size < 30
+        if inv.size > 2:
+            steps = np.diff(inv)
+            np.testing.assert_allclose(steps, steps[0], rtol=1e-3)
+
+    def test_invalid_depth_preserved(self):
+        frame = clean_frame([2.0, np.inf, 3.0])
+        rng = np.random.default_rng(4)
+        noisy = apply_kinect_noise(frame, rng)
+        assert np.isinf(noisy.depth[:, 1]).all()
+
+    def test_intensity_stays_in_range(self):
+        rng = np.random.default_rng(5)
+        frame = Frame(gray=np.full((8, 8), 254.0),
+                      depth=np.full((8, 8), 2.0), timestamp=0.0)
+        noisy = apply_kinect_noise(frame, rng, intensity_sigma=10.0)
+        assert noisy.gray.max() <= 255 and noisy.gray.min() >= 0
+
+    def test_sequence_flag(self):
+        clean = make_sequence("fr1_xyz", n_frames=2,
+                              camera=TUM_QVGA.scaled(0.25))
+        noisy = make_sequence("fr1_xyz", n_frames=2,
+                              camera=TUM_QVGA.scaled(0.25),
+                              sensor_noise=True)
+        assert not np.array_equal(clean.frames[0].depth,
+                                  noisy.frames[0].depth)
+        # Ground truth is untouched.
+        for a, b in zip(clean.groundtruth, noisy.groundtruth):
+            t_err, _ = a.distance_to(b)
+            assert t_err == 0.0

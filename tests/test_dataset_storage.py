@@ -1,0 +1,101 @@
+"""Tests for on-disk sequence storage (TUM layout, PGM images)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import make_sequence
+from repro.dataset.storage import (
+    DEPTH_SCALE,
+    export_sequence,
+    load_pgm,
+    load_sequence,
+    save_pgm,
+)
+from repro.geometry import TUM_QVGA
+
+SMALL_CAM = TUM_QVGA.scaled(0.25)
+
+
+class TestPgm:
+    def test_8bit_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, (12, 17))
+        path = tmp_path / "a.pgm"
+        save_pgm(path, img)
+        np.testing.assert_array_equal(load_pgm(path), img)
+
+    def test_16bit_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        img = rng.integers(0, 65536, (9, 5))
+        path = tmp_path / "d.pgm"
+        save_pgm(path, img, max_value=65535)
+        np.testing.assert_array_equal(load_pgm(path), img)
+
+    def test_range_checked(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(tmp_path / "x.pgm", np.array([[300]]))
+        with pytest.raises(ValueError):
+            save_pgm(tmp_path / "x.pgm", np.array([[-1]]))
+
+    def test_comments_in_header_skipped(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        payload = bytes([1, 2, 3, 4, 5, 6])
+        path.write_bytes(b"P5\n# a comment\n3 2\n255\n" + payload)
+        img = load_pgm(path)
+        np.testing.assert_array_equal(img, [[1, 2, 3], [4, 5, 6]])
+
+    def test_non_pgm_rejected(self, tmp_path):
+        path = tmp_path / "n.txt"
+        path.write_bytes(b"hello")
+        with pytest.raises(ValueError):
+            load_pgm(path)
+
+
+class TestSequenceRoundtrip:
+    def test_export_load_roundtrip(self, tmp_path):
+        seq = make_sequence("fr1_xyz", n_frames=4, camera=SMALL_CAM)
+        root = export_sequence(seq, tmp_path / "seq")
+        assert (root / "gray.txt").exists()
+        assert (root / "groundtruth.txt").exists()
+        loaded = load_sequence(root)
+        assert loaded.name == "fr1_xyz"
+        assert len(loaded.frames) == 4
+        assert loaded.camera.width == SMALL_CAM.width
+        # Gray quantized to 8 bits, depth to 0.2 mm.
+        np.testing.assert_allclose(loaded.frames[2].gray,
+                                   seq.frames[2].gray, atol=0.5)
+        finite = np.isfinite(seq.frames[2].depth)
+        np.testing.assert_allclose(
+            loaded.frames[2].depth[finite], seq.frames[2].depth[finite],
+            atol=1.0 / DEPTH_SCALE)
+        # Invalid depth round-trips as inf.
+        np.testing.assert_array_equal(
+            np.isfinite(loaded.frames[2].depth), finite)
+        # Ground truth preserved.
+        for a, b in zip(loaded.groundtruth, seq.groundtruth):
+            t_err, r_err = a.distance_to(b)
+            assert t_err < 1e-5 and r_err < 1e-5
+
+    def test_loaded_sequence_is_trackable(self, tmp_path):
+        from repro.vo import EBVOTracker, FloatFrontend, TrackerConfig
+        seq = make_sequence("fr1_xyz", n_frames=6,
+                            camera=TUM_QVGA.scaled(0.5))
+        root = export_sequence(seq, tmp_path / "seq")
+        loaded = load_sequence(root)
+        cfg = TrackerConfig(camera=loaded.camera, max_features=1500)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        for frame in loaded.frames:
+            tracker.process(frame.gray, frame.depth, frame.timestamp)
+        gt_rel = loaded.groundtruth[0].inverse() @ loaded.groundtruth[5]
+        est_rel = tracker.trajectory[0].inverse() @ tracker.trajectory[5]
+        t_err, _ = gt_rel.distance_to(est_rel)
+        assert t_err < 0.05
+
+    def test_missing_depth_frames_skipped(self, tmp_path):
+        seq = make_sequence("fr1_xyz", n_frames=3, camera=SMALL_CAM)
+        root = export_sequence(seq, tmp_path / "seq")
+        # Remove one depth entry from the listing.
+        lines = (root / "depth.txt").read_text().splitlines()
+        (root / "depth.txt").write_text("\n".join(lines[:-1]) + "\n")
+        loaded = load_sequence(root)
+        assert len(loaded.frames) == 2

@@ -1,0 +1,84 @@
+"""Tests for the RPE/ATE trajectory metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.trajectories import xyz_shake_trajectory
+from repro.evaluation import absolute_trajectory_error, relative_pose_error
+from repro.evaluation.ate import horn_align
+from repro.geometry import SE3, se3_exp
+
+
+class TestRPE:
+    def test_perfect_trajectory_zero_error(self):
+        poses = xyz_shake_trajectory(70)
+        rpe = relative_pose_error(poses, poses, delta=30)
+        assert rpe.translation_rmse == pytest.approx(0.0, abs=1e-12)
+        assert rpe.rotation_rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_invariant_to_global_offset(self):
+        gt = xyz_shake_trajectory(70)
+        offset = se3_exp(np.array([1.0, -2.0, 0.5, 0.2, 0.1, -0.3]))
+        est = [offset @ p for p in gt]
+        rpe = relative_pose_error(est, gt, delta=30)
+        assert rpe.translation_rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_drift_rate_recovered(self):
+        # Drift of 1 mm per frame along x = 0.03 m/s at 30 fps.
+        gt = [SE3.identity() for _ in range(90)]
+        est = [SE3(np.eye(3), [0.001 * i, 0.0, 0.0]) for i in range(90)]
+        rpe = relative_pose_error(est, gt, delta=30, fps=30.0)
+        assert rpe.translation_rmse == pytest.approx(0.03, rel=1e-6)
+
+    def test_rotation_drift_in_degrees_per_second(self):
+        from repro.geometry.se3 import so3_exp
+        rate = np.radians(2.0) / 30.0  # 2 deg/s
+        gt = [SE3.identity() for _ in range(90)]
+        est = [SE3(so3_exp([0.0, 0.0, rate * i]), np.zeros(3))
+               for i in range(90)]
+        rpe = relative_pose_error(est, gt, delta=30, fps=30.0)
+        assert rpe.rotation_rmse == pytest.approx(2.0, rel=1e-5)
+
+    def test_too_short_rejected(self):
+        poses = xyz_shake_trajectory(10)
+        with pytest.raises(ValueError):
+            relative_pose_error(poses, poses, delta=30)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative_pose_error(xyz_shake_trajectory(40),
+                                xyz_shake_trajectory(41), delta=30)
+
+
+class TestATE:
+    def test_perfect_trajectory(self):
+        poses = xyz_shake_trajectory(30)
+        ate = absolute_trajectory_error(poses, poses)
+        assert ate.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_alignment_removes_rigid_offset(self):
+        gt = xyz_shake_trajectory(50)
+        offset = se3_exp(np.array([0.5, 1.0, -0.2, 0.3, -0.1, 0.2]))
+        est = [offset @ p for p in gt]
+        ate = absolute_trajectory_error(est, gt)
+        assert ate.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_noise_level_reported(self):
+        rng = np.random.default_rng(0)
+        gt = xyz_shake_trajectory(100)
+        est = [SE3(p.R, p.t + rng.normal(0, 0.01, 3)) for p in gt]
+        ate = absolute_trajectory_error(est, gt)
+        assert 0.005 < ate.rmse < 0.03
+
+    def test_horn_align_recovers_transform(self):
+        rng = np.random.default_rng(1)
+        src = rng.normal(size=(40, 3))
+        truth = se3_exp(np.array([0.2, -0.4, 0.6, 0.5, -0.2, 0.9]))
+        dst = truth.apply(src)
+        est = horn_align(src, dst)
+        t_err, r_err = est.distance_to(truth)
+        assert t_err < 1e-9 and r_err < 1e-9
+
+    def test_horn_align_shape_check(self):
+        with pytest.raises(ValueError):
+            horn_align(np.zeros((3, 2)), np.zeros((3, 2)))

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "cycles:" in result.stdout
+        assert "320x8b" in result.stdout
+
+    def test_edge_detection_demo(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        result = run_example("edge_detection_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "per-stage PIM cycles" in result.stdout
+        assert (tmp_path / "edge_output" / "edges_pim.pgm").exists()
+
+    def test_cnn_on_pim(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        result = run_example("cnn_on_pim.py", "--images", "24")
+        assert result.returncode == 0, result.stderr
+        assert "agreement" in result.stdout
+
+    def test_energy_report(self):
+        result = run_example("energy_report.py", "--features", "800",
+                             "--iterations", "2")
+        assert result.returncode == 0, result.stderr
+        assert "Fig. 10-a" in result.stdout
+
+    @pytest.mark.slow
+    def test_track_sequence(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        result = run_example("track_sequence.py", "fr1_xyz",
+                             "--frames", "8", "--frontend", "float")
+        assert result.returncode == 0, result.stderr
+        assert "RPE" in result.stdout
+        assert (tmp_path / "track_output" / "estimated.txt").exists()
+
+    def test_export_dataset(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        result = run_example("export_dataset.py", "fr1_xyz",
+                             "--frames", "3")
+        assert result.returncode == 0, result.stderr
+        assert "round-trip OK" in result.stdout
+
+    def test_inspect_microcode(self):
+        result = run_example("inspect_microcode.py")
+        assert result.returncode == 0, result.stderr
+        assert "LPF row program" in result.stdout
+        assert "avg" in result.stdout
+
+    @pytest.mark.slow
+    def test_loop_closure(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        result = run_example("loop_closure_demo.py", "--frames", "20")
+        assert result.returncode == 0, result.stderr
+        assert "ATE after" in result.stdout

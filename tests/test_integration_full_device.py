@@ -1,0 +1,108 @@
+"""End-to-end integration: the full EBVO frame processed on the device.
+
+Runs the complete Fig. 1 pipeline for one frame pair with *every*
+accelerated stage executed on the PIM device simulator (edge detection
+in-array; warp/Jacobian/Hessian through the batched LM device program),
+solves the 6x6 on the host, and checks the recovered pose - plus the
+consistency of the per-frame cycle/energy totals with the Fig. 9/10
+experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import make_room_scene, render_frame
+from repro.fixedpoint import Q14_2
+from repro.geometry import SE3, TUM_QVGA, inverse_depth_coords, se3_exp
+from repro.kernels.edge_detect import detect_edges_pim
+from repro.kernels.hessian import unpack_symmetric
+from repro.kernels.lm_pipeline import lm_iteration_pim
+from repro.kernels.warp import quantize_features, quantize_pose
+from repro.pim import PIMDevice
+from repro.vision.distance_transform import distance_transform, \
+    dt_gradient
+from repro.vo import TrackerConfig
+from repro.vo.features import extract_features
+
+CAM = TUM_QVGA
+
+
+@pytest.fixture(scope="module")
+def device_run():
+    scene = make_room_scene()
+    true_rel = se3_exp(np.array([0.015, -0.01, 0.012, 0.004, -0.006,
+                                 0.003]))
+    key = render_frame(scene, SE3.identity(), CAM)
+    cur = render_frame(scene, SE3.identity() @ true_rel, CAM)
+    cfg = TrackerConfig(max_features=2400)
+
+    device = PIMDevice()
+    # Keyframe: edges detected on the device, DT on the host (paper).
+    key_edges = detect_edges_pim(device, key.gray)
+    dt = distance_transform(key_edges.edge_map)
+    gu, gv = dt_gradient(dt)
+    maps = (np.asarray(Q14_2.quantize(dt), dtype=np.int64),
+            np.asarray(Q14_2.quantize(gu * CAM.fx), dtype=np.int64),
+            np.asarray(Q14_2.quantize(gv * CAM.fy), dtype=np.int64))
+
+    # Current frame: edges + features, again via the device.
+    cur_edges = detect_edges_pim(device, cur.gray)
+    feats = extract_features(cur_edges.edge_map, cur.depth,
+                             cfg.max_features, cfg.min_depth,
+                             cfg.max_depth)
+    a, b, c = inverse_depth_coords(CAM, feats.u, feats.v, feats.depth)
+    qfeats = quantize_features(a, b, c)
+    clamp = int(Q14_2.quantize(cfg.residual_clamp))
+
+    # Gauss-Newton iterations: device linearization + host 6x6 solve.
+    pose = SE3.identity()
+    iterations = 0
+    for _ in range(8):
+        qpose = quantize_pose(pose)
+        h_raw, b_raw, _ = lm_iteration_pim(device, qpose, qfeats, CAM,
+                                           *maps, clamp)
+        h = unpack_symmetric(np.asarray(h_raw, dtype=np.float64) / 8.0)
+        g = np.asarray(b_raw, dtype=np.float64) / 8.0
+        damping = 1e-4 * np.diag(np.maximum(np.diagonal(h), 1e-6))
+        delta = np.linalg.solve(h + damping, -g)
+        pose = se3_exp(delta) @ pose
+        iterations += 1
+        if np.linalg.norm(delta) < 1e-6:
+            break
+    return device, pose, true_rel, iterations, key_edges, cur_edges
+
+
+class TestFullDevicePipeline:
+    def test_pose_recovered(self, device_run):
+        _, pose, true_rel, _, _, _ = device_run
+        t_err, r_err = pose.distance_to(true_rel)
+        assert t_err < 0.02
+        assert np.degrees(r_err) < 1.0
+
+    def test_converges_within_paper_iterations(self, device_run):
+        _, _, _, iterations, _, _ = device_run
+        assert iterations <= 8  # paper: mean 8.1
+
+    def test_edge_stages_present_both_frames(self, device_run):
+        _, _, _, _, key_edges, cur_edges = device_run
+        assert key_edges.total_cycles > 0
+        assert cur_edges.total_cycles > 0
+        assert key_edges.edge_map.sum() > 500
+        assert cur_edges.edge_map.sum() > 500
+
+    def test_frame_cost_consistent_with_fig9_scale(self, device_run):
+        device, _, _, iterations, key_edges, cur_edges = device_run
+        # Total ledger = 2x edge detection + N LM linearizations;
+        # per-frame cost (1 edge + 8 LM at this feature count) lands in
+        # the Fig. 9-a regime (hundreds of kcycles, not millions).
+        total = device.ledger.cycles
+        assert total < 1_500_000
+        per_frame = cur_edges.total_cycles + \
+            (total - key_edges.total_cycles - cur_edges.total_cycles)
+        assert 50_000 < per_frame < 800_000
+
+    def test_energy_in_sub_mj_regime(self, device_run):
+        device, _, _, _, _, _ = device_run
+        report = device.ledger.energy()
+        assert report.total_mj < 1.0
+        assert report.shares()["sram"] > 0.7

@@ -1,0 +1,186 @@
+"""Tests for the CNN extension: int8 convolution on the PIM array."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.conv2d import (
+    Conv2dLayer,
+    conv2d_fast,
+    conv2d_pim,
+    maxpool2x2_fast,
+    maxpool2x2_pim,
+    quantize_weights,
+    relu_fast,
+)
+from repro.pim import PIMConfig, PIMDevice
+
+CFG = PIMConfig(wordline_bits=2560, num_rows=96)
+CFG2 = PIMConfig(wordline_bits=2560, num_rows=96, num_tmp_registers=2)
+
+
+def reference_conv(plane, kernel):
+    """Plain correlation, the unarguable ground truth."""
+    plane = np.asarray(plane, dtype=np.int64)
+    kernel = np.asarray(kernel, dtype=np.int64)
+    kh, kw = kernel.shape
+    oh, ow = plane.shape[0] - kh + 1, plane.shape[1] - kw + 1
+    out = np.zeros((oh, ow), dtype=np.int64)
+    for y in range(oh):
+        for x in range(ow):
+            out[y, x] = (plane[y:y + kh, x:x + kw] * kernel).sum()
+    return out
+
+
+class TestQuantizeWeights:
+    def test_roundtrip_scale(self):
+        w = np.array([[0.5, -1.0], [0.25, 1.0]])
+        w_q, scale = quantize_weights(w)
+        np.testing.assert_allclose(w_q * scale, w, atol=scale)
+        assert np.abs(w_q).max() == 127
+
+    def test_zero_weights(self):
+        w_q, scale = quantize_weights(np.zeros((3, 3)))
+        assert np.all(w_q == 0)
+
+
+class TestConv2dFast:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        plane = rng.integers(0, 256, (12, 16))
+        kernel = rng.integers(-127, 128, (3, 3))
+        out = conv2d_fast(plane, kernel)
+        np.testing.assert_array_equal(out, reference_conv(plane, kernel))
+
+    def test_rshift_and_relu(self):
+        plane = np.full((4, 4), 64)
+        kernel = np.array([[-2]])
+        out = conv2d_fast(plane, kernel, rshift=3, relu=True)
+        np.testing.assert_array_equal(out, 0)  # -128 >> 3 then ReLU
+        out = conv2d_fast(plane, np.array([[2]]), rshift=3)
+        np.testing.assert_array_equal(out, 16)
+
+    def test_5x5_kernel(self):
+        rng = np.random.default_rng(3)
+        plane = rng.integers(0, 256, (10, 12))
+        kernel = rng.integers(-20, 21, (5, 5))
+        np.testing.assert_array_equal(conv2d_fast(plane, kernel),
+                                      reference_conv(plane, kernel))
+
+    def test_kernel_larger_than_plane_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_fast(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestConv2dPim:
+    @pytest.mark.parametrize("config", [CFG, CFG2])
+    def test_matches_fast_exactly(self, config):
+        rng = np.random.default_rng(4)
+        plane = rng.integers(0, 256, (10, 16))
+        kernel = rng.integers(-127, 128, (3, 3))
+        dev = PIMDevice(config)
+        dev.set_precision(32)
+        in_rows = list(range(10))
+        out_rows = list(range(10, 18))
+        for r in in_rows:
+            dev.load(r, plane[r])
+        conv2d_pim(dev, in_rows, out_rows, kernel, width=16, rshift=4,
+                   relu=True)
+        out_dev = np.stack([dev.store(r)[:14] for r in out_rows])
+        out_fast = conv2d_fast(plane, kernel, rshift=4, relu=True)
+        np.testing.assert_array_equal(out_dev, out_fast)
+
+    def test_second_tmp_register_saves_cycles(self):
+        rng = np.random.default_rng(5)
+        plane = rng.integers(0, 256, (10, 16))
+        kernel = rng.integers(-127, 128, (3, 3))
+        cycles = {}
+        for name, config in (("one", CFG), ("two", CFG2)):
+            dev = PIMDevice(config)
+            dev.set_precision(32)
+            for r in range(10):
+                dev.load(r, plane[r])
+            conv2d_pim(dev, list(range(10)), list(range(10, 18)),
+                       kernel, width=16)
+            cycles[name] = dev.ledger.cycles
+        assert cycles["two"] < cycles["one"]
+
+    def test_weight_width_enforced(self):
+        dev = PIMDevice(CFG)
+        with pytest.raises(ValueError):
+            conv2d_pim(dev, [0, 1, 2], [3], np.full((3, 3), 300),
+                       width=8)
+
+    def test_zero_weights_skipped(self):
+        dev = PIMDevice(CFG)
+        dev.set_precision(32)
+        plane = np.arange(4 * 8).reshape(4, 8)
+        for r in range(4):
+            dev.load(r, plane[r])
+        sparse = np.zeros((3, 3), dtype=np.int64)
+        sparse[1, 1] = 1
+        conv2d_pim(dev, list(range(4)), [4, 5], sparse, width=8)
+        dense_cycles_dev = PIMDevice(CFG)
+        dense_cycles_dev.set_precision(32)
+        for r in range(4):
+            dense_cycles_dev.load(r, plane[r])
+        conv2d_pim(dense_cycles_dev, list(range(4)), [4, 5],
+                   np.ones((3, 3), dtype=np.int64), width=8)
+        assert dev.ledger.cycles < dense_cycles_dev.ledger.cycles
+
+
+class TestPooling:
+    def test_relu(self):
+        np.testing.assert_array_equal(relu_fast([-3, 0, 5]), [0, 0, 5])
+
+    def test_maxpool_fast(self):
+        plane = np.array([[1, 2, 3, 4],
+                          [5, 6, 7, 8],
+                          [9, 1, 2, 3],
+                          [4, 5, 6, 7]])
+        np.testing.assert_array_equal(maxpool2x2_fast(plane),
+                                      [[6, 8], [9, 7]])
+
+    def test_maxpool_pim_matches_fast(self):
+        rng = np.random.default_rng(6)
+        plane = rng.integers(0, 1000, (8, 16))
+        dev = PIMDevice(CFG)
+        dev.set_precision(32)
+        for r in range(8):
+            dev.load(r, plane[r])
+        pooled = maxpool2x2_pim(dev, list(range(8)),
+                                list(range(8, 12)), width=16)
+        np.testing.assert_array_equal(pooled, maxpool2x2_fast(plane))
+
+
+class TestConvLayer:
+    def test_multichannel_fast_matches_reference(self):
+        rng = np.random.default_rng(7)
+        planes = [rng.integers(0, 256, (10, 12)) for _ in range(3)]
+        weights = rng.normal(size=(2, 3, 3, 3))
+        layer = Conv2dLayer.from_float(weights, rshift=6, relu=True)
+        outs = layer.forward_fast(planes)
+        assert len(outs) == 2
+        for co in range(2):
+            ref = sum(reference_conv(planes[ci], layer.weights_q[co, ci])
+                      for ci in range(3))
+            expected = np.maximum(ref >> 6, 0)
+            np.testing.assert_array_equal(outs[co], expected)
+
+    @pytest.mark.parametrize("config", [CFG, CFG2])
+    def test_forward_pim_matches_fast(self, config):
+        rng = np.random.default_rng(8)
+        planes = [rng.integers(0, 256, (8, 10)) for _ in range(2)]
+        weights = rng.normal(size=(3, 2, 3, 3))
+        layer = Conv2dLayer.from_float(weights, rshift=5, relu=True)
+        fast = layer.forward_fast(planes)
+        dev = PIMDevice(config)
+        pim = layer.forward_pim(dev, planes)
+        for a, b in zip(fast, pim):
+            np.testing.assert_array_equal(a, b)
+        assert dev.ledger.cycles > 0
+
+    def test_channel_count_checked(self):
+        layer = Conv2dLayer.from_float(np.ones((1, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            layer.forward_fast([np.zeros((6, 6))])

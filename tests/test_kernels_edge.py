@@ -1,0 +1,230 @@
+"""Tests for the LPF/HPF/NMS kernel mappings.
+
+The contract: ``*_fast`` == ``*_pim`` bit-for-bit (valid regions),
+``*_fast`` matches the float reference up to documented rounding, and
+the naive mappings agree with the optimized ones semantically while
+costing more cycles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    detect_edges_fast,
+    detect_edges_pim,
+    hpf_fast,
+    hpf_pim,
+    hpf_pim_naive,
+    lpf_fast,
+    lpf_pim,
+    lpf_pim_naive,
+    nms_fast,
+    nms_pim,
+    nms_pim_naive,
+)
+from repro.kernels.common import load_image, read_image
+from repro.kernels.hpf import hpf_naive_fast
+from repro.kernels.lpf import lpf_naive_fast
+from repro.kernels.nms import nms_naive_fast
+from repro.pim import PIMConfig, PIMDevice
+from repro.vision import binomial_lpf, detect_edges_reference, \
+    hpf_sad_reference, nms_reference
+
+# A small array: 40 pixels wide, room for a 24-row image + scratch.
+CFG = PIMConfig(wordline_bits=40 * 8, num_rows=40)
+H, W = 24, 40
+
+
+def random_image(seed=0, shape=(H, W)):
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, size=(shape[0] // 4, shape[1] // 4))
+    img = np.kron(base, np.ones((4, 4), dtype=np.int64))
+    noise = rng.integers(-10, 11, size=shape)
+    return np.clip(img + noise, 0, 255).astype(np.int64)
+
+
+def fresh_device():
+    return PIMDevice(CFG)
+
+
+class TestLpf:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fast_matches_device_exactly(self, seed):
+        img = random_image(seed)
+        dev = fresh_device()
+        load_image(dev, img)
+        lpf_pim(dev, H)
+        out_dev = read_image(dev, H, W)
+        out_fast = lpf_fast(img)
+        np.testing.assert_array_equal(out_dev, out_fast)
+
+    def test_fast_matches_float_binomial(self):
+        img = random_image(3)
+        out = lpf_fast(img)
+        ref = binomial_lpf(img)
+        # out[r, c] is centred at (r+1, c+1); cascaded floors may lose
+        # up to ~1.5 LSB against the exact float filter.
+        diff = out[:H - 2, :W - 2] - ref[1:H - 1, 1:W - 1]
+        assert np.abs(diff[2:-2, 2:-2]).max() <= 2
+
+    def test_constant_image_preserved(self):
+        img = np.full((H, W), 200, dtype=np.int64)
+        out = lpf_fast(img)
+        assert np.all(out[:H - 2, :W - 2] == 200)
+
+    def test_naive_fast_matches_naive_device(self):
+        img = random_image(4)
+        dev = fresh_device()
+        out_dev = lpf_pim_naive(dev, img)
+        out_fast = lpf_naive_fast(img)
+        np.testing.assert_array_equal(out_dev[1:-1], out_fast[1:-1])
+
+    def test_naive_close_to_reference(self):
+        img = random_image(5)
+        out = lpf_naive_fast(img)
+        ref = binomial_lpf(img)
+        diff = out[2:-2, 2:-2] - ref[2:-2, 2:-2]
+        # Per-tap pre-scaling floors up to 9 times.
+        assert np.abs(diff).max() <= 9
+
+    def test_optimized_cheaper_than_naive(self):
+        img = random_image(6)
+        dev_opt = fresh_device()
+        load_image(dev_opt, img)
+        lpf_pim(dev_opt, H)
+        dev_naive = fresh_device()
+        lpf_pim_naive(dev_naive, img)
+        assert dev_opt.ledger.cycles < dev_naive.ledger.cycles
+
+    def test_cycle_count_formula(self):
+        # 5 cycles per row per pass, 2 passes over H-1 rows.
+        img = random_image(7)
+        dev = fresh_device()
+        load_image(dev, img)
+        lpf_pim(dev, H)
+        assert dev.ledger.cycles == 2 * (H - 1) * 5
+
+
+class TestHpf:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fast_matches_device_exactly(self, seed):
+        img = random_image(seed)
+        smooth = lpf_fast(img)
+        dev = fresh_device()
+        load_image(dev, smooth)
+        hpf_pim(dev, H)
+        out_dev = read_image(dev, H, W)
+        out_fast = hpf_fast(smooth)
+        # Valid output rows are 0 .. H-5 (inputs must be valid rows).
+        np.testing.assert_array_equal(out_dev[:H - 4, 1:W - 3],
+                                      out_fast[:H - 4, 1:W - 3])
+
+    def test_fast_matches_sad_reference(self):
+        img = random_image(3)
+        resp = hpf_fast(img)
+        ref = hpf_sad_reference(img)
+        # resp row i is centred at input row i+1, columns aligned.
+        np.testing.assert_array_equal(resp[:H - 2, 2:W - 3],
+                                      ref[1:H - 1, 2:W - 3])
+
+    def test_naive_fast_matches_optimized_interior(self):
+        img = random_image(4)
+        opt = hpf_fast(img)
+        naive = hpf_naive_fast(img)
+        # naive row r is centred at row r (not offset).
+        np.testing.assert_array_equal(naive[1:H - 1, 2:W - 3],
+                                      opt[:H - 2, 2:W - 3])
+
+    def test_naive_device_matches_naive_fast(self):
+        img = random_image(5)
+        dev = fresh_device()
+        out_dev = hpf_pim_naive(dev, img)
+        out_fast = hpf_naive_fast(img)
+        np.testing.assert_array_equal(out_dev[1:-1, 2:W - 3],
+                                      out_fast[1:-1, 2:W - 3])
+
+    def test_optimized_cheaper_than_naive(self):
+        img = random_image(6)
+        dev_opt = fresh_device()
+        load_image(dev_opt, img)
+        hpf_pim(dev_opt, H)
+        dev_naive = fresh_device()
+        hpf_pim_naive(dev_naive, img)
+        assert dev_opt.ledger.cycles < dev_naive.ledger.cycles
+
+
+class TestNms:
+    def make_response(self, seed):
+        return hpf_fast(lpf_fast(random_image(seed)))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fast_matches_device_exactly(self, seed):
+        resp = self.make_response(seed)
+        dev = fresh_device()
+        load_image(dev, resp)
+        nms_pim(dev, H, th1=40, th2=2)
+        out_dev = read_image(dev, H, W)
+        out_fast = nms_fast(resp, 40, 2)
+        np.testing.assert_array_equal(out_dev[:H - 6, 2:W - 5],
+                                      out_fast[:H - 6, 2:W - 5])
+
+    def test_fast_matches_branchy_reference(self):
+        resp = self.make_response(3)
+        mask = nms_fast(resp, 40, 2)
+        ref = nms_reference(resp, 40, 2)
+        # mask row j decides input row j+1.
+        np.testing.assert_array_equal(
+            mask[:H - 2, 2:W - 4].astype(bool), ref[1:H - 1, 2:W - 4])
+
+    def test_naive_fast_equals_optimized(self):
+        resp = self.make_response(4)
+        np.testing.assert_array_equal(
+            nms_naive_fast(resp, 40, 2)[:H - 2, 2:W - 4],
+            nms_fast(resp, 40, 2)[:H - 2, 2:W - 4])
+
+    def test_naive_device_matches_reference(self):
+        resp = self.make_response(5)
+        dev = fresh_device()
+        out_dev = nms_pim_naive(dev, resp, 40, 2)
+        ref = nms_reference(resp, 40, 2)
+        np.testing.assert_array_equal(
+            out_dev[1:H - 1, 2:W - 4].astype(bool), ref[1:H - 1, 2:W - 4])
+
+    def test_optimized_cheaper_than_naive(self):
+        resp = self.make_response(6)
+        dev_opt = fresh_device()
+        load_image(dev_opt, resp)
+        nms_pim(dev_opt, H, 40, 2)
+        dev_naive = fresh_device()
+        nms_pim_naive(dev_naive, resp, 40, 2)
+        assert dev_opt.ledger.cycles < dev_naive.ledger.cycles
+
+
+class TestEdgeDetectPipeline:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_device_equals_fast(self, seed):
+        img = random_image(seed)
+        dev = fresh_device()
+        res_dev = detect_edges_pim(dev, img)
+        res_fast = detect_edges_fast(img)
+        np.testing.assert_array_equal(res_dev.edge_map, res_fast.edge_map)
+        assert res_dev.total_cycles > 0
+        assert set(res_dev.cycles) == {"lpf", "hpf", "nms"}
+
+    def test_agrees_with_float_reference(self):
+        img = random_image(2)
+        fast = detect_edges_fast(img).edge_map
+        ref = detect_edges_reference(img)
+        m = 5
+        inter = fast[m:-m, m:-m] & ref[m:-m, m:-m]
+        union = fast[m:-m, m:-m] | ref[m:-m, m:-m]
+        if union.sum():
+            assert inter.sum() / union.sum() > 0.7
+
+    def test_finds_edges_on_textured_image(self):
+        img = random_image(3)
+        assert detect_edges_fast(img).edge_map.sum() > 10
+
+    def test_no_edges_on_flat_image(self):
+        img = np.full((H, W), 128, dtype=np.int64)
+        assert detect_edges_fast(img).edge_map.sum() == 0

@@ -1,0 +1,112 @@
+"""Tests for the in-PIM integer square root and the Sobel HPF."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.hpf import hpf_fast
+from repro.kernels.lpf import lpf_fast
+from repro.kernels.sobel import (
+    sobel_abs_hpf_fast,
+    sobel_hpf_fast,
+    sobel_hpf_pim,
+)
+from repro.pim import PIMConfig, PIMDevice
+from repro.pim.routines import IsqrtRows, isqrt_fast, isqrt_pim
+from repro.vision.filters import sobel_magnitude
+
+
+class TestIsqrt:
+    @given(st.lists(st.integers(0, (1 << 16) - 1), min_size=1,
+                    max_size=16))
+    @settings(max_examples=60)
+    def test_fast_matches_math_isqrt(self, vals):
+        out = isqrt_fast(vals, bits=16)
+        expected = [math.isqrt(v) for v in vals]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_perfect_squares(self):
+        vals = [0, 1, 4, 9, 100, 65025]
+        np.testing.assert_array_equal(isqrt_fast(vals, bits=16),
+                                      [0, 1, 2, 3, 10, 255])
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            isqrt_fast([-1])
+        with pytest.raises(ValueError):
+            isqrt_fast([1 << 16], bits=16)
+
+    def test_device_matches_fast(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(0, 1 << 16, 160)
+        dev = PIMDevice(PIMConfig(wordline_bits=2560, num_rows=16))
+        dev.set_precision(16)
+        dev.load(0, vals, signed=False)
+        rows = IsqrtRows(rem=2, root=3, trial=4, mask=5)
+        isqrt_pim(dev, 1, 0, rows, bits=16)
+        np.testing.assert_array_equal(dev.store(1, signed=False),
+                                      isqrt_fast(vals, bits=16))
+
+    def test_device_cost_about_12_ops_per_bit(self):
+        dev = PIMDevice(PIMConfig(wordline_bits=2560, num_rows=16))
+        dev.set_precision(16)
+        dev.load(0, [100], signed=False)
+        rows = IsqrtRows(rem=2, root=3, trial=4, mask=5)
+        isqrt_pim(dev, 1, 0, rows, bits=16)
+        # 8 result bits, each a dozen micro-ops (plus write-backs).
+        assert 90 < dev.ledger.cycles < 260
+
+
+class TestSobelHpf:
+    def random_image(self, seed=0, shape=(20, 30)):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(40, 200, (shape[0] // 4 + 1,
+                                        shape[1] // 4 + 1))
+        base = np.kron(blocks, np.ones((4, 4), dtype=np.int64))
+        base = base[:shape[0], :shape[1]]
+        return np.clip(base + rng.integers(-10, 11, shape), 0, 255)
+
+    def test_fast_tracks_float_sobel_magnitude(self):
+        img = self.random_image(1)
+        ours = sobel_hpf_fast(img).astype(np.float64)
+        # Both sides clipped to the 8-bit response range.
+        ref = np.minimum(sobel_magnitude(img), 255.0)
+        interior = np.s_[2:-2, 2:-2]
+        corr = np.corrcoef(ours[interior].ravel(), ref[interior].ravel())
+        assert corr[0, 1] > 0.95
+
+    def test_abs_variant_tracks_exact(self):
+        img = self.random_image(2)
+        exact = sobel_hpf_fast(img).astype(np.float64)
+        approx = sobel_abs_hpf_fast(img).astype(np.float64)
+        interior = np.s_[2:-2, 2:-2]
+        corr = np.corrcoef(exact[interior].ravel(),
+                           approx[interior].ravel())
+        # |gx|+|gy| overestimates diagonal gradients by up to sqrt(2),
+        # so agreement is strong but not exact.
+        assert corr[0, 1] > 0.9
+
+    @pytest.mark.parametrize("exact", [True, False])
+    def test_device_matches_fast_exactly(self, exact):
+        img = self.random_image(3, shape=(12, 24))
+        dev = PIMDevice(PIMConfig(wordline_bits=16 * 16, num_rows=24))
+        out_dev = sobel_hpf_pim(dev, img, exact=exact)
+        out_fast = sobel_hpf_fast(img) if exact else \
+            sobel_abs_hpf_fast(img)
+        np.testing.assert_array_equal(out_dev[1:-1, 1:-1],
+                                      out_fast[1:-1, 1:-1])
+
+    def test_sobel_much_costlier_than_sad(self):
+        # The section 3.2 claim, measured.
+        img = lpf_fast(self.random_image(4, shape=(16, 24)))
+        from repro.kernels.common import load_image
+        from repro.kernels.hpf import hpf_pim
+        dev_sad = PIMDevice(PIMConfig(wordline_bits=24 * 8, num_rows=32))
+        load_image(dev_sad, img)
+        hpf_pim(dev_sad, img.shape[0])
+        dev_sobel = PIMDevice(PIMConfig(wordline_bits=24 * 8,
+                                        num_rows=32))
+        sobel_hpf_pim(dev_sobel, img, exact=True)
+        assert dev_sobel.ledger.cycles > 5 * dev_sad.ledger.cycles

@@ -1,0 +1,163 @@
+"""Tests for the quantized warp kernel (Fig. 5-a/b) and its accuracy.
+
+Includes the paper's section 3.3 claims: 16-bit (Q4.12) quantization
+warps with sub-pixel error; 8-bit quantization is unusable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import QFormat
+from repro.geometry import SE3, TUM_QVGA, inverse_depth_coords, se3_exp
+from repro.kernels.warp import (
+    FEATURE_FORMAT,
+    WarpRows,
+    quantize_features,
+    quantize_pose,
+    warp_fast,
+    warp_float,
+    warp_pim,
+)
+from repro.pim import PIMConfig, PIMDevice
+
+CAM = TUM_QVGA
+
+
+def sample_features(n=200, seed=0, depth_range=(0.8, 5.0)):
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(20, CAM.width - 20, n)
+    v = rng.uniform(20, CAM.height - 20, n)
+    d = rng.uniform(*depth_range, n)
+    return inverse_depth_coords(CAM, u, v, d), (u, v, d)
+
+
+def small_pose(seed=1, scale=0.03):
+    rng = np.random.default_rng(seed)
+    xi = rng.uniform(-scale, scale, 6)
+    return se3_exp(xi)
+
+
+class TestQuantization:
+    def test_quantize_features_roundtrip(self):
+        (a, b, c), _ = sample_features()
+        q = quantize_features(a, b, c)
+        np.testing.assert_allclose(FEATURE_FORMAT.to_float(q.a), a,
+                                   atol=FEATURE_FORMAT.resolution)
+        np.testing.assert_allclose(FEATURE_FORMAT.to_float(q.c), c,
+                                   atol=FEATURE_FORMAT.resolution)
+
+    def test_quantize_pose_entries_in_unit_range(self):
+        q = quantize_pose(small_pose())
+        assert np.abs(q.r).max() < (1 << 15)
+        assert np.abs(q.t).max() < (1 << 15)
+        np.testing.assert_allclose(q.r_float, small_pose().R, atol=2e-4)
+
+
+class TestWarpFloat:
+    def test_identity_pose_is_projection_fixed_point(self):
+        (a, b, c), (u, v, d) = sample_features()
+        res = warp_float(SE3.identity(), a, b, c, CAM)
+        np.testing.assert_allclose(res.u, u, atol=1e-9)
+        np.testing.assert_allclose(res.v, v, atol=1e-9)
+        assert res.valid.all()
+
+    def test_matches_direct_3d_transform(self):
+        (a, b, c), (u, v, d) = sample_features(seed=2)
+        pose = small_pose(2)
+        res = warp_float(pose, a, b, c, CAM)
+        pts = CAM.backproject(u, v, d)
+        uv, valid = CAM.project(pose.apply(pts))
+        np.testing.assert_allclose(res.u[valid], uv[valid, 0], atol=1e-9)
+        np.testing.assert_allclose(res.v[valid], uv[valid, 1], atol=1e-9)
+
+    def test_pure_translation_along_z_shrinks_disparity(self):
+        (a, b, c), (u, v, d) = sample_features(seed=3)
+        pose = SE3(np.eye(3), [0.0, 0.0, 0.5])  # move scene away
+        res = warp_float(pose, a, b, c, CAM)
+        # Points move toward the principal point.
+        assert np.all(np.abs(res.u - CAM.cx)[res.valid] <=
+                      np.abs(u - CAM.cx)[res.valid] + 1e-9)
+
+
+class TestWarpFast:
+    def test_q412_error_below_one_pixel(self):
+        # The paper's claim: 16-bit quantization exhibits a warp error
+        # of less than one pixel vs the float computation.
+        (a, b, c), _ = sample_features(n=500, seed=4)
+        pose = small_pose(4)
+        ref = warp_float(pose, a, b, c, CAM)
+        q = warp_fast(quantize_pose(pose), quantize_features(a, b, c), CAM)
+        uq, vq = q.uv_float()
+        mask = ref.valid & q.valid
+        assert mask.mean() > 0.9
+        err = np.hypot(uq[mask] - ref.u[mask], vq[mask] - ref.v[mask])
+        assert err.max() < 1.0
+
+    def test_8bit_quantization_fails(self):
+        # Q4.4 features (8 bits): errors of many pixels.
+        (a, b, c), _ = sample_features(n=500, seed=5)
+        pose = small_pose(5)
+        ref = warp_float(pose, a, b, c, CAM)
+        fmt8 = QFormat(4, 4)
+        q = warp_fast(quantize_pose(pose),
+                      quantize_features(a, b, c, fmt8), CAM)
+        uq, vq = q.uv_float()
+        mask = ref.valid & q.valid
+        err = np.hypot(uq[mask] - ref.u[mask], vq[mask] - ref.v[mask])
+        assert err.max() > 5.0
+
+    def test_identity_pose_recovers_pixels(self):
+        (a, b, c), (u, v, d) = sample_features(seed=6)
+        q = warp_fast(quantize_pose(SE3.identity()),
+                      quantize_features(a, b, c), CAM)
+        uq, vq = q.uv_float()
+        err = np.hypot(uq - u, vq - v)
+        assert err.max() < 1.0
+
+    def test_invalid_behind_camera(self):
+        # A 180-degree yaw puts everything behind the keyframe camera.
+        pose = SE3(np.diag([-1.0, 1.0, -1.0]), np.zeros(3))
+        (a, b, c), _ = sample_features(seed=7)
+        q = warp_fast(quantize_pose(pose), quantize_features(a, b, c), CAM)
+        assert not q.valid.any()
+
+    def test_zero_z_does_not_crash(self):
+        q = warp_fast(quantize_pose(SE3.identity()),
+                      quantize_features([0.1], [0.1], [0.5]), CAM)
+        assert q.valid.shape == (1,)
+
+
+class TestWarpPim:
+    def test_device_matches_fast_exactly(self):
+        cfg = PIMConfig(wordline_bits=2560, num_rows=32)
+        dev = PIMDevice(cfg)
+        (a, b, c), _ = sample_features(n=160, seed=8)
+        pose = small_pose(8)
+        qp, qf = quantize_pose(pose), quantize_features(a, b, c)
+        rows = WarpRows(a=0, b=1, c=2, x=3, y=4, z=5, rx=6, ry=7, u=8, v=9)
+        res_dev = warp_pim(dev, qp, qf, CAM, rows)
+        res_fast = warp_fast(qp, qf, CAM)
+        np.testing.assert_array_equal(res_dev.u, res_fast.u)
+        np.testing.assert_array_equal(res_dev.v, res_fast.v)
+        np.testing.assert_array_equal(res_dev.rx, res_fast.rx)
+        np.testing.assert_array_equal(res_dev.z, res_fast.z)
+        np.testing.assert_array_equal(res_dev.valid, res_fast.valid)
+
+    def test_device_cycle_cost(self):
+        # 11 multiplies (18 cycles) + 2 divides (18) + adds/copies.
+        cfg = PIMConfig(wordline_bits=2560, num_rows=32)
+        dev = PIMDevice(cfg)
+        (a, b, c), _ = sample_features(n=160, seed=9)
+        rows = WarpRows(a=0, b=1, c=2, x=3, y=4, z=5, rx=6, ry=7, u=8, v=9)
+        warp_pim(dev, quantize_pose(small_pose(9)),
+                 quantize_features(a, b, c), CAM, rows)
+        assert 13 * 18 <= dev.ledger.cycles <= 13 * 18 + 60
+
+    def test_batch_too_large_rejected(self):
+        cfg = PIMConfig(wordline_bits=64, num_rows=16)
+        dev = PIMDevice(cfg)
+        (a, b, c), _ = sample_features(n=10, seed=10)
+        rows = WarpRows(a=0, b=1, c=2, x=3, y=4, z=5, rx=6, ry=7, u=8, v=9)
+        with pytest.raises(ValueError):
+            warp_pim(dev, quantize_pose(small_pose()),
+                     quantize_features(a, b, c), CAM, rows)

@@ -1,0 +1,110 @@
+"""Tests for the slice accumulator: gated carries and lane arithmetic."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pim.accumulator import SliceAccumulator
+from repro.pim.bitsram import bits_to_lanes, lanes_to_bits
+
+WORDLINE = 64
+ACC = SliceAccumulator(WORDLINE, slice_bits=8)
+
+
+def lane_vals(bits, count):
+    return st.lists(st.integers(0, (1 << bits) - 1),
+                    min_size=count, max_size=count)
+
+
+class TestAdd:
+    @given(lane_vals(8, 8), lane_vals(8, 8))
+    def test_8bit_lane_add_wraps_per_lane(self, a, b):
+        a_bits = lanes_to_bits(a, 8, WORDLINE)
+        b_bits = lanes_to_bits(b, 8, WORDLINE)
+        out = ACC.add(a_bits, b_bits, precision=8)
+        sums = bits_to_lanes(out.sum_bits, 8)
+        for i in range(8):
+            assert sums[i] == (a[i] + b[i]) % 256
+            assert out.carry_mask[i] == (a[i] + b[i]) // 256
+
+    @given(lane_vals(16, 4), lane_vals(16, 4))
+    def test_16bit_carry_crosses_one_slice_boundary(self, a, b):
+        a_bits = lanes_to_bits(a, 16, WORDLINE)
+        b_bits = lanes_to_bits(b, 16, WORDLINE)
+        out = ACC.add(a_bits, b_bits, precision=16)
+        sums = bits_to_lanes(out.sum_bits, 16)
+        for i in range(4):
+            assert sums[i] == (a[i] + b[i]) % (1 << 16)
+            assert out.carry_mask[i] == (a[i] + b[i]) >> 16
+
+    @given(lane_vals(32, 2), lane_vals(32, 2))
+    @settings(max_examples=30)
+    def test_32bit_lanes(self, a, b):
+        out = ACC.add(lanes_to_bits(a, 32, WORDLINE),
+                      lanes_to_bits(b, 32, WORDLINE), precision=32)
+        sums = bits_to_lanes(out.sum_bits, 32)
+        for i in range(2):
+            assert sums[i] == (a[i] + b[i]) % (1 << 32)
+
+    def test_carry_does_not_leak_between_lanes(self):
+        # Lane 0 overflows; lane 1 must be unaffected.
+        a = [255, 0, 0, 0, 0, 0, 0, 0]
+        b = [1, 0, 0, 0, 0, 0, 0, 0]
+        out = ACC.add(lanes_to_bits(a, 8, WORDLINE),
+                      lanes_to_bits(b, 8, WORDLINE), precision=8)
+        sums = bits_to_lanes(out.sum_bits, 8)
+        assert sums[0] == 0 and sums[1] == 0
+        assert out.carry_mask[0] == 1 and out.carry_mask[1] == 0
+
+    def test_same_bits_different_precision_differ(self):
+        # 0x00FF + 0x0001: as 8-bit lanes the carry is cut; as one
+        # 16-bit lane it propagates into the upper slice.
+        a = lanes_to_bits([0xFF, 0x00], 8, 16)
+        b = lanes_to_bits([0x01, 0x00], 8, 16)
+        acc = SliceAccumulator(16, slice_bits=8)
+        as8 = bits_to_lanes(acc.add(a, b, precision=8).sum_bits, 8)
+        as16 = bits_to_lanes(acc.add(a, b, precision=16).sum_bits, 16)
+        assert list(as8) == [0, 0]
+        assert list(as16) == [0x100]
+
+
+class TestSubtract:
+    @given(lane_vals(16, 4), lane_vals(16, 4))
+    def test_subtract_two_complement(self, a, b):
+        out = ACC.subtract(lanes_to_bits(a, 16, WORDLINE),
+                           lanes_to_bits(b, 16, WORDLINE), precision=16)
+        diffs = bits_to_lanes(out.sum_bits, 16)
+        for i in range(4):
+            assert diffs[i] == (a[i] - b[i]) % (1 << 16)
+            # carry mask is the not-borrow: set when a >= b.
+            assert out.carry_mask[i] == int(a[i] >= b[i])
+
+
+class TestShifter:
+    def test_shift_lanes_left_by_one_pixel(self):
+        a = [10, 20, 30, 40, 50, 60, 70, 80]
+        bits = lanes_to_bits(a, 8, WORDLINE)
+        out = bits_to_lanes(ACC.shift_lanes(bits, 1, 8), 8)
+        assert list(out) == [20, 30, 40, 50, 60, 70, 80, 0]
+
+    def test_shift_lanes_right(self):
+        a = [10, 20, 30, 40]
+        bits = lanes_to_bits(a, 16, WORDLINE)
+        out = bits_to_lanes(ACC.shift_lanes(bits, -1, 16), 16)
+        assert list(out) == [0, 10, 20, 30]
+
+    def test_shift_zero_is_identity(self):
+        a = [1, 2, 3, 4, 5, 6, 7, 8]
+        bits = lanes_to_bits(a, 8, WORDLINE)
+        np.testing.assert_array_equal(ACC.shift_lanes(bits, 0, 8), bits)
+
+    def test_shift_bits_right_logical(self):
+        bits = lanes_to_bits([0x80, 0x40, 0, 0, 0, 0, 0, 0], 8, WORDLINE)
+        out = bits_to_lanes(ACC.shift_bits_right(bits, 3, 8), 8)
+        assert list(out[:2]) == [0x10, 0x08]
+
+    def test_shift_bits_right_arithmetic_extends_sign(self):
+        # 0xF0 as signed 8-bit is -16; >> 2 arithmetic = -4 = 0xFC.
+        bits = lanes_to_bits([0xF0] + [0] * 7, 8, WORDLINE)
+        out = bits_to_lanes(
+            ACC.shift_bits_right(bits, 2, 8, arithmetic=True), 8)
+        assert out[0] == 0xFC

@@ -1,0 +1,90 @@
+"""Tests for the bit-serial cost model and ledger op profiling."""
+
+from collections import Counter
+
+import pytest
+
+from repro.pim import PIMConfig, PIMDevice, TMP
+from repro.pim.bitserial import BitSerialCostModel, price_profile
+from repro.pim.isa import OpKind
+
+
+class TestCostFormulas:
+    def setup_method(self):
+        self.model = BitSerialCostModel()
+
+    def test_add_linear_in_bits(self):
+        assert self.model.op_cycles(OpKind.ADD, 8) == 16
+        assert self.model.op_cycles(OpKind.ADD, 32) == 64
+
+    def test_mul_quadratic_in_bits(self):
+        c8 = self.model.op_cycles(OpKind.MUL, 8)
+        c16 = self.model.op_cycles(OpKind.MUL, 16)
+        assert c16 > 3 * c8
+
+    def test_div_more_expensive_than_mul(self):
+        assert self.model.op_cycles(OpKind.DIV, 16) > \
+            self.model.op_cycles(OpKind.MUL, 16)
+
+    def test_bit_shift_free_lane_shift_costly(self):
+        assert self.model.op_cycles(OpKind.SHIFT_BITS, 16) == 1
+        assert self.model.op_cycles(OpKind.SHIFT_LANES, 16) == 16
+
+    def test_unknown_kind_rejected(self):
+        class Fake:
+            pass
+        with pytest.raises(ValueError):
+            self.model.op_cycles(Fake(), 8)
+
+
+class TestLedgerProfile:
+    def test_profile_records_kind_and_precision(self):
+        dev = PIMDevice(PIMConfig(wordline_bits=64, num_rows=8))
+        dev.load(0, [1], signed=False)
+        dev.add(TMP, 0, 0, signed=False)
+        dev.set_precision(16)
+        dev.mul(TMP, 0, 0)
+        profile = dev.ledger.op_profile
+        assert profile[(OpKind.ADD, 8)] == 1
+        assert profile[(OpKind.MUL, 16)] == 1
+
+    def test_profile_survives_snapshot_delta(self):
+        dev = PIMDevice(PIMConfig(wordline_bits=64, num_rows=8))
+        dev.load(0, [1], signed=False)
+        dev.add(TMP, 0, 0, signed=False)
+        snap = dev.ledger.snapshot()
+        dev.add(TMP, 0, 0, signed=False)
+        delta = dev.ledger.delta_since(snap)
+        assert delta.op_profile[(OpKind.ADD, 8)] == 1
+
+
+class TestPriceProfile:
+    def lanes_of(self, bits):
+        return 2560 // bits
+
+    def test_payload_vs_perfect_packing(self):
+        profile = Counter({(OpKind.ADD, 8): 100})
+        latency = price_profile(profile, self.lanes_of,
+                                packing="payload")
+        throughput = price_profile(profile, self.lanes_of,
+                                   packing="perfect")
+        # 320-lane payload uses 1/8 of the 2560 columns.
+        assert latency["cycles"] == 100 * 16
+        assert throughput["cycles"] == pytest.approx(100 * 16 / 8)
+
+    def test_transpose_surcharge(self):
+        profile = Counter({(OpKind.ADD, 16): 10})
+        res = price_profile(profile, self.lanes_of, packing="payload")
+        assert res["transpose_cycles"] == 10 * 16
+        assert res["cycles_with_transpose"] == \
+            res["cycles"] + res["transpose_cycles"]
+
+    def test_breakdown_sums_to_total(self):
+        profile = Counter({(OpKind.ADD, 8): 5, (OpKind.MUL, 16): 2})
+        res = price_profile(profile, self.lanes_of, packing="payload")
+        assert sum(res["breakdown"].values()) == pytest.approx(
+            res["cycles"])
+
+    def test_invalid_packing_rejected(self):
+        with pytest.raises(ValueError):
+            price_profile(Counter(), self.lanes_of, packing="magic")

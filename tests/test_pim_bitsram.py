@@ -1,0 +1,83 @@
+"""Tests for the bit-true SRAM array and its sense-amp logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pim.bitsram import BitSRAM, bits_to_lanes, lanes_to_bits
+
+
+def random_bits(rng, n):
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+class TestPacking:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=8))
+    def test_lane_roundtrip_8bit(self, vals):
+        bits = lanes_to_bits(vals, 8, 64)
+        back = bits_to_lanes(bits, 8)
+        np.testing.assert_array_equal(back[:len(vals)], vals)
+        assert np.all(back[len(vals):] == 0)
+
+    @given(st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=4))
+    def test_lane_roundtrip_16bit(self, vals):
+        bits = lanes_to_bits(vals, 16, 64)
+        np.testing.assert_array_equal(bits_to_lanes(bits, 16)[:len(vals)],
+                                      vals)
+
+    def test_little_endian_layout(self):
+        bits = lanes_to_bits([1], 8, 16)
+        assert bits[0] == 1 and np.all(bits[1:] == 0)
+        bits = lanes_to_bits([0, 128], 8, 16)
+        assert bits[15] == 1
+
+    def test_overwide_value_rejected(self):
+        with pytest.raises(ValueError):
+            lanes_to_bits([256], 8, 16)
+
+    def test_too_many_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            lanes_to_bits([1, 2, 3], 8, 16)
+
+
+class TestBitlineLogic:
+    def setup_method(self):
+        self.sram = BitSRAM(num_rows=4, wordline_bits=32)
+        self.rng = np.random.default_rng(7)
+        self.a = random_bits(self.rng, 32)
+        self.b = random_bits(self.rng, 32)
+        self.sram.write_row(0, self.a)
+        self.sram.write_row(1, self.b)
+
+    def test_and(self):
+        np.testing.assert_array_equal(self.sram.bitline_and(0, 1),
+                                      self.a & self.b)
+
+    def test_nor(self):
+        np.testing.assert_array_equal(self.sram.bitline_nor(0, 1),
+                                      1 - (self.a | self.b))
+
+    def test_xor_from_sense_amps(self):
+        np.testing.assert_array_equal(self.sram.bitline_xor(0, 1),
+                                      self.a ^ self.b)
+
+    def test_or_is_not_nor(self):
+        np.testing.assert_array_equal(self.sram.bitline_or(0, 1),
+                                      self.a | self.b)
+
+    def test_write_validates_shape_and_values(self):
+        with pytest.raises(ValueError):
+            self.sram.write_row(0, np.zeros(31, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            self.sram.write_row(0, np.full(32, 2, dtype=np.uint8))
+
+    def test_row_bounds_checked(self):
+        with pytest.raises(IndexError):
+            self.sram.read_row(4)
+        with pytest.raises(IndexError):
+            self.sram.bitline_and(0, 5)
+
+    def test_read_returns_copy(self):
+        row = self.sram.read_row(0)
+        row[:] = 0
+        np.testing.assert_array_equal(self.sram.read_row(0), self.a)

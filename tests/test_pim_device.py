@@ -1,0 +1,304 @@
+"""Tests for the word-level PIM device: semantics and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.pim import TMP, CostLedger, Imm, PIMDevice, PIMConfig
+from repro.pim.isa import OpKind
+
+SMALL = PIMConfig(wordline_bits=64, num_rows=8)
+
+
+def make_device(precision=8):
+    dev = PIMDevice(SMALL)
+    dev.set_precision(precision)
+    return dev
+
+
+class TestStorage:
+    def test_load_store_roundtrip_unsigned(self):
+        dev = make_device(8)
+        vals = [1, 2, 3, 250]
+        dev.load(0, vals, signed=False)
+        np.testing.assert_array_equal(dev.store(0, signed=False)[:4], vals)
+
+    def test_load_store_roundtrip_signed(self):
+        dev = make_device(16)
+        vals = [-1, -32768, 32767, 5]
+        dev.load(0, vals)
+        np.testing.assert_array_equal(dev.store(0), vals)
+
+    def test_load_rejects_out_of_range(self):
+        dev = make_device(8)
+        with pytest.raises(ValueError):
+            dev.load(0, [256], signed=False)
+        with pytest.raises(ValueError):
+            dev.load(0, [-129])
+
+    def test_load_rejects_too_many_lanes(self):
+        dev = make_device(8)
+        with pytest.raises(ValueError):
+            dev.load(0, list(range(9)), signed=False)
+
+    def test_row_bounds(self):
+        dev = make_device(8)
+        with pytest.raises(IndexError):
+            dev.load(8, [1])
+
+    def test_precision_validation(self):
+        dev = make_device(8)
+        with pytest.raises(ValueError):
+            dev.set_precision(12)
+
+    def test_lanes_per_precision(self):
+        dev = make_device(8)
+        assert dev.lanes == 8
+        dev.set_precision(16)
+        assert dev.lanes == 4
+        dev.set_precision(32)
+        assert dev.lanes == 2
+
+    def test_host_dma_not_charged_to_cycles(self):
+        dev = make_device(8)
+        dev.load(0, [1, 2, 3], signed=False)
+        assert dev.ledger.cycles == 0
+        assert dev.ledger.host_transfers == 1
+
+
+class TestArithmetic:
+    def test_add_and_saturating_add(self):
+        dev = make_device(8)
+        dev.load(0, [100, 200, 255], signed=False)
+        dev.load(1, [100, 100, 255], signed=False)
+        dev.add(2, 0, 1, signed=False)
+        np.testing.assert_array_equal(
+            dev.store(2, signed=False)[:3], [200, 44, 254])  # wraps
+        dev.add(3, 0, 1, saturate=True, signed=False)
+        np.testing.assert_array_equal(
+            dev.store(3, signed=False)[:3], [200, 255, 255])
+
+    def test_sub_signed(self):
+        dev = make_device(16)
+        dev.load(0, [5, -5, 100])
+        dev.load(1, [10, -10, -100])
+        dev.sub(2, 0, 1)
+        np.testing.assert_array_equal(dev.store(2)[:3], [-5, 5, 200])
+
+    def test_avg(self):
+        dev = make_device(8)
+        dev.load(0, [10, 255], signed=False)
+        dev.load(1, [20, 254], signed=False)
+        dev.avg(TMP, 0, 1)
+        np.testing.assert_array_equal(dev.read_tmp(signed=False)[:2],
+                                      [15, 254])
+
+    def test_abs_diff(self):
+        dev = make_device(8)
+        dev.load(0, [10, 200], signed=False)
+        dev.load(1, [30, 100], signed=False)
+        dev.abs_diff(2, 0, 1)
+        np.testing.assert_array_equal(dev.store(2, signed=False)[:2],
+                                      [20, 100])
+
+    def test_min_max(self):
+        dev = make_device(8)
+        dev.load(0, [121, 106], signed=False)
+        dev.load(1, [22, 115], signed=False)
+        dev.maximum(2, 0, 1)
+        dev.minimum(3, 0, 1)
+        np.testing.assert_array_equal(dev.store(2, signed=False)[:2],
+                                      [121, 115])
+        np.testing.assert_array_equal(dev.store(3, signed=False)[:2],
+                                      [22, 106])
+
+    def test_cmp_gt(self):
+        dev = make_device(16)
+        dev.load(0, [5, -3, 7])
+        dev.load(1, [4, -2, 7])
+        dev.cmp_gt(2, 0, 1)
+        np.testing.assert_array_equal(dev.store(2)[:3], [1, 0, 0])
+
+    def test_logic_ops(self):
+        dev = make_device(8)
+        dev.load(0, [0b1100], signed=False)
+        dev.load(1, [0b1010], signed=False)
+        dev.logic_and(2, 0, 1)
+        dev.logic_or(3, 0, 1)
+        dev.logic_xor(4, 0, 1)
+        assert dev.store(2, signed=False)[0] == 0b1000
+        assert dev.store(3, signed=False)[0] == 0b1110
+        assert dev.store(4, signed=False)[0] == 0b0110
+
+    def test_shift_lanes(self):
+        dev = make_device(8)
+        dev.load(0, [1, 2, 3, 4, 5, 6, 7, 8], signed=False)
+        dev.shift_lanes(1, 0, 1)
+        np.testing.assert_array_equal(
+            dev.store(1, signed=False), [2, 3, 4, 5, 6, 7, 8, 0])
+        dev.shift_lanes(2, 0, -2)
+        np.testing.assert_array_equal(
+            dev.store(2, signed=False), [0, 0, 1, 2, 3, 4, 5, 6])
+
+    def test_shift_bits(self):
+        dev = make_device(16)
+        dev.load(0, [-16, 12])
+        dev.shift_bits(1, 0, -2)  # arithmetic right
+        np.testing.assert_array_equal(dev.store(1)[:2], [-4, 3])
+        dev.shift_bits(2, 0, 2)
+        np.testing.assert_array_equal(dev.store(2)[:2], [-64, 48])
+
+    def test_mul_with_requantization(self):
+        dev = make_device(16)
+        # Q1.15 0.5 is 16384; Q4.12 2.0 is 8192; product >> 15 = 4096 (1.0
+        # in Q4.12).
+        dev.load(0, [16384])
+        dev.load(1, [8192])
+        dev.mul(2, 0, 1, rshift=15)
+        assert dev.store(2)[0] == 4096
+
+    def test_mul_signed(self):
+        dev = make_device(16)
+        dev.load(0, [-3, 3, -3])
+        dev.load(1, [5, -5, -5])
+        dev.mul(2, 0, 1)
+        np.testing.assert_array_equal(dev.store(2)[:3], [-15, -15, 15])
+
+    def test_mul_saturates_on_overflow(self):
+        dev = make_device(8)
+        dev.load(0, [100])
+        dev.load(1, [100])
+        dev.mul(2, 0, 1)  # 10000 > 127 saturates
+        assert dev.store(2)[0] == 127
+
+    def test_div(self):
+        dev = make_device(16)
+        dev.load(0, [100, -100, 7])
+        dev.load(1, [7, 7, 0])
+        dev.div(2, 0, 1)
+        out = dev.store(2)[:3]
+        assert list(out) == [14, -14, (1 << 15) - 1]
+
+    def test_div_with_prescale(self):
+        dev = make_device(16)
+        # Fixed-point 3.0 / 2.0 in Q4.12: (3<<12 << 12) / (2<<12) = 1.5 Q4.12.
+        dev.load(0, [3 << 12])
+        dev.load(1, [2 << 12])
+        dev.div(2, 0, 1, lshift=12)
+        assert dev.store(2)[0] == int(1.5 * (1 << 12))
+
+    def test_immediate_operand(self):
+        dev = make_device(8)
+        dev.load(0, [10, 20], signed=False)
+        dev.add(1, 0, Imm(5), signed=False)
+        np.testing.assert_array_equal(dev.store(1, signed=False)[:2],
+                                      [15, 25])
+
+    def test_immediate_range_checked(self):
+        dev = make_device(8)
+        dev.load(0, [1], signed=False)
+        with pytest.raises(ValueError):
+            dev.add(1, 0, Imm(300), signed=False)
+
+    def test_copy(self):
+        dev = make_device(8)
+        dev.load(0, [9, 8], signed=False)
+        dev.copy(TMP, 0, signed=False)
+        dev.copy(1, TMP, signed=False)
+        np.testing.assert_array_equal(dev.store(1, signed=False)[:2], [9, 8])
+
+
+class TestCostAccounting:
+    def test_basic_op_is_one_cycle_plus_writeback(self):
+        dev = make_device(8)
+        dev.load(0, [1], signed=False)
+        dev.load(1, [2], signed=False)
+        dev.add(TMP, 0, 1, signed=False)
+        assert dev.ledger.cycles == 1
+        dev.add(2, 0, 1, signed=False)
+        assert dev.ledger.cycles == 3  # +1 op, +1 write-back
+
+    def test_mul_takes_n_plus_2_cycles(self):
+        for precision, expected in [(8, 10), (16, 18), (32, 34)]:
+            dev = make_device(precision)
+            dev.load(0, [2])
+            dev.load(1, [3])
+            dev.mul(TMP, 0, 1)
+            assert dev.ledger.cycles == expected
+
+    def test_div_takes_n_plus_2_cycles(self):
+        dev = make_device(16)
+        dev.load(0, [6])
+        dev.load(1, [3])
+        dev.div(TMP, 0, 1)
+        assert dev.ledger.cycles == 18
+
+    def test_sram_accesses_counted(self):
+        dev = make_device(8)
+        dev.load(0, [1], signed=False)
+        dev.load(1, [2], signed=False)
+        dev.add(2, 0, 1, signed=False)
+        assert dev.ledger.sram_reads == 2
+        assert dev.ledger.sram_writes == 1
+
+    def test_tmp_chaining_avoids_sram_traffic(self):
+        dev = make_device(8)
+        dev.load(0, [1], signed=False)
+        dev.add(TMP, 0, Imm(1), signed=False)
+        before_writes = dev.ledger.sram_writes
+        dev.add(TMP, TMP, Imm(1), signed=False)
+        assert dev.ledger.sram_writes == before_writes
+        assert dev.ledger.tmp_accesses > 0
+
+    def test_macro_ops_charge_two_steps(self):
+        dev = make_device(8)
+        dev.load(0, [5], signed=False)
+        dev.load(1, [9], signed=False)
+        dev.maximum(TMP, 0, 1)
+        assert dev.ledger.cycles == 2
+        dev.ledger.reset()
+        dev.abs_diff(TMP, 0, 1)
+        assert dev.ledger.cycles == 2
+
+    def test_op_histogram(self):
+        dev = make_device(8)
+        dev.load(0, [1], signed=False)
+        dev.add(TMP, 0, Imm(0), signed=False)
+        dev.add(TMP, 0, Imm(0), signed=False)
+        dev.mul(TMP, 0, TMP, signed=False)
+        assert dev.ledger.op_counts[OpKind.ADD] == 2
+        assert dev.ledger.op_counts[OpKind.MUL] == 1
+
+    def test_snapshot_delta(self):
+        dev = make_device(8)
+        dev.load(0, [1], signed=False)
+        dev.add(TMP, 0, Imm(1), signed=False)
+        snap = dev.ledger.snapshot()
+        dev.add(TMP, TMP, Imm(1), signed=False)
+        delta = dev.ledger.delta_since(snap)
+        assert delta.cycles == 1
+        assert dev.ledger.cycles == 2
+
+    def test_ledger_energy_report(self):
+        ledger = CostLedger()
+        ledger.charge(OpKind.ADD, 1, sram_reads=1, tmp_accesses=1)
+        report = ledger.energy()
+        assert report.sram_pj == pytest.approx(944.8)
+        assert report.logic_pj == pytest.approx(44.6)
+        assert report.total_pj == pytest.approx(944.8 + 44.6 + 50.0)
+
+    def test_access_breakdown_shares_sum_to_one(self):
+        dev = make_device(8)
+        dev.load(0, [1], signed=False)
+        dev.load(1, [2], signed=False)
+        dev.add(2, 0, 1, signed=False)
+        shares = dev.ledger.accesses.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_trace_records(self):
+        dev = PIMDevice(SMALL, trace=True)
+        dev.set_precision(8)
+        dev.load(0, [1], signed=False)
+        dev.add(TMP, 0, Imm(2), signed=False)
+        assert len(dev.trace) == 1
+        text = str(dev.trace[0])
+        assert "add" in text and "tmp" in text and "r0" in text

@@ -1,0 +1,92 @@
+"""Tests for the energy/area models and the ISA cost contract."""
+
+import pytest
+
+from repro.pim.energy import (
+    AreaModel,
+    CLOCK_HZ,
+    EnergyModel,
+    EnergyReport,
+    LOGIC_OP_PJ,
+    MCU_ENERGY_PER_CYCLE_PJ,
+    SRAM_ACCESS_PJ,
+)
+from repro.pim.isa import OpKind, TraceRecord, op_cycles
+
+
+class TestEnergyModel:
+    def test_paper_constants(self):
+        assert SRAM_ACCESS_PJ == pytest.approx(944.8)
+        assert LOGIC_OP_PJ == pytest.approx(44.6)
+        assert CLOCK_HZ == pytest.approx(216e6)
+
+    def test_report_composition(self):
+        model = EnergyModel()
+        report = model.report(sram_accesses=10, logic_ops=100,
+                              tmp_accesses=5)
+        assert report.sram_pj == pytest.approx(9448.0)
+        assert report.logic_pj == pytest.approx(4460.0)
+        assert report.total_pj == pytest.approx(9448 + 4460 + 250)
+
+    def test_shares_sum_to_one(self):
+        report = EnergyModel().report(3, 7, 2)
+        assert sum(report.shares().values()) == pytest.approx(1.0)
+
+    def test_empty_report(self):
+        report = EnergyReport()
+        assert report.total_pj == 0.0
+        assert report.shares()["sram"] == 0.0
+
+    def test_report_addition(self):
+        a = EnergyReport(sram_pj=10, logic_pj=1, tmpreg_pj=2)
+        b = EnergyReport(sram_pj=5, logic_pj=4, tmpreg_pj=3)
+        c = a + b
+        assert c.sram_pj == 15 and c.logic_pj == 5 and c.tmpreg_pj == 5
+
+    def test_custom_memory_model(self):
+        cheap = EnergyModel(sram_access_pj=100.0)
+        assert cheap.report(1, 0, 0).sram_pj == 100.0
+
+    def test_mcu_energy_calibration(self):
+        # 10.3 mJ over PicoVO's published frame cycles ~ 1.79 nJ/cycle.
+        assert MCU_ENERGY_PER_CYCLE_PJ == pytest.approx(1794.0)
+        power_w = MCU_ENERGY_PER_CYCLE_PJ * 1e-12 * CLOCK_HZ
+        assert 0.3 < power_w < 0.5  # STM32F7-class at full load
+
+
+class TestAreaModel:
+    def test_paper_areas(self):
+        area = AreaModel()
+        assert area.array_um2 == pytest.approx(3.48e6)
+        assert area.sense_amp_um2 == pytest.approx(5.60e4)
+        assert area.logic_um2 == pytest.approx(1.80e5)
+
+    def test_logic_overhead_is_5_percent(self):
+        # Paper section 5.1: "only 5.1% of the SRAM array".
+        assert AreaModel().logic_overhead == pytest.approx(0.051,
+                                                           abs=0.002)
+
+    def test_total(self):
+        area = AreaModel()
+        assert area.total_um2 == pytest.approx(
+            area.array_um2 + area.sense_amp_um2 + area.logic_um2)
+
+
+class TestIsaContract:
+    def test_basic_ops_single_cycle(self):
+        for kind in (OpKind.ADD, OpKind.SUB, OpKind.AVG, OpKind.AND,
+                     OpKind.CMP_GT, OpKind.SHIFT_LANES, OpKind.COPY):
+            for precision in (8, 16, 32):
+                assert op_cycles(kind, precision) == 1
+
+    def test_mul_div_n_plus_2(self):
+        for precision in (8, 16, 32, 64):
+            assert op_cycles(OpKind.MUL, precision) == precision + 2
+            assert op_cycles(OpKind.DIV, precision) == precision + 2
+
+    def test_trace_record_format(self):
+        rec = TraceRecord(kind=OpKind.MUL, precision=16, cycles=18,
+                          dst="r5", srcs=("r1", "#3"), note=">>12")
+        text = str(rec)
+        assert "mul" in text and "r5" in text and "#3" in text
+        assert "18cyc" in text and ">>12" in text

@@ -1,0 +1,168 @@
+"""Equivalence between the word-level device and the bit-true device.
+
+These property tests are the contract that lets the EBVO kernels run on
+the fast word-level device while claiming bit-level fidelity: for every
+micro-op, every supported precision, and random operands, both devices
+produce identical lane results and identical cycle counts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pim import BitPIMDevice, PIMConfig, PIMDevice, TMP
+
+SMALL = PIMConfig(wordline_bits=64, num_rows=8)
+
+
+def pair(precision):
+    word = PIMDevice(SMALL)
+    bit = BitPIMDevice(SMALL)
+    word.set_precision(precision)
+    bit.set_precision(precision)
+    return word, bit
+
+
+def lane_lists(precision, signed):
+    count = 64 // precision
+    lo = -(1 << (precision - 1)) if signed else 0
+    hi = (1 << (precision - 1)) - 1 if signed else (1 << precision) - 1
+    return st.lists(st.integers(lo, hi), min_size=count, max_size=count)
+
+
+def run_both(precision, signed_view, a, b, op, **kwargs):
+    word, bit = pair(precision)
+    for dev in (word, bit):
+        dev.load(0, a, signed=signed_view)
+        dev.load(1, b, signed=signed_view)
+        getattr(dev, op)(2, 0, 1, **kwargs)
+    w = word.store(2, signed=signed_view)
+    v = bit.store(2, signed=signed_view)
+    np.testing.assert_array_equal(w, v)
+    assert word.ledger.cycles == bit.ledger.cycles
+    return w
+
+
+BINARY_OPS = ["add", "sub", "avg", "abs_diff", "maximum", "minimum",
+              "cmp_gt", "logic_and", "logic_or", "logic_xor"]
+
+
+class TestUnsigned8:
+    @pytest.mark.parametrize("op", BINARY_OPS)
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_op_matches(self, op, data):
+        a = data.draw(lane_lists(8, False))
+        b = data.draw(lane_lists(8, False))
+        kwargs = {}
+        if op in ("add", "sub", "avg", "abs_diff", "maximum", "minimum",
+                  "cmp_gt"):
+            kwargs["signed"] = False
+        run_both(8, False, a, b, op, **kwargs)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_saturating_add(self, data):
+        a = data.draw(lane_lists(8, False))
+        b = data.draw(lane_lists(8, False))
+        run_both(8, False, a, b, "add", saturate=True, signed=False)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_mul(self, data):
+        a = data.draw(lane_lists(8, False))
+        b = data.draw(lane_lists(8, False))
+        run_both(8, False, a, b, "mul", signed=False)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_div(self, data):
+        a = data.draw(lane_lists(8, False))
+        b = data.draw(lane_lists(8, False))
+        run_both(8, False, a, b, "div", signed=False)
+
+
+class TestSigned16:
+    @pytest.mark.parametrize("op", ["add", "sub", "abs_diff", "maximum",
+                                    "minimum", "cmp_gt"])
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_op_matches(self, op, data):
+        a = data.draw(lane_lists(16, True))
+        b = data.draw(lane_lists(16, True))
+        run_both(16, True, a, b, op, signed=True)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_mul_with_rshift(self, data):
+        a = data.draw(lane_lists(16, True))
+        b = data.draw(lane_lists(16, True))
+        rshift = data.draw(st.integers(0, 15))
+        run_both(16, True, a, b, "mul", rshift=rshift, signed=True)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_div(self, data):
+        a = data.draw(lane_lists(16, True))
+        b = data.draw(lane_lists(16, True))
+        run_both(16, True, a, b, "div", signed=True)
+
+    @given(data=st.data())
+    @settings(max_examples=20)
+    def test_saturating_sub(self, data):
+        a = data.draw(lane_lists(16, True))
+        b = data.draw(lane_lists(16, True))
+        run_both(16, True, a, b, "sub", saturate=True, signed=True)
+
+
+class TestSigned32:
+    @given(data=st.data())
+    @settings(max_examples=15)
+    def test_add_and_mul(self, data):
+        a = data.draw(lane_lists(32, True))
+        b = data.draw(lane_lists(32, True))
+        run_both(32, True, a, b, "add", signed=True)
+        run_both(32, True, a, b, "mul", rshift=3, signed=True)
+
+
+class TestShifts:
+    @given(data=st.data())
+    @settings(max_examples=20)
+    def test_shift_lanes(self, data):
+        a = data.draw(lane_lists(8, False))
+        pixels = data.draw(st.integers(-3, 3))
+        word, bit = pair(8)
+        for dev in (word, bit):
+            dev.load(0, a, signed=False)
+            dev.shift_lanes(1, 0, pixels)
+        np.testing.assert_array_equal(word.store(1, signed=False),
+                                      bit.store(1, signed=False))
+
+    @given(data=st.data())
+    @settings(max_examples=20)
+    def test_shift_bits(self, data):
+        a = data.draw(lane_lists(16, True))
+        amount = data.draw(st.integers(-8, 8))
+        word, bit = pair(16)
+        for dev in (word, bit):
+            dev.load(0, a, signed=True)
+            dev.shift_bits(1, 0, amount, signed=True)
+        np.testing.assert_array_equal(word.store(1), bit.store(1))
+
+
+class TestTmpChaining:
+    def test_multi_stage_program_matches(self):
+        # A small HPF-like program chained through Tmp.
+        a = [10, 240, 7, 99, 3, 128, 64, 200]
+        b = [5, 250, 14, 90, 1, 130, 60, 210]
+        results = []
+        for cls in (PIMDevice, BitPIMDevice):
+            dev = cls(SMALL)
+            dev.set_precision(8)
+            dev.load(0, a, signed=False)
+            dev.load(1, b, signed=False)
+            dev.abs_diff(TMP, 0, 1, signed=False)
+            dev.add(TMP, TMP, TMP, saturate=True, signed=False)
+            dev.maximum(2, TMP, 0, signed=False)
+            results.append(dev.store(2, signed=False))
+        np.testing.assert_array_equal(results[0], results[1])

@@ -1,0 +1,167 @@
+"""Program-level fuzzing and fault injection for the PIM devices.
+
+The per-op equivalence tests pin individual micro-ops; these fuzz
+*programs* - random op sequences with chained Tmp/row state - and
+assert the word-level and bit-true devices stay in lock-step on every
+row, both Tmp registers, and the cycle counter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import detect_edges_fast, detect_edges_pim
+from repro.pim import BitPIMDevice, Imm, PIMConfig, PIMDevice, TMP, Tmp
+
+CFG = PIMConfig(wordline_bits=64, num_rows=6, num_tmp_registers=2)
+
+# (method, needs_two_sources, kwargs)
+_OPS = [
+    ("add", True, {}),
+    ("add", True, {"saturate": True}),
+    ("sub", True, {}),
+    ("sub", True, {"saturate": True}),
+    ("avg", True, {}),
+    ("abs_diff", True, {}),
+    ("maximum", True, {}),
+    ("minimum", True, {}),
+    ("cmp_gt", True, {}),
+    ("logic_and", True, {}),
+    ("logic_or", True, {}),
+    ("logic_xor", True, {}),
+    ("copy", False, {}),
+]
+
+
+def operand(draw, rows):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return TMP
+    if kind == 1:
+        return Tmp(1)
+    if kind == 2:
+        return Imm(draw(st.integers(0, 255)))
+    return draw(st.integers(0, rows - 1))
+
+
+def destination(draw, rows):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return TMP
+    if kind == 1:
+        return Tmp(1)
+    return draw(st.integers(0, rows - 1))
+
+
+@st.composite
+def programs(draw, length=12):
+    steps = []
+    for _ in range(draw(st.integers(3, length))):
+        name, binary, kwargs = draw(st.sampled_from(_OPS))
+        dst = destination(draw, CFG.num_rows)
+        a = operand(draw, CFG.num_rows)
+        b = operand(draw, CFG.num_rows) if binary else None
+        steps.append((name, dst, a, b, kwargs))
+    return steps
+
+
+def run_program(device, initial, steps):
+    for r, row in enumerate(initial):
+        device.load(r, row, signed=False)
+    for name, dst, a, b, kwargs in steps:
+        method = getattr(device, name)
+        if name in ("logic_and", "logic_or", "logic_xor"):
+            method(dst, a, b)
+        elif b is None:
+            method(dst, a, signed=False, **kwargs)
+        else:
+            method(dst, a, b, signed=False, **kwargs)
+    state = [device.store(r, signed=False) for r in range(CFG.num_rows)]
+    tmps = [device.read_tmp(signed=False, index=i) for i in range(2)]
+    return np.stack(state), np.stack(tmps)
+
+
+class TestProgramFuzz:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_devices_stay_in_lockstep(self, data):
+        rng_rows = data.draw(st.lists(
+            st.lists(st.integers(0, 255), min_size=8, max_size=8),
+            min_size=CFG.num_rows, max_size=CFG.num_rows))
+        steps = data.draw(programs())
+        word = PIMDevice(CFG)
+        bit = BitPIMDevice(CFG)
+        state_w, tmps_w = run_program(word, rng_rows, steps)
+        state_b, tmps_b = run_program(bit, rng_rows, steps)
+        np.testing.assert_array_equal(state_w, state_b)
+        np.testing.assert_array_equal(tmps_w, tmps_b)
+        assert word.ledger.cycles == bit.ledger.cycles
+        assert word.ledger.sram_writes == bit.ledger.sram_writes
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_16bit_programs(self, data):
+        steps = data.draw(programs(length=8))
+        rows = data.draw(st.lists(
+            st.lists(st.integers(0, (1 << 16) - 1), min_size=4,
+                     max_size=4),
+            min_size=CFG.num_rows, max_size=CFG.num_rows))
+        results = []
+        for cls in (PIMDevice, BitPIMDevice):
+            dev = cls(CFG)
+            dev.set_precision(16)
+            # Imm operands must fit 16-bit unsigned: they do (0..255).
+            results.append(run_program(dev, rows, steps))
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        np.testing.assert_array_equal(results[0][1], results[1][1])
+
+
+class TestFaultInjection:
+    def test_flip_changes_exactly_one_bit(self):
+        dev = PIMDevice(CFG)
+        dev.load(0, [0, 0, 0, 0, 0, 0, 0, 0], signed=False)
+        dev.inject_fault(0, 13)
+        vals = dev.store(0, signed=False)
+        assert vals[1] == (1 << 5)  # bit 13 = lane 1, bit 5
+        assert np.count_nonzero(vals) == 1
+        dev.inject_fault(0, 13)  # flipping again restores
+        assert np.count_nonzero(dev.store(0, signed=False)) == 0
+
+    def test_bounds_checked(self):
+        dev = PIMDevice(CFG)
+        with pytest.raises(IndexError):
+            dev.inject_fault(99, 0)
+        with pytest.raises(IndexError):
+            dev.inject_fault(0, 64)
+
+    def test_fault_perturbs_edge_detection_locally(self):
+        # A single stuck bit in one image row must not corrupt edges
+        # far from the fault (the kernels have a 3-4 row footprint).
+        rng = np.random.default_rng(0)
+        img = np.clip(np.kron(rng.integers(0, 256, (8, 10)),
+                              np.ones((4, 4), dtype=np.int64)) +
+                      rng.integers(-8, 9, (32, 40)), 0, 255)
+        cfg = PIMConfig(wordline_bits=40 * 8, num_rows=48)
+        clean = detect_edges_fast(img).edge_map
+
+        dev = PIMDevice(cfg)
+        from repro.kernels.common import load_image
+        from repro.kernels.lpf import lpf_pim
+        from repro.kernels.hpf import hpf_pim
+        from repro.kernels.nms import nms_pim
+        from repro.kernels.edge_detect import mask_to_image_coords
+        load_image(dev, img)
+        dev.inject_fault(16, 20 * 8 + 7)  # MSB of pixel (16, 20)
+        lpf_pim(dev, 32)
+        hpf_pim(dev, 32)
+        nms_pim(dev, 32, 40, 2)
+        from repro.kernels.common import read_image
+        mask = read_image(dev, 32, 40)
+        faulty = mask_to_image_coords(mask, 32, 40)
+        diff = clean ^ faulty
+        ys, xs = np.nonzero(diff)
+        if ys.size:
+            # All divergence stays within the kernels' footprint of the
+            # fault location.
+            assert np.abs(ys - 16).max() <= 8
+            assert np.abs(xs - 20).max() <= 8

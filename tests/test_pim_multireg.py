@@ -1,0 +1,77 @@
+"""Tests for the Tmp register bank (section 5.4 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import detect_edges_fast, detect_edges_pim
+from repro.pim import BitPIMDevice, Imm, PIMConfig, PIMDevice, TMP, Tmp
+
+SMALL2 = PIMConfig(wordline_bits=64, num_rows=8, num_tmp_registers=2)
+
+
+class TestTmpBank:
+    def test_default_has_one_register(self):
+        dev = PIMDevice()
+        with pytest.raises(IndexError):
+            dev.copy(Tmp(1), Imm(0), signed=False)
+
+    def test_registers_are_independent(self):
+        dev = PIMDevice(SMALL2)
+        dev.load(0, [5, 6], signed=False)
+        dev.copy(TMP, 0, signed=False)
+        dev.add(Tmp(1), TMP, Imm(10), signed=False)
+        np.testing.assert_array_equal(dev.read_tmp(signed=False)[:2],
+                                      [5, 6])
+        np.testing.assert_array_equal(
+            dev.read_tmp(signed=False, index=1)[:2], [15, 16])
+
+    def test_tmp_sentinel_equality(self):
+        assert Tmp(0) == TMP
+        assert Tmp(1) != TMP
+        assert repr(Tmp(1)) == "TMP1"
+
+    def test_invalid_bank_size_rejected(self):
+        with pytest.raises(ValueError):
+            PIMConfig(num_tmp_registers=0)
+
+    def test_bit_device_bank(self):
+        dev = BitPIMDevice(SMALL2)
+        dev.load(0, [3], signed=False)
+        dev.add(Tmp(1), 0, Imm(4), signed=False)
+        assert dev.read_tmp(signed=False, index=1)[0] == 7
+
+    def test_tmp_destination_charges_no_sram_write(self):
+        dev = PIMDevice(SMALL2)
+        dev.load(0, [1], signed=False)
+        dev.add(Tmp(1), 0, Imm(1), signed=False)
+        assert dev.ledger.sram_writes == 0
+        assert dev.ledger.tmp_accesses == 1
+
+
+class TestKernelsExploitBank:
+    def test_edge_pipeline_bit_identical_across_bank_sizes(self):
+        rng = np.random.default_rng(0)
+        img = np.clip(np.kron(rng.integers(0, 256, (6, 10)),
+                              np.ones((4, 4), dtype=np.int64)) +
+                      rng.integers(-8, 9, (24, 40)), 0, 255)
+        cfg1 = PIMConfig(wordline_bits=40 * 8, num_rows=40)
+        cfg2 = PIMConfig(wordline_bits=40 * 8, num_rows=40,
+                         num_tmp_registers=2)
+        res1 = detect_edges_pim(PIMDevice(cfg1), img)
+        res2 = detect_edges_pim(PIMDevice(cfg2), img)
+        fast = detect_edges_fast(img)
+        np.testing.assert_array_equal(res1.edge_map, fast.edge_map)
+        np.testing.assert_array_equal(res2.edge_map, fast.edge_map)
+
+    def test_second_register_saves_cycles_and_writes(self):
+        rng = np.random.default_rng(1)
+        img = np.clip(np.kron(rng.integers(0, 256, (6, 10)),
+                              np.ones((4, 4), dtype=np.int64)) +
+                      rng.integers(-8, 9, (24, 40)), 0, 255)
+        dev1 = PIMDevice(PIMConfig(wordline_bits=40 * 8, num_rows=40))
+        dev2 = PIMDevice(PIMConfig(wordline_bits=40 * 8, num_rows=40,
+                                   num_tmp_registers=2))
+        detect_edges_pim(dev1, img)
+        detect_edges_pim(dev2, img)
+        assert dev2.ledger.cycles < dev1.ledger.cycles
+        assert dev2.ledger.sram_writes < dev1.ledger.sram_writes

@@ -1,0 +1,121 @@
+"""Hypothesis property tests across the geometry/warp stack."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation import relative_pose_error
+from repro.geometry import SE3, TUM_QVGA, inverse_depth_coords, se3_exp
+from repro.kernels.warp import (
+    quantize_features,
+    quantize_pose,
+    warp_fast,
+    warp_float,
+)
+
+CAM = TUM_QVGA
+
+
+def twists(scale=0.05):
+    return st.lists(st.floats(-scale, scale), min_size=6,
+                    max_size=6).map(np.array)
+
+
+def feature_batches(n=30):
+    return st.tuples(
+        st.lists(st.floats(30, CAM.width - 30), min_size=n, max_size=n),
+        st.lists(st.floats(30, CAM.height - 30), min_size=n, max_size=n),
+        st.lists(st.floats(0.8, 6.0), min_size=n, max_size=n),
+    ).map(lambda t: tuple(np.array(x) for x in t))
+
+
+class TestWarpProperties:
+    @given(twists(), feature_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_forward_backward_roundtrip(self, xi, uvd):
+        """Warping with P then with P^-1 returns the original pixels."""
+        u, v, d = uvd
+        pose = se3_exp(xi)
+        a, b, c = inverse_depth_coords(CAM, u, v, d)
+        fwd = warp_float(pose, a, b, c, CAM)
+        ok = fwd.valid
+        if not ok.any():
+            return
+        # Depth after warping: Z_real = z_scaled * d.
+        d2 = fwd.z[ok] * d[ok]
+        a2, b2, c2 = inverse_depth_coords(CAM, fwd.u[ok], fwd.v[ok], d2)
+        back = warp_float(pose.inverse(), a2, b2, c2, CAM)
+        ok2 = back.valid
+        np.testing.assert_allclose(back.u[ok2], u[ok][ok2], atol=1e-6)
+        np.testing.assert_allclose(back.v[ok2], v[ok][ok2], atol=1e-6)
+
+    @given(twists(0.02), feature_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_composition_consistency(self, xi, uvd):
+        """Warping by P twice equals warping by P @ P."""
+        u, v, d = uvd
+        pose = se3_exp(xi)
+        a, b, c = inverse_depth_coords(CAM, u, v, d)
+        one = warp_float(pose, a, b, c, CAM)
+        ok = one.valid
+        if not ok.any():
+            return
+        d2 = one.z[ok] * d[ok]
+        a2, b2, c2 = inverse_depth_coords(CAM, one.u[ok], one.v[ok], d2)
+        two = warp_float(pose, a2, b2, c2, CAM)
+        direct = warp_float(pose @ pose, a, b, c, CAM)
+        both = two.valid & direct.valid[ok]
+        np.testing.assert_allclose(two.u[both], direct.u[ok][both],
+                                   atol=1e-6)
+
+    @given(twists(0.03), feature_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_quantized_warp_tracks_float(self, xi, uvd):
+        """The Q4.12 warp stays within a pixel of float everywhere."""
+        u, v, d = uvd
+        pose = se3_exp(xi)
+        a, b, c = inverse_depth_coords(CAM, u, v, d)
+        ref = warp_float(pose, a, b, c, CAM)
+        q = warp_fast(quantize_pose(pose), quantize_features(a, b, c),
+                      CAM)
+        uq, vq = q.uv_float()
+        both = ref.valid & q.valid
+        if both.any():
+            err = np.hypot(uq[both] - ref.u[both], vq[both] - ref.v[both])
+            assert err.max() < 1.0
+
+    @given(feature_batches())
+    @settings(max_examples=15, deadline=None)
+    def test_identity_warp_is_fixed_point(self, uvd):
+        u, v, d = uvd
+        a, b, c = inverse_depth_coords(CAM, u, v, d)
+        res = warp_float(SE3.identity(), a, b, c, CAM)
+        np.testing.assert_allclose(res.u, u, atol=1e-9)
+        np.testing.assert_allclose(res.v, v, atol=1e-9)
+        assert res.valid.all()
+
+
+class TestMetricProperties:
+    @given(twists(1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_rpe_invariant_to_any_rigid_offset(self, xi):
+        from repro.dataset.trajectories import xyz_shake_trajectory
+        gt = xyz_shake_trajectory(40)
+        offset = se3_exp(xi)
+        est = [offset @ p for p in gt]
+        rpe = relative_pose_error(est, gt, delta=30)
+        assert rpe.translation_rmse < 1e-8
+        assert rpe.rotation_rmse < 1e-6
+
+    @given(twists(0.3), twists(0.3))
+    @settings(max_examples=25, deadline=None)
+    def test_se3_group_axioms(self, xi1, xi2):
+        a, b = se3_exp(xi1), se3_exp(xi2)
+        # Associativity with the identity and inverse consistency.
+        ident = SE3.identity()
+        np.testing.assert_allclose((a @ ident).matrix, a.matrix,
+                                   atol=1e-12)
+        np.testing.assert_allclose((a @ a.inverse()).matrix,
+                                   np.eye(4), atol=1e-12)
+        np.testing.assert_allclose(
+            ((a @ b).inverse()).matrix,
+            (b.inverse() @ a.inverse()).matrix, atol=1e-12)

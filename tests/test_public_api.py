@@ -1,0 +1,48 @@
+"""Public-API surface checks: every exported name imports and exists."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.fixedpoint",
+    "repro.pim",
+    "repro.vision",
+    "repro.geometry",
+    "repro.kernels",
+    "repro.vo",
+    "repro.dataset",
+    "repro.evaluation",
+    "repro.baseline",
+    "repro.analysis",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), name
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_module_docstrings(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and len(module.__doc__) > 40, name
+
+    def test_version(self):
+        import repro
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_functions_documented(self):
+        # Every exported callable/class carries a docstring.
+        undocumented = []
+        for name in PACKAGES:
+            module = importlib.import_module(name)
+            for symbol in module.__all__:
+                obj = getattr(module, symbol)
+                if callable(obj) and not getattr(obj, "__doc__", None):
+                    undocumented.append(f"{name}.{symbol}")
+        assert not undocumented, undocumented

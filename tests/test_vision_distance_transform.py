@@ -1,0 +1,113 @@
+"""Tests for the exact Euclidean distance transform."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.vision import (
+    distance_transform,
+    distance_transform_reference,
+    dt_gradient,
+    edt_1d_reference,
+)
+from repro.vision.distance_transform import NO_EDGE_DISTANCE
+
+
+def brute_force_dt(edge_map):
+    """O(n^2) nearest-edge distance, the unarguable ground truth."""
+    ys, xs = np.nonzero(edge_map)
+    out = np.zeros(edge_map.shape)
+    for y in range(edge_map.shape[0]):
+        for x in range(edge_map.shape[1]):
+            out[y, x] = np.sqrt(((ys - y) ** 2 + (xs - x) ** 2).min())
+    return out
+
+
+class TestEdt1d:
+    def test_single_site(self):
+        f = np.full(7, np.inf)
+        f[3] = 0.0
+        d = edt_1d_reference(f)
+        np.testing.assert_allclose(d, (np.arange(7) - 3) ** 2)
+
+    def test_two_sites(self):
+        f = np.full(10, np.inf)
+        f[1] = 0.0
+        f[8] = 0.0
+        d = edt_1d_reference(f)
+        expected = np.minimum((np.arange(10) - 1) ** 2,
+                              (np.arange(10) - 8) ** 2)
+        np.testing.assert_allclose(d, expected)
+
+    def test_offsets_respected(self):
+        # Site at 0 with cost 9 vs site at 5 with cost 0.
+        f = np.full(6, np.inf)
+        f[0] = 9.0
+        f[5] = 0.0
+        d = edt_1d_reference(f)
+        assert d[0] == 9.0  # own parabola
+        assert d[4] == 1.0
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=24).filter(any))
+    @settings(max_examples=40)
+    def test_matches_brute_force_1d(self, sites):
+        f = np.where(np.array(sites), 0.0, np.inf)
+        d = edt_1d_reference(f)
+        idx = np.nonzero(sites)[0]
+        expected = np.array([((idx - q) ** 2).min() for q in
+                             range(len(sites))])
+        np.testing.assert_allclose(d, expected)
+
+
+class TestDistanceTransform2d:
+    def test_empty_map_gives_constant(self):
+        dt = distance_transform(np.zeros((5, 5), dtype=bool))
+        np.testing.assert_allclose(dt, NO_EDGE_DISTANCE)
+
+    def test_zero_at_edges(self):
+        edge = np.zeros((8, 8), dtype=bool)
+        edge[2, 3] = True
+        dt = distance_transform(edge)
+        assert dt[2, 3] == 0.0
+        assert dt[2, 4] == 1.0
+        assert dt[3, 4] == np.sqrt(2.0)
+
+    @given(st.integers(0, 10 ** 9))
+    @settings(max_examples=20)
+    def test_fast_matches_reference_and_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        edge = rng.random((9, 11)) < 0.15
+        if not edge.any():
+            edge[4, 5] = True
+        fast = distance_transform(edge)
+        ref = distance_transform_reference(edge)
+        brute = brute_force_dt(edge)
+        np.testing.assert_allclose(fast, brute, atol=1e-9)
+        np.testing.assert_allclose(ref, brute, atol=1e-9)
+
+    def test_reference_empty_map(self):
+        dt = distance_transform_reference(np.zeros((4, 4), dtype=bool))
+        np.testing.assert_allclose(dt, NO_EDGE_DISTANCE)
+
+
+class TestGradient:
+    def test_gradient_points_away_from_edge(self):
+        edge = np.zeros((9, 9), dtype=bool)
+        edge[:, 4] = True  # vertical edge line
+        dt = distance_transform(edge)
+        gu, gv = dt_gradient(dt)
+        # Right of the line, distance grows with u.
+        assert np.all(gu[2:-2, 6:] > 0)
+        assert np.all(gu[2:-2, :3] < 0)
+        np.testing.assert_allclose(gv[2:-2, 2:-2], 0.0, atol=1e-9)
+
+    def test_gradient_per_axis_at_most_one(self):
+        # The distance field is 1-Lipschitz, so each central-difference
+        # component is bounded by 1 (the magnitude can reach sqrt(2) at
+        # Voronoi boundaries).
+        rng = np.random.default_rng(3)
+        edge = rng.random((16, 16)) < 0.1
+        edge[0, 0] = True
+        dt = distance_transform(edge)
+        gu, gv = dt_gradient(dt)
+        assert np.abs(gu).max() <= 1.0 + 1e-9
+        assert np.abs(gv).max() <= 1.0 + 1e-9

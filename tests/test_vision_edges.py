@@ -1,0 +1,127 @@
+"""Tests for the reference edge-detection pipeline."""
+
+import numpy as np
+
+from repro.vision import (
+    detect_edges_reference,
+    hpf_sad_reference,
+    nms_reference,
+    sobel_magnitude,
+)
+
+
+def step_image(width=32, height=24, column=16, lo=20, hi=220):
+    img = np.full((height, width), lo, dtype=np.float64)
+    img[:, column:] = hi
+    return img
+
+
+class TestHpfSad:
+    def test_responds_to_vertical_step(self):
+        img = step_image()
+        resp = hpf_sad_reference(img)
+        peak_cols = np.argmax(resp[5:-5], axis=1)
+        assert np.all((peak_cols == 15) | (peak_cols == 16))
+
+    def test_flat_image_zero(self):
+        resp = hpf_sad_reference(np.full((16, 16), 100))
+        assert resp.max() == 0
+
+    def test_saturation(self):
+        img = np.zeros((8, 8))
+        img[:, 4:] = 255
+        resp = hpf_sad_reference(img, saturate_bits=8)
+        assert resp.max() == 255
+
+    def test_border_zeroed(self):
+        resp = hpf_sad_reference(step_image())
+        assert resp[0].max() == 0 and resp[-1].max() == 0
+        assert resp[:, 0].max() == 0 and resp[:, -1].max() == 0
+
+    def test_correlates_with_sobel_magnitude(self):
+        rng = np.random.default_rng(11)
+        base = rng.normal(size=(30, 40))
+        # Smooth random field so both operators see real structure.
+        from scipy.ndimage import gaussian_filter
+        img = gaussian_filter(base, 2.0) * 200
+        sad = hpf_sad_reference(img.astype(np.int64)).astype(float)
+        sob = sobel_magnitude(img)
+        interior = np.s_[3:-3, 3:-3]
+        corr = np.corrcoef(sad[interior].ravel(), sob[interior].ravel())
+        assert corr[0, 1] > 0.85
+
+
+class TestNms:
+    def test_keeps_isolated_peak(self):
+        resp = np.zeros((9, 9), dtype=np.int64)
+        resp[4, 4] = 100
+        edges = nms_reference(resp, th1=40, th2=2)
+        assert edges[4, 4]
+        assert edges.sum() == 1
+
+    def test_weaker_neighbour_still_wins_its_own_direction(self):
+        # The paper's NMS is per-direction: a pixel survives when it
+        # beats *any* opposite pair, even next to a stronger pixel.
+        resp = np.zeros((9, 9), dtype=np.int64)
+        resp[4, 4] = 100
+        resp[4, 5] = 60
+        edges = nms_reference(resp, th1=40, th2=2)
+        assert edges[4, 4]
+        assert edges[4, 5]  # beats its own diagonal/vertical pairs
+
+    def test_plateau_suppressed(self):
+        # Equal neighbours defeat the strict comparisons in every
+        # direction, so a flat plateau yields no edges.
+        resp = np.full((9, 9), 100, dtype=np.int64)
+        inner = nms_reference(resp, th1=40, th2=0)[2:-2, 2:-2]
+        assert not inner.any()
+
+    def test_threshold_th1(self):
+        resp = np.zeros((7, 7), dtype=np.int64)
+        resp[3, 3] = 30
+        assert not nms_reference(resp, th1=40, th2=2).any()
+        resp[3, 3] = 50
+        assert nms_reference(resp, th1=40, th2=2)[3, 3]
+
+    def test_margin_th2(self):
+        resp = np.zeros((7, 7), dtype=np.int64)
+        resp[3, 3] = 100
+        resp[3, 2] = resp[3, 4] = 99  # beats horizontal pair by only 1
+        resp[2, 3] = resp[4, 3] = 99  # vertical too
+        resp[2, 2] = resp[4, 4] = 99  # and both diagonals
+        resp[2, 4] = resp[4, 2] = 99
+        assert not nms_reference(resp, th1=40, th2=2)[3, 3]
+        assert nms_reference(resp, th1=40, th2=0)[3, 3]
+
+    def test_ridge_suppressed_across_not_along(self):
+        # A vertical ridge: pixels win the horizontal pair, so the whole
+        # ridge line survives - the along-edge direction must not kill it.
+        resp = np.zeros((9, 9), dtype=np.int64)
+        resp[:, 4] = 100
+        edges = nms_reference(resp, th1=40, th2=2)
+        assert edges[1:-1, 4].all()
+        assert not edges[:, :4].any() and not edges[:, 5:].any()
+
+
+class TestPipeline:
+    def test_detects_asymmetric_step_edge(self):
+        # An asymmetric step (one intermediate column) gives a unique
+        # response peak that survives the strict NMS; a perfectly
+        # symmetric step would produce a two-pixel plateau that the
+        # strict comparisons suppress (see test_plateau_suppressed).
+        img = np.full((30, 40), 100.0)
+        img[:, 20] = 120.0
+        img[:, 21:] = 160.0
+        edges = detect_edges_reference(img)
+        rows_with_edges = edges.any(axis=1)
+        assert rows_with_edges[3:-3].all()
+        cols = np.where(edges.any(axis=0))[0]
+        assert set(cols) <= {19, 20, 21, 22}
+
+    def test_no_edges_on_flat_image(self):
+        assert not detect_edges_reference(np.full((24, 32), 128)).any()
+
+    def test_noise_rejected_by_lpf(self):
+        rng = np.random.default_rng(5)
+        img = 128 + rng.integers(-6, 7, size=(24, 32))
+        assert detect_edges_reference(img, th1=40).sum() == 0

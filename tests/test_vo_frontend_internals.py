@@ -1,0 +1,94 @@
+"""Unit tests for frontend internals (lookups, keyframe maps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import TUM_QVGA
+from repro.vo.config import TrackerConfig
+from repro.vo.frontend import FloatFrontend, PIMFrontend, _bilinear
+
+
+class TestFloatBilinear:
+    def test_exact_at_grid_points(self):
+        grid = np.arange(12, dtype=np.float64).reshape(3, 4)
+        u = np.array([0.0, 1.0, 3.0])
+        v = np.array([0.0, 2.0, 1.0])
+        np.testing.assert_allclose(_bilinear(grid, u, v),
+                                   [0.0, 9.0, 7.0])
+
+    def test_midpoint_average(self):
+        grid = np.array([[0.0, 2.0], [4.0, 6.0]])
+        assert _bilinear(grid, np.array([0.5]),
+                         np.array([0.5]))[0] == pytest.approx(3.0)
+
+    def test_clamps_outside(self):
+        grid = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert _bilinear(grid, np.array([-5.0]),
+                         np.array([-5.0]))[0] == 1.0
+        assert _bilinear(grid, np.array([99.0]),
+                         np.array([99.0]))[0] == 4.0
+
+
+class TestQuarterPixelBilinear:
+    @given(st.integers(0, 10 ** 9))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_float_bilinear_at_quarter_pixels(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.integers(0, 2000, (8, 10)).astype(np.int64)
+        # Random quarter-pixel coordinates inside the grid.
+        u_raw = rng.integers(0, (10 - 1) * 4, 20)
+        v_raw = rng.integers(0, (8 - 1) * 4, 20)
+        q = PIMFrontend._bilinear_q2(grid, u_raw, v_raw)
+        ref = _bilinear(grid.astype(np.float64), u_raw / 4.0,
+                        v_raw / 4.0)
+        # Integer-weight blend truncates: error strictly below 1 unit.
+        assert np.all(np.abs(q - ref) < 1.0)
+
+    def test_exact_at_integer_pixels(self):
+        grid = np.arange(20, dtype=np.int64).reshape(4, 5)
+        u_raw = np.array([0, 4, 8])      # columns 0, 1, 2
+        v_raw = np.array([4, 8, 12])     # rows 1, 2, 3
+        out = PIMFrontend._bilinear_q2(grid, u_raw, v_raw)
+        np.testing.assert_array_equal(out, [5, 11, 17])
+
+
+class TestKeyframeMaps:
+    def test_float_maps_have_focal_scaled_gradients(self):
+        cfg = TrackerConfig(camera=TUM_QVGA.scaled(0.25))
+        fe = FloatFrontend(cfg)
+        edge = np.zeros((60, 80), dtype=bool)
+        edge[:, 40] = True
+        maps = fe.prepare_keyframe(edge)
+        # Right of the edge line the u-gradient is ~ +fx.
+        assert maps.grad_u[30, 60] == pytest.approx(cfg.camera.fx,
+                                                    rel=0.05)
+        assert maps.dt_raw is None
+
+    def test_pim_maps_are_quantized(self):
+        cfg = TrackerConfig(camera=TUM_QVGA.scaled(0.25))
+        fe = PIMFrontend(cfg)
+        edge = np.zeros((60, 80), dtype=bool)
+        edge[30, 40] = True
+        maps = fe.prepare_keyframe(edge)
+        assert maps.dt_raw is not None
+        assert maps.dt_raw.dtype == np.int64
+        assert maps.dt_raw[30, 40] == 0
+        assert maps.dt_raw[30, 44] == 16  # 4 px in Q14.2
+
+    def test_error_at_true_pose_near_zero(self):
+        # Features anchored exactly on keyframe edges: identity warp
+        # must give (near-)zero residual.
+        from repro.geometry import SE3
+        from repro.vo.features import FeatureSet
+        cfg = TrackerConfig(camera=TUM_QVGA.scaled(0.5))
+        fe = PIMFrontend(cfg)
+        edge = np.zeros((120, 160), dtype=bool)
+        edge[40:80, 80] = True
+        maps = fe.prepare_keyframe(edge)
+        feats = fe.make_features(FeatureSet(
+            u=np.full(40, 80.0), v=np.arange(40, 80, dtype=np.float64),
+            depth=np.full(40, 2.0)))
+        err, n = fe.error(feats, SE3.identity(), maps)
+        assert n == 40
+        assert err < 0.4  # sub-pixel quantization residue only

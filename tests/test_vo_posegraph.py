@@ -1,0 +1,113 @@
+"""Tests for the pose-graph backend (loop-closure smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import SE3, se3_exp
+from repro.vo.posegraph import PoseGraph, PoseGraphEdge
+
+
+def noisy_chain(n=12, step=None, noise=0.01, seed=0):
+    """Ground-truth circle walk + drifting odometry estimates."""
+    rng = np.random.default_rng(seed)
+    gt = [SE3.identity()]
+    step = step if step is not None else np.array(
+        [0.1, 0.0, 0.02, 0.0, 0.08, 0.0])
+    for _ in range(n - 1):
+        gt.append(gt[-1] @ se3_exp(step))
+    noisy_rel = []
+    for k in range(n - 1):
+        true_rel = gt[k].inverse() @ gt[k + 1]
+        noisy_rel.append(se3_exp(rng.normal(0, noise, 6)) @ true_rel)
+    est = [SE3.identity()]
+    for rel in noisy_rel:
+        est.append(est[-1] @ rel)
+    return gt, est, noisy_rel
+
+
+class TestGraphBasics:
+    def test_chain_graph_consistent_has_zero_error(self):
+        gt, _, _ = noisy_chain(noise=0.0)
+        graph = PoseGraph.from_trajectory(gt)
+        assert graph.total_error() == pytest.approx(0.0, abs=1e-18)
+
+    def test_invalid_edges_rejected(self):
+        graph = PoseGraph()
+        graph.add_vertex(SE3.identity())
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0, SE3.identity())
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 5, SE3.identity())
+
+    def test_empty_graph_optimizes_trivially(self):
+        graph = PoseGraph()
+        graph.add_vertex(SE3.identity())
+        stats = graph.optimize()
+        assert stats["iterations"] == 0
+
+
+class TestOptimization:
+    def test_anchor_stays_fixed(self):
+        gt, est, rels = noisy_chain()
+        graph = PoseGraph()
+        for p in est:
+            graph.add_vertex(p)
+        for k, rel in enumerate(rels):
+            graph.add_edge(k, k + 1, rel)
+        graph.optimize()
+        t_err, r_err = graph.vertices[0].distance_to(SE3.identity())
+        assert t_err == 0.0 and r_err == 0.0
+
+    def test_consistent_chain_unchanged(self):
+        gt, _, _ = noisy_chain(noise=0.0)
+        graph = PoseGraph.from_trajectory(gt)
+        stats = graph.optimize()
+        assert stats["final_error"] <= stats["initial_error"] + 1e-15
+
+    def test_loop_closure_reduces_endpoint_drift(self):
+        gt, est, rels = noisy_chain(n=14, noise=0.015, seed=3)
+        graph = PoseGraph()
+        for p in est:
+            graph.add_vertex(p)
+        for k, rel in enumerate(rels):
+            graph.add_edge(k, k + 1, rel)
+        # Loop closure: the true relative pose from first to last.
+        true_loop = gt[0].inverse() @ gt[-1]
+        graph.add_edge(0, len(est) - 1, true_loop, weight=50.0)
+        before = est[-1].distance_to(gt[-1])[0]
+        stats = graph.optimize(iterations=25)
+        after = graph.vertices[-1].distance_to(gt[-1])[0]
+        assert stats["final_error"] < stats["initial_error"]
+        assert after < 0.5 * before
+
+    def test_global_consistency_improves_not_just_endpoint(self):
+        gt, est, rels = noisy_chain(n=14, noise=0.015, seed=4)
+        graph = PoseGraph()
+        for p in est:
+            graph.add_vertex(p)
+        for k, rel in enumerate(rels):
+            graph.add_edge(k, k + 1, rel)
+        graph.add_edge(0, len(est) - 1, gt[0].inverse() @ gt[-1],
+                       weight=50.0)
+        graph.optimize(iterations=25)
+        before = np.mean([e.distance_to(g)[0]
+                          for e, g in zip(est, gt)])
+        after = np.mean([v.distance_to(g)[0]
+                         for v, g in zip(graph.vertices, gt)])
+        assert after < before
+
+    def test_error_monotone_over_accepted_steps(self):
+        _, est, rels = noisy_chain(n=10, noise=0.02, seed=5)
+        graph = PoseGraph()
+        for p in est:
+            graph.add_vertex(p)
+        for k, rel in enumerate(rels):
+            graph.add_edge(k, k + 1, rel)
+        # Perturb interior vertices to create real initial error.
+        rng = np.random.default_rng(6)
+        for k in range(1, len(graph.vertices)):
+            graph.vertices[k] = se3_exp(rng.normal(0, 0.03, 6)) @ \
+                graph.vertices[k]
+        e0 = graph.total_error()
+        stats = graph.optimize(iterations=20)
+        assert stats["final_error"] < 0.05 * e0

@@ -1,0 +1,94 @@
+"""Tests for the coarse-to-fine pyramid extension."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import make_sequence
+from repro.evaluation import relative_pose_error
+from repro.geometry import TUM_QVGA
+from repro.vo import EBVOTracker, FloatFrontend, TrackerConfig
+from repro.vo.pyramid import build_pyramid, downsample_depth, \
+    downsample_gray
+
+
+class TestDownsampling:
+    def test_gray_average_exact(self):
+        img = np.array([[0, 4, 8, 12],
+                        [4, 8, 12, 16]])
+        out = downsample_gray(img)
+        np.testing.assert_array_equal(out, [[4, 12]])
+
+    def test_gray_floor_matches_pim_average(self):
+        # Cascaded floors, not a rounded mean.
+        img = np.array([[1, 2], [2, 2]])
+        assert downsample_gray(img)[0, 0] == 1  # (1+2)//2=1,(2+2)//2=2 -> 1
+
+    def test_depth_nearest_no_mixing(self):
+        depth = np.array([[1.0, 9.0], [9.0, 9.0]])
+        assert downsample_depth(depth)[0, 0] == 1.0
+
+    def test_odd_sizes_cropped(self):
+        img = np.ones((5, 7))
+        assert downsample_gray(img).shape == (2, 3)
+
+    def test_build_pyramid_levels(self):
+        gray = np.zeros((128, 160))
+        depth = np.ones((128, 160))
+        pyr = build_pyramid(gray, depth, 3)
+        assert len(pyr) == 3
+        assert pyr[1][0].shape == (64, 80)
+        assert pyr[2][0].shape == (32, 40)
+
+    def test_build_pyramid_stops_at_tiny_images(self):
+        pyr = build_pyramid(np.zeros((40, 40)), np.ones((40, 40)), 5)
+        assert len(pyr) < 5
+        assert min(pyr[-1][0].shape) >= 16
+
+    def test_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            build_pyramid(np.zeros((8, 8)), np.ones((8, 8)), 0)
+
+
+class TestConfigScaling:
+    def test_scaled_for_level(self):
+        cfg = TrackerConfig(camera=TUM_QVGA, max_features=4000)
+        lvl1 = cfg.scaled_for_level(1)
+        assert lvl1.camera.width == 160
+        assert lvl1.camera.fx == pytest.approx(TUM_QVGA.fx / 2)
+        assert lvl1.max_features == 1000
+        # Unrelated thresholds unchanged.
+        assert lvl1.th1 == cfg.th1
+
+
+class TestPyramidTracking:
+    @pytest.mark.parametrize("levels", [1, 2])
+    def test_tracks_with_pyramid(self, levels):
+        seq = make_sequence("fr1_xyz", n_frames=10,
+                            camera=TUM_QVGA.scaled(0.5))
+        cfg = TrackerConfig(camera=TUM_QVGA.scaled(0.5),
+                            max_features=2000, pyramid_levels=levels)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        for fr in seq.frames:
+            tracker.process(fr.gray, fr.depth, fr.timestamp)
+        gt_rel = seq.groundtruth[0].inverse() @ seq.groundtruth[-1]
+        est_rel = tracker.trajectory[0].inverse() @ \
+            tracker.trajectory[-1]
+        t_err, _ = gt_rel.distance_to(est_rel)
+        assert t_err < 0.06
+
+    def test_pyramid_no_worse_under_fast_motion(self):
+        # Subsample frames to triple inter-frame motion.
+        seq = make_sequence("fr1_xyz", n_frames=60)
+        frames = seq.frames[::3]
+        gts = seq.groundtruth[::3]
+        rpes = {}
+        for levels in (1, 3):
+            cfg = TrackerConfig(pyramid_levels=levels)
+            tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+            for fr in frames:
+                tracker.process(fr.gray, fr.depth, fr.timestamp)
+            rpe = relative_pose_error(tracker.trajectory, gts,
+                                      delta=10, fps=10.0)
+            rpes[levels] = rpe.translation_rmse
+        assert rpes[3] < rpes[1] * 1.2 + 0.01
+        assert rpes[3] < 0.15

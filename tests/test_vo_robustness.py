@@ -1,0 +1,110 @@
+"""Robustness tests: Huber weighting and corrupted-input tracking."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import make_room_scene, render_frame
+from repro.geometry import SE3, TUM_QVGA, se3_exp
+from repro.vo import (
+    EBVOTracker,
+    FloatFrontend,
+    PIMFrontend,
+    TrackerConfig,
+    extract_features,
+    lm_estimate,
+)
+
+CAM = TUM_QVGA.scaled(0.5)
+
+
+@pytest.fixture(scope="module")
+def frame_pair():
+    scene = make_room_scene()
+    true_rel = se3_exp(np.array([0.02, -0.01, 0.015, 0.006, -0.008,
+                                 0.004]))
+    key = render_frame(scene, SE3.identity(), CAM)
+    cur = render_frame(scene, SE3.identity() @ true_rel, CAM)
+    return key, cur, true_rel
+
+
+def estimate(frame_pair, corrupt_fraction=0.0, huber=None, seed=0):
+    key, cur, true_rel = frame_pair
+    cfg = TrackerConfig(camera=CAM, max_features=2500,
+                        huber_delta=huber)
+    fe = FloatFrontend(cfg)
+    maps = fe.prepare_keyframe(fe.detect(key.gray))
+    depth = cur.depth.copy()
+    if corrupt_fraction:
+        # Corrupt a fraction of the depth map (sensor outliers).
+        rng = np.random.default_rng(seed)
+        mask = rng.random(depth.shape) < corrupt_fraction
+        depth[mask] = rng.uniform(0.3, 8.0, mask.sum())
+    features = extract_features(fe.detect(cur.gray), depth,
+                                cfg.max_features, cfg.min_depth,
+                                cfg.max_depth)
+    feats = fe.make_features(features)
+    pose, stats = lm_estimate(fe, feats, maps, SE3.identity(), cfg)
+    t_err, r_err = pose.distance_to(true_rel)
+    return t_err, stats
+
+
+class TestHuber:
+    def test_huber_matches_plain_on_clean_data(self, frame_pair):
+        plain, _ = estimate(frame_pair, huber=None)
+        robust, _ = estimate(frame_pair, huber=5.0)
+        assert abs(plain - robust) < 0.02
+        assert robust < 0.04
+
+    def test_huber_helps_with_depth_outliers(self, frame_pair):
+        results = {}
+        for name, huber in (("plain", None), ("huber", 3.0)):
+            errs = [estimate(frame_pair, corrupt_fraction=0.25,
+                             huber=huber, seed=s)[0] for s in range(3)]
+            results[name] = float(np.mean(errs))
+        # Robust weighting should not be worse, typically better.
+        assert results["huber"] <= results["plain"] * 1.1 + 0.005
+        assert results["huber"] < 0.08
+
+    def test_huber_weights_bounded(self, frame_pair):
+        # With a huge delta, Huber degenerates to plain least squares.
+        plain, _ = estimate(frame_pair, huber=None)
+        degenerate, _ = estimate(frame_pair, huber=1e9)
+        assert abs(plain - degenerate) < 1e-9
+
+
+class TestCorruptedInputTracking:
+    def test_tracker_survives_noisy_depth(self):
+        scene = make_room_scene()
+        cfg = TrackerConfig(camera=CAM, max_features=2000)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        rng = np.random.default_rng(1)
+        poses = [se3_exp(np.array([0.004 * i, -0.002 * i, 0.003 * i,
+                                   0.001 * i, 0, 0]))
+                 for i in range(8)]
+        for i, pw in enumerate(poses):
+            fr = render_frame(scene, pw, CAM, timestamp=i / 30)
+            depth = fr.depth * rng.normal(1.0, 0.01, fr.depth.shape)
+            tracker.process(fr.gray, depth, fr.timestamp)
+        gt_rel = poses[0].inverse() @ poses[-1]
+        est_rel = tracker.trajectory[0].inverse() @ \
+            tracker.trajectory[-1]
+        t_err, _ = gt_rel.distance_to(est_rel)
+        assert t_err < 0.05
+
+    def test_tracker_survives_intensity_noise(self):
+        scene = make_room_scene()
+        cfg = TrackerConfig(camera=CAM, max_features=2000)
+        tracker = EBVOTracker(PIMFrontend(cfg), cfg)
+        rng = np.random.default_rng(2)
+        for i in range(6):
+            pw = se3_exp(np.array([0.005 * i, 0, 0.002 * i, 0, 0, 0]))
+            fr = render_frame(scene, pw, CAM, timestamp=i / 30)
+            gray = np.clip(fr.gray + rng.normal(0, 4, fr.gray.shape),
+                           0, 255)
+            result = tracker.process(gray, fr.depth, fr.timestamp)
+        assert not result.lm.lost
+        gt_rel = se3_exp(np.array([0.025, 0, 0.01, 0, 0, 0]))
+        est_rel = tracker.trajectory[0].inverse() @ \
+            tracker.trajectory[-1]
+        t_err, _ = est_rel.distance_to(gt_rel)
+        assert t_err < 0.04

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Run the replay-vs-eager wall-clock benchmark and write BENCH_pim.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_wallclock.py [--repeats N]
+                                                      [--out PATH]
+
+The JSON lands at the repository root by default so the measured
+speedup of the compiled-program replay path is committed alongside the
+code that produces it.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.wallclock import run_wallclock, write_results  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--features", type=int, default=2000,
+                        help="feature count for the warp benchmark")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: repo-root "
+                             "BENCH_pim.json)")
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.features < 1:
+        parser.error("--features must be >= 1")
+    results = run_wallclock(repeats=args.repeats,
+                            num_features=args.features)
+    path = write_results(results, args.out)
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {path}")
+    edge = results["edge_pipeline"]
+    ok = edge["speedup"] >= 5.0 and edge["ledger_identical"] and \
+        edge["mask_bit_identical"] and edge["sram_bit_identical"]
+    print(f"edge pipeline: {edge['speedup']}x "
+          f"({'OK' if ok else 'BELOW TARGET / PARITY FAILURE'})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,8 +6,6 @@ by subsampling the sequence in time (multiplying inter-frame motion)
 and comparing drift with 1 vs 3 levels.
 """
 
-import numpy as np
-
 from repro.analysis import format_table
 from repro.dataset import make_sequence
 from repro.evaluation import relative_pose_error

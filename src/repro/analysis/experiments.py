@@ -8,7 +8,7 @@ assert the qualitative shape (who wins, by roughly what factor).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
@@ -16,7 +16,6 @@ from repro.analysis import paper_data
 from repro.baseline import (
     lm_iteration_cycles,
     picoedge_cycles,
-    picovo_frame_cycles,
     picovo_frame_energy_mj,
 )
 from repro.dataset import make_sequence

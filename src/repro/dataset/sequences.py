@@ -7,7 +7,6 @@ from typing import List
 
 from repro.dataset.synthetic import (
     Frame,
-    PlaneScene,
     apply_kinect_noise,
     make_corridor_scene,
     make_desk_scene,

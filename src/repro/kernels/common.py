@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["load_image", "read_image", "shift_pixels"]
+from repro.pim.program import ProgramCache
+
+__all__ = ["KERNEL_PROGRAM_CACHE", "load_image", "read_image",
+           "shift_pixels"]
+
+#: Process-wide LRU of compiled kernel programs.  Keys include the
+#: device geometry digest (see :func:`repro.pim.program.program_key`),
+#: so devices of different shapes never share entries.
+KERNEL_PROGRAM_CACHE = ProgramCache(capacity=64)
 
 
 def load_image(device, image: np.ndarray, base_row: int = 0) -> None:
@@ -22,6 +30,10 @@ def load_image(device, image: np.ndarray, base_row: int = 0) -> None:
         raise ValueError(f"image width {width} exceeds {device.lanes} lanes")
     if base_row + height > device.config.num_rows:
         raise ValueError("image does not fit the array")
+    if hasattr(device, "load_rows"):
+        device.load_rows(range(base_row, base_row + height), image,
+                         signed=False)
+        return
     for r in range(height):
         device.load(base_row + r, image[r], signed=False)
 
@@ -29,6 +41,10 @@ def load_image(device, image: np.ndarray, base_row: int = 0) -> None:
 def read_image(device, height: int, width: int,
                base_row: int = 0, signed: bool = False) -> np.ndarray:
     """Host-DMA an image back out of the array."""
+    if hasattr(device, "store_rows"):
+        block = device.store_rows(range(base_row, base_row + height),
+                                  signed=signed)
+        return np.asarray(block[:, :width], dtype=np.int64)
     rows = [device.store(base_row + r, signed=signed)[:width]
             for r in range(height)]
     return np.stack(rows).astype(np.int64)

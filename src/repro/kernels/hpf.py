@@ -22,11 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fixedpoint import ops
-from repro.kernels.common import shift_pixels
-from repro.pim.device import TMP, Tmp
+from repro.kernels.common import KERNEL_PROGRAM_CACHE, shift_pixels
+from repro.pim.device import TMP, Rel, Tmp
+from repro.pim.program import PIMProgram, program_key
 
 __all__ = ["hpf_fast", "hpf_naive_fast", "hpf_pim", "hpf_pim_naive",
-           "HPF_ROW_OFFSET"]
+           "hpf_program", "hpf_pim_replay", "HPF_ROW_OFFSET"]
 
 #: Row alignment: output row ``i`` holds the response centred at input
 #: row ``i + HPF_ROW_OFFSET`` (columns are centre-aligned).
@@ -125,6 +126,59 @@ def hpf_pim(device, height: int, base_row: int = 0,
         device.abs_diff(TMP, s1[ia], s1[ic])         # |A<<1 - C<<1|
         device.add(TMP, acc, TMP, saturate=True, signed=False)
         device.shift_lanes(row_a, TMP, -1)           # centre-align, in place
+
+
+def _hpf_row_body(rec, scratch_base: int) -> None:
+    """Record one output row of the SAD HPF with recomputed shifts.
+
+    Unlike :func:`hpf_pim`, whose scratch ring carries shifted rows
+    *across* iterations (a cross-row dependence that forbids
+    batching), this body recomputes the five shifted operands of the
+    current window into absolute scratch rows, writing each before it
+    is read.  The only relative write -- the final in-place store to
+    ``Rel(-1)`` -- is the last op, so batched replay is provably
+    equivalent to the eager loop.  The price is 2 extra shift cycles
+    per row over the pipelined ring.
+    """
+    sc2c, sc2a, sc2b, sc1a, sc1c = (scratch_base + i for i in range(5))
+    acc = Tmp(1) if rec.config.num_tmp_registers > 1 \
+        else scratch_base + 5
+    rec.shift_lanes(sc2c, Rel(1), 2)             # C << 2pix
+    rec.shift_lanes(sc2a, Rel(-1), 2)            # A << 2pix
+    rec.shift_lanes(sc2b, Rel(0), 2)             # B << 2pix
+    rec.shift_lanes(sc1a, Rel(-1), 1)            # A << 1pix
+    rec.shift_lanes(sc1c, Rel(1), 1)             # C << 1pix
+    rec.abs_diff(acc, Rel(-1), sc2c)             # |A - C<<2|
+    rec.abs_diff(TMP, sc2a, Rel(1))              # |A<<2 - C|
+    rec.add(acc, acc, TMP, saturate=True, signed=False)
+    rec.abs_diff(TMP, Rel(0), sc2b)              # |B - B<<2|
+    rec.add(acc, acc, TMP, saturate=True, signed=False)
+    rec.abs_diff(TMP, sc1a, sc1c)                # |A<<1 - C<<1|
+    rec.add(TMP, acc, TMP, saturate=True, signed=False)
+    rec.shift_lanes(Rel(-1), TMP, -1)            # centre-align, in place
+
+
+def hpf_program(config, scratch_base: int) -> PIMProgram:
+    """Compiled batchable HPF row body, cached per geometry/scratch."""
+    return KERNEL_PROGRAM_CACHE.get_or_record(
+        program_key("hpf", (scratch_base,), 8, config), config,
+        lambda rec: _hpf_row_body(rec, scratch_base), name="hpf")
+
+
+def hpf_pim_replay(device, height: int, base_row: int = 0,
+                   scratch_base: int = None, mode: str = "auto") -> None:
+    """HPF via compiled program replay; output matches :func:`hpf_pim`.
+
+    Uses 6 scratch rows from ``scratch_base`` (default: directly below
+    the image).  Row-batched on devices that support it; ``mode`` is
+    forwarded to :meth:`~repro.pim.device.PIMDevice.run_program`.
+    """
+    if scratch_base is None:
+        scratch_base = base_row + height
+    program = hpf_program(device.config, scratch_base)
+    device.run_program(program,
+                       range(base_row + 1, base_row + height - 1),
+                       mode=mode)
 
 
 def hpf_pim_naive(device, image: np.ndarray, base_row: int = 0,

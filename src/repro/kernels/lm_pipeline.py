@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.fixedpoint import Q14_2, ops
 from repro.geometry.camera import CameraIntrinsics
 from repro.kernels.hessian import (
     hessian_fast,

@@ -23,11 +23,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fixedpoint import ops
-from repro.kernels.common import load_image, read_image, shift_pixels
-from repro.pim.device import TMP, Imm, Tmp
+from repro.kernels.common import (
+    KERNEL_PROGRAM_CACHE,
+    load_image,
+    read_image,
+    shift_pixels,
+)
+from repro.pim.device import TMP, Imm, Rel, Tmp
+from repro.pim.program import PIMProgram, program_key
 
 __all__ = ["lpf_fast", "lpf_naive_fast", "lpf_pim", "lpf_pim_naive",
-           "LPF_OFFSET"]
+           "lpf_program", "LPF_OFFSET"]
 
 #: Output (row, col) offset: ``out[r, c]`` is centred at input
 #: ``(r + LPF_OFFSET, c + LPF_OFFSET)``.
@@ -84,7 +90,28 @@ def lpf_naive_fast(image: np.ndarray) -> np.ndarray:
     return acc
 
 
-def lpf_pim(device, height: int, base_row: int = 0) -> None:
+def _lpf_row_body(rec) -> None:
+    """Record one row of the 2x2 averaging pass (Fig. 2)."""
+    multi_reg = rec.config.num_tmp_registers > 1
+    if multi_reg:
+        rec.avg(Tmp(1), Rel(0), Rel(1))      # C = (A + B) / 2
+        rec.shift_lanes(TMP, Tmp(1), 1)      # D = C << 1pix
+        rec.avg(Rel(0), Tmp(1), TMP)         # E = (C + D) / 2
+    else:
+        rec.avg(Rel(0), Rel(0), Rel(1))      # C = (A + B) / 2
+        rec.shift_lanes(TMP, Rel(0), 1)      # D = C << 1pix
+        rec.avg(Rel(0), Rel(0), TMP)         # E = (C + D) / 2
+
+
+def lpf_program(config) -> PIMProgram:
+    """Compiled per-row LPF pass body, cached per device geometry."""
+    return KERNEL_PROGRAM_CACHE.get_or_record(
+        program_key("lpf", (), 8, config), config, _lpf_row_body,
+        name="lpf")
+
+
+def lpf_pim(device, height: int, base_row: int = 0,
+            mode: str = "auto") -> None:
     """Optimized device program: two in-place 2x2 passes (Fig. 2).
 
     The image must already reside in rows ``base_row ..
@@ -93,18 +120,22 @@ def lpf_pim(device, height: int, base_row: int = 0) -> None:
     second register (the section 5.4 extension) the intermediate row
     ``C`` never touches SRAM, saving one cycle and one write-back per
     row.
+
+    The per-row body is compiled once (through
+    :data:`~repro.kernels.common.KERNEL_PROGRAM_CACHE`) and replayed
+    row-batched when the device supports it; cost accounting and
+    memory state are identical to the eager loop either way.  ``mode``
+    is forwarded to :meth:`~repro.pim.device.PIMDevice.run_program`.
     """
-    multi_reg = device.config.num_tmp_registers > 1
+    program = lpf_program(device.config)
+    bases = range(base_row, base_row + height - 1)
+    if hasattr(device, "run_program"):
+        for _ in range(2):
+            device.run_program(program, bases, mode=mode)
+        return
     for _ in range(2):
-        for r in range(base_row, base_row + height - 1):
-            if multi_reg:
-                device.avg(Tmp(1), r, r + 1)     # C = (A + B) / 2
-                device.shift_lanes(TMP, Tmp(1), 1)   # D = C << 1pix
-                device.avg(r, Tmp(1), TMP)       # E = (C + D) / 2
-            else:
-                device.avg(r, r, r + 1)          # C = (A + B) / 2
-                device.shift_lanes(TMP, r, 1)    # D = C << 1pix
-                device.avg(r, r, TMP)            # E = (C + D) / 2
+        for r in bases:
+            program.replay(device, r)
 
 
 def lpf_pim_naive(device, image: np.ndarray, base_row: int = 0,

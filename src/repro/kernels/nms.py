@@ -26,11 +26,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fixedpoint import ops
-from repro.kernels.common import shift_pixels
-from repro.pim.device import TMP, Imm, Tmp
+from repro.kernels.common import KERNEL_PROGRAM_CACHE, shift_pixels
+from repro.pim.device import TMP, Imm, Rel, Tmp
+from repro.pim.program import PIMProgram, program_key
 
 __all__ = ["nms_fast", "nms_naive_fast", "nms_pim", "nms_pim_naive",
-           "NMS_ROW_OFFSET"]
+           "nms_program", "nms_pim_replay", "NMS_ROW_OFFSET"]
 
 #: Row alignment: output row ``i`` holds the decision for input row
 #: ``i + NMS_ROW_OFFSET`` (columns are centre-aligned).
@@ -141,6 +142,64 @@ def nms_pim(device, height: int, th1: int, th2: int, base_row: int = 0,
         device.cmp_gt(t2, TMP, t1, signed=False)        # M = L > K
         device.cmp_gt(TMP, row_b, Imm(th1), signed=False)  # N = b2 > th1
         device.logic_and(row_a, t2, TMP)       # edge mask, in place
+
+
+def _nms_row_body(rec, th1: int, th2: int, scratch_base: int) -> None:
+    """Record one output row of branch-free NMS with recomputed shifts.
+
+    Batchable sibling of :func:`nms_pim`: the shift ring is replaced by
+    five write-before-read scratch rows and the only relative write
+    (the in-place mask store to ``Rel(-1)``) is the final op -- the
+    same structure as the HPF replay body.
+    """
+    sc2c, sc2a, sc2b, sc1a, sc1c = (scratch_base + i for i in range(5))
+    t1 = Tmp(1) if rec.config.num_tmp_registers > 1 \
+        else scratch_base + 5
+    t2 = scratch_base + 6
+    rec.shift_lanes(sc2c, Rel(1), 2)             # C << 2pix
+    rec.shift_lanes(sc2a, Rel(-1), 2)            # A << 2pix
+    rec.shift_lanes(sc2b, Rel(0), 2)             # B << 2pix
+    rec.shift_lanes(sc1a, Rel(-1), 1)            # A << 1pix
+    rec.shift_lanes(sc1c, Rel(1), 1)             # C << 1pix
+    rec.maximum(t1, Rel(-1), sc2c)               # max(a1, c3)
+    rec.maximum(t2, sc2a, Rel(1))                # max(a3, c1)
+    rec.minimum(t1, t1, t2)
+    rec.maximum(t2, Rel(0), sc2b)                # max(b1, b3)
+    rec.minimum(t1, t1, t2)
+    rec.maximum(t2, sc1a, sc1c)                  # max(a2, c2)
+    rec.minimum(t1, t1, t2)                      # K
+    rec.shift_lanes(t1, t1, -1)                  # centre-align K
+    rec.sub(TMP, Rel(0), Imm(th2), saturate=True,
+            signed=False)                        # L = sat(b2 - th2)
+    rec.cmp_gt(t2, TMP, t1, signed=False)        # M = L > K
+    rec.cmp_gt(TMP, Rel(0), Imm(th1), signed=False)  # N = b2 > th1
+    rec.logic_and(Rel(-1), t2, TMP)              # edge mask, in place
+
+
+def nms_program(config, th1: int, th2: int,
+                scratch_base: int) -> PIMProgram:
+    """Compiled batchable NMS row body, cached per geometry/thresholds."""
+    return KERNEL_PROGRAM_CACHE.get_or_record(
+        program_key("nms", (scratch_base, th1, th2), 8, config), config,
+        lambda rec: _nms_row_body(rec, th1, th2, scratch_base),
+        name="nms")
+
+
+def nms_pim_replay(device, height: int, th1: int, th2: int,
+                   base_row: int = 0, scratch_base: int = None,
+                   mode: str = "auto") -> None:
+    """NMS via compiled program replay; output matches :func:`nms_pim`.
+
+    Uses 7 scratch rows from ``scratch_base`` (default: directly below
+    the image).  Row-batched on devices that support it; ``mode`` is
+    forwarded to :meth:`~repro.pim.device.PIMDevice.run_program`.
+    """
+    if scratch_base is None:
+        scratch_base = base_row + height
+    program = nms_program(device.config, th1, th2, scratch_base)
+    device.run_program(program,
+                       range(base_row + 1, base_row + height - 1),
+                       mode=mode)
 
 
 def nms_pim_naive(device, response: np.ndarray, th1: int, th2: int,

@@ -20,20 +20,21 @@ points, same shift amounts) so the tracker's numerics equal the device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from repro.fixedpoint import Q1_15, Q4_12, Q14_2, QFormat, ops
 from repro.geometry.camera import CameraIntrinsics
 from repro.geometry.se3 import SE3
-from repro.pim.device import TMP, Imm
+from repro.pim.device import TMP, Imm, Rel
+from repro.pim.program import PIMProgram, ProgramRecorder
 
 __all__ = [
     "FEATURE_FORMAT", "POSE_FORMAT", "UV_FORMAT", "INTRINSIC_FORMAT",
-    "QuantizedFeatures", "QuantizedPose", "WarpResult",
+    "QuantizedFeatures", "QuantizedPose", "WarpResult", "WarpRows",
     "quantize_features", "quantize_pose", "qdiv_lanes",
-    "warp_float", "warp_fast", "warp_pim",
+    "warp_float", "warp_fast", "warp_pim", "warp_program",
+    "warp_pim_batched", "WARP_BLOCK_ROWS",
 ]
 
 
@@ -258,6 +259,104 @@ def warp_pim(device, qpose: QuantizedPose, feats: QuantizedFeatures,
     rx = device.store(rows.rx)[:n]
     ry = device.store(rows.ry)[:n]
     z = device.store(rows.z)[:n]
+    scale = UV_FORMAT.scale
+    valid = (z > 0) & (u >= 0) & (u <= (camera.width - 1) * scale) & \
+        (v >= 0) & (v <= (camera.height - 1) * scale)
+    return WarpResult(u=u, v=v, rx=rx, ry=ry, z=z, valid=valid)
+
+
+#: Rows occupied by one feature block in the batched warp layout
+#: (a, b, c, x, y, z, rx, ry, u, v at offsets 0..9).
+WARP_BLOCK_ROWS = 10
+
+#: Relative row offsets within one block, mirroring :class:`WarpRows`.
+_W = WarpRows(a=0, b=1, c=2, x=3, y=4, z=5, rx=6, ry=7, u=8, v=9)
+
+
+def warp_program(qpose: QuantizedPose, fraction_bits: int,
+                 camera: CameraIntrinsics, config) -> PIMProgram:
+    """Record the warp compute body for one feature block.
+
+    The body is the exact op sequence of :func:`warp_pim` between the
+    feature DMA-in and the result DMA-out, with every block row
+    expressed relative to the block base (offsets per :data:`_W`).
+    The pose and camera constants are baked in as immediates, so the
+    program is recorded per pose; its win is replaying one recording
+    across all blocks of a feature set.
+
+    Block footprints are :data:`WARP_BLOCK_ROWS` rows wide, so bases
+    strided that far apart batch vectorized (disjoint footprints)
+    even though the body's relative op order alone is not batchable.
+    """
+    rec = ProgramRecorder(config, name="warp")
+    rec.set_precision(_LANE_BITS)
+    f = fraction_bits
+    for axis, dst in ((0, _W.x), (1, _W.y), (2, _W.z)):
+        r0, r1, r2 = (int(v) for v in qpose.r[axis])
+        t_raw = int(qpose.t[axis])
+        rec.mul(TMP, Rel(_W.a), Imm(r0), rshift=15)
+        rec.copy(Rel(dst), TMP)
+        rec.mul(TMP, Rel(_W.b), Imm(r1), rshift=15)
+        rec.add(Rel(dst), Rel(dst), TMP, saturate=True)
+        rec.add(Rel(dst), Rel(dst), Imm(r2 >> (15 - f)), saturate=True)
+        rec.mul(TMP, Rel(_W.c), Imm(t_raw), rshift=15)
+        rec.add(Rel(dst), Rel(dst), TMP, saturate=True)
+
+    rec.div(Rel(_W.rx), Rel(_W.x), Rel(_W.z), lshift=f)
+    rec.div(Rel(_W.ry), Rel(_W.y), Rel(_W.z), lshift=f)
+
+    fx_q = int(INTRINSIC_FORMAT.quantize(camera.fx))
+    fy_q = int(INTRINSIC_FORMAT.quantize(camera.fy))
+    cx_q = int(UV_FORMAT.quantize(camera.cx))
+    cy_q = int(UV_FORMAT.quantize(camera.cy))
+    shift = INTRINSIC_FORMAT.fraction_bits + f - UV_FORMAT.fraction_bits
+    rec.mul(TMP, Rel(_W.rx), Imm(fx_q), rshift=shift)
+    rec.add(Rel(_W.u), TMP, Imm(cx_q), saturate=True)
+    rec.mul(TMP, Rel(_W.ry), Imm(fy_q), rshift=shift)
+    rec.add(Rel(_W.v), TMP, Imm(cy_q), saturate=True)
+    return rec.finish()
+
+
+def warp_pim_batched(device, qpose: QuantizedPose,
+                     feats: QuantizedFeatures, camera: CameraIntrinsics,
+                     base_row: int = 0) -> WarpResult:
+    """Warp an arbitrary-size feature set through one program replay.
+
+    Features are split into blocks of up to 160 (the 16-bit lane
+    count); each block occupies :data:`WARP_BLOCK_ROWS` consecutive
+    rows starting at ``base_row + block * WARP_BLOCK_ROWS``.  The
+    compute body is recorded once and replayed across all block bases,
+    vectorized; outputs and ledger totals are identical to looping
+    :func:`warp_pim` over the blocks.
+    """
+    lanes = device.config.lanes(_LANE_BITS)
+    n = len(feats)
+    num_blocks = max(1, -(-n // lanes))
+    if base_row + num_blocks * WARP_BLOCK_ROWS > device.config.num_rows:
+        raise ValueError(
+            f"{num_blocks} warp blocks do not fit the array")
+    device.set_precision(_LANE_BITS)
+    bases = [base_row + k * WARP_BLOCK_ROWS for k in range(num_blocks)]
+
+    def blocks_of(vals: np.ndarray) -> np.ndarray:
+        full = np.zeros((num_blocks, lanes), dtype=np.int64)
+        full.reshape(-1)[:n] = np.asarray(vals, dtype=np.int64).reshape(-1)
+        return full
+
+    for offset, vals in ((_W.a, feats.a), (_W.b, feats.b),
+                         (_W.c, feats.c)):
+        device.load_rows([b + offset for b in bases], blocks_of(vals))
+
+    program = warp_program(qpose, feats.fmt.fraction_bits, camera,
+                           device.config)
+    device.run_program(program, bases)
+
+    def collect(offset: int) -> np.ndarray:
+        block = device.store_rows([b + offset for b in bases])
+        return block.reshape(-1)[:n]
+
+    u, v = collect(_W.u), collect(_W.v)
+    rx, ry, z = collect(_W.rx), collect(_W.ry), collect(_W.z)
     scale = UV_FORMAT.scale
     valid = (z > 0) & (u >= 0) & (u <= (camera.width - 1) * scale) & \
         (v >= 0) & (v <= (camera.height - 1) * scale)

@@ -15,12 +15,22 @@ The package models the architecture of paper section 4:
   equivalence tests.
 * :mod:`repro.pim.cost` / :mod:`repro.pim.energy` -- the cycle ledger and
   the 90 nm energy/area model.
+* :mod:`repro.pim.program` -- program capture (:class:`ProgramRecorder`)
+  and row-batched replay (:meth:`PIMDevice.run_program`) with an LRU
+  :class:`ProgramCache`, bit-exact and cost-exact against the eager
+  per-row path.
 """
 
 from repro.pim.config import PIMConfig
 from repro.pim.cost import CostLedger
-from repro.pim.device import TMP, BitPIMDevice, Imm, PIMDevice, Tmp
+from repro.pim.device import TMP, BitPIMDevice, Imm, PIMDevice, Rel, Tmp
 from repro.pim.energy import AreaModel, EnergyModel, EnergyReport
+from repro.pim.program import (
+    PIMProgram,
+    ProgramCache,
+    ProgramRecorder,
+    program_key,
+)
 
 __all__ = [
     "PIMConfig",
@@ -30,6 +40,11 @@ __all__ = [
     "TMP",
     "Tmp",
     "Imm",
+    "Rel",
+    "PIMProgram",
+    "ProgramRecorder",
+    "ProgramCache",
+    "program_key",
     "EnergyModel",
     "EnergyReport",
     "AreaModel",

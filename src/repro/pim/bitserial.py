@@ -40,7 +40,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.pim.config import DEFAULT_CONFIG, PIMConfig
+from repro.pim.config import DEFAULT_CONFIG
 from repro.pim.isa import OpKind
 
 __all__ = ["BitSerialCostModel", "price_profile"]

@@ -65,6 +65,19 @@ class PIMConfig:
         """Bytes per row (word line is byte-aligned by construction)."""
         return self.wordline_bits // 8
 
+    def digest(self) -> str:
+        """Stable short fingerprint of the geometry.
+
+        Programs recorded for one geometry are only replayable on
+        devices with the same geometry; caches key on this digest
+        (plus kernel, shape and precision) so a config change can
+        never resurrect a stale program.
+        """
+        import hashlib
+        blob = (f"{self.wordline_bits}:{self.num_rows}:"
+                f"{self.slice_bits}:{self.num_tmp_registers}")
+        return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
     @property
     def capacity_bytes(self) -> int:
         """Total array capacity in bytes."""

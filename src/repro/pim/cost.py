@@ -86,6 +86,30 @@ class CostLedger:
         """Record host DMA traffic (not charged to cycles)."""
         self.host_transfers += rows
 
+    def charge_program(self, aggregate: "CostLedger",
+                       reps: int = 1) -> None:
+        """Charge a recorded program's aggregate cost ``reps`` times.
+
+        This is the O(1) accounting path of batched replay
+        (:meth:`PIMDevice.run_program`): one recorded iteration's totals
+        are scaled by the repetition count instead of re-charging every
+        micro-op.  The result is exactly what ``reps`` eager replays
+        would have charged, because the aggregate was itself produced by
+        the per-step cost function (:func:`repro.pim.isa.step_cost`).
+        """
+        if reps < 0:
+            raise ValueError(f"negative repetition count {reps}")
+        self.cycles += aggregate.cycles * reps
+        self.sram_reads += aggregate.sram_reads * reps
+        self.sram_writes += aggregate.sram_writes * reps
+        self.tmp_accesses += aggregate.tmp_accesses * reps
+        self.logic_ops += aggregate.logic_ops * reps
+        self.host_transfers += aggregate.host_transfers * reps
+        for kind, count in aggregate.op_counts.items():
+            self.op_counts[kind] += count * reps
+        for key, count in aggregate.op_profile.items():
+            self.op_profile[key] += count * reps
+
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger into this one."""
         self.cycles += other.cycles

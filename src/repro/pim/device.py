@@ -33,12 +33,17 @@ Cost contract (DESIGN.md section 5):
   ops, so their cost emerges from composition;
 * host DMA (``load``/``store``) is tracked separately and excluded from
   cycle counts, matching the paper's exclusion of I/O overhead.
+
+Both devices price micro-ops through :func:`repro.pim.isa.charge_plan`
+and :func:`repro.pim.isa.step_cost`; so does the
+:class:`~repro.pim.program.ProgramRecorder`, which is why a recorded
+program's aggregate ledger can be multiplied out analytically by
+:meth:`PIMDevice.run_program` without drifting from eager execution.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,69 +52,135 @@ from repro.pim.accumulator import SliceAccumulator
 from repro.pim.bitsram import BitSRAM, bits_to_lanes, lanes_to_bits
 from repro.pim.config import DEFAULT_CONFIG, PIMConfig
 from repro.pim.cost import CostLedger
-from repro.pim.isa import OpKind, TraceRecord, op_cycles
+from repro.pim.isa import (
+    TMP,
+    ChargeStep,
+    Dst,
+    Imm,
+    OpKind,
+    Rel,
+    Src,
+    Tmp,
+    TraceRecord,
+    _TmpSentinel,
+    charge_plan,
+    step_cost,
+)
 
-__all__ = ["PIMDevice", "BitPIMDevice", "TMP", "Tmp", "Imm"]
-
-
-class _TmpSentinel:
-    """Marker for a Tmp register operand.
-
-    The paper's design has one Tmp register; section 5.4 notes that
-    "we could use more registers to further improve the efficiency".
-    The device supports a configurable bank: :data:`TMP` is register 0,
-    ``Tmp(i)`` addresses the others.
-    """
-
-    def __init__(self, index: int = 0):
-        self.index = index
-
-    def __repr__(self) -> str:
-        return "TMP" if self.index == 0 else f"TMP{self.index}"
-
-    def __eq__(self, other) -> bool:
-        return isinstance(other, _TmpSentinel) and \
-            other.index == self.index
-
-    def __hash__(self) -> int:
-        return hash(("tmp", self.index))
-
-
-#: The (first) Tmp register operand.
-TMP = _TmpSentinel(0)
-
-
-def Tmp(index: int) -> _TmpSentinel:  # noqa: N802 (operand constructor)
-    """Operand for Tmp register ``index`` (0 is :data:`TMP`)."""
-    return _TmpSentinel(index)
-
-
-@dataclass(frozen=True)
-class Imm:
-    """A broadcast immediate routed through the input multiplexer.
-
-    The hardware feeds constants (thresholds, shift counts) to the
-    accumulator without an SRAM access; we model that as a free operand.
-    """
-
-    value: Union[int, float]
-
-
-Src = Union[int, _TmpSentinel, Imm]
-Dst = Union[int, _TmpSentinel]
+__all__ = ["PIMDevice", "BitPIMDevice", "TMP", "Tmp", "Imm", "Rel"]
 
 _LANE_DTYPES = {8: "<u1", 16: "<u2", 32: "<u4", 64: "<u8"}
+
+
+def _read_signedness(method: str, kwargs: dict) -> bool:
+    """Signedness with which a micro-op interprets its source lanes."""
+    if method.startswith("logic_"):
+        return False
+    return bool(kwargs.get("signed", True))
+
+
+def _check_multiplier(vb: np.ndarray, multiplier_bits: Optional[int],
+                      signed: bool) -> None:
+    """Enforce the declared multiplier width of a shortened MUL loop."""
+    if multiplier_bits is None:
+        return
+    lo = -(1 << (multiplier_bits - 1)) if signed else 0
+    hi = (1 << (multiplier_bits - 1)) - 1 if signed \
+        else (1 << multiplier_bits) - 1
+    if vb.size and (vb.min() < lo or vb.max() > hi):
+        raise ValueError(
+            f"multiplier values exceed {multiplier_bits} bits")
+
+
+def _compute(method: str, n: int, vals: Tuple[np.ndarray, ...],
+             kwargs: dict) -> np.ndarray:
+    """Lane semantics of one micro-op, shape-polymorphic.
+
+    ``vals`` holds the already-read source operands as int64 arrays;
+    the same function serves the eager path (1-D, one row) and the
+    batched replay path (2-D, all target rows at once) because every
+    underlying :mod:`repro.fixedpoint.ops` primitive is elementwise and
+    lane shifts index the last axis.
+    """
+    signed = bool(kwargs.get("signed", True))
+    if method == "add":
+        a, b = vals
+        if kwargs.get("saturate"):
+            return ops.sat_add(a, b, n, signed)
+        return ops.wrap(a + b, n, signed)
+    if method == "sub":
+        a, b = vals
+        if kwargs.get("saturate"):
+            return ops.sat_sub(a, b, n, signed)
+        return ops.wrap(a - b, n, signed)
+    if method == "avg":
+        return ops.average(vals[0], vals[1])
+    if method == "cmp_gt":
+        return ops.greater_than(vals[0], vals[1])
+    if method == "logic_and":
+        return vals[0] & vals[1]
+    if method == "logic_or":
+        return vals[0] | vals[1]
+    if method == "logic_xor":
+        return vals[0] ^ vals[1]
+    if method == "shift_lanes":
+        va = vals[0]
+        pixels = kwargs["pixels"]
+        out = np.zeros_like(va)
+        if pixels == 0:
+            out[...] = va
+        elif pixels > 0:
+            out[..., :-pixels or None] = va[..., pixels:]
+        else:
+            out[..., -pixels:] = va[..., :pixels]
+        return out
+    if method == "shift_bits":
+        amount = kwargs["amount"]
+        if amount >= 0:
+            return ops.shift_left(vals[0], amount, n, signed)
+        return ops.shift_right(vals[0], -amount, arithmetic=signed)
+    if method == "copy":
+        return vals[0]
+    if method == "abs_diff":
+        return ops.abs_diff(vals[0], vals[1])
+    if method == "maximum":
+        return ops.branchfree_max(vals[0], vals[1], n, signed)
+    if method == "minimum":
+        return ops.branchfree_min(vals[0], vals[1], n, signed)
+    if method == "mul":
+        prod = ops.multiply(vals[0], vals[1], n, signed) \
+            >> kwargs.get("rshift", 0)
+        if kwargs.get("saturate", True):
+            return ops.saturate(prod, n, signed)
+        return ops.wrap(prod, n, signed)
+    if method == "div":
+        va = vals[0] << kwargs.get("lshift", 0)
+        vb = vals[1]
+        wide = max(n, 63)
+        q = ops.divide(va, vb, wide, signed)
+        # Division by zero saturates toward the *lane* bound, as the
+        # restoring loop would leave an all-ones quotient.
+        lane_hi = (1 << (n - 1)) - 1 if signed else (1 << n) - 1
+        q = np.where(vb == 0,
+                     np.where(va >= 0, lane_hi,
+                              -lane_hi if signed else lane_hi), q)
+        return ops.saturate(q, n, signed)
+    raise ValueError(f"unknown micro-op {method!r}")
 
 
 class _DeviceCore:
     """State and cost accounting shared by both device flavours."""
 
     def __init__(self, config: PIMConfig = DEFAULT_CONFIG,
-                 trace: bool = False):
+                 trace: bool = False,
+                 max_trace: Optional[int] = None):
         self.config = config
         self.ledger = CostLedger()
         self._precision = 8
         self._trace_enabled = trace
+        if max_trace is not None and max_trace < 1:
+            raise ValueError("max_trace must be positive (or None)")
+        self._max_trace = max_trace
         self.trace: List[TraceRecord] = []
 
     # -- configuration -------------------------------------------------
@@ -135,34 +206,34 @@ class _DeviceCore:
 
     # -- cost accounting -----------------------------------------------
 
+    def _charge_step(self, step: ChargeStep) -> None:
+        """Charge one accumulator step, priced by the shared cost fn."""
+        cost = step_cost(step, self._precision)
+        self.ledger.charge(step.kind, cost.cycles,
+                           sram_reads=cost.sram_reads,
+                           sram_writes=cost.sram_writes,
+                           tmp_accesses=cost.tmp_accesses,
+                           logic_ops=cost.logic_ops,
+                           precision=cost.precision)
+        if self._trace_enabled:
+            self._append_trace(TraceRecord(
+                kind=step.kind, precision=cost.precision,
+                cycles=cost.cycles, dst=self._name(step.dst),
+                srcs=tuple(self._name(s) for s in step.srcs),
+                note=step.note))
+
     def _charge(self, kind: OpKind, srcs, dst: Dst,
                 note: Optional[str] = None,
                 operand_bits: Optional[int] = None) -> None:
-        n = operand_bits or self._precision
-        cycles = op_cycles(kind, n)
-        sram_reads = sum(1 for s in srcs if isinstance(s, int))
-        tmp_accesses = sum(1 for s in srcs if isinstance(s, _TmpSentinel))
-        sram_writes = 0
-        logic = 1
-        if kind in (OpKind.MUL, OpKind.DIV):
-            # n shift-add/subtract steps, partial results held in Tmp.
-            logic = n
-            tmp_accesses += n
-        if isinstance(dst, int):
-            sram_writes += 1
-            if kind not in (OpKind.MUL, OpKind.DIV):
-                cycles += 1  # write-back cycle (mul/div include theirs)
-        else:
-            tmp_accesses += 1
-        self.ledger.charge(kind, cycles, sram_reads=sram_reads,
-                           sram_writes=sram_writes,
-                           tmp_accesses=tmp_accesses, logic_ops=logic,
-                           precision=n)
-        if self._trace_enabled:
-            self.trace.append(TraceRecord(
-                kind=kind, precision=n, cycles=cycles,
-                dst=self._name(dst),
-                srcs=tuple(self._name(s) for s in srcs), note=note))
+        self._charge_step(ChargeStep(kind, tuple(srcs), dst, note,
+                                     operand_bits))
+
+    def _append_trace(self, record: TraceRecord) -> None:
+        """Append with ring-buffer semantics when ``max_trace`` is set."""
+        self.trace.append(record)
+        if self._max_trace is not None and \
+                len(self.trace) > self._max_trace:
+            del self.trace[:len(self.trace) - self._max_trace]
 
     @staticmethod
     def _name(operand) -> str:
@@ -170,15 +241,16 @@ class _DeviceCore:
             return f"#{operand.value}"
         if isinstance(operand, _TmpSentinel):
             return "tmp" if operand.index == 0 else f"tmp{operand.index}"
-        return f"r{operand}"
+        return f"r{int(operand)}"
 
 
 class PIMDevice(_DeviceCore):
     """Word-level SRAM-PIM device with cycle/energy accounting."""
 
     def __init__(self, config: PIMConfig = DEFAULT_CONFIG,
-                 trace: bool = False):
-        super().__init__(config, trace)
+                 trace: bool = False,
+                 max_trace: Optional[int] = None):
+        super().__init__(config, trace, max_trace)
         self._mem = np.zeros((config.num_rows, config.row_bytes),
                              dtype=np.uint8)
         self._tmp = [np.zeros(config.row_bytes, dtype=np.uint8)
@@ -187,7 +259,11 @@ class PIMDevice(_DeviceCore):
     # -- storage views ---------------------------------------------------
 
     def _unpack(self, raw_bytes: np.ndarray, signed: bool) -> np.ndarray:
-        """Interpret row bytes as int64 lane values at current precision."""
+        """Interpret row bytes as int64 lane values at current precision.
+
+        Works on one row (1-D bytes) or a stack of rows (2-D bytes);
+        lane decoding always applies to the last axis.
+        """
         lanes = raw_bytes.view(_LANE_DTYPES[self._precision])
         vals = lanes.astype(np.int64) if self._precision < 64 else \
             lanes.view(np.int64).copy()
@@ -202,7 +278,8 @@ class PIMDevice(_DeviceCore):
         if n < 64:
             u = u & ((1 << n) - 1)
             return u.astype(_LANE_DTYPES[n]).view(np.uint8)
-        return u.view(np.uint64).astype("<u8").view(np.uint8)
+        return np.ascontiguousarray(u).view(np.uint64).astype(
+            "<u8").view(np.uint8)
 
     def _read(self, src: Src, signed: bool) -> np.ndarray:
         if isinstance(src, Imm):
@@ -268,6 +345,50 @@ class PIMDevice(_DeviceCore):
         self.ledger.charge_host_transfer()
         return self._read(row, signed)
 
+    def load_rows(self, rows: Sequence[int], values,
+                  signed: bool = True) -> None:
+        """Host DMA: write a 2-D block of lane values, one row each.
+
+        ``values`` has shape ``(len(rows), <= lanes)``; short rows are
+        zero-padded.  Charges one host transfer per row, identical to a
+        loop of :meth:`load`, but performs the pack and the memory
+        scatter as single numpy operations.
+        """
+        idx = np.asarray([int(r) for r in rows], dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.config.num_rows:
+            raise IndexError(
+                f"rows outside [0, {self.config.num_rows})")
+        vals = np.asarray(values, dtype=np.int64)
+        if vals.ndim != 2 or vals.shape[0] != idx.size:
+            raise ValueError(
+                f"values must have shape ({idx.size}, <= {self.lanes})")
+        if vals.shape[1] > self.lanes:
+            raise ValueError(
+                f"{vals.shape[1]} values exceed {self.lanes} lanes")
+        lo = -(1 << (self._precision - 1)) if signed else 0
+        hi = (1 << (self._precision - 1)) - 1 if signed \
+            else (1 << self._precision) - 1
+        if vals.size and (vals.min() < lo or vals.max() > hi):
+            raise ValueError(f"values exceed {self._precision}-bit range")
+        full = np.zeros((idx.size, self.lanes), dtype=np.int64)
+        full[:, :vals.shape[1]] = vals
+        self._mem[idx] = self._pack(full)
+        self.ledger.charge_host_transfer(int(idx.size))
+
+    def store_rows(self, rows: Sequence[int],
+                   signed: bool = True) -> np.ndarray:
+        """Host DMA: read several rows back as a 2-D lane-value block."""
+        idx = np.asarray([int(r) for r in rows], dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros((0, self.lanes), dtype=np.int64)
+        if idx.min() < 0 or idx.max() >= self.config.num_rows:
+            raise IndexError(
+                f"rows outside [0, {self.config.num_rows})")
+        self.ledger.charge_host_transfer(int(idx.size))
+        return self._unpack(self._mem[idx], signed)
+
     def read_tmp(self, signed: bool = True, index: int = 0) -> np.ndarray:
         """Host debug view of a Tmp register (no charge)."""
         return self._unpack(self._tmp[index], signed)
@@ -284,52 +405,53 @@ class PIMDevice(_DeviceCore):
             raise IndexError(f"bit {bit} outside the word line")
         self._mem[row][bit // 8] ^= np.uint8(1 << (bit % 8))
 
-    # -- single-cycle micro-ops -------------------------------------------
+    # -- micro-op execution -----------------------------------------------
 
-    def _binary(self, kind: OpKind, dst: Dst, a: Src, b: Src, fn,
-                signed: bool, note: Optional[str] = None) -> None:
-        va = self._read(a, signed)
-        vb = self._read(b, signed)
-        self._charge(kind, (a, b), dst, note)
-        self._write(dst, fn(va, vb))
+    def _execute(self, method: str, dst: Dst, srcs: Tuple[Src, ...],
+                 kwargs: dict) -> None:
+        """Read, charge (per the shared plan), compute, write."""
+        signed = _read_signedness(method, kwargs)
+        vals = tuple(self._read(s, signed) for s in srcs)
+        if method == "mul":
+            _check_multiplier(vals[1], kwargs.get("multiplier_bits"),
+                              bool(kwargs.get("signed", True)))
+        for step in charge_plan(method, dst, srcs, **kwargs):
+            self._charge_step(step)
+        self._write(dst, _compute(method, self._precision, vals, kwargs))
+
+    # -- single-cycle micro-ops -------------------------------------------
 
     def add(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
             signed: bool = True) -> None:
         """``dst = a + b`` (wrapping, or saturating when requested)."""
-        n = self._precision
-        fn = (lambda x, y: ops.sat_add(x, y, n, signed)) if saturate else \
-            (lambda x, y: ops.wrap(x + y, n, signed))
-        self._binary(OpKind.ADD, dst, a, b, fn, signed,
-                     "sat" if saturate else None)
+        self._execute("add", dst, (a, b),
+                      {"saturate": saturate, "signed": signed})
 
     def sub(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
             signed: bool = True) -> None:
         """``dst = a - b`` (wrapping, or saturating when requested)."""
-        n = self._precision
-        fn = (lambda x, y: ops.sat_sub(x, y, n, signed)) if saturate else \
-            (lambda x, y: ops.wrap(x - y, n, signed))
-        self._binary(OpKind.SUB, dst, a, b, fn, signed,
-                     "sat" if saturate else None)
+        self._execute("sub", dst, (a, b),
+                      {"saturate": saturate, "signed": signed})
 
     def avg(self, dst: Dst, a: Src, b: Src, signed: bool = False) -> None:
         """``dst = (a + b) >> 1`` -- the LPF primitive."""
-        self._binary(OpKind.AVG, dst, a, b, ops.average, signed)
+        self._execute("avg", dst, (a, b), {"signed": signed})
 
     def cmp_gt(self, dst: Dst, a: Src, b: Src, signed: bool = True) -> None:
         """``dst = (a > b) ? 1 : 0`` per lane (borrow-derived mask)."""
-        self._binary(OpKind.CMP_GT, dst, a, b, ops.greater_than, signed)
+        self._execute("cmp_gt", dst, (a, b), {"signed": signed})
 
     def logic_and(self, dst: Dst, a: Src, b: Src) -> None:
         """Bitwise AND (in-array when both operands are rows)."""
-        self._binary(OpKind.AND, dst, a, b, lambda x, y: x & y, False)
+        self._execute("logic_and", dst, (a, b), {})
 
     def logic_or(self, dst: Dst, a: Src, b: Src) -> None:
         """Bitwise OR."""
-        self._binary(OpKind.OR, dst, a, b, lambda x, y: x | y, False)
+        self._execute("logic_or", dst, (a, b), {})
 
     def logic_xor(self, dst: Dst, a: Src, b: Src) -> None:
         """Bitwise XOR."""
-        self._binary(OpKind.XOR, dst, a, b, lambda x, y: x ^ y, False)
+        self._execute("logic_xor", dst, (a, b), {})
 
     def shift_lanes(self, dst: Dst, a: Src, pixels: int,
                     signed: bool = False) -> None:
@@ -338,34 +460,19 @@ class PIMDevice(_DeviceCore):
         Positive shifts bring in right-hand neighbours (the "<< 1pix"
         of Fig. 2); vacated lanes are zero-filled.
         """
-        va = self._read(a, signed)
-        self._charge(OpKind.SHIFT_LANES, (a,), dst, f"{pixels}pix")
-        out = np.zeros_like(va)
-        if pixels == 0:
-            out[:] = va
-        elif pixels > 0:
-            out[:-pixels or None] = va[pixels:]
-        else:
-            out[-pixels:] = va[:pixels]
-        self._write(dst, out)
+        self._execute("shift_lanes", dst, (a,),
+                      {"pixels": pixels, "signed": signed})
 
     def shift_bits(self, dst: Dst, a: Src, amount: int,
                    signed: bool = True) -> None:
         """Shift each lane by ``amount`` bits (positive = left, wrapping;
         negative = right, arithmetic when ``signed``)."""
-        va = self._read(a, signed)
-        self._charge(OpKind.SHIFT_BITS, (a,), dst, f"{amount}b")
-        if amount >= 0:
-            out = ops.shift_left(va, amount, self._precision, signed)
-        else:
-            out = ops.shift_right(va, -amount, arithmetic=signed)
-        self._write(dst, out)
+        self._execute("shift_bits", dst, (a,),
+                      {"amount": amount, "signed": signed})
 
     def copy(self, dst: Dst, src: Src, signed: bool = True) -> None:
         """Move a value through the accumulator unchanged."""
-        va = self._read(src, signed)
-        self._charge(OpKind.COPY, (src,), dst)
-        self._write(dst, va)
+        self._execute("copy", dst, (src,), {"signed": signed})
 
     # -- composite single-cycle-per-step macros ----------------------------
 
@@ -376,31 +483,17 @@ class PIMDevice(_DeviceCore):
         Two accumulator steps: the subtraction that latches the borrow
         mask, then the conditional negation ``(M + N) ^ N``.
         """
-        va = self._read(a, signed)
-        vb = self._read(b, signed)
-        self._charge(OpKind.SUB, (a, b), TMP, "absdiff:diff")
-        self._charge(OpKind.XOR, (TMP,), dst, "absdiff:neg")
-        self._write(dst, ops.abs_diff(va, vb))
+        self._execute("abs_diff", dst, (a, b), {"signed": signed})
 
     def maximum(self, dst: Dst, a: Src, b: Src,
                 signed: bool = False) -> None:
         """``dst = max(a, b) = sat0(a - b) + b`` (Fig. 7-b)."""
-        va = self._read(a, signed)
-        vb = self._read(b, signed)
-        n = self._precision
-        self._charge(OpKind.SUB, (a, b), TMP, "max:satsub")
-        self._charge(OpKind.ADD, (TMP, b), dst, "max:add")
-        self._write(dst, ops.branchfree_max(va, vb, n, signed))
+        self._execute("maximum", dst, (a, b), {"signed": signed})
 
     def minimum(self, dst: Dst, a: Src, b: Src,
                 signed: bool = False) -> None:
         """``dst = min(a, b) = a - sat0(a - b)`` (Fig. 7-b)."""
-        va = self._read(a, signed)
-        vb = self._read(b, signed)
-        n = self._precision
-        self._charge(OpKind.SUB, (a, b), TMP, "min:satsub")
-        self._charge(OpKind.SUB, (a, TMP), dst, "min:sub")
-        self._write(dst, ops.branchfree_min(va, vb, n, signed))
+        self._execute("minimum", dst, (a, b), {"signed": signed})
 
     # -- multi-cycle ops ----------------------------------------------------
 
@@ -421,22 +514,10 @@ class PIMDevice(_DeviceCore):
         ``multiplier_bits + 2``.  The values of ``b`` are checked
         against the declared width.
         """
-        va = self._read(a, signed)
-        vb = self._read(b, signed)
-        n = self._precision
-        if multiplier_bits is not None:
-            lo = -(1 << (multiplier_bits - 1)) if signed else 0
-            hi = (1 << (multiplier_bits - 1)) - 1 if signed \
-                else (1 << multiplier_bits) - 1
-            if vb.size and (vb.min() < lo or vb.max() > hi):
-                raise ValueError(
-                    f"multiplier values exceed {multiplier_bits} bits")
-        self._charge(OpKind.MUL, (a, b), dst, f">>{rshift}",
-                     operand_bits=multiplier_bits)
-        prod = ops.multiply(va, vb, n, signed) >> rshift
-        out = ops.saturate(prod, n, signed) if saturate else \
-            ops.wrap(prod, n, signed)
-        self._write(dst, out)
+        self._execute("mul", dst, (a, b),
+                      {"rshift": rshift, "saturate": saturate,
+                       "signed": signed,
+                       "multiplier_bits": multiplier_bits})
 
     def div(self, dst: Dst, a: Src, b: Src, lshift: int = 0,
             signed: bool = True) -> None:
@@ -446,18 +527,178 @@ class PIMDevice(_DeviceCore):
         truncation); ``lshift`` pre-scales the numerator for fixed-point
         quotients.  Division by zero saturates toward the signed bound.
         """
-        va = self._read(a, signed) << lshift
-        vb = self._read(b, signed)
-        n = self._precision
-        self._charge(OpKind.DIV, (a, b), dst, f"<<{lshift}")
-        wide = max(n, int(va.dtype.itemsize * 8) - 1)
-        q = ops.divide(va, vb, wide, signed)
-        # Division by zero saturates toward the *lane* bound, as the
-        # restoring loop would leave an all-ones quotient.
-        lane_hi = (1 << (n - 1)) - 1 if signed else (1 << n) - 1
-        q = np.where(vb == 0, np.where(va >= 0, lane_hi,
-                                       -lane_hi if signed else lane_hi), q)
-        self._write(dst, ops.saturate(q, n, signed))
+        self._execute("div", dst, (a, b),
+                      {"lshift": lshift, "signed": signed})
+
+    # -- recorded-program replay -------------------------------------------
+
+    def run_program(self, program, base_rows: Sequence[int],
+                    mode: str = "auto") -> None:
+        """Replay a recorded program once per base row.
+
+        Args:
+            program: A :class:`~repro.pim.program.PIMProgram`.
+            base_rows: Row indices substituted for the program's
+                :class:`~repro.pim.isa.Rel` operands, one replay each,
+                in order.
+            mode: ``"auto"`` batches when provably equivalent and falls
+                back to eager otherwise; ``"eager"`` forces one-by-one
+                replay through the ordinary micro-op methods;
+                ``"batched"`` demands vectorized execution and raises
+                if the program/bases combination cannot be batched.
+
+        Batched execution performs each recorded op as a single 2-D
+        numpy operation across all base rows and charges the ledger in
+        O(1) (program aggregate x number of bases).  Memory contents,
+        ledger totals and (when tracing) the trace stream are identical
+        to the eager path; the program's hazard analysis plus the
+        base-row checks below guarantee it, and equivalence tests pin
+        it.
+        """
+        if mode not in ("auto", "eager", "batched"):
+            raise ValueError(f"unknown replay mode {mode!r}")
+        if program.config_digest != self.config.digest():
+            raise ValueError(
+                "program was recorded for a different device geometry")
+        bases = [int(b) for b in base_rows]
+        if not bases:
+            return
+        batchable = mode != "eager" and \
+            self._bases_batchable(program, bases)
+        if mode == "batched" and not batchable:
+            raise ValueError(
+                "program cannot be replayed in batched mode for these "
+                "base rows (see PIMProgram.batchable)")
+        self.set_precision(program.initial_precision)
+        if not batchable:
+            for base in bases:
+                program.replay(self, base)
+            return
+        self._replay_batched(program, np.asarray(bases, dtype=np.int64))
+
+    def _bases_batchable(self, program, bases: List[int]) -> bool:
+        """Base-row-dependent half of the batched-equivalence check.
+
+        The structural half (:attr:`PIMProgram.batchable`) covers
+        relative-operand and register hazards; this half checks the
+        properties only known at replay time: bases strictly
+        increasing (eager order equals row order) and no collision
+        between absolute rows and the rows addressed relatively.
+        A program whose relative op order is *not* provably safe can
+        still batch when the bases are spread further apart than the
+        program's relative footprint (disjoint footprints cannot
+        alias across elements).
+        """
+        if len(bases) > 1 and any(b2 <= b1 for b1, b2 in
+                                  zip(bases, bases[1:])):
+            return False
+        if not program.registers_ok:
+            return False
+        if not program.rel_order_safe:
+            span = program.rel_span
+            if any(b2 - b1 <= span for b1, b2 in zip(bases, bases[1:])):
+                return False
+        rel_rows = {b + off for b in bases
+                    for off in program.rel_read_offsets |
+                    program.rel_write_offsets}
+        if rel_rows and (min(rel_rows) < 0 or
+                         max(rel_rows) >= self.config.num_rows):
+            raise IndexError(
+                f"program addresses rows outside "
+                f"[0, {self.config.num_rows}) for these bases")
+        if program.abs_write_rows & rel_rows:
+            return False
+        rel_written = {b + off for b in bases
+                       for off in program.rel_write_offsets}
+        if program.abs_read_rows & rel_written:
+            return False
+        return True
+
+    def _replay_batched(self, program, bases: np.ndarray) -> None:
+        reps = int(bases.size)
+        self.ledger.charge_program(program.aggregate, reps)
+        # Per-element views of Tmp registers and absolute rows: each
+        # base row gets its own copy (created lazily on first write;
+        # the hazard rules guarantee write-before-first-read), and the
+        # final memory/register state is the last base's value --
+        # exactly what sequential eager replay leaves behind.
+        tmp_buf: Dict[int, np.ndarray] = {}
+        abs_buf: Dict[int, np.ndarray] = {}
+
+        def read(src: Src, signed: bool) -> np.ndarray:
+            if isinstance(src, Imm):
+                return np.full((reps, self.lanes), int(src.value),
+                               dtype=np.int64)
+            if isinstance(src, _TmpSentinel):
+                self._check_tmp(src)
+                buf = tmp_buf.get(src.index)
+                if buf is not None:
+                    return self._unpack(buf, signed)
+                return np.broadcast_to(
+                    self._unpack(self._tmp[src.index], signed),
+                    (reps, self.lanes))
+            if isinstance(src, Rel):
+                return self._unpack(self._mem[bases + int(src)], signed)
+            self._check_row(src)
+            buf = abs_buf.get(int(src))
+            if buf is not None:
+                return self._unpack(buf, signed)
+            return np.broadcast_to(self._unpack(self._mem[src], signed),
+                                   (reps, self.lanes))
+
+        def write(dst: Dst, values: np.ndarray) -> None:
+            packed = self._pack(values)
+            if isinstance(dst, _TmpSentinel):
+                self._check_tmp(dst)
+                buf = tmp_buf.get(dst.index)
+                if buf is None:
+                    buf = tmp_buf[dst.index] = np.empty(
+                        (reps, self.config.row_bytes), dtype=np.uint8)
+                buf[:] = packed
+            elif isinstance(dst, Rel):
+                self._mem[bases + int(dst)] = packed
+            else:
+                self._check_row(dst)
+                buf = abs_buf.get(int(dst))
+                if buf is None:
+                    buf = abs_buf[int(dst)] = np.empty(
+                        (reps, self.config.row_bytes), dtype=np.uint8)
+                buf[:] = packed
+
+        for op in program.ops:
+            if op.method == "set_precision":
+                self.set_precision(op.kwargs["precision"])
+                continue
+            signed = _read_signedness(op.method, op.kwargs)
+            vals = tuple(read(s, signed) for s in op.srcs)
+            if op.method == "mul":
+                _check_multiplier(vals[1],
+                                  op.kwargs.get("multiplier_bits"),
+                                  bool(op.kwargs.get("signed", True)))
+            write(op.dst, _compute(op.method, self._precision, vals,
+                                   op.kwargs))
+
+        for index, buf in tmp_buf.items():
+            self._tmp[index][:] = buf[-1]
+        for row, buf in abs_buf.items():
+            self._mem[row][:] = buf[-1]
+        if self._trace_enabled:
+            for base in bases:
+                for op in program.ops:
+                    for step, cost in zip(op.plan, op.costs):
+                        self._append_trace(TraceRecord(
+                            kind=step.kind, precision=cost.precision,
+                            cycles=cost.cycles,
+                            dst=self._resolved_name(step.dst, base),
+                            srcs=tuple(self._resolved_name(s, base)
+                                       for s in step.srcs),
+                            note=step.note))
+
+    @classmethod
+    def _resolved_name(cls, operand, base: int) -> str:
+        if isinstance(operand, Rel):
+            return f"r{base + int(operand)}"
+        return cls._name(operand)
 
 
 class BitPIMDevice(_DeviceCore):
@@ -473,8 +714,9 @@ class BitPIMDevice(_DeviceCore):
 
     def __init__(self, config: PIMConfig = PIMConfig(wordline_bits=64,
                                                      num_rows=16),
-                 trace: bool = False):
-        super().__init__(config, trace)
+                 trace: bool = False,
+                 max_trace: Optional[int] = None):
+        super().__init__(config, trace, max_trace)
         self.sram = BitSRAM(config.num_rows, config.wordline_bits)
         self.acc = SliceAccumulator(config.wordline_bits, config.slice_bits)
         self._tmp_bits = [np.zeros(config.wordline_bits, dtype=np.uint8)

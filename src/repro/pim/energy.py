@@ -19,7 +19,7 @@ part at full load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "SRAM_ACCESS_PJ",

@@ -1,0 +1,462 @@
+"""Program capture and replay for the word-level PIM device.
+
+A kernel's per-row body is usually identical for every row it
+processes; driving :class:`~repro.pim.device.PIMDevice` one Python
+micro-op at a time therefore re-interprets the same op stream hundreds
+of times per frame.  This module captures the body *once* and replays
+it for many rows at a cost of one numpy operation per recorded op:
+
+* :class:`ProgramRecorder` exposes the full ``PIMDevice`` micro-op
+  surface but records a :class:`PIMProgram` instead of executing.
+  Row operands are either absolute ``int`` rows or base-relative
+  :class:`~repro.pim.isa.Rel` offsets, resolved at replay time.
+* :meth:`PIMDevice.run_program` replays a program for a list of base
+  rows -- vectorized across all rows at once when the program's hazard
+  analysis proves that equivalent, eagerly otherwise -- and charges the
+  :class:`~repro.pim.cost.CostLedger` in O(1) per replay (the recorded
+  aggregate times the number of base rows).
+* :class:`ProgramCache` is a small LRU keyed by
+  ``(kernel, shape, precision, config digest)`` so a frontend compiles
+  each kernel once per pyramid level and replays it every frame.
+
+Batched replay is *bit-exact and cost-exact*: memory state, ledger
+totals and trace streams match the eager per-row path.  The hazard
+rules that make this provable are documented on
+:attr:`PIMProgram.batchable`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.pim.config import DEFAULT_CONFIG, PIMConfig
+from repro.pim.cost import CostLedger
+from repro.pim.device import _DeviceCore
+from repro.pim.isa import (
+    ChargeStep,
+    Dst,
+    Imm,
+    Rel,
+    Src,
+    StepCost,
+    _TmpSentinel,
+    charge_plan,
+    step_cost,
+)
+
+__all__ = ["PIMProgram", "ProgramOp", "ProgramRecorder", "ProgramCache",
+           "Rel", "program_key"]
+
+
+@dataclass(frozen=True)
+class ProgramOp:
+    """One recorded micro-op (or the ``set_precision`` pseudo-op).
+
+    Attributes:
+        method: Device-surface method name (``"add"``, ``"mul"``, ...).
+        dst: Destination operand as recorded (``Rel``, ``int`` or Tmp).
+        srcs: Source operands as recorded.
+        kwargs: The method's keyword arguments, fully resolved.
+        precision: Lane width active when the op was recorded.
+        plan: The op's accumulator steps (cost choreography).
+        costs: Each step priced at the recorded precision.
+    """
+
+    method: str
+    dst: object
+    srcs: Tuple
+    kwargs: dict
+    precision: int
+    plan: Tuple[ChargeStep, ...]
+    costs: Tuple[StepCost, ...]
+
+    def resolve(self, operand, base: int):
+        """Materialize one operand for a given base row."""
+        if isinstance(operand, Rel):
+            return int(base + int(operand))
+        return operand
+
+
+def _first_access_ok(ops: List[ProgramOp], key_of) -> bool:
+    """True when every written resource is written before it is read.
+
+    ``key_of`` maps an operand to a hashable resource key (or ``None``
+    to ignore it).  Resources that are only ever read are fine -- every
+    replay sees the same pre-program state.  Resources that are written
+    get a private per-base copy during batched replay, which is only
+    equivalent to sequential replay if no base reads another base's
+    leftover state: i.e. the first access within the program must be a
+    write.
+    """
+    written = set()
+    ever_written = set()
+    for op in ops:
+        key = key_of(op.dst)
+        if key is not None:
+            ever_written.add(key)
+    for op in ops:
+        for src in op.srcs:
+            key = key_of(src)
+            if key is not None and key in ever_written and \
+                    key not in written:
+                return False
+        key = key_of(op.dst)
+        if key is not None:
+            written.add(key)
+    return True
+
+
+def _rel_hazards_ok(ops: List[ProgramOp]) -> bool:
+    """Check relative-operand aliasing between base rows.
+
+    Eager replay runs bases in ascending order, so for strictly
+    increasing bases a write at offset ``w`` and a read at offset ``r``
+    of *different* rows alias across neighbouring bases exactly when
+    their offsets differ.  Matching visibility between the element-major
+    eager order and the op-major batched order requires:
+
+    * ``w > r`` (the writer runs on an *earlier* base): the write is
+      visible eagerly, so the batched write must precede the read --
+      write op strictly before read op.
+    * ``w < r`` (the writer runs on a *later* base): the write is not
+      visible eagerly, so the batched write must not precede the read
+      (same-op is safe: batched ops gather before they scatter).
+    * two writes at offsets ``w1`` (earlier op) and ``w2`` (later op)
+      collide across bases when ``w2 > w1``; the batched final value
+      would come from the later op while eager leaves the earlier op's
+      value from a later base.
+    """
+    writes = [(p, int(op.dst)) for p, op in enumerate(ops)
+              if isinstance(op.dst, Rel)]
+    reads = [(q, int(s)) for q, op in enumerate(ops)
+             for s in op.srcs if isinstance(s, Rel)]
+    for p, w in writes:
+        for q, r in reads:
+            if w > r and p >= q:
+                return False
+            if w < r and p < q:
+                return False
+    for i, (p, w1) in enumerate(writes):
+        for q, w2 in writes[i + 1:]:
+            if p < q and w2 > w1:
+                return False
+    return True
+
+
+@dataclass(frozen=True)
+class PIMProgram:
+    """An immutable recorded op stream with its aggregate cost.
+
+    Produced by :meth:`ProgramRecorder.finish`; executed by
+    :meth:`PIMDevice.run_program`.  The aggregate ledger holds exactly
+    what one eager replay charges, so ``aggregate x len(base_rows)`` is
+    the O(1) batched charge.
+    """
+
+    name: str
+    ops: Tuple[ProgramOp, ...]
+    initial_precision: int
+    aggregate: CostLedger
+    config_digest: str
+    batchable: bool = field(init=False)
+    registers_ok: bool = field(init=False)
+    rel_order_safe: bool = field(init=False)
+    rel_read_offsets: FrozenSet[int] = field(init=False)
+    rel_write_offsets: FrozenSet[int] = field(init=False)
+    abs_read_rows: FrozenSet[int] = field(init=False)
+    abs_write_rows: FrozenSet[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        body = [op for op in self.ops if op.method != "set_precision"]
+        object.__setattr__(self, "rel_read_offsets", frozenset(
+            int(s) for op in body for s in op.srcs
+            if isinstance(s, Rel)))
+        object.__setattr__(self, "rel_write_offsets", frozenset(
+            int(op.dst) for op in body if isinstance(op.dst, Rel)))
+        object.__setattr__(self, "abs_read_rows", frozenset(
+            int(s) for op in body for s in op.srcs
+            if isinstance(s, int) and not isinstance(s, Rel)))
+        object.__setattr__(self, "abs_write_rows", frozenset(
+            int(op.dst) for op in body
+            if isinstance(op.dst, int) and not isinstance(op.dst, Rel)))
+        tmp_ok = _first_access_ok(
+            body, lambda o: ("tmp", o.index)
+            if isinstance(o, _TmpSentinel) else None)
+        abs_ok = _first_access_ok(
+            body, lambda o: ("row", int(o))
+            if isinstance(o, int) and not isinstance(o, Rel) else None)
+        object.__setattr__(self, "registers_ok", tmp_ok and abs_ok)
+        object.__setattr__(self, "rel_order_safe", _rel_hazards_ok(body))
+        object.__setattr__(self, "batchable",
+                           tmp_ok and abs_ok and self.rel_order_safe)
+
+    @property
+    def rel_span(self) -> int:
+        """Width of the relative footprint (max offset - min offset).
+
+        When consecutive base rows are further apart than this span the
+        footprints of different bases cannot alias, so batched replay is
+        equivalent even without :attr:`rel_order_safe` (the per-element
+        op order is preserved; only cross-element visibility could
+        differ, and disjoint footprints rule it out).
+        """
+        offsets = self.rel_read_offsets | self.rel_write_offsets
+        if not offsets:
+            return 0
+        return max(offsets) - min(offsets)
+
+    def __len__(self) -> int:
+        return sum(1 for op in self.ops
+                   if op.method != "set_precision")
+
+    def replay(self, device, base: int) -> None:
+        """Eagerly replay once for ``base`` through the device surface.
+
+        Every micro-op goes through the ordinary device methods, so
+        execution, cost accounting and tracing are the device's own --
+        this path *is* the equivalence reference for batched replay.
+        """
+        for op in self.ops:
+            if op.method == "set_precision":
+                device.set_precision(op.kwargs["precision"])
+                continue
+            dst = op.resolve(op.dst, base)
+            srcs = tuple(op.resolve(s, base) for s in op.srcs)
+            getattr(device, op.method)(dst, *srcs, **op.kwargs)
+
+
+class ProgramRecorder(_DeviceCore):
+    """Records the device micro-op surface into a :class:`PIMProgram`.
+
+    Drop-in for :class:`~repro.pim.device.PIMDevice` inside a kernel's
+    row body: the same calls that would execute ops instead append them
+    to the program, while the recorder's own ledger accumulates the
+    aggregate cost through the exact same
+    :func:`~repro.pim.isa.charge_plan` / ``step_cost`` pipeline the
+    device uses.  Row operands may be absolute ``int`` rows or
+    base-relative :class:`~repro.pim.isa.Rel` offsets; host DMA
+    (``load``/``store``) is deliberately absent -- transfers stay
+    outside programs, matching the paper's exclusion of I/O from cycle
+    counts.
+    """
+
+    def __init__(self, config: PIMConfig = DEFAULT_CONFIG,
+                 name: str = "program"):
+        super().__init__(config, trace=False)
+        self.name = name
+        self._ops: List[ProgramOp] = []
+        self._initial_precision = self._precision
+        self._finished = False
+
+    # -- recording plumbing ---------------------------------------------
+
+    def _record(self, method: str, dst: Dst, srcs: Tuple[Src, ...],
+                kwargs: dict) -> None:
+        if self._finished:
+            raise RuntimeError(
+                "recorder already finished; start a new one")
+        self._validate(dst, srcs)
+        plan = charge_plan(method, dst, srcs, **kwargs)
+        costs = tuple(step_cost(s, self._precision) for s in plan)
+        for step in plan:
+            self._charge_step(step)
+        self._ops.append(ProgramOp(method, dst, tuple(srcs),
+                                   dict(kwargs), self._precision,
+                                   plan, costs))
+
+    def _validate(self, dst, srcs) -> None:
+        for operand in (dst, *srcs):
+            if isinstance(operand, Imm):
+                val = int(operand.value)
+                lo = -(1 << (self._precision - 1))
+                hi = (1 << self._precision) - 1
+                if not lo <= val <= hi:
+                    raise ValueError(
+                        f"immediate {val} exceeds "
+                        f"{self._precision}-bit range")
+            elif isinstance(operand, _TmpSentinel):
+                if not 0 <= operand.index < \
+                        self.config.num_tmp_registers:
+                    raise IndexError(
+                        f"tmp register {operand.index} out of range "
+                        f"[0, {self.config.num_tmp_registers})")
+            elif isinstance(operand, Rel):
+                if abs(int(operand)) >= self.config.num_rows:
+                    raise IndexError(
+                        f"relative offset {int(operand)} can never be "
+                        f"in range [0, {self.config.num_rows})")
+            else:
+                if not 0 <= int(operand) < self.config.num_rows:
+                    raise IndexError(
+                        f"row {operand} out of range "
+                        f"[0, {self.config.num_rows})")
+
+    def set_precision(self, precision: int) -> None:
+        """Record a lane-width switch (free, like on the device)."""
+        super().set_precision(precision)
+        self._ops.append(ProgramOp("set_precision", None, (),
+                                   {"precision": precision}, precision,
+                                   (), ()))
+
+    def finish(self) -> PIMProgram:
+        """Freeze the recording into an immutable program."""
+        self._finished = True
+        return PIMProgram(name=self.name, ops=tuple(self._ops),
+                          initial_precision=self._initial_precision,
+                          aggregate=self.ledger.snapshot(),
+                          config_digest=self.config.digest())
+
+    # -- the recorded micro-op surface ----------------------------------
+
+    def add(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
+            signed: bool = True) -> None:
+        """Record ``dst = a + b``."""
+        self._record("add", dst, (a, b),
+                     {"saturate": saturate, "signed": signed})
+
+    def sub(self, dst: Dst, a: Src, b: Src, saturate: bool = False,
+            signed: bool = True) -> None:
+        """Record ``dst = a - b``."""
+        self._record("sub", dst, (a, b),
+                     {"saturate": saturate, "signed": signed})
+
+    def avg(self, dst: Dst, a: Src, b: Src,
+            signed: bool = False) -> None:
+        """Record ``dst = (a + b) >> 1``."""
+        self._record("avg", dst, (a, b), {"signed": signed})
+
+    def cmp_gt(self, dst: Dst, a: Src, b: Src,
+               signed: bool = True) -> None:
+        """Record ``dst = (a > b) ? 1 : 0``."""
+        self._record("cmp_gt", dst, (a, b), {"signed": signed})
+
+    def logic_and(self, dst: Dst, a: Src, b: Src) -> None:
+        """Record a bitwise AND."""
+        self._record("logic_and", dst, (a, b), {})
+
+    def logic_or(self, dst: Dst, a: Src, b: Src) -> None:
+        """Record a bitwise OR."""
+        self._record("logic_or", dst, (a, b), {})
+
+    def logic_xor(self, dst: Dst, a: Src, b: Src) -> None:
+        """Record a bitwise XOR."""
+        self._record("logic_xor", dst, (a, b), {})
+
+    def shift_lanes(self, dst: Dst, a: Src, pixels: int,
+                    signed: bool = False) -> None:
+        """Record a whole-lane shift."""
+        self._record("shift_lanes", dst, (a,),
+                     {"pixels": pixels, "signed": signed})
+
+    def shift_bits(self, dst: Dst, a: Src, amount: int,
+                   signed: bool = True) -> None:
+        """Record an in-lane bit shift."""
+        self._record("shift_bits", dst, (a,),
+                     {"amount": amount, "signed": signed})
+
+    def copy(self, dst: Dst, src: Src, signed: bool = True) -> None:
+        """Record an accumulator move."""
+        self._record("copy", dst, (src,), {"signed": signed})
+
+    def abs_diff(self, dst: Dst, a: Src, b: Src,
+                 signed: bool = False) -> None:
+        """Record ``dst = |a - b|`` (two accumulator steps)."""
+        self._record("abs_diff", dst, (a, b), {"signed": signed})
+
+    def maximum(self, dst: Dst, a: Src, b: Src,
+                signed: bool = False) -> None:
+        """Record ``dst = max(a, b)`` (two accumulator steps)."""
+        self._record("maximum", dst, (a, b), {"signed": signed})
+
+    def minimum(self, dst: Dst, a: Src, b: Src,
+                signed: bool = False) -> None:
+        """Record ``dst = min(a, b)`` (two accumulator steps)."""
+        self._record("minimum", dst, (a, b), {"signed": signed})
+
+    def mul(self, dst: Dst, a: Src, b: Src, rshift: int = 0,
+            saturate: bool = True, signed: bool = True,
+            multiplier_bits: Optional[int] = None) -> None:
+        """Record ``dst = (a * b) >> rshift``."""
+        self._record("mul", dst, (a, b),
+                     {"rshift": rshift, "saturate": saturate,
+                      "signed": signed,
+                      "multiplier_bits": multiplier_bits})
+
+    def div(self, dst: Dst, a: Src, b: Src, lshift: int = 0,
+            signed: bool = True) -> None:
+        """Record ``dst = (a << lshift) / b``."""
+        self._record("div", dst, (a, b),
+                     {"lshift": lshift, "signed": signed})
+
+
+def program_key(kernel: str, shape, precision: int,
+                config: PIMConfig) -> Tuple:
+    """Canonical cache key: kernel, shape, precision, config digest."""
+    if isinstance(shape, (list, tuple)):
+        shape = tuple(int(s) for s in shape)
+    return (kernel, shape, int(precision), config.digest())
+
+
+class ProgramCache:
+    """A small LRU of compiled :class:`PIMProgram` objects.
+
+    Keys are caller-chosen tuples, canonically built by
+    :func:`program_key` so a change of kernel, image shape, lane width
+    or device geometry can never replay a stale program.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._programs: "OrderedDict[Tuple, PIMProgram]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def __contains__(self, key) -> bool:
+        return key in self._programs
+
+    def get(self, key) -> Optional[PIMProgram]:
+        """Look up a program, refreshing its recency; None on miss."""
+        program = self._programs.get(key)
+        if program is None:
+            self.misses += 1
+            return None
+        self._programs.move_to_end(key)
+        self.hits += 1
+        return program
+
+    def put(self, key, program: PIMProgram) -> None:
+        """Insert (or refresh) a program, evicting the oldest entry."""
+        self._programs[key] = program
+        self._programs.move_to_end(key)
+        while len(self._programs) > self.capacity:
+            self._programs.popitem(last=False)
+
+    def get_or_record(self, key, config: PIMConfig,
+                      build: Callable[[ProgramRecorder], None],
+                      name: Optional[str] = None) -> PIMProgram:
+        """Return the cached program for ``key``, recording on miss.
+
+        ``build`` receives a fresh :class:`ProgramRecorder` and records
+        the kernel body into it; the finished program is cached and
+        returned.
+        """
+        program = self.get(key)
+        if program is None:
+            recorder = ProgramRecorder(config, name=name or str(key[0]))
+            build(recorder)
+            program = recorder.finish()
+            self.put(key, program)
+        return program
+
+    def clear(self) -> None:
+        """Drop every cached program and reset the hit/miss counters."""
+        self._programs.clear()
+        self.hits = 0
+        self.misses = 0

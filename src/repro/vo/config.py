@@ -55,6 +55,12 @@ class TrackerConfig:
         pyramid_levels: Coarse-to-fine levels (1 = the paper's single
             QVGA level; more levels extend the convergence basin for
             fast motion).
+        pim_device_detect: Run the PIM frontend's edge detection
+            through the simulated device with compiled-program replay
+            (bit-identical to the default vectorized path, and it
+            fills a per-frame cycle ledger).  Off by default: the
+            numpy mirror is faster when no device accounting is
+            wanted.
     """
 
     camera: CameraIntrinsics = field(default_factory=lambda: TUM_QVGA)
@@ -75,6 +81,7 @@ class TrackerConfig:
     keyframe_max_error: float = 5.0
     min_features: int = 60
     pyramid_levels: int = 1
+    pim_device_detect: bool = False
 
     def scaled_for_level(self, level: int) -> "TrackerConfig":
         """Configuration for pyramid level ``level`` (half-res each)."""

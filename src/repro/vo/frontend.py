@@ -16,7 +16,7 @@ import numpy as np
 from repro.fixedpoint import Q14_2
 from repro.geometry.camera import inverse_depth_coords
 from repro.geometry.se3 import SE3
-from repro.kernels.edge_detect import detect_edges_fast
+from repro.kernels.edge_detect import detect_edges_fast, detect_edges_replay
 from repro.kernels.hessian import hessian_fast, unpack_symmetric
 from repro.kernels.jacobian import jacobian_fast, jacobian_float
 from repro.kernels.warp import (
@@ -142,9 +142,40 @@ class PIMFrontend:
 
     def __init__(self, config: TrackerConfig):
         self.config = config
+        # One simulated device per frame shape (pyramid level), reused
+        # across frames; the compiled kernel programs themselves live in
+        # the process-wide KERNEL_PROGRAM_CACHE, keyed by geometry, so
+        # each level's LPF/HPF/NMS bodies are recorded exactly once.
+        self._detect_devices: dict = {}
+        #: Per-stage device cycles of the most recent detect() when
+        #: ``config.pim_device_detect`` is on (empty otherwise).
+        self.last_detect_cycles: dict = {}
+
+    def _detect_device(self, shape):
+        device = self._detect_devices.get(shape)
+        if device is None:
+            from repro.pim import PIMConfig, PIMDevice
+            height, width = shape
+            device = PIMDevice(PIMConfig(wordline_bits=width * 8,
+                                         num_rows=height + 8))
+            self._detect_devices[shape] = device
+        return device
 
     def detect(self, gray: np.ndarray) -> np.ndarray:
-        """Boolean edge map via the in-PIM kernel chain."""
+        """Boolean edge map via the in-PIM kernel chain.
+
+        With ``config.pim_device_detect`` the chain runs on the
+        simulated device via compiled-program replay (bit-identical
+        mask, per-stage cycles in :attr:`last_detect_cycles`);
+        otherwise on the vectorized numpy mirror.
+        """
+        if self.config.pim_device_detect:
+            gray = np.asarray(gray)
+            device = self._detect_device(gray.shape)
+            result = detect_edges_replay(device, gray, self.config.th1,
+                                         self.config.th2)
+            self.last_detect_cycles = dict(result.cycles)
+            return result.edge_map
         return detect_edges_fast(gray, self.config.th1,
                                  self.config.th2).edge_map
 

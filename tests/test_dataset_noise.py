@@ -1,7 +1,6 @@
 """Tests for the Kinect-style sensor noise model."""
 
 import numpy as np
-import pytest
 
 from repro.dataset import apply_kinect_noise, make_sequence
 from repro.dataset.synthetic import Frame

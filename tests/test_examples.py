@@ -1,5 +1,6 @@
 """Smoke tests: every example script runs end to end."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,12 +8,16 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 
 def run_example(name, *args, timeout=420):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout)
+        capture_output=True, text=True, timeout=timeout, env=env)
 
 
 class TestExamples:

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.geometry import (
     SE3,
-    CameraIntrinsics,
     TUM_QVGA,
     inverse_depth_coords,
     se3_exp,

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.kernels.hpf import hpf_fast
 from repro.kernels.lpf import lpf_fast
 from repro.kernels.sobel import (
     sobel_abs_hpf_fast,

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.kernels import detect_edges_fast, detect_edges_pim
+from repro.kernels import detect_edges_fast
 from repro.pim import BitPIMDevice, Imm, PIMConfig, PIMDevice, TMP, Tmp
 
 CFG = PIMConfig(wordline_bits=64, num_rows=6, num_tmp_registers=2)

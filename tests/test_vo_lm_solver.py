@@ -6,7 +6,6 @@ handling, and the paper's scale-free (``lambda I``) damping variant.
 """
 
 import numpy as np
-import pytest
 
 from repro.geometry.se3 import SE3, se3_log
 from repro.vo.config import TrackerConfig

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.geometry import SE3, se3_exp
-from repro.vo.posegraph import PoseGraph, PoseGraphEdge
+from repro.vo.posegraph import PoseGraph
 
 
 def noisy_chain(n=12, step=None, noise=0.01, seed=0):

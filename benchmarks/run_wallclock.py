@@ -13,12 +13,16 @@ code that produces it.
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.analysis.wallclock import run_wallclock, write_results  # noqa: E402
+from repro.obs import setup_logging  # noqa: E402
+
+log = logging.getLogger("repro.benchmarks.wallclock")
 
 
 def main() -> int:
@@ -30,21 +34,25 @@ def main() -> int:
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default: repo-root "
                              "BENCH_pim.json)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level console logging")
     args = parser.parse_args()
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
     if args.features < 1:
         parser.error("--features must be >= 1")
+    setup_logging(verbose=args.verbose)
     results = run_wallclock(repeats=args.repeats,
                             num_features=args.features)
     path = write_results(results, args.out)
-    print(json.dumps(results, indent=2))
-    print(f"\nwrote {path}")
+    log.info("results:\n%s", json.dumps(results, indent=2))
+    log.info("wrote %s", path)
     edge = results["edge_pipeline"]
     ok = edge["speedup"] >= 5.0 and edge["ledger_identical"] and \
         edge["mask_bit_identical"] and edge["sram_bit_identical"]
-    print(f"edge pipeline: {edge['speedup']}x "
-          f"({'OK' if ok else 'BELOW TARGET / PARITY FAILURE'})")
+    level = logging.INFO if ok else logging.ERROR
+    log.log(level, "edge pipeline: %sx (%s)", edge["speedup"],
+            "OK" if ok else "BELOW TARGET / PARITY FAILURE")
     return 0 if ok else 1
 
 

@@ -2,16 +2,22 @@
 
 Usage::
 
-    python -m repro.analysis [--frames N] [--out DIR]
+    python -m repro.analysis [report] [--frames N] [--out DIR] [--verbose]
+    python -m repro.analysis trace [--frames N] [--out DIR] [--verbose]
 
-Runs all experiment drivers and writes the text reports (and Fig. 8
-SVGs) to the output directory.  Equivalent to the benchmark harness
-without pytest.
+The default (``report``) subcommand runs all experiment drivers and
+writes the text reports (and Fig. 8 SVGs) to the output directory --
+equivalent to the benchmark harness without pytest.  The ``trace``
+subcommand tracks synthetic frames with telemetry enabled and exports
+a Perfetto-loadable Chrome trace, a JSONL metrics stream and the
+per-kernel attribution summary (see :mod:`repro.analysis.trace_cli`).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import sys
 import time
 from pathlib import Path
 
@@ -34,20 +40,32 @@ from repro.analysis import (
     trajectory_svg,
 )
 from repro.analysis.reporting import format_table
+from repro.obs import setup_logging
+
+log = logging.getLogger(__name__)
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        from repro.analysis.trace_cli import trace_main
+        raise SystemExit(trace_main(argv[1:]))
+    if argv and argv[0] == "report":
+        argv = argv[1:]
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--frames", type=int, default=60,
                         help="sequence length for the tracking runs")
     parser.add_argument("--out", default="analysis_output")
-    args = parser.parse_args()
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level console logging")
+    args = parser.parse_args(argv)
+    setup_logging(verbose=args.verbose)
     out = Path(args.out)
     out.mkdir(exist_ok=True)
 
     def emit(name: str, text: str) -> None:
-        print(f"\n== {name} " + "=" * max(0, 60 - len(name)))
-        print(text)
+        log.info("== %s %s\n%s", name, "=" * max(0, 60 - len(name)),
+                 text)
         (out / f"{name}.txt").write_text(text + "\n")
 
     start = time.time()
@@ -153,8 +171,8 @@ def main() -> None:
                      title="Derived accelerator metrics"),
     ]))
 
-    print(f"\nall reports written to {out}/ "
-          f"({time.time() - start:.0f} s)")
+    log.info("all reports written to %s/ (%.0f s)", out,
+             time.time() - start)
 
 
 if __name__ == "__main__":

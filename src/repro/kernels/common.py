@@ -18,8 +18,9 @@ __all__ = ["KERNEL_PROGRAM_CACHE", "load_image", "read_image",
 
 #: Process-wide LRU of compiled kernel programs.  Keys include the
 #: device geometry digest (see :func:`repro.pim.program.program_key`),
-#: so devices of different shapes never share entries.
-KERNEL_PROGRAM_CACHE = ProgramCache(capacity=64)
+#: so devices of different shapes never share entries.  Hits/misses
+#: surface in the metrics registry under ``cache="kernels"``.
+KERNEL_PROGRAM_CACHE = ProgramCache(capacity=64, name="kernels")
 
 
 def load_image(device, image: np.ndarray, base_row: int = 0) -> None:

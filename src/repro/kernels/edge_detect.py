@@ -28,6 +28,7 @@ from repro.kernels.common import load_image, read_image
 from repro.kernels.hpf import hpf_fast, hpf_pim, hpf_pim_replay
 from repro.kernels.lpf import lpf_fast, lpf_pim
 from repro.kernels.nms import nms_fast, nms_pim, nms_pim_replay
+from repro.obs.tracer import span as obs_span
 from repro.vision.edges import DEFAULT_TH1, DEFAULT_TH2
 
 __all__ = ["EdgeDetectionResult", "detect_edges_fast", "detect_edges_pim",
@@ -95,17 +96,19 @@ def detect_edges_pim(device, image: np.ndarray, th1: int = DEFAULT_TH1,
     height, width = img.shape
     load_image(device, img, base_row)
     cycles = {}
-    snap = device.ledger.snapshot()
-    lpf_pim(device, height, base_row)
-    cycles["lpf"] = device.ledger.cycles - snap.cycles
+    with obs_span("detect_edges", device=device, category="pipeline",
+                  height=height, width=width, variant="eager"):
+        snap = device.ledger.snapshot()
+        lpf_pim(device, height, base_row)
+        cycles["lpf"] = device.ledger.cycles - snap.cycles
 
-    snap = device.ledger.snapshot()
-    hpf_pim(device, height, base_row)
-    cycles["hpf"] = device.ledger.cycles - snap.cycles
+        snap = device.ledger.snapshot()
+        hpf_pim(device, height, base_row)
+        cycles["hpf"] = device.ledger.cycles - snap.cycles
 
-    snap = device.ledger.snapshot()
-    nms_pim(device, height, th1, th2, base_row)
-    cycles["nms"] = device.ledger.cycles - snap.cycles
+        snap = device.ledger.snapshot()
+        nms_pim(device, height, th1, th2, base_row)
+        cycles["nms"] = device.ledger.cycles - snap.cycles
 
     mask = read_image(device, height, width, base_row)
     return EdgeDetectionResult(
@@ -134,17 +137,20 @@ def detect_edges_replay(device, image: np.ndarray, th1: int = DEFAULT_TH1,
     height, width = img.shape
     load_image(device, img, base_row)
     cycles = {}
-    snap = device.ledger.snapshot()
-    lpf_pim(device, height, base_row, mode=mode)
-    cycles["lpf"] = device.ledger.cycles - snap.cycles
+    with obs_span("detect_edges", device=device, category="pipeline",
+                  height=height, width=width, variant="replay",
+                  mode=mode):
+        snap = device.ledger.snapshot()
+        lpf_pim(device, height, base_row, mode=mode)
+        cycles["lpf"] = device.ledger.cycles - snap.cycles
 
-    snap = device.ledger.snapshot()
-    hpf_pim_replay(device, height, base_row, mode=mode)
-    cycles["hpf"] = device.ledger.cycles - snap.cycles
+        snap = device.ledger.snapshot()
+        hpf_pim_replay(device, height, base_row, mode=mode)
+        cycles["hpf"] = device.ledger.cycles - snap.cycles
 
-    snap = device.ledger.snapshot()
-    nms_pim_replay(device, height, th1, th2, base_row, mode=mode)
-    cycles["nms"] = device.ledger.cycles - snap.cycles
+        snap = device.ledger.snapshot()
+        nms_pim_replay(device, height, th1, th2, base_row, mode=mode)
+        cycles["nms"] = device.ledger.cycles - snap.cycles
 
     mask = read_image(device, height, width, base_row)
     return EdgeDetectionResult(

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.fixedpoint import ops
 from repro.kernels.common import KERNEL_PROGRAM_CACHE, shift_pixels
+from repro.obs.tracer import span as obs_span
 from repro.pim.device import TMP, Rel, Tmp
 from repro.pim.program import PIMProgram, program_key
 
@@ -106,26 +107,28 @@ def hpf_pim(device, height: int, base_row: int = 0,
     acc = Tmp(1) if device.config.num_tmp_registers > 1 \
         else scratch_base + 6
 
-    # Prologue: shifts of the first two rows enter the ring.
-    for i, r in enumerate((base_row, base_row + 1)):
-        device.shift_lanes(s2[i], r, 2)
-        device.shift_lanes(s1[i], r, 1)
+    with obs_span("hpf", device=device, category="kernel",
+                  rows=height - 2):
+        # Prologue: shifts of the first two rows enter the ring.
+        for i, r in enumerate((base_row, base_row + 1)):
+            device.shift_lanes(s2[i], r, 2)
+            device.shift_lanes(s1[i], r, 1)
 
-    for r in range(base_row + 1, base_row + height - 1):
-        ia = (r - 1 - base_row) % 3   # ring slot of row A = r - 1
-        ib = (r - base_row) % 3       # slot of row B = r
-        ic = (r + 1 - base_row) % 3   # slot of row C = r + 1
-        row_a, row_b, row_c = r - 1, r, r + 1
-        device.shift_lanes(s2[ic], row_c, 2)
-        device.shift_lanes(s1[ic], row_c, 1)
-        device.abs_diff(acc, row_a, s2[ic])          # |A - C<<2|
-        device.abs_diff(TMP, s2[ia], row_c)          # |A<<2 - C|
-        device.add(acc, acc, TMP, saturate=True, signed=False)
-        device.abs_diff(TMP, row_b, s2[ib])          # |B - B<<2|
-        device.add(acc, acc, TMP, saturate=True, signed=False)
-        device.abs_diff(TMP, s1[ia], s1[ic])         # |A<<1 - C<<1|
-        device.add(TMP, acc, TMP, saturate=True, signed=False)
-        device.shift_lanes(row_a, TMP, -1)           # centre-align, in place
+        for r in range(base_row + 1, base_row + height - 1):
+            ia = (r - 1 - base_row) % 3   # ring slot of row A = r - 1
+            ib = (r - base_row) % 3       # slot of row B = r
+            ic = (r + 1 - base_row) % 3   # slot of row C = r + 1
+            row_a, row_b, row_c = r - 1, r, r + 1
+            device.shift_lanes(s2[ic], row_c, 2)
+            device.shift_lanes(s1[ic], row_c, 1)
+            device.abs_diff(acc, row_a, s2[ic])          # |A - C<<2|
+            device.abs_diff(TMP, s2[ia], row_c)          # |A<<2 - C|
+            device.add(acc, acc, TMP, saturate=True, signed=False)
+            device.abs_diff(TMP, row_b, s2[ib])          # |B - B<<2|
+            device.add(acc, acc, TMP, saturate=True, signed=False)
+            device.abs_diff(TMP, s1[ia], s1[ic])         # |A<<1 - C<<1|
+            device.add(TMP, acc, TMP, saturate=True, signed=False)
+            device.shift_lanes(row_a, TMP, -1)           # centre-align, in place
 
 
 def _hpf_row_body(rec, scratch_base: int) -> None:
@@ -176,9 +179,11 @@ def hpf_pim_replay(device, height: int, base_row: int = 0,
     if scratch_base is None:
         scratch_base = base_row + height
     program = hpf_program(device.config, scratch_base)
-    device.run_program(program,
-                       range(base_row + 1, base_row + height - 1),
-                       mode=mode)
+    with obs_span("hpf", device=device, category="kernel",
+                  rows=height - 2):
+        device.run_program(program,
+                           range(base_row + 1, base_row + height - 1),
+                           mode=mode)
 
 
 def hpf_pim_naive(device, image: np.ndarray, base_row: int = 0,

@@ -45,6 +45,7 @@ from repro.kernels.warp import (
     warp_fast,
     warp_pim,
 )
+from repro.obs.tracer import span as obs_span
 from repro.pim.device import TMP, Imm
 from repro.pim.isa import OpKind
 
@@ -132,7 +133,6 @@ def lm_iteration_pim(device, qpose: QuantizedPose,
         and full-matrix Hessian mappings are used instead.
     """
     breakdown = LMCycleBreakdown()
-    f = feats.fmt.fraction_bits
 
     warp_rows = WarpRows(a=0, b=1, c=2, x=3, y=4, z=5, rx=6, ry=7,
                          u=8, v=9)
@@ -145,39 +145,78 @@ def lm_iteration_pim(device, qpose: QuantizedPose,
         raise ValueError("device too small for the LM row plan")
     acc_rows = list(range(acc_base, acc_base + n_acc))
 
+    lm_span = obs_span("lm_iteration", device=device, category="pipeline",
+                       features=len(feats), naive=naive)
+    lm_span.__enter__()
+    try:
+        raws = _lm_phases(device, qpose, feats, camera, dt_raw, gu_raw,
+                          gv_raw, residual_clamp_raw, naive, breakdown,
+                          warp_rows, jac_rows, r_row, mask_row, acc_rows)
+    finally:
+        lm_span.__exit__(None, None, None)
+
+    if naive:
+        # Collapse the 36 full-matrix values to the upper triangle for
+        # a comparable return shape.
+        full = raws[:36].reshape(6, 6)
+        h_raw = np.array([full[p, q] for p in range(6)
+                          for q in range(p, 6)])
+        b_raw = raws[36:]
+    else:
+        h_raw, b_raw = raws[:21], raws[21:]
+    return h_raw, b_raw, breakdown
+
+
+def _lm_phases(device, qpose, feats, camera, dt_raw, gu_raw, gv_raw,
+               residual_clamp_raw, naive, breakdown, warp_rows, jac_rows,
+               r_row, mask_row, acc_rows) -> np.ndarray:
+    """The traced phase chain of :func:`lm_iteration_pim`.
+
+    Mutates ``breakdown`` in place and returns the reduced raws.
+    """
+    f = feats.fmt.fraction_bits
     all_j = []
     all_r = []
     for batch, count in _batched(feats, device.config.lanes(_LANE16)):
         before = device.ledger.cycles
-        warp = warp_pim(device, qpose, batch, camera, warp_rows)
+        with obs_span("warp", device=device, category="kernel",
+                      features=count):
+            warp = warp_pim(device, qpose, batch, camera, warp_rows)
         breakdown.warp += device.ledger.cycles - before
 
         # Host-assisted gathers: one access + one cycle per feature per
         # map (residual DT, gradient u, gradient v).
         before = device.ledger.cycles
-        iu = nearest_lookup(gu_raw, warp.u, warp.v)
-        iv = nearest_lookup(gv_raw, warp.u, warp.v)
-        res = np.minimum(nearest_lookup(dt_raw, warp.u, warp.v),
-                         residual_clamp_raw)
-        device.ledger.charge(OpKind.COPY, cycles=3 * count,
-                             sram_reads=3 * count, logic_ops=0)
-        device.set_precision(_LANE16)
-        device.load(jac_rows.iu, iu)
-        device.load(jac_rows.iv, iv)
-        device.load(r_row, res)
+        with obs_span("lookup", device=device, category="kernel",
+                      features=count):
+            iu = nearest_lookup(gu_raw, warp.u, warp.v)
+            iv = nearest_lookup(gv_raw, warp.u, warp.v)
+            res = np.minimum(nearest_lookup(dt_raw, warp.u, warp.v),
+                             residual_clamp_raw)
+            device.ledger.charge(OpKind.COPY, cycles=3 * count,
+                                 sram_reads=3 * count, logic_ops=0)
+            device.set_precision(_LANE16)
+            device.load(jac_rows.iu, iu)
+            device.load(jac_rows.iv, iv)
+            device.load(r_row, res)
         breakdown.lookup += device.ledger.cycles - before
 
         before = device.ledger.cycles
-        if naive:
-            jacobian_pim_naive(device, jac_rows, count, x_row=warp_rows.x,
-                               y_row=warp_rows.y, feature_frac=f)
-        else:
-            jacobian_pim(device, jac_rows, count, feature_frac=f)
+        with obs_span("jacobian", device=device, category="kernel",
+                      features=count, naive=naive):
+            if naive:
+                jacobian_pim_naive(device, jac_rows, count,
+                                   x_row=warp_rows.x, y_row=warp_rows.y,
+                                   feature_frac=f)
+            else:
+                jacobian_pim(device, jac_rows, count, feature_frac=f)
         breakdown.jacobian += device.ledger.cycles - before
 
         before = device.ledger.cycles
-        _mask_batch(device, warp_rows, jac_rows.j, r_row, mask_row,
-                    camera)
+        with obs_span("mask", device=device, category="kernel",
+                      features=count):
+            _mask_batch(device, warp_rows, jac_rows.j, r_row, mask_row,
+                        camera)
         breakdown.mask += device.ledger.cycles - before
 
         all_j.append(np.stack(
@@ -199,34 +238,27 @@ def lm_iteration_pim(device, qpose: QuantizedPose,
     jp[:n] = j_full
     rp[:n] = r_full
     before = device.ledger.cycles
-    device.set_precision(_LANE32)
-    for bi in range(batches):
-        sl = slice(bi * lanes32, (bi + 1) * lanes32)
-        for col in range(6):
-            device.load(col, jp[sl, col])
-        device.load(6, rp[sl])
-        if naive:
-            hessian_pim_naive(device, list(range(6)), 6, acc_rows,
-                              first_batch=(bi == 0))
-        else:
-            hessian_pim(device, list(range(6)), 6, acc_rows,
-                        first_batch=(bi == 0))
+    with obs_span("hessian", device=device, category="kernel",
+                  batches=batches, naive=naive):
+        device.set_precision(_LANE32)
+        for bi in range(batches):
+            sl = slice(bi * lanes32, (bi + 1) * lanes32)
+            for col in range(6):
+                device.load(col, jp[sl, col])
+            device.load(6, rp[sl])
+            if naive:
+                hessian_pim_naive(device, list(range(6)), 6, acc_rows,
+                                  first_batch=(bi == 0))
+            else:
+                hessian_pim(device, list(range(6)), 6, acc_rows,
+                            first_batch=(bi == 0))
     breakdown.hessian += device.ledger.cycles - before
 
     before = device.ledger.cycles
-    raws = hessian_reduce_pim(device, acc_rows)
+    with obs_span("reduce", device=device, category="kernel"):
+        raws = hessian_reduce_pim(device, acc_rows)
     breakdown.reduce += device.ledger.cycles - before
-
-    if naive:
-        # Collapse the 36 full-matrix values to the upper triangle for
-        # a comparable return shape.
-        full = raws[:36].reshape(6, 6)
-        h_raw = np.array([full[p, q] for p in range(6)
-                          for q in range(p, 6)])
-        b_raw = raws[36:]
-    else:
-        h_raw, b_raw = raws[:21], raws[21:]
-    return h_raw, b_raw, breakdown
+    return raws
 
 
 def lm_iteration_fast(qpose: QuantizedPose, feats: QuantizedFeatures,

@@ -29,6 +29,7 @@ from repro.kernels.common import (
     read_image,
     shift_pixels,
 )
+from repro.obs.tracer import span as obs_span
 from repro.pim.device import TMP, Imm, Rel, Tmp
 from repro.pim.program import PIMProgram, program_key
 
@@ -129,13 +130,15 @@ def lpf_pim(device, height: int, base_row: int = 0,
     """
     program = lpf_program(device.config)
     bases = range(base_row, base_row + height - 1)
-    if hasattr(device, "run_program"):
+    with obs_span("lpf", device=device, category="kernel",
+                  rows=height - 1, passes=2):
+        if hasattr(device, "run_program"):
+            for _ in range(2):
+                device.run_program(program, bases, mode=mode)
+            return
         for _ in range(2):
-            device.run_program(program, bases, mode=mode)
-        return
-    for _ in range(2):
-        for r in bases:
-            program.replay(device, r)
+            for r in bases:
+                program.replay(device, r)
 
 
 def lpf_pim_naive(device, image: np.ndarray, base_row: int = 0,

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.fixedpoint import ops
 from repro.kernels.common import KERNEL_PROGRAM_CACHE, shift_pixels
+from repro.obs.tracer import span as obs_span
 from repro.pim.device import TMP, Imm, Rel, Tmp
 from repro.pim.program import PIMProgram, program_key
 
@@ -118,30 +119,32 @@ def nms_pim(device, height: int, th1: int, th2: int, base_row: int = 0,
         else scratch_base + 6
     t2 = scratch_base + 7
 
-    for i, r in enumerate((base_row, base_row + 1)):
-        device.shift_lanes(s2[i], r, 2)
-        device.shift_lanes(s1[i], r, 1)
+    with obs_span("nms", device=device, category="kernel",
+                  rows=height - 2):
+        for i, r in enumerate((base_row, base_row + 1)):
+            device.shift_lanes(s2[i], r, 2)
+            device.shift_lanes(s1[i], r, 1)
 
-    for r in range(base_row + 1, base_row + height - 1):
-        ia = (r - 1 - base_row) % 3
-        ib = (r - base_row) % 3
-        ic = (r + 1 - base_row) % 3
-        row_a, row_b, row_c = r - 1, r, r + 1
-        device.shift_lanes(s2[ic], row_c, 2)
-        device.shift_lanes(s1[ic], row_c, 1)
-        device.maximum(t1, row_a, s2[ic])      # max(a1, c3)
-        device.maximum(t2, s2[ia], row_c)      # max(a3, c1)
-        device.minimum(t1, t1, t2)
-        device.maximum(t2, row_b, s2[ib])      # max(b1, b3)
-        device.minimum(t1, t1, t2)
-        device.maximum(t2, s1[ia], s1[ic])     # max(a2, c2)
-        device.minimum(t1, t1, t2)             # K
-        device.shift_lanes(t1, t1, -1)         # centre-align K
-        device.sub(TMP, row_b, Imm(th2), saturate=True,
-                   signed=False)               # L = sat(b2 - th2)
-        device.cmp_gt(t2, TMP, t1, signed=False)        # M = L > K
-        device.cmp_gt(TMP, row_b, Imm(th1), signed=False)  # N = b2 > th1
-        device.logic_and(row_a, t2, TMP)       # edge mask, in place
+        for r in range(base_row + 1, base_row + height - 1):
+            ia = (r - 1 - base_row) % 3
+            ib = (r - base_row) % 3
+            ic = (r + 1 - base_row) % 3
+            row_a, row_b, row_c = r - 1, r, r + 1
+            device.shift_lanes(s2[ic], row_c, 2)
+            device.shift_lanes(s1[ic], row_c, 1)
+            device.maximum(t1, row_a, s2[ic])      # max(a1, c3)
+            device.maximum(t2, s2[ia], row_c)      # max(a3, c1)
+            device.minimum(t1, t1, t2)
+            device.maximum(t2, row_b, s2[ib])      # max(b1, b3)
+            device.minimum(t1, t1, t2)
+            device.maximum(t2, s1[ia], s1[ic])     # max(a2, c2)
+            device.minimum(t1, t1, t2)             # K
+            device.shift_lanes(t1, t1, -1)         # centre-align K
+            device.sub(TMP, row_b, Imm(th2), saturate=True,
+                       signed=False)               # L = sat(b2 - th2)
+            device.cmp_gt(t2, TMP, t1, signed=False)        # M = L > K
+            device.cmp_gt(TMP, row_b, Imm(th1), signed=False)  # N = b2 > th1
+            device.logic_and(row_a, t2, TMP)       # edge mask, in place
 
 
 def _nms_row_body(rec, th1: int, th2: int, scratch_base: int) -> None:
@@ -197,9 +200,11 @@ def nms_pim_replay(device, height: int, th1: int, th2: int,
     if scratch_base is None:
         scratch_base = base_row + height
     program = nms_program(device.config, th1, th2, scratch_base)
-    device.run_program(program,
-                       range(base_row + 1, base_row + height - 1),
-                       mode=mode)
+    with obs_span("nms", device=device, category="kernel",
+                  rows=height - 2):
+        device.run_program(program,
+                           range(base_row + 1, base_row + height - 1),
+                           mode=mode)
 
 
 def nms_pim_naive(device, response: np.ndarray, th1: int, th2: int,

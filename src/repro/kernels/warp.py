@@ -26,6 +26,7 @@ import numpy as np
 from repro.fixedpoint import Q1_15, Q4_12, Q14_2, QFormat, ops
 from repro.geometry.camera import CameraIntrinsics
 from repro.geometry.se3 import SE3
+from repro.obs.tracer import span as obs_span
 from repro.pim.device import TMP, Imm, Rel
 from repro.pim.program import PIMProgram, ProgramRecorder
 
@@ -349,7 +350,9 @@ def warp_pim_batched(device, qpose: QuantizedPose,
 
     program = warp_program(qpose, feats.fmt.fraction_bits, camera,
                            device.config)
-    device.run_program(program, bases)
+    with obs_span("warp", device=device, category="kernel",
+                  features=n, blocks=num_blocks):
+        device.run_program(program, bases)
 
     def collect(offset: int) -> np.ndarray:
         block = device.store_rows([b + offset for b in bases])

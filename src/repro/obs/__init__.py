@@ -1,0 +1,65 @@
+"""Observability for the PIM-EBVO stack: spans, metrics, exporters.
+
+The paper's evaluation is an *attribution* exercise -- Fig. 10-a/10-b
+break one tracked frame down into per-kernel cycles and per-category
+memory accesses.  This package builds that visibility into the stack
+instead of bolting it onto one benchmark script:
+
+* :mod:`repro.obs.tracer` -- a hierarchical span tracer on the
+  *simulated-cycle* timeline.  Spans snapshot the device
+  :class:`~repro.pim.cost.CostLedger` at entry/exit, so every span
+  carries its exact cycle/access/energy delta and leaf spans tile their
+  parent without drift.  Disabled (the default) it is a true no-op.
+* :mod:`repro.obs.metrics` -- a process-wide registry of named
+  counters, gauges and histograms (program-cache hits, replay fallback
+  reasons, LM iterations, keyframe insertions, per-frame cycles).
+* :mod:`repro.obs.export` -- Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``), a JSONL metrics stream, and a
+  console summary reproducing the paper's Fig. 10-a/10-b tables from a
+  live run.
+* :func:`repro.obs.setup_logging` -- one-call stdlib ``logging``
+  configuration shared by every CLI entry point.
+
+Nothing in this package imports :mod:`repro.pim` (devices and ledgers
+are duck-typed), so the pim/kernels/vo layers can depend on it freely.
+"""
+
+from repro.obs.logconf import setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracer import (
+    CLOCK,
+    Span,
+    Tracer,
+    annotate,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    console_summary,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+__all__ = [
+    "CLOCK", "Span", "Tracer", "annotate", "current_span",
+    "disable_tracing", "enable_tracing", "get_tracer", "set_tracer",
+    "span", "tracing_enabled",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
+    "set_registry",
+    "chrome_trace_events", "console_summary", "write_chrome_trace",
+    "write_metrics_jsonl",
+    "setup_logging",
+]

@@ -1,0 +1,200 @@
+"""Exporters: Chrome trace JSON, metrics JSONL, Fig. 10-style summary.
+
+The trace exporter emits the Trace Event Format understood by Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing``: one complete
+(``"ph": "X"``) event per span, with ``ts``/``dur`` expressed in
+*simulated device cycles* (the shared :data:`repro.obs.tracer.CLOCK`),
+not wall time -- the timeline you see is the timeline the modelled
+hardware would execute.  Ledger deltas, energy and span attributes ride
+along in ``args``.
+
+The console summary reproduces the paper's evaluation tables from a
+live run: per-kernel cycle totals and shares (Fig. 10-a's x-axis) and
+the ``mem_rd`` / ``mem_wr`` / ``tmp_reg`` access-share decomposition
+(Fig. 10-b), aggregated over leaf spans so nothing is double-counted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracer import Span, Tracer, get_tracer
+
+__all__ = [
+    "chrome_trace_events", "write_chrome_trace",
+    "write_metrics_jsonl", "kernel_cycle_rows", "access_share_rows",
+    "console_summary",
+]
+
+
+def _leaf_spans(spans: Sequence[Span]) -> List[Span]:
+    parents = {s.parent_id for s in spans if s.parent_id is not None}
+    return [s for s in spans if s.span_id not in parents]
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
+    """Spans as Chrome trace-event dicts, sorted by start timestamp.
+
+    Timestamps/durations are simulated cycles written into the ``ts`` /
+    ``dur`` microsecond fields, so 1 us in the viewer = 1 device cycle.
+    """
+    tids = {}
+    events: List[dict] = []
+    for span in spans:
+        tid = tids.setdefault(span.thread, len(tids))
+        args: Dict[str, object] = dict(span.attrs)
+        args["wall_ms"] = round(span.wall_s * 1e3, 3)
+        if span.ledger is not None:
+            args["cycles"] = int(span.cycles)
+            args["energy_pj"] = round(float(span.energy_pj), 1)
+            args.update(span.accesses)
+            args["host_transfers"] = int(span.ledger.host_transfers)
+        events.append({
+            "name": span.name,
+            "cat": span.category or "span",
+            "ph": "X",
+            "ts": int(span.ts),
+            "dur": int(span.dur),
+            "pid": 0,
+            "tid": tid,
+            "args": args,
+        })
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    meta: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+        "args": {"name": "PIM-EBVO (simulated cycles)"},
+    }]
+    for thread, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": f"thread-{thread}"},
+        })
+    return meta + events
+
+
+def write_chrome_trace(path, spans: Optional[Sequence[Span]] = None,
+                       tracer: Optional[Tracer] = None) -> Path:
+    """Write a Perfetto-loadable trace JSON; returns the path."""
+    if spans is None:
+        spans = (tracer or get_tracer()).spans
+    payload = {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"timeline": "simulated device cycles (1 us = 1 cycle)"},
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def write_metrics_jsonl(path,
+                        registry: Optional[MetricsRegistry] = None
+                        ) -> Path:
+    """Write the registry snapshot as JSON Lines (one metric per line)."""
+    registry = registry or get_registry()
+    path = Path(path)
+    lines = [json.dumps(entry, sort_keys=True)
+             for entry in registry.snapshot()]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+# -- console summary (Fig. 10-a / 10-b style) ---------------------------
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence],
+           title: str = "") -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells
+              else len(h) for i, h in enumerate(headers)]
+    def line(row):
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def kernel_cycle_rows(spans: Sequence[Span],
+                      category: str = "kernel") -> List[dict]:
+    """Aggregate spans by name: cycles, share, energy (Fig. 10-a).
+
+    ``category`` selects which spans count as kernels; spans of one
+    category never nest within each other (kernel spans are siblings
+    under a frame/pipeline span), so filtering by category cannot
+    double-book cycles even though kernels contain sub-spans (e.g. the
+    ``run_program`` replay spans).  Pass ``category=None`` to aggregate
+    leaf spans of any category instead.
+    """
+    if category is None:
+        pool = _leaf_spans(spans)
+    else:
+        pool = [s for s in spans if s.category == category]
+    totals: Dict[str, dict] = {}
+    for span in pool:
+        if span.cycles is None:
+            continue
+        agg = totals.setdefault(span.name, {
+            "kernel": span.name, "calls": 0, "cycles": 0,
+            "energy_pj": 0.0, "mem_rd": 0, "mem_wr": 0, "tmp_reg": 0})
+        agg["calls"] += 1
+        agg["cycles"] += int(span.cycles)
+        agg["energy_pj"] += float(span.energy_pj or 0.0)
+        for key, val in span.accesses.items():
+            agg[key] += val
+    rows = sorted(totals.values(), key=lambda r: -r["cycles"])
+    grand = sum(r["cycles"] for r in rows)
+    for row in rows:
+        row["cycle_share"] = row["cycles"] / grand if grand else 0.0
+    return rows
+
+
+def access_share_rows(spans: Sequence[Span],
+                      category: str = "kernel") -> List[dict]:
+    """Per-kernel ``mem_rd``/``mem_wr``/``tmp_reg`` shares (Fig. 10-b)."""
+    rows = []
+    for agg in kernel_cycle_rows(spans, category=category):
+        total = agg["mem_rd"] + agg["mem_wr"] + agg["tmp_reg"]
+        rows.append({
+            "kernel": agg["kernel"],
+            "accesses": total,
+            "mem_rd": agg["mem_rd"] / total if total else 0.0,
+            "mem_wr": agg["mem_wr"] / total if total else 0.0,
+            "tmp_reg": agg["tmp_reg"] / total if total else 0.0,
+        })
+    return rows
+
+
+def console_summary(spans: Optional[Sequence[Span]] = None,
+                    tracer: Optional[Tracer] = None,
+                    category: str = "kernel") -> str:
+    """The Fig. 10-a/10-b tables of a traced run, as printable text."""
+    if spans is None:
+        spans = (tracer or get_tracer()).spans
+    cycle_rows = kernel_cycle_rows(spans, category=category)
+    if not cycle_rows:
+        return "(no kernel spans recorded)"
+    share_rows = access_share_rows(spans, category=category)
+    total_cycles = sum(r["cycles"] for r in cycle_rows)
+    total_pj = sum(r["energy_pj"] for r in cycle_rows)
+    fig10a = _table(
+        ["kernel", "calls", "cycles", "share", "energy (uJ)"],
+        [[r["kernel"], r["calls"], r["cycles"],
+          f"{r['cycle_share']:6.1%}", f"{r['energy_pj'] / 1e6:.2f}"]
+         for r in cycle_rows] +
+        [["total", sum(r["calls"] for r in cycle_rows), total_cycles,
+          "100.0%", f"{total_pj / 1e6:.2f}"]],
+        title="Per-kernel cycles (Fig. 10-a style)")
+    fig10b = _table(
+        ["kernel", "accesses", "mem_rd", "mem_wr", "tmp_reg"],
+        [[r["kernel"], r["accesses"], f"{r['mem_rd']:6.1%}",
+          f"{r['mem_wr']:6.1%}", f"{r['tmp_reg']:6.1%}"]
+         for r in share_rows],
+        title="Memory-access shares (Fig. 10-b style)")
+    return fig10a + "\n\n" + fig10b

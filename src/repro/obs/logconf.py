@@ -1,0 +1,45 @@
+"""One-call stdlib ``logging`` setup shared by every CLI entry point.
+
+The analysis CLI, the wall-clock benchmark runner and any future
+driver call :func:`setup_logging` once instead of configuring handlers
+(or sprinkling ``print``) themselves, so ``--verbose`` means the same
+thing everywhere and library code can log under the ``repro.*``
+namespace without worrying about missing handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["setup_logging"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def setup_logging(verbose: bool = False,
+                  stream=None) -> logging.Logger:
+    """Configure console logging for the ``repro`` namespace.
+
+    Idempotent: repeated calls adjust the level but attach only one
+    handler.  Returns the ``repro`` root logger.
+
+    Args:
+        verbose: DEBUG level when true, INFO otherwise.
+        stream: Output stream (default ``sys.stderr``).
+    """
+    logger = logging.getLogger("repro")
+    level = logging.DEBUG if verbose else logging.INFO
+    logger.setLevel(level)
+    handler = next(
+        (h for h in logger.handlers
+         if getattr(h, "_repro_console", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._repro_console = True
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATEFMT))
+        logger.addHandler(handler)
+    handler.setLevel(level)
+    # The CLIs are the top of the process; don't duplicate into root.
+    logger.propagate = False
+    return logger

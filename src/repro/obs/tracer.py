@@ -1,0 +1,329 @@
+"""Hierarchical span tracing on the simulated-cycle timeline.
+
+A *span* covers one phase of work (an LPF pass, an LM iteration, a
+whole frame).  When a span is opened with a ``device``, the tracer
+snapshots the device's :class:`~repro.pim.cost.CostLedger` on entry and
+computes the delta on exit, so the span carries exactly the cycles,
+SRAM/Tmp accesses and energy charged inside it.  Because the ledger is
+the single source of cost truth, leaf spans tile their parent: the sum
+of leaf-span cycle deltas over a frame equals the device ledger's total
+for that frame, which is what makes the Fig. 10-style attribution
+tables exact rather than sampled.
+
+Timestamps come from :data:`CLOCK`, a process-wide simulated-cycle
+clock advanced by the instrumented devices' charge hooks
+(:meth:`repro.pim.device._DeviceCore._charge_step`).  Using one shared
+clock keeps the timeline monotone even when several devices interleave
+(the tracker runs one detect device per pyramid level).
+
+Tracing is **disabled by default** and then a true no-op: ``span()``
+returns a shared null context manager and the device hook is a single
+attribute check, so results and ledger state are bit-identical to an
+uninstrumented run.
+
+Thread-safety: the span stack is thread-local; finished spans and span
+id allocation are guarded by a lock; each span records its thread so
+exporters can lay out one track per thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CLOCK", "SimClock", "Span", "Tracer",
+    "annotate", "current_span", "disable_tracing", "enable_tracing",
+    "get_tracer", "set_tracer", "span", "tracing_enabled",
+]
+
+
+class SimClock:
+    """Process-wide simulated-cycle clock.
+
+    Instrumented devices advance it by every cycle they charge (the
+    per-step hook in eager execution, one aggregate bump in batched
+    replay), but only while ``enabled`` -- the flag keeps the
+    uninstrumented hot path to a single attribute check.
+    """
+
+    __slots__ = ("enabled", "_cycles")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._cycles = 0
+
+    def advance(self, cycles: int) -> None:
+        """Advance the clock by ``cycles`` simulated cycles."""
+        self._cycles += int(cycles)
+
+    def now(self) -> int:
+        """Current simulated-cycle timestamp."""
+        return self._cycles
+
+    def reset(self) -> None:
+        """Rewind to cycle zero (start of a new trace)."""
+        self._cycles = 0
+
+
+#: The shared simulated-cycle clock the device charge hooks advance.
+CLOCK = SimClock()
+
+
+@dataclass
+class Span:
+    """One finished span with its cost attribution.
+
+    Attributes:
+        name: Span label (``"lpf"``, ``"frame"``, ...).
+        category: Coarse grouping for exporters (``"kernel"``,
+            ``"frame"``, ``"vo"``, ``"replay"``...).
+        span_id: Unique id, allocated in start order.
+        parent_id: Enclosing span's id (None for roots).
+        thread: Native thread id the span ran on.
+        ts: Simulated-cycle timestamp at span start (shared clock).
+        dur: Simulated cycles elapsed on the shared clock.
+        cycles: Device-ledger cycle delta (None when no device given).
+            Equals ``dur`` when the span's device is the only one
+            charging while it is open.
+        ledger: The full :class:`~repro.pim.cost.CostLedger` delta
+            (None when no device given).
+        energy_pj: Energy of the ledger delta under the default model.
+        wall_s: Host wall-clock seconds spent in the span.
+        attrs: Free-form attributes set at open time or via
+            :func:`annotate`.
+    """
+
+    name: str
+    category: str = ""
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    thread: int = 0
+    ts: int = 0
+    dur: int = 0
+    cycles: Optional[int] = None
+    ledger: Optional[Any] = None
+    energy_pj: Optional[float] = None
+    wall_s: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> Optional[Dict[str, int]]:
+        """Memory accesses of the ledger delta, by category."""
+        if self.ledger is None:
+            return None
+        return {
+            "mem_rd": int(self.ledger.sram_reads),
+            "mem_wr": int(self.ledger.sram_writes),
+            "tmp_reg": int(self.ledger.tmp_accesses),
+        }
+
+
+class _NullSpan:
+    """The shared disabled-tracer context manager (no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set_attr(self, key: str, value) -> None:
+        """No-op attribute setter, mirroring :class:`_ActiveSpan`."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager for one live span of an enabled tracer."""
+
+    __slots__ = ("_tracer", "_span", "_device", "_snapshot", "_wall")
+
+    def __init__(self, tracer: "Tracer", span: Span, device) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._device = device
+        self._snapshot = None
+        self._wall = 0.0
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute to the span while it is open."""
+        self._span.attrs[key] = value
+
+    def __enter__(self) -> "_ActiveSpan":
+        if self._device is not None:
+            self._snapshot = self._device.ledger.snapshot()
+        self._span.ts = CLOCK.now()
+        self._wall = time.perf_counter()
+        self._tracer._push(self._span)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        span = self._span
+        span.wall_s = time.perf_counter() - self._wall
+        span.dur = CLOCK.now() - span.ts
+        if self._snapshot is not None:
+            delta = self._device.ledger.delta_since(self._snapshot)
+            span.ledger = delta
+            span.cycles = int(delta.cycles)
+            span.energy_pj = float(delta.energy().total_pj)
+        self._tracer._pop(span)
+
+
+class Tracer:
+    """Collects spans when enabled; a strict no-op otherwise."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._finished: List[Span] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self, reset: bool = True) -> None:
+        """Turn tracing on (and the device cycle clock with it)."""
+        if reset:
+            self.reset()
+        self.enabled = True
+        CLOCK.enabled = True
+
+    def disable(self) -> None:
+        """Turn tracing off; collected spans remain readable."""
+        self.enabled = False
+        CLOCK.enabled = False
+
+    def reset(self) -> None:
+        """Drop all finished spans and rewind the cycle clock."""
+        with self._lock:
+            self._finished = []
+            self._ids = itertools.count(1)
+        CLOCK.reset()
+
+    # -- span API --------------------------------------------------------
+
+    def span(self, name: str, device=None, category: str = "",
+             **attrs):
+        """Open a span; returns a context manager.
+
+        Args:
+            name: Span label.
+            device: Optional PIM device whose ledger delta the span
+                should capture (entry/exit snapshots).
+            category: Coarse grouping used by exporters.
+            **attrs: Initial span attributes.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        with self._lock:
+            span_id = next(self._ids)
+        record = Span(name=name, category=category, span_id=span_id,
+                      thread=threading.get_ident(), attrs=dict(attrs))
+        return _ActiveSpan(self, record, device)
+
+    def annotate(self, key: str, value) -> None:
+        """Set an attribute on the innermost open span, if any."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        if stack:
+            stack[-1].attrs[key] = value
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread (None when idle)."""
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans in completion order (leaves before parents)."""
+        with self._lock:
+            return list(self._finished)
+
+    def leaf_spans(self) -> List[Span]:
+        """Finished spans that have no finished children."""
+        finished = self.spans
+        parents = {s.parent_id for s in finished
+                   if s.parent_id is not None}
+        return [s for s in finished if s.span_id not in parents]
+
+    def roots(self) -> List[Span]:
+        """Finished spans with no parent."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    # -- internals -------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            span.parent_id = stack[-1].span_id
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> None:
+    """Swap the process-wide default tracer (tests)."""
+    global _TRACER
+    _TRACER = tracer
+
+
+def span(name: str, device=None, category: str = "", **attrs):
+    """Open a span on the default tracer (no-op when disabled)."""
+    return _TRACER.span(name, device=device, category=category, **attrs)
+
+
+def annotate(key: str, value) -> None:
+    """Set an attribute on the default tracer's innermost span."""
+    _TRACER.annotate(key, value)
+
+
+def current_span() -> Optional[Span]:
+    """Innermost open span of the default tracer."""
+    return _TRACER.current_span()
+
+
+def tracing_enabled() -> bool:
+    """Whether the default tracer is collecting."""
+    return _TRACER.enabled
+
+
+def enable_tracing(reset: bool = True) -> Tracer:
+    """Enable the default tracer (resetting it first by default)."""
+    _TRACER.enable(reset=reset)
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Disable the default tracer."""
+    _TRACER.disable()

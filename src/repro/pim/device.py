@@ -48,6 +48,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.fixedpoint import ops
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import CLOCK, get_tracer
 from repro.pim.accumulator import SliceAccumulator
 from repro.pim.bitsram import BitSRAM, bits_to_lanes, lanes_to_bits
 from repro.pim.config import DEFAULT_CONFIG, PIMConfig
@@ -177,6 +179,10 @@ class _DeviceCore:
         self.config = config
         self.ledger = CostLedger()
         self._precision = 8
+        #: Whether charges advance the shared simulated-cycle clock.
+        #: Executing devices do; the ProgramRecorder (whose charges are
+        #: compile-time aggregates, not execution) clears it.
+        self._advances_clock = True
         self._trace_enabled = trace
         if max_trace is not None and max_trace < 1:
             raise ValueError("max_trace must be positive (or None)")
@@ -215,6 +221,11 @@ class _DeviceCore:
                            tmp_accesses=cost.tmp_accesses,
                            logic_ops=cost.logic_ops,
                            precision=cost.precision)
+        # Observability charge hook: advance the shared simulated-cycle
+        # clock so span timestamps stay monotone across devices.  One
+        # attribute check when tracing is off.
+        if CLOCK.enabled and self._advances_clock:
+            CLOCK.advance(cost.cycles)
         if self._trace_enabled:
             self._append_trace(TraceRecord(
                 kind=step.kind, precision=cost.precision,
@@ -277,7 +288,10 @@ class PIMDevice(_DeviceCore):
         u = np.asarray(values, dtype=np.int64)
         if n < 64:
             u = u & ((1 << n) - 1)
-            return u.astype(_LANE_DTYPES[n]).view(np.uint8)
+            # order="C": inputs that went through a broadcast (batched
+            # replay of absolute-row reads) can arrive F-ordered, which
+            # the byte view below cannot reinterpret.
+            return u.astype(_LANE_DTYPES[n], order="C").view(np.uint8)
         return np.ascontiguousarray(u).view(np.uint64).astype(
             "<u8").view(np.uint8)
 
@@ -554,6 +568,13 @@ class PIMDevice(_DeviceCore):
         to the eager path; the program's hazard analysis plus the
         base-row checks below guarantee it, and equivalence tests pin
         it.
+
+        Every call records its decision in the metrics registry
+        (``pim_replay_total{mode=...}``; auto-mode fallbacks also bump
+        ``pim_replay_fallback_total{reason=...}`` with the hazard rule
+        that fired, see :meth:`batch_rejection_reason`) and, when
+        tracing, runs under a ``run_program:<name>`` span carrying the
+        same attributes.
         """
         if mode not in ("auto", "eager", "batched"):
             raise ValueError(f"unknown replay mode {mode!r}")
@@ -563,24 +584,46 @@ class PIMDevice(_DeviceCore):
         bases = [int(b) for b in base_rows]
         if not bases:
             return
-        batchable = mode != "eager" and \
-            self._bases_batchable(program, bases)
-        if mode == "batched" and not batchable:
+        if mode == "eager":
+            reason: Optional[str] = "mode-forced-eager"
+        else:
+            reason = self.batch_rejection_reason(program, bases)
+        if mode == "batched" and reason is not None:
             raise ValueError(
-                "program cannot be replayed in batched mode for these "
-                "base rows (see PIMProgram.batchable)")
-        self.set_precision(program.initial_precision)
-        if not batchable:
-            for base in bases:
-                program.replay(self, base)
-            return
-        self._replay_batched(program, np.asarray(bases, dtype=np.int64))
+                f"program cannot be replayed in batched mode for these "
+                f"base rows: {reason} (see PIMProgram.batchable)")
+        executed = "eager" if reason is not None else "batched"
+        registry = get_registry()
+        registry.counter(
+            "pim_replay_total",
+            "run_program calls by executed replay mode").inc(
+                mode=executed)
+        if mode == "auto" and reason is not None:
+            registry.counter(
+                "pim_replay_fallback_total",
+                "auto-mode batched->eager fallbacks by hazard rule"
+            ).inc(reason=reason)
+        attrs = {"program": program.name, "bases": len(bases),
+                 "requested_mode": mode, "executed_mode": executed}
+        if reason is not None:
+            attrs["fallback_reason"] = reason
+        with get_tracer().span(f"run_program:{program.name}",
+                               device=self, category="replay",
+                               **attrs):
+            self.set_precision(program.initial_precision)
+            if reason is not None:
+                for base in bases:
+                    program.replay(self, base)
+                return
+            self._replay_batched(program,
+                                 np.asarray(bases, dtype=np.int64))
 
-    def _bases_batchable(self, program, bases: List[int]) -> bool:
-        """Base-row-dependent half of the batched-equivalence check.
+    def batch_rejection_reason(self, program,
+                               bases: List[int]) -> Optional[str]:
+        """Why batched replay is not provably equivalent (None = it is).
 
         The structural half (:attr:`PIMProgram.batchable`) covers
-        relative-operand and register hazards; this half checks the
+        relative-operand and register hazards; the rest checks the
         properties only known at replay time: bases strictly
         increasing (eager order equals row order) and no collision
         between absolute rows and the rows addressed relatively.
@@ -588,16 +631,22 @@ class PIMDevice(_DeviceCore):
         still batch when the bases are spread further apart than the
         program's relative footprint (disjoint footprints cannot
         alias across elements).
+
+        Returns the name of the first hazard rule that fired --
+        ``"bases-not-increasing"``, ``"register-reuse-hazard"``,
+        ``"rel-aliasing-within-span"``, ``"abs-write-aliases-rel-row"``
+        or ``"abs-read-aliases-rel-write"`` -- so auto-mode fallbacks
+        are attributable instead of silent.
         """
         if len(bases) > 1 and any(b2 <= b1 for b1, b2 in
                                   zip(bases, bases[1:])):
-            return False
+            return "bases-not-increasing"
         if not program.registers_ok:
-            return False
+            return "register-reuse-hazard"
         if not program.rel_order_safe:
             span = program.rel_span
             if any(b2 - b1 <= span for b1, b2 in zip(bases, bases[1:])):
-                return False
+                return "rel-aliasing-within-span"
         rel_rows = {b + off for b in bases
                     for off in program.rel_read_offsets |
                     program.rel_write_offsets}
@@ -607,16 +656,23 @@ class PIMDevice(_DeviceCore):
                 f"program addresses rows outside "
                 f"[0, {self.config.num_rows}) for these bases")
         if program.abs_write_rows & rel_rows:
-            return False
+            return "abs-write-aliases-rel-row"
         rel_written = {b + off for b in bases
                        for off in program.rel_write_offsets}
         if program.abs_read_rows & rel_written:
-            return False
-        return True
+            return "abs-read-aliases-rel-write"
+        return None
+
+    def _bases_batchable(self, program, bases: List[int]) -> bool:
+        """Back-compat wrapper: batched replay provably equivalent?"""
+        return self.batch_rejection_reason(program, bases) is None
 
     def _replay_batched(self, program, bases: np.ndarray) -> None:
         reps = int(bases.size)
         self.ledger.charge_program(program.aggregate, reps)
+        # O(1) counterpart of the per-step clock hook in _charge_step.
+        if CLOCK.enabled and self._advances_clock:
+            CLOCK.advance(program.aggregate.cycles * reps)
         # Per-element views of Tmp registers and absolute rows: each
         # base row gets its own copy (created lazily on first write;
         # the hazard rules guarantee write-before-first-read), and the

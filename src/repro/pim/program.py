@@ -27,10 +27,12 @@ rules that make this provable are documented on
 
 from __future__ import annotations
 
+import itertools
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.obs.metrics import get_registry
 from repro.pim.config import DEFAULT_CONFIG, PIMConfig
 from repro.pim.cost import CostLedger
 from repro.pim.device import _DeviceCore
@@ -245,6 +247,9 @@ class ProgramRecorder(_DeviceCore):
     def __init__(self, config: PIMConfig = DEFAULT_CONFIG,
                  name: str = "program"):
         super().__init__(config, trace=False)
+        # Recording charges are compile-time aggregates, not execution:
+        # they must not advance the observability cycle clock.
+        self._advances_clock = False
         self.name = name
         self._ops: List[ProgramOp] = []
         self._initial_precision = self._precision
@@ -405,15 +410,58 @@ class ProgramCache:
     Keys are caller-chosen tuples, canonically built by
     :func:`program_key` so a change of kernel, image shape, lane width
     or device geometry can never replay a stale program.
+
+    Hit/miss accounting lives in the process-wide metrics registry
+    (``program_cache_hits_total`` / ``program_cache_misses_total``,
+    labelled with the cache's ``name``); :attr:`hits` / :attr:`misses`
+    are read-only views over those counters and :meth:`stats` bundles
+    the full snapshot.
     """
 
-    def __init__(self, capacity: int = 64):
+    _instances = itertools.count(1)
+
+    def __init__(self, capacity: int = 64, name: Optional[str] = None):
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
+        #: Label distinguishing this cache's metric series.  Anonymous
+        #: caches get a unique one so instances never share counts.
+        self.name = name if name is not None else \
+            f"cache-{next(self._instances)}"
+        registry = get_registry()
+        self._hits = registry.counter(
+            "program_cache_hits_total",
+            "ProgramCache lookups that found a compiled program")
+        self._misses = registry.counter(
+            "program_cache_misses_total",
+            "ProgramCache lookups that required recording")
+        self._hits_base = float(self._hits.value(cache=self.name))
+        self._misses_base = float(self._misses.value(cache=self.name))
         self._programs: "OrderedDict[Tuple, PIMProgram]" = OrderedDict()
+
+    @property
+    def hits(self) -> int:
+        """Hit count since creation/:meth:`clear` (registry-backed)."""
+        return int(self._hits.value(cache=self.name) - self._hits_base)
+
+    @property
+    def misses(self) -> int:
+        """Miss count since creation/:meth:`clear` (registry-backed)."""
+        return int(self._misses.value(cache=self.name) -
+                   self._misses_base)
+
+    def stats(self) -> Dict[str, object]:
+        """Point-in-time snapshot: hits, misses, size, capacity, rate."""
+        hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return {
+            "name": self.name,
+            "hits": hits,
+            "misses": misses,
+            "size": len(self._programs),
+            "capacity": self.capacity,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -425,10 +473,10 @@ class ProgramCache:
         """Look up a program, refreshing its recency; None on miss."""
         program = self._programs.get(key)
         if program is None:
-            self.misses += 1
+            self._misses.inc(cache=self.name)
             return None
         self._programs.move_to_end(key)
-        self.hits += 1
+        self._hits.inc(cache=self.name)
         return program
 
     def put(self, key, program: PIMProgram) -> None:
@@ -456,7 +504,12 @@ class ProgramCache:
         return program
 
     def clear(self) -> None:
-        """Drop every cached program and reset the hit/miss counters."""
+        """Drop every cached program and zero this cache's hit/miss view.
+
+        The registry counters themselves stay monotonic (metrics never
+        go down); the cache keeps a baseline so :attr:`hits` /
+        :attr:`misses` restart from zero.
+        """
         self._programs.clear()
-        self.hits = 0
-        self.misses = 0
+        self._hits_base = float(self._hits.value(cache=self.name))
+        self._misses_base = float(self._misses.value(cache=self.name))

@@ -26,6 +26,8 @@ from repro.kernels.warp import (
     warp_fast,
     warp_float,
 )
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import span as obs_span
 from repro.vision.distance_transform import distance_transform, dt_gradient
 from repro.vision.edges import detect_edges_reference
 from repro.vo.config import TrackerConfig
@@ -172,8 +174,24 @@ class PIMFrontend:
         if self.config.pim_device_detect:
             gray = np.asarray(gray)
             device = self._detect_device(gray.shape)
-            result = detect_edges_replay(device, gray, self.config.th1,
-                                         self.config.th2)
+            snap = device.ledger.snapshot()
+            with obs_span("frontend_detect", device=device, category="vo",
+                          shape=list(gray.shape)):
+                result = detect_edges_replay(device, gray, self.config.th1,
+                                             self.config.th2)
+            delta = device.ledger.delta_since(snap)
+            registry = get_registry()
+            registry.histogram(
+                "frame_detect_cycles",
+                "Device cycles per detected frame").observe(delta.cycles)
+            registry.histogram(
+                "frame_detect_energy_pj",
+                "Device energy (pJ) per detected frame").observe(
+                    delta.energy().total_pj)
+            registry.histogram(
+                "frame_edge_pixels",
+                "Edge pixels per detected frame").observe(
+                    int(result.edge_map.sum()))
             self.last_detect_cycles = dict(result.cycles)
             return result.edge_map
         return detect_edges_fast(gray, self.config.th1,

@@ -15,6 +15,8 @@ from typing import List
 import numpy as np
 
 from repro.geometry.se3 import SE3, se3_exp
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import span as obs_span
 from repro.vo.config import TrackerConfig
 
 __all__ = ["LMStats", "lm_estimate"]
@@ -61,6 +63,20 @@ def lm_estimate(frontend, feats, maps, init_pose: SE3,
     Returns:
         ``(pose, stats)``.
     """
+    with obs_span("lm_solve", category="vo") as lm_span:
+        pose, stats = _lm_loop(frontend, feats, maps, init_pose, config,
+                               scale_free_damping)
+        lm_span.set_attr("iterations", stats.iterations)
+        lm_span.set_attr("converged", stats.converged)
+        lm_span.set_attr("lost", stats.lost)
+    get_registry().histogram(
+        "lm_iterations", "LM iterations per solve").observe(
+            stats.iterations)
+    return pose, stats
+
+
+def _lm_loop(frontend, feats, maps, init_pose: SE3,
+             config: TrackerConfig, scale_free_damping: bool) -> tuple:
     pose = init_pose
     lam = config.lm_lambda_init
     stats = LMStats()

@@ -14,6 +14,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.geometry.se3 import SE3, so3_log
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import span as obs_span
 from repro.vo.config import TrackerConfig
 from repro.vo.features import extract_features
 from repro.vo.frontend import FloatFrontend, KeyframeMaps
@@ -119,6 +121,24 @@ class EBVOTracker:
     def process(self, gray: np.ndarray, depth: np.ndarray,
                 timestamp: float = 0.0) -> FrameResult:
         """Track one RGB-D frame; returns its world pose estimate."""
+        with obs_span("frame", category="frame",
+                      frame_index=len(self.results)) as frame_span:
+            result = self._process(gray, depth, timestamp, frame_span)
+        registry = get_registry()
+        registry.counter("vo_frames_total",
+                         "Frames processed by the tracker").inc()
+        if result.is_keyframe:
+            registry.counter("vo_keyframe_insertions_total",
+                             "Keyframes inserted by the tracker").inc()
+        if result.lm is not None:
+            registry.histogram(
+                "vo_frame_features",
+                "Features extracted per frame").observe(
+                    result.num_features)
+        return result
+
+    def _process(self, gray: np.ndarray, depth: np.ndarray,
+                 timestamp: float, frame_span) -> FrameResult:
         cfg = self.config
         pyramid = build_pyramid(gray, depth, cfg.pyramid_levels)
         edge_map = self._frontends[0].detect(pyramid[0][0])
@@ -128,6 +148,7 @@ class EBVOTracker:
 
         if self._keyframe is None:
             self._make_keyframe(pyramid, SE3.identity(), edge_map)
+            frame_span.set_attr("is_keyframe", True)
             result = FrameResult(pose=SE3.identity(), is_keyframe=True,
                                  lm=None, num_features=len(features),
                                  timestamp=timestamp)
@@ -152,6 +173,8 @@ class EBVOTracker:
         else:
             self._last_rel = rel_pose
 
+        frame_span.set_attr("is_keyframe", is_keyframe)
+        frame_span.set_attr("num_features", len(features))
         result = FrameResult(pose=pose_world, is_keyframe=is_keyframe,
                              lm=stats, num_features=len(features),
                              timestamp=timestamp)

@@ -267,6 +267,24 @@ class PIMDevice(_DeviceCore):
         self._tmp = [np.zeros(config.row_bytes, dtype=np.uint8)
                      for _ in range(config.num_tmp_registers)]
 
+    def reset(self) -> None:
+        """Return the device to its power-on state, keeping the config.
+
+        Zeroes the SRAM array and every Tmp register, resets the
+        :class:`~repro.pim.cost.CostLedger` and drops the trace stream,
+        and restores the default 8-bit lane width.  A reset device is
+        bit-identical to a freshly constructed one (equivalence tests
+        pin this), which is what lets a pool worker hand its device to
+        a new session without reallocating anything
+        (:class:`repro.serve.pool.DevicePool`).
+        """
+        self._mem.fill(0)
+        for reg in self._tmp:
+            reg.fill(0)
+        self.ledger.reset()
+        self.trace.clear()
+        self._precision = 8
+
     # -- storage views ---------------------------------------------------
 
     def _unpack(self, raw_bytes: np.ndarray, signed: bool) -> np.ndarray:

@@ -28,6 +28,7 @@ rules that make this provable are documented on
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
@@ -416,6 +417,14 @@ class ProgramCache:
     labelled with the cache's ``name``); :attr:`hits` / :attr:`misses`
     are read-only views over those counters and :meth:`stats` bundles
     the full snapshot.
+
+    Thread-safety: every structural operation (lookup recency bump,
+    insert, eviction, clear, stats) holds an internal lock, so one
+    cache can back many device-pool workers
+    (:class:`repro.serve.pool.DevicePool`) concurrently.  A concurrent
+    :meth:`get_or_record` miss on the same key may record the program
+    more than once; the first insert wins and the duplicates are
+    dropped, so callers always replay one canonical program object.
     """
 
     _instances = itertools.count(1)
@@ -437,6 +446,7 @@ class ProgramCache:
             "ProgramCache lookups that required recording")
         self._hits_base = float(self._hits.value(cache=self.name))
         self._misses_base = float(self._misses.value(cache=self.name))
+        self._lock = threading.RLock()
         self._programs: "OrderedDict[Tuple, PIMProgram]" = OrderedDict()
 
     @property
@@ -454,37 +464,44 @@ class ProgramCache:
         """Point-in-time snapshot: hits, misses, size, capacity, rate."""
         hits, misses = self.hits, self.misses
         lookups = hits + misses
+        with self._lock:
+            size = len(self._programs)
         return {
             "name": self.name,
             "hits": hits,
             "misses": misses,
-            "size": len(self._programs),
+            "size": size,
             "capacity": self.capacity,
             "hit_rate": hits / lookups if lookups else 0.0,
         }
 
     def __len__(self) -> int:
-        return len(self._programs)
+        with self._lock:
+            return len(self._programs)
 
     def __contains__(self, key) -> bool:
-        return key in self._programs
+        with self._lock:
+            return key in self._programs
 
     def get(self, key) -> Optional[PIMProgram]:
         """Look up a program, refreshing its recency; None on miss."""
-        program = self._programs.get(key)
+        with self._lock:
+            program = self._programs.get(key)
+            if program is not None:
+                self._programs.move_to_end(key)
         if program is None:
             self._misses.inc(cache=self.name)
             return None
-        self._programs.move_to_end(key)
         self._hits.inc(cache=self.name)
         return program
 
     def put(self, key, program: PIMProgram) -> None:
         """Insert (or refresh) a program, evicting the oldest entry."""
-        self._programs[key] = program
-        self._programs.move_to_end(key)
-        while len(self._programs) > self.capacity:
-            self._programs.popitem(last=False)
+        with self._lock:
+            self._programs[key] = program
+            self._programs.move_to_end(key)
+            while len(self._programs) > self.capacity:
+                self._programs.popitem(last=False)
 
     def get_or_record(self, key, config: PIMConfig,
                       build: Callable[[ProgramRecorder], None],
@@ -493,14 +510,23 @@ class ProgramCache:
 
         ``build`` receives a fresh :class:`ProgramRecorder` and records
         the kernel body into it; the finished program is cached and
-        returned.
+        returned.  Recording happens outside the lock (it can take
+        milliseconds), so two threads missing on the same key may both
+        record -- the first insert wins and both callers get the
+        canonical cached object.
         """
         program = self.get(key)
         if program is None:
             recorder = ProgramRecorder(config, name=name or str(key[0]))
             build(recorder)
             program = recorder.finish()
-            self.put(key, program)
+            with self._lock:
+                existing = self._programs.get(key)
+                if existing is not None:
+                    self._programs.move_to_end(key)
+                    program = existing
+                else:
+                    self.put(key, program)
         return program
 
     def clear(self) -> None:
@@ -510,6 +536,8 @@ class ProgramCache:
         go down); the cache keeps a baseline so :attr:`hits` /
         :attr:`misses` restart from zero.
         """
-        self._programs.clear()
-        self._hits_base = float(self._hits.value(cache=self.name))
-        self._misses_base = float(self._misses.value(cache=self.name))
+        with self._lock:
+            self._programs.clear()
+            self._hits_base = float(self._hits.value(cache=self.name))
+            self._misses_base = float(
+                self._misses.value(cache=self.name))

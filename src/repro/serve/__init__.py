@@ -1,0 +1,59 @@
+"""Multi-session VO serving on a shared pool of simulated PIM devices.
+
+The ROADMAP's north star is a service, not a script: many independent
+clients streaming RGB-D frames at a bounded fleet of accelerators.
+This package is that serving layer for the simulated stack:
+
+* :mod:`repro.serve.session` -- per-client
+  :class:`~repro.vo.tracker.TrackerState` keyed by session id, with
+  idle/capacity eviction and generation numbers
+  (:class:`SessionManager`).
+* :mod:`repro.serve.scheduler` -- a bounded FIFO admission queue with
+  per-session ordering, explicit :class:`Backpressure` rejection, and
+  cross-session micro-batching of frames that share an edge-detect
+  program key (:class:`FifoScheduler`).
+* :mod:`repro.serve.pool` -- N worker threads, each owning one
+  tracker + PIM devices, dwelling for the simulated device service
+  time so wall-clock reflects device occupancy, not host speed
+  (:class:`DevicePool`).
+* :mod:`repro.serve.service` -- the synchronous facade
+  (:class:`VOService`): ``submit(session_id, gray, depth)`` returns a
+  :class:`TrackResult`.
+* :mod:`repro.serve.loadgen` -- a K-client closed-loop load generator
+  with retry-on-backpressure and a JSON throughput/latency report
+  (:func:`run_load`), also behind ``python -m repro.serve``.
+
+Per-session results are bit-identical to solo tracker runs; see
+``docs/serving.md`` for the architecture and the backpressure
+contract.
+"""
+
+from repro.serve.loadgen import (
+    ClientStats,
+    build_workload,
+    run_load,
+    service_trajectories,
+    solo_trajectories,
+    trajectories_match,
+)
+from repro.serve.pool import DevicePool, TrackResult
+from repro.serve.scheduler import Backpressure, FifoScheduler, WorkItem
+from repro.serve.service import VOService
+from repro.serve.session import Session, SessionManager
+
+__all__ = [
+    "Backpressure",
+    "ClientStats",
+    "DevicePool",
+    "FifoScheduler",
+    "Session",
+    "SessionManager",
+    "TrackResult",
+    "VOService",
+    "WorkItem",
+    "build_workload",
+    "run_load",
+    "service_trajectories",
+    "solo_trajectories",
+    "trajectories_match",
+]

@@ -1,0 +1,128 @@
+"""``python -m repro.serve``: load-generate against a local service.
+
+Spins up a :class:`~repro.serve.service.VOService`, replays K
+synthetic TUM-profile client streams against it, and writes the
+throughput/latency report to ``<out>/serve_report.json``.  With
+``--smoke`` it additionally asserts that every frame was tracked and
+that every session's trajectory is bit-identical to a solo tracker
+run, exiting non-zero on any violation -- the CI serving smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+from pathlib import Path
+
+from repro.obs import setup_logging
+from repro.serve.loadgen import (
+    build_workload,
+    run_load,
+    service_trajectories,
+    solo_trajectories,
+    trajectories_match,
+)
+from repro.serve.service import _FRONTENDS, VOService
+from repro.vo.config import TrackerConfig
+
+# Run as ``python -m repro.serve`` this module is ``__main__``, which
+# would fall outside the ``repro`` logging namespace; name explicitly.
+log = logging.getLogger("repro.serve.cli")
+
+
+def main(argv=None) -> int:
+    """Entry point of the serving load generator."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__)
+    parser.add_argument("--frames", type=int, default=20,
+                        help="frames per client session")
+    parser.add_argument("--sessions", type=int, default=3,
+                        help="concurrent client sessions")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="device-pool workers")
+    parser.add_argument("--queue", type=int, default=64,
+                        help="admission queue capacity")
+    parser.add_argument("--batch", type=int, default=4,
+                        help="max frames per micro-batch")
+    parser.add_argument("--frontend", choices=sorted(_FRONTENDS),
+                        default="pim", help="tracker arithmetic")
+    parser.add_argument("--device-detect", action="store_true",
+                        help="run edge detection on the simulated "
+                             "device (program replay + cycle ledger)")
+    parser.add_argument("--min-service-s", type=float, default=0.0,
+                        help="simulated device service-time floor per "
+                             "frame (seconds)")
+    parser.add_argument("--clock-hz", type=float, default=None,
+                        help="simulated device clock; dwell = "
+                             "cycles / clock-hz")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="image scale relative to QVGA")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="serve_output",
+                        help="output directory for the report")
+    parser.add_argument("--smoke", action="store_true",
+                        help="assert completeness + solo bit-identity")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level console logging")
+    args = parser.parse_args(argv)
+    for flag, value in (("--frames", args.frames),
+                        ("--sessions", args.sessions),
+                        ("--workers", args.workers)):
+        if value < 1:
+            parser.error(f"{flag} must be >= 1")
+    setup_logging(verbose=args.verbose)
+    out = Path(args.out)
+    out.mkdir(exist_ok=True)
+
+    config = TrackerConfig(pim_device_detect=args.device_detect)
+    if args.scale != 1.0:
+        import dataclasses
+        config = dataclasses.replace(
+            config, camera=config.camera.scaled(args.scale))
+    log.info("serving %d sessions x %d frames on %d workers "
+             "(%s frontend%s)", args.sessions, args.frames,
+             args.workers, args.frontend,
+             ", device detect" if args.device_detect else "")
+    workload = build_workload(sessions=args.sessions,
+                              frames=args.frames, scale=args.scale,
+                              seed=args.seed)
+    with VOService(workers=args.workers, frontend=args.frontend,
+                   config=config, max_queue=args.queue,
+                   max_batch=args.batch,
+                   min_service_s=args.min_service_s,
+                   device_clock_hz=args.clock_hz) as service:
+        report, clients = run_load(service, workload)
+
+    failures = []
+    if args.smoke:
+        if report["frames_tracked"] != report["frames_submitted"]:
+            failures.append(
+                f"tracked {report['frames_tracked']} of "
+                f"{report['frames_submitted']} frames")
+        served = service_trajectories(
+            [r for c in clients for r in c.results])
+        solo = solo_trajectories(workload,
+                                 _FRONTENDS[args.frontend], config)
+        failures.extend(trajectories_match(served, solo))
+        report["smoke"] = {"passed": not failures,
+                           "failures": failures}
+        if failures:
+            for failure in failures:
+                log.error("smoke failure: %s", failure)
+        else:
+            log.info("smoke ok: all %d frames tracked, every "
+                     "trajectory bit-identical to its solo run",
+                     report["frames_tracked"])
+
+    report_path = out / "serve_report.json"
+    report_path.write_text(json.dumps(report, indent=2,
+                                      default=float) + "\n")
+    log.info("throughput %.1f frames/s, queue p95 %s s; wrote %s",
+             report["throughput_fps"],
+             report["queue_latency_s"]["p95"], report_path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Concurrent load generator for :class:`~repro.serve.service.VOService`.
+
+Replays K synthetic TUM-profile sequences as K concurrent client
+threads.  Each client submits its frames strictly in order, blocking
+on every result (the closed-loop model of a camera pipeline: frame
+N+1 cannot be captured before frame N is consumed), and retries on
+:class:`~repro.serve.scheduler.Backpressure` after the server's
+``retry_after_s`` hint.
+
+:func:`run_load` returns a JSON-ready report: throughput, queue-latency
+percentiles, per-worker utilization, simulated cycles/frame, and the
+admission-rejection count.  :func:`solo_trajectories` re-runs the same
+workload through isolated single-stream trackers, giving the reference
+for the zero-cross-session-corruption check
+(:func:`trajectories_match`).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.dataset.sequences import (
+    SEQUENCE_NAMES,
+    SyntheticSequence,
+    make_sequence,
+)
+from repro.geometry.camera import TUM_QVGA
+from repro.obs.metrics import get_registry
+from repro.serve.pool import TrackResult
+from repro.serve.scheduler import Backpressure
+from repro.vo.config import TrackerConfig
+from repro.vo.tracker import EBVOTracker
+
+__all__ = ["ClientStats", "build_workload", "run_load",
+           "service_trajectories", "solo_trajectories",
+           "trajectories_match"]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class ClientStats:
+    """One client thread's outcome."""
+
+    sid: str
+    sequence: str
+    results: List[TrackResult] = field(default_factory=list)
+    retries: int = 0
+    errors: int = 0
+
+
+def build_workload(sessions: int = 3, frames: int = 20,
+                   scale: float = 1.0, seed: int = 0
+                   ) -> Dict[str, SyntheticSequence]:
+    """K named synthetic sequences, cycling through the paper's set.
+
+    ``scale`` shrinks the QVGA render (0.5 = 160x120) for faster
+    smoke runs; every session uses the same intrinsics, matching one
+    deployed camera model.
+    """
+    camera = TUM_QVGA if scale == 1.0 else TUM_QVGA.scaled(scale)
+    workload: Dict[str, SyntheticSequence] = {}
+    for i in range(sessions):
+        name = SEQUENCE_NAMES[i % len(SEQUENCE_NAMES)]
+        workload[f"client-{i}"] = make_sequence(
+            name, n_frames=frames, camera=camera, seed=seed + i)
+    return workload
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (q in [0, 100])."""
+    ordered = sorted(values)
+    rank = int(round(q / 100.0 * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+def _client(service, sid: str, sequence: SyntheticSequence,
+            stats: ClientStats, max_retries: int) -> None:
+    for frame in sequence.frames:
+        attempts = 0
+        while True:
+            try:
+                result = service.submit(sid, frame.gray, frame.depth,
+                                        frame.timestamp)
+                stats.results.append(result)
+                break
+            except Backpressure as bp:
+                attempts += 1
+                stats.retries += 1
+                if attempts > max_retries:
+                    stats.errors += 1
+                    log.warning("%s: frame dropped after %d retries",
+                                sid, max_retries)
+                    break
+                time.sleep(max(bp.retry_after_s, 0.001))
+
+
+def run_load(service, workload: Dict[str, SyntheticSequence],
+             max_retries: int = 1000):
+    """Drive the workload to completion; ``(report, clients)``.
+
+    ``report`` is JSON-ready serving metrics; ``clients`` carries the
+    raw per-frame :class:`TrackResult` lists for correctness checks
+    (:func:`service_trajectories`).  The service must already be
+    started; the caller owns its lifecycle (so one service can be
+    measured under several workloads).
+    """
+    rejected_before = get_registry().counter(
+        "serve_admission_rejected_total").total()
+    clients = [ClientStats(sid=sid, sequence=seq.name)
+               for sid, seq in workload.items()]
+    threads = [
+        threading.Thread(target=_client, name=f"loadgen-{c.sid}",
+                         args=(service, c.sid, workload[c.sid], c,
+                               max_retries))
+        for c in clients]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+
+    results = [r for c in clients for r in c.results]
+    queue_s = [r.queue_s for r in results]
+    pool = service.stats()["pool"]
+    report = {
+        "sessions": len(clients),
+        "frames_submitted": sum(len(workload[c.sid].frames)
+                                for c in clients),
+        "frames_tracked": len(results),
+        "frames_dropped": sum(c.errors for c in clients),
+        "wall_s": wall_s,
+        "throughput_fps": len(results) / wall_s if wall_s else 0.0,
+        "queue_latency_s": {
+            "p50": _percentile(queue_s, 50) if queue_s else None,
+            "p95": _percentile(queue_s, 95) if queue_s else None,
+            "p99": _percentile(queue_s, 99) if queue_s else None,
+            "max": max(queue_s) if queue_s else None,
+        },
+        "service_s_mean": (sum(r.service_s for r in results) /
+                           len(results)) if results else None,
+        "device_cycles_per_frame": (
+            sum(r.device_cycles for r in results) / len(results)
+        ) if results else None,
+        "retries": sum(c.retries for c in clients),
+        "rejections": int(get_registry().counter(
+            "serve_admission_rejected_total").total() -
+            rejected_before),
+        "keyframes": sum(1 for r in results if r.is_keyframe),
+        "pool_utilization": [w["utilization"]
+                             for w in pool["per_worker"]],
+        "per_session": {c.sid: {
+            "sequence": c.sequence,
+            "frames": len(c.results),
+            "retries": c.retries,
+            "errors": c.errors,
+            "workers_used": sorted({r.worker for r in c.results}),
+        } for c in clients},
+    }
+    log.info("load complete: %d frames in %.2fs (%.1f fps), "
+             "queue p95 %s, %d rejections",
+             report["frames_tracked"], wall_s,
+             report["throughput_fps"],
+             report["queue_latency_s"]["p95"], report["rejections"])
+    return report, clients
+
+
+def service_trajectories(clients_or_results) -> Dict[str, List]:
+    """Per-session pose list from loadgen results (submission order)."""
+    out: Dict[str, List] = {}
+    for result in clients_or_results:
+        out.setdefault(result.session, []).append(
+            (result.frame_index, result.pose))
+    return {sid: [p for _, p in sorted(items, key=lambda x: x[0])]
+            for sid, items in out.items()}
+
+
+def solo_trajectories(workload: Dict[str, SyntheticSequence],
+                      frontend_cls, config: TrackerConfig
+                      ) -> Dict[str, List]:
+    """Reference: each sequence through its own isolated tracker."""
+    out: Dict[str, List] = {}
+    for sid, sequence in workload.items():
+        tracker = EBVOTracker(frontend_cls(config), config)
+        for frame in sequence.frames:
+            tracker.process(frame.gray, frame.depth, frame.timestamp)
+        out[sid] = list(tracker.trajectory)
+    return out
+
+
+def trajectories_match(served: Dict[str, List],
+                       solo: Dict[str, List]) -> List[str]:
+    """Bit-exact comparison; returns mismatch descriptions ([] = ok)."""
+    problems = []
+    for sid, reference in solo.items():
+        got = served.get(sid, [])
+        if len(got) != len(reference):
+            problems.append(
+                f"{sid}: {len(got)} served vs {len(reference)} solo")
+            continue
+        for i, (a, b) in enumerate(zip(got, reference)):
+            if not (np.array_equal(a.R, b.R) and
+                    np.array_equal(a.t, b.t)):
+                problems.append(f"{sid}: pose {i} differs")
+                break
+    return problems

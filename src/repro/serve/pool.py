@@ -1,0 +1,240 @@
+"""The device pool: N workers, each owning one tracker + PIM devices.
+
+Each :class:`PoolWorker` thread holds a complete
+:class:`~repro.vo.tracker.EBVOTracker` (frontends, and -- for the PIM
+frontend -- per-shape simulated devices).  Per-frame it checks out the
+session, swaps ``tracker.state`` to the session's
+:class:`~repro.vo.tracker.TrackerState`, tracks the frame, and checks
+the state back in.  Compiled kernel programs live in the process-wide
+``KERNEL_PROGRAM_CACHE`` (thread-safe since this PR), so every worker
+replays the same canonical programs.
+
+A session's *first* frame on a worker resets that worker's devices
+(:meth:`~repro.pim.device.PIMDevice.reset`): a reset device is
+bit-identical to a fresh one, so device reuse across tenants can never
+leak state between streams.
+
+**Simulated device occupancy.**  The simulator computes a frame's
+device cost in *cycles* but executes in host time, so wall-clock would
+otherwise measure numpy speed, not device contention.  Each worker
+therefore *dwells*: after tracking a frame it sleeps until the frame's
+wall time reaches the simulated device service time --
+``max(min_service_s, device_cycles / device_clock_hz)``.  Dwell sleeps
+release the GIL and overlap across workers, which is exactly the
+behaviour of N real accelerators driven from one host: pool throughput
+scales with workers until the host CPU, not the device, saturates.
+With both knobs at zero workers run flat out (pure host speed).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.geometry.se3 import SE3
+from repro.obs.metrics import get_registry
+from repro.serve.scheduler import FifoScheduler, WorkItem
+from repro.serve.session import SessionManager
+
+__all__ = ["TrackResult", "DevicePool"]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class TrackResult:
+    """The service's per-frame response."""
+
+    session: str
+    generation: int
+    frame_index: int          # index within this session's stream
+    pose: SE3                 # camera-to-world
+    is_keyframe: bool
+    num_features: int
+    lm_iterations: int
+    worker: int
+    queue_s: float            # admission-queue wait
+    service_s: float          # worker wall time incl. device dwell
+    device_cycles: int        # simulated device cycles of this frame
+
+
+class PoolWorker:
+    """One worker thread: a tracker, its devices, and the dwell loop."""
+
+    def __init__(self, index: int, scheduler: FifoScheduler,
+                 sessions: SessionManager,
+                 tracker_factory: Callable[[], object],
+                 min_service_s: float = 0.0,
+                 device_clock_hz: Optional[float] = None):
+        self.index = index
+        self.scheduler = scheduler
+        self.sessions = sessions
+        self.tracker = tracker_factory()
+        self.min_service_s = min_service_s
+        self.device_clock_hz = device_clock_hz
+        self.busy_s = 0.0
+        self.frames = 0
+        self._stop = threading.Event()
+        self._started_at: Optional[float] = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"pim-pool-{index}", daemon=True)
+        registry = get_registry()
+        self._frames_ctr = registry.counter(
+            "serve_worker_frames_total", "Frames tracked per worker")
+        self._cycles_ctr = registry.counter(
+            "serve_worker_device_cycles_total",
+            "Simulated device cycles charged per worker")
+        self._util_gauge = registry.gauge(
+            "serve_worker_utilization",
+            "Busy fraction of each worker since pool start")
+        self._queue_hist = registry.histogram(
+            "serve_queue_latency_s",
+            "Seconds a frame waited in the admission queue",
+            bounds=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                    30.0))
+
+    # -- device plumbing -------------------------------------------------
+
+    def _devices(self):
+        """Every simulated device owned by this worker's frontends."""
+        for frontend in getattr(self.tracker, "_frontends",
+                                [self.tracker.frontend]):
+            yield from getattr(frontend, "_detect_devices",
+                               {}).values()
+
+    def _device_cycles(self) -> int:
+        return sum(dev.ledger.cycles for dev in self._devices())
+
+    def _reset_devices(self) -> None:
+        for dev in self._devices():
+            dev.reset()
+
+    # -- the frame loop --------------------------------------------------
+
+    def _process(self, item: WorkItem) -> None:
+        t0 = time.perf_counter()
+        session = self.sessions.checkout(item.session)
+        try:
+            if session.frames == 0:
+                # Fresh stream on a reused device: back to power-on
+                # state so nothing carries over from the last tenant.
+                self._reset_devices()
+            self.tracker.state = session.state
+            gray, depth, timestamp = item.payload
+            cycles_before = self._device_cycles()
+            frame = self.tracker.process(gray, depth, timestamp)
+            cycles = self._device_cycles() - cycles_before
+            result = TrackResult(
+                session=session.sid, generation=session.generation,
+                frame_index=len(session.state.results) - 1,
+                pose=frame.pose, is_keyframe=frame.is_keyframe,
+                num_features=frame.num_features,
+                lm_iterations=frame.lm.iterations if frame.lm else 0,
+                worker=self.index,
+                queue_s=max(0.0, item.dequeued_at - item.enqueued_at),
+                service_s=0.0, device_cycles=cycles)
+        except BaseException as exc:  # noqa: BLE001 -- fault isolation
+            self.sessions.checkin(session)
+            self.scheduler.done(item)
+            log.exception("worker %d failed on session %s frame %d",
+                          self.index, item.session, item.seq)
+            item.future.set_exception(exc)
+            return
+        self.sessions.checkin(session)
+        host_s = time.perf_counter() - t0
+        dwell = self.min_service_s
+        if self.device_clock_hz:
+            dwell = max(dwell, cycles / self.device_clock_hz)
+        if dwell > host_s:
+            # Simulated device occupancy: hold the slot (GIL released)
+            # until the device would actually be free again.
+            time.sleep(dwell - host_s)
+        service_s = time.perf_counter() - t0
+        result.service_s = service_s
+        self.busy_s += service_s
+        self.frames += 1
+        self.scheduler.done(item, service_s=service_s)
+        self._frames_ctr.inc(worker=self.index)
+        self._cycles_ctr.inc(cycles, worker=self.index)
+        self._queue_hist.observe(result.queue_s)
+        if self._started_at is not None:
+            wall = time.perf_counter() - self._started_at
+            if wall > 0:
+                self._util_gauge.set(min(1.0, self.busy_s / wall),
+                                     worker=self.index)
+        item.future.set_result(result)
+
+    def _run(self) -> None:
+        self._started_at = time.perf_counter()
+        while not self._stop.is_set():
+            batch = self.scheduler.next_batch(timeout=0.05)
+            for item in batch:
+                self._process(item)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    def utilization(self) -> float:
+        """Busy fraction since start (0.0 before any frame)."""
+        if self._started_at is None:
+            return 0.0
+        wall = time.perf_counter() - self._started_at
+        return min(1.0, self.busy_s / wall) if wall > 0 else 0.0
+
+
+class DevicePool:
+    """A fixed-size pool of :class:`PoolWorker` threads."""
+
+    def __init__(self, workers: int, scheduler: FifoScheduler,
+                 sessions: SessionManager,
+                 tracker_factory: Callable[[], object],
+                 min_service_s: float = 0.0,
+                 device_clock_hz: Optional[float] = None):
+        if workers < 1:
+            raise ValueError("pool needs at least one worker")
+        self.workers: List[PoolWorker] = [
+            PoolWorker(i, scheduler, sessions, tracker_factory,
+                       min_service_s=min_service_s,
+                       device_clock_hz=device_clock_hz)
+            for i in range(workers)]
+        self._started = False
+
+    def start(self) -> None:
+        """Start every worker thread (idempotent)."""
+        if self._started:
+            return
+        for worker in self.workers:
+            worker.start()
+        self._started = True
+        log.info("device pool started with %d workers",
+                 len(self.workers))
+
+    def stop(self) -> None:
+        """Signal and join every worker."""
+        for worker in self.workers:
+            worker.stop()
+        self._started = False
+
+    def stats(self) -> dict:
+        """Per-worker frames/utilization plus pool totals."""
+        per_worker = [{
+            "worker": w.index,
+            "frames": w.frames,
+            "busy_s": w.busy_s,
+            "utilization": w.utilization(),
+        } for w in self.workers]
+        return {
+            "workers": len(self.workers),
+            "frames": sum(w.frames for w in self.workers),
+            "per_worker": per_worker,
+        }

@@ -1,0 +1,222 @@
+"""Admission queue and dispatch policy of the serving layer.
+
+One bounded FIFO feeds every pool worker.  Two invariants shape the
+dispatch loop:
+
+* **Per-session ordering** -- frames of one session execute strictly in
+  submission order and never concurrently, so tracker state evolves
+  exactly as it would in a solo run.  The queue scan keeps a
+  ``blocked`` set: once a session is skipped (in flight, or an earlier
+  frame of it was skipped), every later frame of that session is
+  skipped too.
+* **Explicit backpressure** -- a full queue rejects at admission with
+  :class:`Backpressure` carrying a ``retry_after_s`` hint derived from
+  the observed service-time EMA, instead of blocking the client or
+  growing without bound.
+
+Workers pull with :meth:`FifoScheduler.next_batch`, which may
+*micro-batch*: after fixing the head-of-line item, later eligible items
+from other sessions that share the same ``batch_key`` (the edge-detect
+program key -- same shape, precision, device geometry) join the batch
+up to ``max_batch``, so one worker replays the same compiled program
+back-to-back without re-dispatching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["Backpressure", "WorkItem", "FifoScheduler"]
+
+
+class Backpressure(RuntimeError):
+    """Admission rejected: the queue is full.
+
+    Attributes:
+        depth: Queue depth at rejection time.
+        retry_after_s: Suggested client wait before resubmitting
+            (expected time for the pool to drain one slot).
+    """
+
+    def __init__(self, depth: int, retry_after_s: float):
+        super().__init__(
+            f"admission queue full ({depth} items); "
+            f"retry after {retry_after_s:.3f}s")
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class WorkItem:
+    """One queued frame with its result future.
+
+    ``payload`` is opaque to the scheduler (the service puts the frame
+    arrays and timestamp there); ``batch_key`` is ``None`` when the
+    frame must not be micro-batched.
+    """
+
+    session: str
+    seq: int
+    batch_key: Optional[Tuple]
+    payload: object
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+    dequeued_at: float = 0.0
+
+
+class FifoScheduler:
+    """Bounded FIFO with per-session ordering and micro-batching."""
+
+    def __init__(self, max_queue: int = 64, max_batch: int = 1,
+                 workers: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.workers = max(1, workers)
+        self._clock = clock
+        self._queue: Deque[WorkItem] = deque()
+        self._inflight: Dict[str, int] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+        #: EMA of per-frame service time, feeding the retry-after hint.
+        self._service_ema_s = 0.05
+        registry = get_registry()
+        self._rejected = registry.counter(
+            "serve_admission_rejected_total",
+            "Frames rejected at admission because the queue was full")
+        self._depth_gauge = registry.gauge(
+            "serve_queue_depth", "Frames waiting in the admission queue")
+        self._batch_hist = registry.histogram(
+            "serve_batch_size", "Frames dispatched per worker pull")
+        self._batched = registry.counter(
+            "serve_microbatched_frames_total",
+            "Frames that rode in a batch behind another session's frame")
+
+    # -- client side ----------------------------------------------------
+
+    def submit(self, item: WorkItem) -> None:
+        """Enqueue one frame or raise :class:`Backpressure`."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            depth = len(self._queue)
+            if depth >= self.max_queue:
+                self._rejected.inc()
+                retry = self._service_ema_s * max(
+                    1.0, depth / self.workers)
+                raise Backpressure(depth, retry)
+            item.enqueued_at = self._clock()
+            self._queue.append(item)
+            self._depth_gauge.set(len(self._queue))
+            self._cond.notify()
+
+    # -- worker side ----------------------------------------------------
+
+    def _scan(self) -> List[WorkItem]:
+        """Pick the next batch (caller holds the lock); [] if none."""
+        batch: List[WorkItem] = []
+        blocked = set(self._inflight)
+        key: Optional[Tuple] = None
+        for item in self._queue:
+            if item.session in blocked:
+                continue
+            if not batch:
+                batch.append(item)
+                key = item.batch_key
+                if key is None or self.max_batch == 1:
+                    break
+                blocked.add(item.session)
+                continue
+            if item.batch_key == key:
+                batch.append(item)
+                if len(batch) >= self.max_batch:
+                    break
+            # Whether it joined or not, later frames of this session
+            # must wait for it, so the session is blocked either way.
+            blocked.add(item.session)
+        return batch
+
+    def next_batch(self, timeout: Optional[float] = None
+                   ) -> List[WorkItem]:
+        """Dequeue the next batch, blocking up to ``timeout`` seconds.
+
+        Returns ``[]`` when the timeout elapses or the scheduler is
+        closed with an empty queue -- worker loops treat both as "poll
+        again / shut down".  Every returned item's session is marked
+        in flight until :meth:`done` is called for it.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while True:
+                batch = self._scan()
+                if batch:
+                    break
+                if self._closed and not self._queue:
+                    return []
+                remaining = None if deadline is None else \
+                    deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+            now = self._clock()
+            for item in batch:
+                self._queue.remove(item)
+                item.dequeued_at = now
+                self._inflight[item.session] = \
+                    self._inflight.get(item.session, 0) + 1
+            self._depth_gauge.set(len(self._queue))
+            self._batch_hist.observe(len(batch))
+            if len(batch) > 1:
+                self._batched.inc(len(batch) - 1)
+            return batch
+
+    def done(self, item: WorkItem,
+             service_s: Optional[float] = None) -> None:
+        """Release the item's session and fold in its service time."""
+        with self._cond:
+            count = self._inflight.get(item.session, 0) - 1
+            if count > 0:
+                self._inflight[item.session] = count
+            else:
+                self._inflight.pop(item.session, None)
+            if service_s is not None and service_s >= 0:
+                self._service_ema_s += 0.2 * (service_s -
+                                              self._service_ema_s)
+            self._cond.notify_all()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new work; queued items still drain."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def depth(self) -> int:
+        """Current queue depth."""
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        """Point-in-time queue statistics."""
+        with self._cond:
+            return {
+                "depth": len(self._queue),
+                "max_queue": self.max_queue,
+                "max_batch": self.max_batch,
+                "inflight_sessions": len(self._inflight),
+                "service_ema_s": self._service_ema_s,
+                "rejected_total": int(self._rejected.total()),
+                "closed": self._closed,
+            }

@@ -1,0 +1,144 @@
+"""The synchronous serving facade: ``VOService.submit(...)``.
+
+``VOService`` wires the three serving components together -- a
+:class:`~repro.serve.session.SessionManager` for per-client state, a
+:class:`~repro.serve.scheduler.FifoScheduler` for admission and
+dispatch, and a :class:`~repro.serve.pool.DevicePool` of tracker
+workers -- behind one blocking call::
+
+    with VOService(workers=4, frontend="pim") as svc:
+        result = svc.submit("client-7", gray, depth)
+
+``submit`` raises :class:`~repro.serve.scheduler.Backpressure` when
+the admission queue is full; the exception carries a ``retry_after_s``
+hint and the client owns the retry (see
+:mod:`repro.serve.loadgen` for a retrying client).
+
+Frames submitted under one session id execute strictly in submission
+order against that session's own tracker state, so a session's
+trajectory is bit-identical to running its frames through a solo
+:class:`~repro.vo.tracker.EBVOTracker` -- regardless of how many other
+sessions interleave, which worker serves each frame, or how frames are
+micro-batched.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.serve.pool import DevicePool, TrackResult
+from repro.serve.scheduler import FifoScheduler, WorkItem
+from repro.serve.session import SessionManager
+from repro.vo.config import TrackerConfig
+from repro.vo.frontend import FloatFrontend, PIMFrontend
+from repro.vo.tracker import EBVOTracker
+
+__all__ = ["VOService"]
+
+_FRONTENDS = {"float": FloatFrontend, "pim": PIMFrontend}
+
+
+class VOService:
+    """Multi-session VO serving: sessions + scheduler + device pool."""
+
+    def __init__(self, workers: int = 2, frontend: str = "pim",
+                 config: Optional[TrackerConfig] = None,
+                 device_detect: bool = False,
+                 max_queue: int = 64, max_batch: int = 4,
+                 idle_timeout_s: float = 60.0, max_sessions: int = 64,
+                 min_service_s: float = 0.0,
+                 device_clock_hz: Optional[float] = None):
+        if frontend not in _FRONTENDS:
+            raise ValueError(
+                f"unknown frontend {frontend!r}; choose from "
+                f"{sorted(_FRONTENDS)}")
+        if config is None:
+            config = TrackerConfig(pim_device_detect=device_detect)
+        self.config = config
+        self.frontend = frontend
+        frontend_cls = _FRONTENDS[frontend]
+        self.sessions = SessionManager(idle_timeout_s=idle_timeout_s,
+                                       max_sessions=max_sessions)
+        self.scheduler = FifoScheduler(max_queue=max_queue,
+                                       max_batch=max_batch,
+                                       workers=workers)
+        self.pool = DevicePool(
+            workers, self.scheduler, self.sessions,
+            tracker_factory=lambda: EBVOTracker(frontend_cls(config),
+                                                config),
+            min_service_s=min_service_s,
+            device_clock_hz=device_clock_hz)
+        self._seq = itertools.count(1)
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "VOService":
+        """Start the worker pool (idempotent)."""
+        self.pool.start()
+        return self
+
+    def close(self) -> None:
+        """Stop admitting, drain nothing further, join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        self.pool.stop()
+
+    def __enter__(self) -> "VOService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request path ------------------------------------------------
+
+    def _batch_key(self, shape: Tuple[int, int]) -> Optional[Tuple]:
+        """Micro-batch key of one frame: its edge-detect program key.
+
+        Frames are batchable only when the workers actually replay
+        compiled programs (PIM frontend with device detect on); then
+        frames of the same shape share the detect program and device
+        geometry, so a worker can run them back-to-back.
+        """
+        if self.frontend != "pim" or not self.config.pim_device_detect:
+            return None
+        from repro.pim import PIMConfig
+        from repro.pim.program import program_key
+        height, width = shape
+        return program_key("edge_detect", shape, 8,
+                           PIMConfig(wordline_bits=width * 8,
+                                     num_rows=height + 8))
+
+    def submit(self, session_id: str, gray: np.ndarray,
+               depth: np.ndarray, timestamp: float = 0.0,
+               timeout: Optional[float] = None) -> TrackResult:
+        """Track one frame for ``session_id``; blocks for the result.
+
+        Raises :class:`~repro.serve.scheduler.Backpressure` when the
+        admission queue is full (nothing was enqueued; resubmit after
+        ``retry_after_s``).  Any tracking error surfaces here as the
+        original exception.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        gray = np.asarray(gray)
+        self.sessions.touch(session_id)
+        item = WorkItem(session=session_id, seq=next(self._seq),
+                        batch_key=self._batch_key(gray.shape),
+                        payload=(gray, np.asarray(depth),
+                                 float(timestamp)))
+        self.scheduler.submit(item)   # may raise Backpressure
+        return item.future.result(timeout)
+
+    def stats(self) -> dict:
+        """Scheduler, session, and pool statistics in one dict."""
+        return {
+            "scheduler": self.scheduler.stats(),
+            "sessions": self.sessions.stats(),
+            "pool": self.pool.stats(),
+        }

@@ -1,0 +1,165 @@
+"""Per-client tracker state with idle eviction.
+
+A *session* is one client's tracking stream: its
+:class:`~repro.vo.tracker.TrackerState` (keyframe, last relative pose,
+per-frame results) plus bookkeeping.  The :class:`SessionManager` keys
+sessions by a caller-chosen string id and enforces two bounds:
+
+* **Idle eviction** -- a session untouched for ``idle_timeout_s`` is
+  dropped on the next sweep.  A client that resubmits after eviction
+  gets a *fresh* :class:`~repro.vo.tracker.TrackerState` under a new
+  generation number, so a stale keyframe or pose can never leak into
+  the new stream (the first frame re-anchors as a keyframe at
+  identity, exactly like a cold start).
+* **Capacity eviction** -- at ``max_sessions`` the least recently
+  active idle session makes room; if every session is busy the create
+  fails rather than silently dropping someone's in-flight state.
+
+Sessions marked busy (checked out by a pool worker) are never evicted.
+Generation counters are persistent per id: they only ever grow, so a
+``(sid, generation)`` pair uniquely names one incarnation of a stream
+across evictions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.obs.metrics import get_registry
+from repro.vo.tracker import TrackerState
+
+__all__ = ["Session", "SessionManager"]
+
+
+@dataclass
+class Session:
+    """One client stream's state and bookkeeping."""
+
+    sid: str
+    generation: int
+    state: TrackerState = field(default_factory=TrackerState)
+    created_at: float = 0.0
+    last_active: float = 0.0
+    frames: int = 0
+    busy: bool = False
+
+
+class SessionManager:
+    """Thread-safe registry of per-client tracker states."""
+
+    def __init__(self, idle_timeout_s: float = 60.0,
+                 max_sessions: int = 64,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be positive")
+        self.idle_timeout_s = idle_timeout_s
+        self.max_sessions = max_sessions
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._sessions: Dict[str, Session] = {}
+        #: Next generation to assign per sid; persists across eviction.
+        self._generations: Dict[str, int] = {}
+        registry = get_registry()
+        self._evicted = registry.counter(
+            "serve_sessions_evicted_total",
+            "Sessions evicted, by reason (idle or capacity)")
+        self._active_gauge = registry.gauge(
+            "serve_sessions_active", "Sessions currently resident")
+
+    # -- internal helpers (lock held) -----------------------------------
+
+    def _evict(self, sid: str, reason: str) -> None:
+        del self._sessions[sid]
+        self._evicted.inc(reason=reason)
+        self._active_gauge.set(len(self._sessions))
+
+    def _sweep_idle(self, now: float) -> None:
+        if self.idle_timeout_s is None:
+            return
+        stale = [s.sid for s in self._sessions.values()
+                 if not s.busy and
+                 now - s.last_active > self.idle_timeout_s]
+        for sid in stale:
+            self._evict(sid, "idle")
+
+    def _make_room(self) -> None:
+        if len(self._sessions) < self.max_sessions:
+            return
+        idle = [s for s in self._sessions.values() if not s.busy]
+        if not idle:
+            raise RuntimeError(
+                f"all {self.max_sessions} sessions are busy; "
+                f"cannot admit a new one")
+        victim = min(idle, key=lambda s: s.last_active)
+        self._evict(victim.sid, "capacity")
+
+    def _get_or_create(self, sid: str, now: float) -> Session:
+        session = self._sessions.get(sid)
+        if session is None:
+            self._sweep_idle(now)
+            self._make_room()
+            generation = self._generations.get(sid, 0)
+            self._generations[sid] = generation + 1
+            session = Session(sid=sid, generation=generation,
+                              created_at=now, last_active=now)
+            self._sessions[sid] = session
+            self._active_gauge.set(len(self._sessions))
+        return session
+
+    # -- public surface --------------------------------------------------
+
+    def touch(self, sid: str) -> Session:
+        """Get or (re)create the session, refreshing its activity time.
+
+        Also sweeps idle sessions, so eviction needs no background
+        thread -- any admission traffic drives it.
+        """
+        with self._lock:
+            now = self._clock()
+            self._sweep_idle(now)
+            session = self._get_or_create(sid, now)
+            session.last_active = now
+            return session
+
+    def checkout(self, sid: str) -> Session:
+        """Claim the session for processing (workers call this).
+
+        Marks it busy so eviction cannot race the worker; creates a
+        fresh session if it was evicted while the frame sat in the
+        queue.
+        """
+        with self._lock:
+            session = self._get_or_create(sid, self._clock())
+            session.busy = True
+            return session
+
+    def checkin(self, session: Session) -> None:
+        """Return a checked-out session after processing one frame."""
+        with self._lock:
+            session.busy = False
+            session.frames += 1
+            session.last_active = self._clock()
+
+    def get(self, sid: str) -> Optional[Session]:
+        """Look up a resident session without touching it."""
+        with self._lock:
+            return self._sessions.get(sid)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def stats(self) -> dict:
+        """Point-in-time session statistics."""
+        with self._lock:
+            return {
+                "active": len(self._sessions),
+                "max_sessions": self.max_sessions,
+                "idle_timeout_s": self.idle_timeout_s,
+                "busy": sum(1 for s in self._sessions.values()
+                            if s.busy),
+                "evicted_total": int(self._evicted.total()),
+            }

@@ -19,7 +19,12 @@ from repro.vo.features import FeatureSet, extract_features
 from repro.vo.frontend import FloatFrontend, KeyframeMaps, PIMFrontend
 from repro.vo.lm import LMStats, lm_estimate
 from repro.vo.posegraph import PoseGraph, PoseGraphEdge
-from repro.vo.tracker import EBVOTracker, FrameResult
+from repro.vo.tracker import (
+    EBVOTracker,
+    FrameResult,
+    Keyframe,
+    TrackerState,
+)
 
 __all__ = [
     "TrackerConfig",
@@ -34,4 +39,6 @@ __all__ = [
     "PoseGraphEdge",
     "EBVOTracker",
     "FrameResult",
+    "Keyframe",
+    "TrackerState",
 ]

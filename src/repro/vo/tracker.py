@@ -8,7 +8,7 @@ extension for motions larger than the DT convergence basin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
@@ -22,7 +22,7 @@ from repro.vo.frontend import FloatFrontend, KeyframeMaps
 from repro.vo.lm import LMStats, lm_estimate
 from repro.vo.pyramid import build_pyramid
 
-__all__ = ["EBVOTracker", "FrameResult"]
+__all__ = ["EBVOTracker", "FrameResult", "Keyframe", "TrackerState"]
 
 
 @dataclass
@@ -37,9 +37,39 @@ class FrameResult:
 
 
 @dataclass
-class _Keyframe:
+class Keyframe:
+    """The reference frame tracking aligns against."""
+
     pose_world: SE3           # keyframe camera-to-world
     maps: List[KeyframeMaps]  # one per pyramid level (0 = full res)
+
+
+@dataclass
+class TrackerState:
+    """The mutable per-client state of one tracking stream.
+
+    Everything a tracker accumulates while following one camera lives
+    here -- the current keyframe, the last relative pose, and the
+    per-frame results -- while :class:`EBVOTracker` itself holds only
+    configuration and (stateless-per-frame) frontends.  The split lets
+    one tracker serve many interleaved streams by swapping
+    :attr:`EBVOTracker.state` between frames (see
+    :mod:`repro.serve.session`); a state detached mid-stream and
+    re-attached later resumes bit-identically.
+    """
+
+    keyframe: Optional[Keyframe] = None
+    last_rel: SE3 = field(default_factory=SE3.identity)  # cur -> keyframe
+    results: List[FrameResult] = field(default_factory=list)
+
+    @property
+    def trajectory(self) -> List[SE3]:
+        """Estimated camera-to-world poses, one per processed frame."""
+        return [r.pose for r in self.results]
+
+
+# Back-compat alias for the former private name.
+_Keyframe = Keyframe
 
 
 class EBVOTracker:
@@ -50,6 +80,10 @@ class EBVOTracker:
         tracker = EBVOTracker(PIMFrontend(config), config)
         for gray, depth, ts in frames:
             result = tracker.process(gray, depth, ts)
+
+    All mutable tracking state lives in :attr:`state` (a
+    :class:`TrackerState`); replacing that attribute switches the
+    tracker to another stream without rebuilding frontends or devices.
     """
 
     def __init__(self, frontend=None, config: Optional[TrackerConfig] = None):
@@ -60,14 +94,17 @@ class EBVOTracker:
         for level in range(1, self.config.pyramid_levels):
             self._frontends.append(
                 type(base)(self.config.scaled_for_level(level)))
-        self._keyframe: Optional[_Keyframe] = None
-        self._last_rel = SE3.identity()   # current -> keyframe
-        self.results: List[FrameResult] = []
+        self.state = TrackerState()
+
+    @property
+    def results(self) -> List[FrameResult]:
+        """Per-frame results of the attached state."""
+        return self.state.results
 
     @property
     def trajectory(self) -> List[SE3]:
         """Estimated camera-to-world poses, one per processed frame."""
-        return [r.pose for r in self.results]
+        return self.state.trajectory
 
     def _make_keyframe(self, pyramid, pose_world: SE3,
                        edge_map_l0: np.ndarray) -> None:
@@ -76,8 +113,8 @@ class EBVOTracker:
             frontend = self._frontends[level]
             edges = frontend.detect(pyramid[level][0])
             maps.append(frontend.prepare_keyframe(edges))
-        self._keyframe = _Keyframe(pose_world=pose_world, maps=maps)
-        self._last_rel = SE3.identity()
+        self.state.keyframe = Keyframe(pose_world=pose_world, maps=maps)
+        self.state.last_rel = SE3.identity()
 
     def _needs_keyframe(self, rel_pose: SE3, stats: LMStats,
                         n_features: int) -> bool:
@@ -99,7 +136,7 @@ class EBVOTracker:
         """Coarse-to-fine pose estimation against the keyframe maps."""
         pose = init
         stats = None
-        levels = min(len(self._keyframe.maps), len(pyramid))
+        levels = min(len(self.state.keyframe.maps), len(pyramid))
         for level in reversed(range(levels)):
             frontend = self._frontends[level]
             cfg = frontend.config
@@ -112,8 +149,8 @@ class EBVOTracker:
                     cfg.min_depth, cfg.max_depth)
             feats = frontend.make_features(feature_set)
             pose, stats = lm_estimate(frontend, feats,
-                                      self._keyframe.maps[level], pose,
-                                      cfg)
+                                      self.state.keyframe.maps[level],
+                                      pose, cfg)
             if stats.lost and level > 0:
                 pose = init  # coarse level unusable; retry finer
         return pose, stats
@@ -146,7 +183,7 @@ class EBVOTracker:
                                     cfg.max_features, cfg.min_depth,
                                     cfg.max_depth)
 
-        if self._keyframe is None:
+        if self.state.keyframe is None:
             self._make_keyframe(pyramid, SE3.identity(), edge_map)
             frame_span.set_attr("is_keyframe", True)
             result = FrameResult(pose=SE3.identity(), is_keyframe=True,
@@ -161,17 +198,17 @@ class EBVOTracker:
         # (an overshoot near a motion reversal can land in a wrong DT
         # basin and corrupt the next keyframe).
         rel_pose, stats = self._estimate(pyramid, features,
-                                         self._last_rel)
+                                         self.state.last_rel)
         if stats.lost:
-            rel_pose = self._last_rel  # hold pose, re-anchor below
-        pose_world = self._keyframe.pose_world @ rel_pose
+            rel_pose = self.state.last_rel  # hold pose, re-anchor below
+        pose_world = self.state.keyframe.pose_world @ rel_pose
 
         is_keyframe = stats.lost or self._needs_keyframe(
             rel_pose, stats, len(features))
         if is_keyframe:
             self._make_keyframe(pyramid, pose_world, edge_map)
         else:
-            self._last_rel = rel_pose
+            self.state.last_rel = rel_pose
 
         frame_span.set_attr("is_keyframe", is_keyframe)
         frame_span.set_attr("num_features", len(features))

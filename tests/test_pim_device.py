@@ -302,3 +302,57 @@ class TestCostAccounting:
         assert len(dev.trace) == 1
         text = str(dev.trace[0])
         assert "add" in text and "tmp" in text and "r0" in text
+
+
+class TestReset:
+    """reset() returns a device to its power-on state (pool reuse)."""
+
+    @staticmethod
+    def _dirty(dev):
+        rng = np.random.default_rng(7)
+        dev._mem[:] = rng.integers(0, 256, size=dev._mem.shape,
+                                   dtype=np.uint8)
+        dev.set_precision(16)
+        dev.add(TMP, 0, Imm(999))
+        dev.add(1, 0, TMP)
+
+    def test_reset_restores_power_on_state(self):
+        dev = PIMDevice(SMALL, trace=True)
+        self._dirty(dev)
+        dev.reset()
+        fresh = PIMDevice(SMALL)
+        assert np.array_equal(dev._mem, fresh._mem)
+        for a, b in zip(dev._tmp, fresh._tmp):
+            assert np.array_equal(a, b)
+        assert dev.ledger.cycles == 0
+        assert dev.ledger.op_counts == fresh.ledger.op_counts
+        assert dev.precision == 8
+        assert dev.trace == []
+        assert dev.config is fresh.config or \
+            dev.config.digest() == fresh.config.digest()
+
+    def test_reset_device_bit_identical_on_replayed_program(self):
+        from repro.pim import ProgramRecorder, Rel
+
+        rec = ProgramRecorder(SMALL, name="lpf")
+        rec.avg(Rel(0), Rel(0), Rel(1))
+        rec.shift_lanes(TMP, Rel(0), 1)
+        rec.avg(Rel(0), Rel(0), TMP)
+        program = rec.finish()
+
+        reused = PIMDevice(SMALL)
+        self._dirty(reused)
+        reused.reset()
+        fresh = PIMDevice(SMALL)
+
+        rng = np.random.default_rng(11)
+        image = rng.integers(0, 128, size=(4, 8), dtype=np.int64)
+        for dev in (reused, fresh):
+            dev.load_rows(range(4), image, signed=False)
+            dev.run_program(program, [0, 1, 2])
+        assert np.array_equal(reused._mem, fresh._mem)
+        assert reused.ledger.cycles == fresh.ledger.cycles
+        assert np.array_equal(reused.store_rows(range(8),
+                                                signed=False),
+                              fresh.store_rows(range(8),
+                                               signed=False))

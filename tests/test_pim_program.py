@@ -267,6 +267,76 @@ class TestProgramCache:
             ProgramCache(capacity=0)
 
 
+class TestProgramCacheConcurrency:
+    """The cache backs many pool workers; hammer it from threads."""
+
+    def test_concurrent_access_keeps_invariants(self):
+        import threading
+
+        cache = ProgramCache(capacity=8)
+        n_threads, n_keys, rounds = 8, 24, 40  # keys >> capacity
+        lookups = n_threads * rounds
+        errors = []
+        start = threading.Barrier(n_threads)
+
+        def build_for(tag):
+            def build(rec):
+                _record_lpf_row(rec)
+            return build
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                start.wait()
+                for _ in range(rounds):
+                    tag = f"k{rng.integers(n_keys)}"
+                    key = program_key(tag, (), 8, SMALL)
+                    program = cache.get_or_record(
+                        key, SMALL, build_for(tag), name=tag)
+                    assert program.name == tag
+                    len(cache)
+                    cache.stats()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert len(cache) <= cache.capacity
+        # Every lookup was counted exactly once as a hit or a miss.
+        assert cache.hits + cache.misses == lookups
+
+    def test_concurrent_miss_first_insert_wins(self):
+        import threading
+
+        cache = ProgramCache(capacity=8)
+        key = program_key("lpf", (), 8, SMALL)
+        gate = threading.Barrier(4)
+        results = []
+
+        def build(rec):
+            _record_lpf_row(rec)
+
+        def worker():
+            gate.wait()
+            results.append(cache.get_or_record(key, SMALL, build,
+                                               name="lpf"))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All callers converge on one canonical program object.
+        assert len(cache) == 1
+        canonical = cache.get(key)
+        assert all(p is canonical for p in results)
+
+
 class TestTraceRing:
     def test_max_trace_bounds_buffer(self):
         device = PIMDevice(SMALL, trace=True, max_trace=4)

@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.evaluation",
     "repro.baseline",
     "repro.analysis",
+    "repro.obs",
+    "repro.serve",
 ]
 
 

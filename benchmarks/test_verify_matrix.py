@@ -1,0 +1,56 @@
+"""Wall-clock microbenchmarks of the conformance harness itself.
+
+Non-gating: these measure how expensive the differential matrix and
+the fuzzer are on the host (the CI job budgets around them), not any
+modelled-hardware quantity.
+"""
+
+import pytest
+
+from repro.verify import ConformanceRunner, DifferentialFuzzer
+from repro.verify.matrix import ConformanceReport
+
+
+def test_bench_matrix_cell_add8(benchmark):
+    runner = ConformanceRunner(seed=0, samples=1)
+
+    def run():
+        report = ConformanceReport(seed=0)
+        runner.run_cell("add", 8, "u-sat", report)
+        assert report.ok
+        return report.vectors
+
+    vectors = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert vectors > 0
+
+
+def test_bench_matrix_cell_div64(benchmark):
+    """The slowest cell: bit-serial restoring division at 64-bit."""
+    runner = ConformanceRunner(seed=0, samples=1)
+
+    def run():
+        report = ConformanceReport(seed=0)
+        runner.run_cell("div", 64, "s", report)
+        assert report.ok
+        return report.vectors
+
+    vectors = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert vectors > 0
+
+
+def test_bench_fuzz_case(benchmark):
+    fuzzer = DifferentialFuzzer(seed=0)
+    cases = [fuzzer.generate(i) for i in range(10)]
+
+    def run():
+        return sum(0 if case.run() else 1 for case in cases)
+
+    passed = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert passed == len(cases)
+
+
+@pytest.mark.slow
+def test_bench_full_matrix(benchmark):
+    runner = ConformanceRunner(seed=0, samples=1)
+    report = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    assert report.ok

@@ -39,6 +39,12 @@ def _as_i64(x) -> np.ndarray:
 
 
 def _bounds(bits: int, signed: bool) -> tuple[int, int]:
+    if bits >= 64:
+        # 64-bit lanes saturate the int64 host accumulator: the lane IS
+        # the accumulator word, so signed two's-complement bounds apply
+        # regardless of the requested view (an unsigned 64-bit range
+        # cannot be represented in the int64 substrate).
+        return -(1 << 63), (1 << 63) - 1
     if signed:
         return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
     return 0, (1 << bits) - 1
@@ -48,11 +54,20 @@ def wrap(x, bits: int, signed: bool = True) -> np.ndarray:
     """Reduce ``x`` modulo ``2**bits`` into the lane's natural range.
 
     This models what the accumulator stores when the carry out of the
-    lane's most significant slice is discarded.
+    lane's most significant slice is discarded.  At 64 bits the lane
+    coincides with the int64 host word, so the value is already wrapped
+    (and the "unsigned" view degenerates to the signed one -- see
+    :func:`_bounds`).
     """
-    x = _as_i64(x)
+    x = np.asarray(x)
+    if bits >= 64:
+        return _as_i64(x)
     mask = (1 << bits) - 1
-    u = x & mask
+    if x.dtype == np.uint64:
+        # Exact unsigned products arrive as uint64 (see multiply).
+        u = (x & np.uint64(mask)).astype(np.int64)
+    else:
+        u = _as_i64(x) & mask
     if not signed:
         return u
     sign_bit = 1 << (bits - 1)
@@ -66,6 +81,12 @@ def saturate(x, bits: int, signed: bool = True) -> np.ndarray:
     (paper section 4.1).
     """
     lo, hi = _bounds(bits, signed)
+    x = np.asarray(x)
+    if x.dtype == np.uint64 and bits < 64:
+        # Exact unsigned products arrive as uint64 (see multiply);
+        # they are non-negative by construction, so only the upper
+        # bound can clamp.
+        return np.minimum(x, np.uint64(hi)).astype(np.int64)
     return np.clip(_as_i64(x), lo, hi)
 
 
@@ -99,9 +120,15 @@ def abs_diff(a, b) -> np.ndarray:
     ``M = a - b``; ``N`` is the borrow mask (all-ones where the
     subtraction went negative); the result is ``(M + N) ^ N``, which is
     the two's-complement conditional negation.
+
+    The mask comes from comparing the *operands* (the hardware borrow),
+    not the sign of ``M``: at 64-bit lane width ``M`` wraps in the
+    int64 host word, so its sign bit is not the borrow.
     """
-    m = _as_i64(a) - _as_i64(b)
-    n = np.where(m < 0, -1, 0).astype(np.int64)
+    a = _as_i64(a)
+    b = _as_i64(b)
+    m = a - b
+    n = np.where(a < b, -1, 0).astype(np.int64)
     return (m + n) ^ n
 
 
@@ -113,15 +140,31 @@ def branchfree_max(a, b, bits: int, signed: bool = True) -> np.ndarray:
     unsigned range ``[0, 2**bits - 1]`` of the *difference*; the
     difference of two in-range signed values always fits that range
     after clamping at zero.
+
+    At 64-bit lane width the difference ``a - b`` can exceed the int64
+    host accumulator (e.g. ``a = 2**62, b = -2**62``), so the identity
+    is evaluated directly as ``max`` -- which is what the hardware's
+    wider-than-lane accumulator would yield.
     """
-    diff = np.maximum(_as_i64(a) - _as_i64(b), 0)
-    return _as_i64(b) + diff
+    a = _as_i64(a)
+    b = _as_i64(b)
+    if bits >= 64:
+        return np.maximum(a, b)
+    diff = np.maximum(a - b, 0)
+    return b + diff
 
 
 def branchfree_min(a, b, bits: int, signed: bool = True) -> np.ndarray:
-    """``min(a, b) = a - sat(a - b)`` (Fig. 7-b)."""
-    diff = np.maximum(_as_i64(a) - _as_i64(b), 0)
-    return _as_i64(a) - diff
+    """``min(a, b) = a - sat(a - b)`` (Fig. 7-b).
+
+    Same 64-bit host-bound rule as :func:`branchfree_max`.
+    """
+    a = _as_i64(a)
+    b = _as_i64(b)
+    if bits >= 64:
+        return np.minimum(a, b)
+    diff = np.maximum(a - b, 0)
+    return a - diff
 
 
 def greater_than(a, b) -> np.ndarray:
@@ -139,13 +182,18 @@ def multiply(a, b, bits: int, signed: bool = True) -> np.ndarray:
     The PIM multiplier (Fig. 7-c) consumes unsigned operands and
     produces the exact ``2n``-bit product; signed operands are inverted
     before and after.  Functionally that is simply the integer product,
-    which is what this returns (in int64 - callers requantize).
+    which is what this returns -- in int64, except for unsigned lanes
+    below 64 bits where the exact 2n-bit product can exceed int64
+    (n = 32) and is returned as uint64; :func:`wrap`/:func:`saturate`
+    narrow either dtype correctly.
     """
     lo, hi = _bounds(bits, signed)
     a = _as_i64(a)
     b = _as_i64(b)
     if np.any((a < lo) | (a > hi)) or np.any((b < lo) | (b > hi)):
         raise ValueError(f"operands exceed {bits}-bit lane range")
+    if not signed and bits < 64:
+        return a.astype(np.uint64) * b.astype(np.uint64)
     return a * b
 
 
@@ -161,7 +209,17 @@ def divide(a, b, bits: int, signed: bool = True) -> np.ndarray:
     a = _as_i64(a)
     b = _as_i64(b)
     _, hi = _bounds(bits, signed)
-    mag = np.abs(a) // np.maximum(np.abs(b), 1)
+    if bits >= 64:
+        # |INT64_MIN| does not exist in int64 (np.abs wraps to itself),
+        # so develop the magnitudes in uint64 -- exactly what the
+        # restoring loop does with its unsigned partial remainder.
+        au = a.astype(np.uint64)
+        bu = b.astype(np.uint64)
+        mag_a = np.where(a < 0, ~au + np.uint64(1), au)
+        mag_b = np.where(b < 0, ~bu + np.uint64(1), bu)
+        mag = (mag_a // np.maximum(mag_b, np.uint64(1))).astype(np.int64)
+    else:
+        mag = np.abs(a) // np.maximum(np.abs(b), 1)
     sign = np.where((a < 0) ^ (b < 0), -1, 1)
     q = sign * mag
     overflow = np.where(a >= 0, hi, -hi if signed else hi)

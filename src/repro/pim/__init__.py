@@ -25,6 +25,7 @@ from repro.pim.config import PIMConfig
 from repro.pim.cost import CostLedger
 from repro.pim.device import TMP, BitPIMDevice, Imm, PIMDevice, Rel, Tmp
 from repro.pim.energy import AreaModel, EnergyModel, EnergyReport
+from repro.pim.faults import FaultInjector, FaultPlan
 from repro.pim.program import (
     PIMProgram,
     ProgramCache,
@@ -48,4 +49,6 @@ __all__ = [
     "EnergyModel",
     "EnergyReport",
     "AreaModel",
+    "FaultPlan",
+    "FaultInjector",
 ]

@@ -152,6 +152,7 @@ def lanes_view(values: np.ndarray, precision: int,
                wordline_bits: int) -> np.ndarray:
     """Pack unsigned lane values to bits (little-endian)."""
     from repro.pim.bitsram import lanes_to_bits
-    mask = np.uint64((1 << precision) - 1) if precision < 64 else np.uint64(-1)
+    mask = np.uint64((1 << precision) - 1) if precision < 64 \
+        else np.uint64(0xFFFFFFFFFFFFFFFF)
     return lanes_to_bits(np.asarray(values, dtype=np.uint64) & mask,
                          precision, wordline_bits)

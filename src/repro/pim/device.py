@@ -125,6 +125,10 @@ def _compute(method: str, n: int, vals: Tuple[np.ndarray, ...],
         return vals[0] | vals[1]
     if method == "logic_xor":
         return vals[0] ^ vals[1]
+    if method == "logic_nor":
+        # The raw sense-amp output; the complement is wrapped back to
+        # lane width by the pack step.
+        return ~(vals[0] | vals[1])
     if method == "shift_lanes":
         va = vals[0]
         pixels = kwargs["pixels"]
@@ -161,8 +165,11 @@ def _compute(method: str, n: int, vals: Tuple[np.ndarray, ...],
         wide = max(n, 63)
         q = ops.divide(va, vb, wide, signed)
         # Division by zero saturates toward the *lane* bound, as the
-        # restoring loop would leave an all-ones quotient.
-        lane_hi = (1 << (n - 1)) - 1 if signed else (1 << n) - 1
+        # restoring loop would leave an all-ones quotient.  64-bit
+        # lanes take the signed bound regardless of view (int64 host
+        # bound, see repro.fixedpoint.ops._bounds).
+        lane_hi = (1 << (n - 1)) - 1 if signed or n >= 64 \
+            else (1 << n) - 1
         q = np.where(vb == 0,
                      np.where(va >= 0, lane_hi,
                               -lane_hi if signed else lane_hi), q)
@@ -266,16 +273,22 @@ class PIMDevice(_DeviceCore):
                              dtype=np.uint8)
         self._tmp = [np.zeros(config.row_bytes, dtype=np.uint8)
                      for _ in range(config.num_tmp_registers)]
+        self._fault_injector = None
+        #: Stored bits flipped via :meth:`inject_fault` since the last
+        #: reset -- the health signal the serve pool's faulty-device
+        #: eviction path checks.
+        self._stored_faults = 0
 
     def reset(self) -> None:
         """Return the device to its power-on state, keeping the config.
 
         Zeroes the SRAM array and every Tmp register, resets the
         :class:`~repro.pim.cost.CostLedger` and drops the trace stream,
-        and restores the default 8-bit lane width.  A reset device is
-        bit-identical to a freshly constructed one (equivalence tests
-        pin this), which is what lets a pool worker hand its device to
-        a new session without reallocating anything
+        detaches any attached fault injector (clearing both stored and
+        transient faults), and restores the default 8-bit lane width.
+        A reset device is bit-identical to a freshly constructed one
+        (equivalence tests pin this), which is what lets a pool worker
+        hand its device to a new session without reallocating anything
         (:class:`repro.serve.pool.DevicePool`).
         """
         self._mem.fill(0)
@@ -284,6 +297,8 @@ class PIMDevice(_DeviceCore):
         self.ledger.reset()
         self.trace.clear()
         self._precision = 8
+        self._fault_injector = None
+        self._stored_faults = 0
 
     # -- storage views ---------------------------------------------------
 
@@ -327,7 +342,10 @@ class PIMDevice(_DeviceCore):
             self._check_tmp(src)
             return self._unpack(self._tmp[src.index], signed)
         self._check_row(src)
-        return self._unpack(self._mem[src], signed)
+        raw = self._mem[src]
+        if self._fault_injector is not None:
+            raw = self._fault_injector.corrupt_read(raw, int(src))
+        return self._unpack(raw, signed)
 
     def _write(self, dst: Dst, values: np.ndarray) -> None:
         packed = self._pack(values)
@@ -436,6 +454,39 @@ class PIMDevice(_DeviceCore):
         if not 0 <= bit < self.config.wordline_bits:
             raise IndexError(f"bit {bit} outside the word line")
         self._mem[row][bit // 8] ^= np.uint8(1 << (bit % 8))
+        self._stored_faults += 1
+        if self._fault_injector is not None:
+            self._fault_injector.record_stored()
+
+    def attach_fault_injector(self, injector) -> None:
+        """Arm a :class:`~repro.pim.faults.FaultInjector` on this device.
+
+        The plan's stored flips are applied to the array immediately;
+        transient read errors corrupt every subsequent row read until
+        :meth:`detach_fault_injector` or :meth:`reset`.
+        """
+        self._fault_injector = injector
+        for row, bit in injector.plan.stored_flips:
+            self.inject_fault(row, bit)
+
+    def detach_fault_injector(self) -> None:
+        """Stop corrupting reads.  Stored flips remain until reset."""
+        self._fault_injector = None
+
+    def fault_state(self) -> dict:
+        """Health view: faults injected since the last reset.
+
+        ``suspect`` is True when the array may hold corrupted state --
+        the signal :class:`repro.serve.pool.PoolWorker` uses to evict
+        (reset) a device between frames.
+        """
+        injector = self._fault_injector
+        return {
+            "stored_faults": self._stored_faults,
+            "read_faults": injector.read_faults if injector else 0,
+            "injector_attached": injector is not None,
+            "suspect": self._stored_faults > 0 or injector is not None,
+        }
 
     # -- micro-op execution -----------------------------------------------
 
@@ -484,6 +535,10 @@ class PIMDevice(_DeviceCore):
     def logic_xor(self, dst: Dst, a: Src, b: Src) -> None:
         """Bitwise XOR."""
         self._execute("logic_xor", dst, (a, b), {})
+
+    def logic_nor(self, dst: Dst, a: Src, b: Src) -> None:
+        """Bitwise NOR -- the native sense-amp output (Fig. 6-a)."""
+        self._execute("logic_nor", dst, (a, b), {})
 
     def shift_lanes(self, dst: Dst, a: Src, pixels: int,
                     signed: bool = False) -> None:
@@ -651,11 +706,19 @@ class PIMDevice(_DeviceCore):
         alias across elements).
 
         Returns the name of the first hazard rule that fired --
-        ``"bases-not-increasing"``, ``"register-reuse-hazard"``,
-        ``"rel-aliasing-within-span"``, ``"abs-write-aliases-rel-row"``
-        or ``"abs-read-aliases-rel-write"`` -- so auto-mode fallbacks
+        ``"fault-injection-active"``, ``"bases-not-increasing"``,
+        ``"register-reuse-hazard"``, ``"rel-aliasing-within-span"``,
+        ``"abs-write-aliases-rel-row"`` or
+        ``"abs-read-aliases-rel-write"`` -- so auto-mode fallbacks
         are attributable instead of silent.
         """
+        if self._fault_injector is not None and \
+                self._fault_injector.transient:
+            # Transient read errors must hit each per-row read in
+            # eager order so the seeded draw sequence is well defined;
+            # the batched path reads memory wholesale and would skip
+            # the corruption hook.
+            return "fault-injection-active"
         if len(bases) > 1 and any(b2 <= b1 for b1, b2 in
                                   zip(bases, bases[1:])):
             return "bases-not-increasing"
@@ -799,8 +862,11 @@ class BitPIMDevice(_DeviceCore):
     # -- bit-level operand plumbing --------------------------------------
 
     def _to_unsigned(self, vals: np.ndarray) -> np.ndarray:
+        vals = np.asarray(vals, dtype=np.int64)
+        if self._precision >= 64:
+            return vals.view(np.uint64).copy()
         mask = (1 << self._precision) - 1
-        return (np.asarray(vals, dtype=np.int64) & mask).astype(np.uint64)
+        return (vals & mask).astype(np.uint64)
 
     def _from_unsigned(self, u: np.ndarray, signed: bool) -> np.ndarray:
         vals = u.astype(np.int64)
@@ -942,6 +1008,15 @@ class BitPIMDevice(_DeviceCore):
         else:
             self._write_bits(dst, self._read_bits(a) ^ self._read_bits(b))
 
+    def logic_nor(self, dst: Dst, a: Src, b: Src) -> None:
+        """In-array NOR -- the second sense amplifier of Fig. 6-a."""
+        self._charge(OpKind.NOR, (a, b), dst)
+        if isinstance(a, int) and isinstance(b, int):
+            self._write_bits(dst, self.sram.bitline_nor(a, b))
+        else:
+            self._write_bits(
+                dst, 1 - (self._read_bits(a) | self._read_bits(b)))
+
     def shift_lanes(self, dst: Dst, a: Src, pixels: int,
                     signed: bool = False) -> None:
         """Shift the word line by whole lanes through the shifter."""
@@ -1048,9 +1123,14 @@ class BitPIMDevice(_DeviceCore):
             partial = partial << np.uint64(1)
             take = (mag_b >> np.uint64(bit)) & np.uint64(1)
             partial = partial + mag_a * take
-        prod = partial.astype(np.int64)
-        neg = (va < 0) ^ (vb < 0)
-        prod = np.where(neg, -prod, prod) >> rshift
+        if signed or n >= 64:
+            prod = partial.astype(np.int64)
+            neg = (va < 0) ^ (vb < 0)
+            prod = np.where(neg, -prod, prod) >> rshift
+        else:
+            # The exact 2n-bit unsigned product can exceed int64 at
+            # n = 32; keep it in uint64 (wrap/saturate narrow it).
+            prod = partial >> np.uint64(rshift)
         out = ops.saturate(prod, n, signed) if saturate else \
             ops.wrap(prod, n, signed)
         self._write_bits(dst, self._bits_of(out))
@@ -1070,20 +1150,28 @@ class BitPIMDevice(_DeviceCore):
         va = self._lanes_of(self._read_bits(a), signed)
         vb = self._lanes_of(self._read_bits(b), signed)
         self._charge(OpKind.DIV, (a, b), dst)
-        num = np.abs(va).astype(np.int64)
-        den = np.abs(vb).astype(np.int64)
+        # Magnitudes develop in uint64: |INT64_MIN| does not exist in
+        # int64, and the restoring loop's partial remainder is unsigned
+        # in the hardware anyway.
+        ua = va.astype(np.uint64)
+        ub = vb.astype(np.uint64)
+        num = np.where(va < 0, ~ua + np.uint64(1), ua)
+        den = np.where(vb < 0, ~ub + np.uint64(1), ub)
         remainder = np.zeros_like(num)
         quotient = np.zeros_like(num)
         for bit in range(n - 1, -1, -1):
-            remainder = (remainder << 1) | ((num >> bit) & 1)
-            trial = remainder - den
-            ok = (trial >= 0) & (den > 0)
-            remainder = np.where(ok, trial, remainder)
-            quotient = (quotient << 1) | ok.astype(np.int64)
+            remainder = (remainder << np.uint64(1)) | \
+                ((num >> np.uint64(bit)) & np.uint64(1))
+            ok = (remainder >= den) & (den > np.uint64(0))
+            remainder = np.where(ok, remainder - den, remainder)
+            quotient = (quotient << np.uint64(1)) | ok.astype(np.uint64)
         neg = (va < 0) ^ (vb < 0)
-        quotient = np.where(neg, -quotient, quotient)
-        _, hi = (-(1 << (n - 1)), (1 << (n - 1)) - 1) if signed else \
-            (0, (1 << n) - 1)
+        quotient = np.where(neg, ~quotient + np.uint64(1),
+                            quotient).astype(np.int64)
+        # 64-bit lanes take the signed bounds regardless of view (the
+        # int64 host bound; see repro.fixedpoint.ops._bounds).
+        _, hi = (-(1 << (n - 1)), (1 << (n - 1)) - 1) \
+            if signed or n >= 64 else (0, (1 << n) - 1)
         overflow = np.where(va >= 0, hi, -hi if signed else hi)
         quotient = np.where(vb == 0, overflow, quotient)
         self._write_bits(dst, self._bits_of(

@@ -1,0 +1,118 @@
+"""Seeded fault injection for the word-level PIM device.
+
+Real SRAM arrays fail in two characteristic ways the paper's design
+must tolerate: *stored* faults (a cell flips and stays flipped -- soft
+errors, weak cells) and *sense-amp read* faults (a marginal read
+returns a flipped bit once, while the stored value stays intact).
+This module models both behind a deterministic, seeded plan so
+robustness tests can replay the exact same fault sequence:
+
+* :class:`FaultPlan` -- a frozen description: explicit ``(row, bit)``
+  stored flips plus a per-bit transient read-error probability.
+* :class:`FaultInjector` -- the live state: a seeded RNG, the corrupt
+  hook the device calls on every row read, and injected-fault counts
+  (mirrored into the obs metrics registry as
+  ``pim_faults_injected_total{kind=...}``).
+
+Attach with :meth:`repro.pim.device.PIMDevice.attach_fault_injector`;
+:meth:`~repro.pim.device.PIMDevice.reset` detaches the injector and
+zeroes the array, so a reset device is always bit-identical to a fresh
+one -- the contract the serve pool's faulty-device eviction path and
+the conformance tests both rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic description of the faults to inject.
+
+    Attributes:
+        seed: RNG seed driving the transient read-error draws.
+        stored_flips: ``(row, bit)`` pairs flipped in the array once,
+            at attach time (persistent until overwritten or reset).
+        read_flip_prob: Probability that any given bit of a row read
+            is returned flipped (transient; the stored value is
+            untouched).  0 disables read faults.
+        read_fault_rows: Restrict transient read faults to these rows
+            (``None`` = every row is susceptible).
+    """
+
+    seed: int = 0
+    stored_flips: Tuple[Tuple[int, int], ...] = ()
+    read_flip_prob: float = 0.0
+    read_fault_rows: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_flip_prob <= 1.0:
+            raise ValueError("read_flip_prob must be in [0, 1]")
+
+
+class FaultInjector:
+    """Live fault state: seeded RNG, read-corruption hook, counters."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        #: Bits flipped in the stored array (via the plan or
+        #: :meth:`PIMDevice.inject_fault` while attached).
+        self.stored_faults = 0
+        #: Bits flipped transiently on reads so far.
+        self.read_faults = 0
+        self._counter = get_registry().counter(
+            "pim_faults_injected_total",
+            "SRAM bits flipped by fault injection, by kind")
+
+    @property
+    def transient(self) -> bool:
+        """Whether this injector corrupts reads (vs stored-only)."""
+        return self.plan.read_flip_prob > 0.0
+
+    def record_stored(self, count: int = 1) -> None:
+        """Account for ``count`` persistent bit flips."""
+        self.stored_faults += count
+        self._counter.inc(count, kind="stored")
+
+    def corrupt_read(self, raw: np.ndarray, row: int) -> np.ndarray:
+        """Return ``raw`` with seeded transient bit flips applied.
+
+        ``raw`` is the row's byte vector; the stored array is never
+        modified.  Rows outside ``read_fault_rows`` pass through
+        untouched (and consume no RNG draws, so fault locality does
+        not perturb the sequence seen by other rows).
+        """
+        if not self.transient:
+            return raw
+        rows = self.plan.read_fault_rows
+        if rows is not None and row not in rows:
+            return raw
+        flips = self.rng.random(raw.size * 8) < self.plan.read_flip_prob
+        if not flips.any():
+            return raw
+        # Bit ``b`` of byte ``i`` is word-line bit ``i*8 + b`` (the
+        # same LSB-first layout inject_fault uses).
+        mask = np.packbits(flips.reshape(-1, 8), axis=1,
+                           bitorder="little").reshape(-1)
+        count = int(flips.sum())
+        self.read_faults += count
+        self._counter.inc(count, kind="read")
+        return raw ^ mask
+
+    def stats(self) -> dict:
+        """Point-in-time injected-fault counts."""
+        return {
+            "seed": self.plan.seed,
+            "stored_faults": self.stored_faults,
+            "read_faults": self.read_faults,
+            "read_flip_prob": self.plan.read_flip_prob,
+        }

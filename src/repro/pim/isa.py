@@ -224,6 +224,8 @@ def charge_plan(method: str, dst, srcs: Tuple, **kw) -> Tuple[ChargeStep,
         return (ChargeStep(OpKind.OR, srcs, dst),)
     if method == "logic_xor":
         return (ChargeStep(OpKind.XOR, srcs, dst),)
+    if method == "logic_nor":
+        return (ChargeStep(OpKind.NOR, srcs, dst),)
     if method == "shift_lanes":
         return (ChargeStep(OpKind.SHIFT_LANES, srcs, dst,
                            f"{kw['pixels']}pix"),)

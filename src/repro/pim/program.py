@@ -350,6 +350,10 @@ class ProgramRecorder(_DeviceCore):
         """Record a bitwise XOR."""
         self._record("logic_xor", dst, (a, b), {})
 
+    def logic_nor(self, dst: Dst, a: Src, b: Src) -> None:
+        """Record a bitwise NOR."""
+        self._record("logic_nor", dst, (a, b), {})
+
     def shift_lanes(self, dst: Dst, a: Src, pixels: int,
                     signed: bool = False) -> None:
         """Record a whole-lane shift."""

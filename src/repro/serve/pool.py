@@ -95,6 +95,9 @@ class PoolWorker:
             "Seconds a frame waited in the admission queue",
             bounds=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
                     30.0))
+        self._evictions_ctr = registry.counter(
+            "serve_device_evictions_total",
+            "Devices reset between frames because faults were detected")
 
     # -- device plumbing -------------------------------------------------
 
@@ -112,6 +115,37 @@ class PoolWorker:
         for dev in self._devices():
             dev.reset()
 
+    def _evict_faulty_devices(self) -> int:
+        """Reset any device reporting injected/suspected faults.
+
+        Runs between frames: a device whose :meth:`fault_state` says
+        the array may be corrupted (stored bit flips, or an armed
+        fault injector) is returned to power-on state before it can
+        serve the next frame, and the eviction is counted per worker
+        and reason.  The session's tracker state lives host-side, so
+        a between-frame reset is invisible to the stream except that
+        the corruption is gone.
+        """
+        evicted = 0
+        for dev in self._devices():
+            state_fn = getattr(dev, "fault_state", None)
+            if state_fn is None:
+                continue
+            state = state_fn()
+            if not state.get("suspect"):
+                continue
+            reason = "stored-fault" if state.get("stored_faults") \
+                else "fault-injector"
+            log.warning(
+                "worker %d evicting faulty device (%s: %d stored, "
+                "%d read faults)", self.index, reason,
+                state.get("stored_faults", 0),
+                state.get("read_faults", 0))
+            dev.reset()
+            evicted += 1
+            self._evictions_ctr.inc(worker=self.index, reason=reason)
+        return evicted
+
     # -- the frame loop --------------------------------------------------
 
     def _process(self, item: WorkItem) -> None:
@@ -122,6 +156,10 @@ class PoolWorker:
                 # Fresh stream on a reused device: back to power-on
                 # state so nothing carries over from the last tenant.
                 self._reset_devices()
+            else:
+                # Mid-stream health check: a device flagged faulty
+                # since the last frame is reset before reuse.
+                self._evict_faulty_devices()
             self.tracker.state = session.state
             gray, depth, timestamp = item.payload
             cycles_before = self._device_cycles()

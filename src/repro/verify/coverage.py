@@ -1,0 +1,208 @@
+"""The ISA conformance coverage ledger.
+
+A *cell* of the conformance matrix is one ``(method, precision,
+config)`` triple -- e.g. ``("add", 16, "s-sat")`` is saturating signed
+16-bit addition.  The ledger records which cells a run actually
+exercised (and through which backends), reports coverage against the
+expected matrix, and diffs against a committed baseline so CI can fail
+when conformance coverage *regresses* rather than silently shrinking.
+
+Config tags: ``u``/``s`` select the unsigned/signed operand view;
+``-sat`` marks the saturating variant; ``s-wrap`` is the wrapping
+multiply.  At 64-bit lane width only signed tags are expected (the
+int64 host bound makes the unsigned view degenerate -- see
+:mod:`repro.verify.golden`).
+
+The OpKind view maps method cells onto the micro-op enum via each
+method's charge plan, so composite methods (``abs_diff`` = SUB + XOR)
+count toward the opcodes they exercise; a matrix that touches every
+method at every width therefore covers every ``OpKind`` at every
+width, which is the acceptance bar for the harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.pim.config import SUPPORTED_PRECISIONS
+from repro.pim.isa import OpKind
+
+__all__ = [
+    "Cell", "CoverageLedger", "expected_cells", "METHOD_CONFIGS",
+    "METHOD_OPKINDS",
+]
+
+Cell = Tuple[str, int, str]
+
+#: Config tags each device-surface method is expected to cover.
+METHOD_CONFIGS: Dict[str, Tuple[str, ...]] = {
+    "add": ("u", "s", "u-sat", "s-sat"),
+    "sub": ("u", "s", "u-sat", "s-sat"),
+    "avg": ("u", "s"),
+    "cmp_gt": ("u", "s"),
+    "logic_and": ("u",),
+    "logic_or": ("u",),
+    "logic_xor": ("u",),
+    "logic_nor": ("u",),
+    "shift_lanes": ("u", "s"),
+    "shift_bits": ("u", "s"),
+    "copy": ("u", "s"),
+    "abs_diff": ("u", "s"),
+    "maximum": ("u", "s"),
+    "minimum": ("u", "s"),
+    "mul": ("s-sat", "s-wrap", "u-sat"),
+    "div": ("s", "u"),
+}
+
+#: OpKinds each method's charge plan exercises (composites span two).
+METHOD_OPKINDS: Dict[str, Tuple[OpKind, ...]] = {
+    "add": (OpKind.ADD,),
+    "sub": (OpKind.SUB,),
+    "avg": (OpKind.AVG,),
+    "cmp_gt": (OpKind.CMP_GT,),
+    "logic_and": (OpKind.AND,),
+    "logic_or": (OpKind.OR,),
+    "logic_xor": (OpKind.XOR,),
+    "logic_nor": (OpKind.NOR,),
+    "shift_lanes": (OpKind.SHIFT_LANES,),
+    "shift_bits": (OpKind.SHIFT_BITS,),
+    "copy": (OpKind.COPY,),
+    "abs_diff": (OpKind.SUB, OpKind.XOR),
+    "maximum": (OpKind.SUB, OpKind.ADD),
+    "minimum": (OpKind.SUB,),
+    "mul": (OpKind.MUL,),
+    "div": (OpKind.DIV,),
+}
+
+
+def expected_cells(
+        precisions: Sequence[int] = SUPPORTED_PRECISIONS,
+        methods: Optional[Sequence[str]] = None) -> FrozenSet[Cell]:
+    """The full matrix a conformance run is expected to cover.
+
+    64-bit cells are signed-only (host-bound rule); everything else
+    enumerates every config tag of :data:`METHOD_CONFIGS`.
+    """
+    picked = METHOD_CONFIGS if methods is None else {
+        m: METHOD_CONFIGS[m] for m in methods}
+    cells = set()
+    for method, cfgs in picked.items():
+        for precision in precisions:
+            for cfg in cfgs:
+                if precision >= 64 and not cfg.startswith("s") \
+                        and method not in ("logic_and", "logic_or",
+                                           "logic_xor", "logic_nor"):
+                    continue
+                cells.add((method, int(precision), cfg))
+    return frozenset(cells)
+
+
+class CoverageLedger:
+    """Records which conformance cells a run touched, per backend."""
+
+    def __init__(self):
+        self._cells: Dict[Cell, Dict[str, int]] = {}
+
+    def record(self, method: str, precision: int, cfg: str,
+               backend: str, vectors: int = 1) -> None:
+        """Account ``vectors`` checked vectors for one cell/backend."""
+        cell = (method, int(precision), cfg)
+        per_backend = self._cells.setdefault(cell, {})
+        per_backend[backend] = per_backend.get(backend, 0) + \
+            int(vectors)
+
+    def merge(self, other: "CoverageLedger") -> None:
+        """Fold another ledger's cells into this one."""
+        for cell, backends in other._cells.items():
+            for backend, count in backends.items():
+                self.record(*cell, backend=backend, vectors=count)
+
+    # -- views -----------------------------------------------------------
+
+    def cells(self) -> Dict[Cell, Dict[str, int]]:
+        """Touched cells with per-backend vector counts."""
+        return dict(self._cells)
+
+    def coverage(self,
+                 expected: Optional[FrozenSet[Cell]] = None) -> float:
+        """Fraction of the expected matrix this ledger touched."""
+        expected = expected if expected is not None else expected_cells()
+        if not expected:
+            return 1.0
+        return len(expected & set(self._cells)) / len(expected)
+
+    def missing(self,
+                expected: Optional[FrozenSet[Cell]] = None
+                ) -> List[Cell]:
+        """Expected cells this run never touched, sorted."""
+        expected = expected if expected is not None else expected_cells()
+        return sorted(expected - set(self._cells))
+
+    def opkind_matrix(self) -> Dict[str, Dict[int, bool]]:
+        """OpKind x precision coverage derived from the method cells."""
+        matrix: Dict[str, Dict[int, bool]] = {
+            kind.value: {int(p): False for p in SUPPORTED_PRECISIONS}
+            for kind in OpKind}
+        for (method, precision, _cfg) in self._cells:
+            for kind in METHOD_OPKINDS.get(method, ()):
+                matrix[kind.value][precision] = True
+        return matrix
+
+    def opkinds_fully_covered(self) -> bool:
+        """True when every OpKind is covered at every lane width."""
+        return all(all(row.values())
+                   for row in self.opkind_matrix().values())
+
+    # -- report / baseline ----------------------------------------------
+
+    def report(self) -> dict:
+        """JSON-ready coverage report."""
+        expected = expected_cells()
+        return {
+            "schema": "repro.verify.coverage/1",
+            "expected_cells": len(expected),
+            "covered_cells": len(expected & set(self._cells)),
+            "coverage": round(self.coverage(expected), 6),
+            "missing": [list(c) for c in self.missing(expected)],
+            "opkind_matrix": self.opkind_matrix(),
+            "opkinds_fully_covered": self.opkinds_fully_covered(),
+            "cells": [
+                {"method": m, "precision": p, "cfg": c,
+                 "backends": dict(sorted(backends.items()))}
+                for (m, p, c), backends in sorted(self._cells.items())
+            ],
+        }
+
+    def write(self, path) -> Path:
+        """Write the coverage report JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.report(), indent=1,
+                                   sort_keys=True) + "\n")
+        return path
+
+    @staticmethod
+    def load_report(path) -> dict:
+        """Read a previously written coverage report."""
+        return json.loads(Path(path).read_text())
+
+    def regressions(self, baseline: dict) -> dict:
+        """Diff against a baseline report: what coverage was lost.
+
+        Returns ``{"missing_cells": [...], "coverage_drop": float}``;
+        both empty/zero when this run covers at least everything the
+        baseline covered.  This is the CI gate: new cells are welcome,
+        lost cells fail the build.
+        """
+        now = set(self._cells)
+        base_cells = {tuple(c["cell"]) if "cell" in c else
+                      (c["method"], c["precision"], c["cfg"])
+                      for c in baseline.get("cells", [])}
+        lost = sorted(base_cells - now)
+        drop = max(0.0, float(baseline.get("coverage", 0.0)) -
+                   self.coverage())
+        return {
+            "missing_cells": [list(c) for c in lost],
+            "coverage_drop": round(drop, 6),
+        }

@@ -1,0 +1,385 @@
+"""Pure-python bit-true golden model of the PIM ISA semantics.
+
+This module is the *specification* the devices are checked against: it
+implements every micro-op of :mod:`repro.pim.isa` on plain python
+integers, with no numpy and no dependency on the device internals
+(:mod:`repro.pim.bitsram`, :mod:`repro.pim.accumulator`,
+:mod:`repro.fixedpoint.ops`).  Rows are stored exactly as the hardware
+stores them -- one bit pattern per word line, little-endian lanes --
+so precision switches reinterpret state the same way the device does.
+
+Two deliberate host-bound rules are part of the specification (the
+modelled accumulator is an int64 host word):
+
+* 64-bit lanes are two's-complement int64: arithmetic wraps modulo
+  ``2**64`` before any saturation is applied (saturating ops at 64 bit
+  therefore degenerate to wrapping ones), and the "unsigned" view of a
+  64-bit lane equals the signed view.
+* every narrower lane computes exactly, then wraps or saturates to
+  lane width -- the accumulator is wide enough that only the final
+  narrowing loses precision.
+
+:class:`GoldenMachine` exposes the same micro-op surface as
+:class:`~repro.pim.device.PIMDevice` (``load``/``store``/``add``/...),
+so the conformance runner and the differential fuzzer can drive the
+golden model and the devices through identical call sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pim.config import DEFAULT_CONFIG, PIMConfig
+from repro.pim.isa import Imm, _TmpSentinel
+
+__all__ = ["golden_op", "GoldenMachine", "sign_value", "to_pattern"]
+
+_U64 = 1 << 64
+_I64_MIN = -(1 << 63)
+
+
+def _wrap64(v: int) -> int:
+    """Two's-complement int64 wraparound (the host accumulator word)."""
+    return ((v - _I64_MIN) % _U64) + _I64_MIN
+
+
+def to_pattern(v: int, bits: int) -> int:
+    """The stored bit pattern of ``v`` in an n-bit lane (unsigned int)."""
+    return v & ((1 << bits) - 1)
+
+
+def sign_value(pattern: int, bits: int, signed: bool) -> int:
+    """Interpret a stored lane pattern as a (possibly signed) value.
+
+    At 64 bits the signed interpretation always applies (host-bound
+    rule); below that, ``signed`` selects two's complement or plain
+    unsigned.
+    """
+    pattern = to_pattern(pattern, bits)
+    if bits >= 64 or signed:
+        sign_bit = 1 << (bits - 1)
+        return pattern - ((pattern & sign_bit) << 1)
+    return pattern
+
+
+def _narrow(v: int, bits: int, signed: bool, saturate: bool) -> int:
+    """Cut a wide exact result back to a lane pattern.
+
+    Mirrors the device's narrowing order: at 64 bits the value has
+    already wrapped in the int64 host word, so saturation never sees
+    the out-of-range value; below 64 bits saturation clamps the exact
+    result and wrapping reduces it modulo ``2**bits``.
+    """
+    if bits >= 64:
+        return to_pattern(_wrap64(v), 64)
+    if saturate:
+        if signed:
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        else:
+            lo, hi = 0, (1 << bits) - 1
+        v = min(max(v, lo), hi)
+    return to_pattern(v, bits)
+
+
+def _host(v: int, bits: int) -> int:
+    """Apply the int64 host bound to an intermediate result."""
+    return _wrap64(v) if bits >= 64 else v
+
+
+def golden_op(method: str, bits: int,
+              patterns: Sequence[Sequence[int]],
+              **kwargs) -> List[int]:
+    """Reference semantics of one micro-op on stored lane patterns.
+
+    Args:
+        method: Device-surface method name (``"add"``, ``"mul"``, ...).
+        bits: Lane width.
+        patterns: One sequence of lane bit patterns per source operand.
+        **kwargs: The micro-op's keyword arguments (``signed``,
+            ``saturate``, ``pixels``, ``amount``, ``rshift``, ...).
+
+    Returns:
+        The destination lane bit patterns (unsigned ints).
+    """
+    signed = bool(kwargs.get("signed", True))
+    if method.startswith("logic_"):
+        signed = False
+    lanes = len(patterns[0])
+    vals = [[sign_value(p, bits, signed) for p in src]
+            for src in patterns]
+
+    out: List[int] = []
+    if method in ("add", "sub"):
+        sat = bool(kwargs.get("saturate", False))
+        sign = 1 if method == "add" else -1
+        for a, b in zip(vals[0], vals[1]):
+            out.append(_narrow(a + sign * b, bits, signed, sat))
+    elif method == "avg":
+        for a, b in zip(vals[0], vals[1]):
+            out.append(_narrow(_host(a + b, bits) >> 1, bits, signed,
+                               False))
+    elif method == "cmp_gt":
+        for a, b in zip(vals[0], vals[1]):
+            out.append(1 if a > b else 0)
+    elif method == "logic_and":
+        out = [to_pattern(a & b, bits)
+               for a, b in zip(patterns[0], patterns[1])]
+    elif method == "logic_or":
+        out = [to_pattern(a | b, bits)
+               for a, b in zip(patterns[0], patterns[1])]
+    elif method == "logic_xor":
+        out = [to_pattern(a ^ b, bits)
+               for a, b in zip(patterns[0], patterns[1])]
+    elif method == "logic_nor":
+        out = [to_pattern(~(a | b), bits)
+               for a, b in zip(patterns[0], patterns[1])]
+    elif method == "shift_lanes":
+        pixels = int(kwargs["pixels"])
+        src = patterns[0]
+        for i in range(lanes):
+            j = i + pixels
+            out.append(to_pattern(src[j], bits)
+                       if 0 <= j < lanes else 0)
+    elif method == "shift_bits":
+        amount = int(kwargs["amount"])
+        if amount >= 0:
+            out = [to_pattern(p << amount, bits) for p in patterns[0]]
+        else:
+            # Right shifts are arithmetic on the signed view, logical
+            # on the unsigned one (identical below 64 bits, where the
+            # unsigned view is non-negative).
+            out = [to_pattern(v >> -amount, bits) for v in vals[0]]
+    elif method == "copy":
+        out = [to_pattern(p, bits) for p in patterns[0]]
+    elif method == "abs_diff":
+        # Negation is driven by the operand comparison (the hardware
+        # borrow), not the wrapped difference's sign -- they differ at
+        # 64-bit lane width where the difference can wrap in the host.
+        for a, b in zip(vals[0], vals[1]):
+            m = _host(a - b, bits)
+            r = _host(-m, bits) if a < b else m
+            out.append(_narrow(r, bits, signed, False))
+    elif method == "maximum":
+        for a, b in zip(vals[0], vals[1]):
+            out.append(_narrow(max(a, b), bits, signed, False))
+    elif method == "minimum":
+        for a, b in zip(vals[0], vals[1]):
+            out.append(_narrow(min(a, b), bits, signed, False))
+    elif method == "mul":
+        rshift = int(kwargs.get("rshift", 0))
+        sat = bool(kwargs.get("saturate", True))
+        for a, b in zip(vals[0], vals[1]):
+            prod = _host(a * b, bits) >> rshift
+            out.append(_narrow(prod, bits, signed, sat))
+    elif method == "div":
+        lshift = int(kwargs.get("lshift", 0))
+        lane_hi = (1 << (bits - 1)) - 1 if signed or bits >= 64 \
+            else (1 << bits) - 1
+        for a, b in zip(vals[0], vals[1]):
+            num = _host(a << lshift, bits)
+            if b == 0:
+                q = lane_hi if num >= 0 else \
+                    (-lane_hi if signed or bits >= 64 else lane_hi)
+            else:
+                q = abs(num) // abs(b)
+                if (num < 0) != (b < 0):
+                    q = -q
+            out.append(_narrow(q, bits, signed, True))
+    else:
+        raise ValueError(f"golden model has no op {method!r}")
+    return out
+
+
+class GoldenMachine:
+    """Stateful golden model with the PIMDevice micro-op surface.
+
+    Rows and Tmp registers are stored as word-line bit patterns (one
+    python int each, little-endian lanes), so ``set_precision``
+    reinterprets state exactly like the device does.  Drop-in for a
+    device inside the conformance runner and the fuzzer; it performs
+    no cost accounting (costs are pinned by the device-vs-device
+    checks, values by this model).
+    """
+
+    def __init__(self, config: PIMConfig = DEFAULT_CONFIG):
+        self.config = config
+        self._precision = 8
+        self._rows: List[int] = [0] * config.num_rows
+        self._tmp: List[int] = [0] * config.num_tmp_registers
+
+    # -- configuration ---------------------------------------------------
+
+    @property
+    def precision(self) -> int:
+        """Current lane width in bits."""
+        return self._precision
+
+    def set_precision(self, precision: int) -> None:
+        """Reconfigure the lane width (free, like on the device)."""
+        self.config.validate_precision(precision)
+        self._precision = precision
+
+    @property
+    def lanes(self) -> int:
+        """SIMD lanes at the current precision."""
+        return self.config.lanes(self._precision)
+
+    # -- lane packing ----------------------------------------------------
+
+    def _pack(self, values: Sequence[int]) -> int:
+        n = self._precision
+        word = 0
+        for i, v in enumerate(values):
+            word |= to_pattern(int(v), n) << (i * n)
+        return word
+
+    def _lanes_of(self, word: int, signed: bool) -> List[int]:
+        n = self._precision
+        mask = (1 << n) - 1
+        return [sign_value((word >> (i * n)) & mask, n, signed)
+                for i in range(self.lanes)]
+
+    def _patterns_of(self, word: int) -> List[int]:
+        n = self._precision
+        mask = (1 << n) - 1
+        return [(word >> (i * n)) & mask for i in range(self.lanes)]
+
+    # -- host DMA --------------------------------------------------------
+
+    def load(self, row: int, values, signed: bool = True) -> None:
+        """Write lane values into a row (short vectors zero-padded)."""
+        vals = [int(v) for v in values]
+        if len(vals) > self.lanes:
+            raise ValueError("more values than lanes")
+        self._rows[row] = self._pack(vals + [0] * (self.lanes -
+                                                   len(vals)))
+
+    def store(self, row: int, signed: bool = True) -> List[int]:
+        """Read a row back as lane values."""
+        return self._lanes_of(self._rows[row], signed)
+
+    def store_patterns(self, row: int) -> List[int]:
+        """Read a row back as raw lane bit patterns."""
+        return self._patterns_of(self._rows[row])
+
+    def read_tmp(self, signed: bool = True, index: int = 0) -> List[int]:
+        """Debug view of a Tmp register."""
+        return self._lanes_of(self._tmp[index], signed)
+
+    # -- operand plumbing ------------------------------------------------
+
+    def _read_patterns(self, src, signed: bool) -> List[int]:
+        if isinstance(src, Imm):
+            return [to_pattern(int(src.value), self._precision)] * \
+                self.lanes
+        if isinstance(src, _TmpSentinel):
+            return self._patterns_of(self._tmp[src.index])
+        return self._patterns_of(self._rows[int(src)])
+
+    def _write_patterns(self, dst, patterns: Sequence[int]) -> None:
+        word = 0
+        n = self._precision
+        for i, p in enumerate(patterns):
+            word |= to_pattern(int(p), n) << (i * n)
+        if isinstance(dst, _TmpSentinel):
+            self._tmp[dst.index] = word
+        else:
+            self._rows[int(dst)] = word
+
+    def _execute(self, method: str, dst, srcs: Tuple,
+                 kwargs: dict) -> None:
+        signed = bool(kwargs.get("signed", True))
+        if method.startswith("logic_"):
+            signed = False
+        patterns = [self._read_patterns(s, signed) for s in srcs]
+        self._write_patterns(
+            dst, golden_op(method, self._precision, patterns, **kwargs))
+
+    # -- the micro-op surface --------------------------------------------
+
+    def add(self, dst, a, b, saturate: bool = False,
+            signed: bool = True) -> None:
+        """``dst = a + b``."""
+        self._execute("add", dst, (a, b),
+                      {"saturate": saturate, "signed": signed})
+
+    def sub(self, dst, a, b, saturate: bool = False,
+            signed: bool = True) -> None:
+        """``dst = a - b``."""
+        self._execute("sub", dst, (a, b),
+                      {"saturate": saturate, "signed": signed})
+
+    def avg(self, dst, a, b, signed: bool = False) -> None:
+        """``dst = (a + b) >> 1``."""
+        self._execute("avg", dst, (a, b), {"signed": signed})
+
+    def cmp_gt(self, dst, a, b, signed: bool = True) -> None:
+        """``dst = (a > b) ? 1 : 0``."""
+        self._execute("cmp_gt", dst, (a, b), {"signed": signed})
+
+    def logic_and(self, dst, a, b) -> None:
+        """Bitwise AND."""
+        self._execute("logic_and", dst, (a, b), {})
+
+    def logic_or(self, dst, a, b) -> None:
+        """Bitwise OR."""
+        self._execute("logic_or", dst, (a, b), {})
+
+    def logic_xor(self, dst, a, b) -> None:
+        """Bitwise XOR."""
+        self._execute("logic_xor", dst, (a, b), {})
+
+    def logic_nor(self, dst, a, b) -> None:
+        """Bitwise NOR."""
+        self._execute("logic_nor", dst, (a, b), {})
+
+    def shift_lanes(self, dst, a, pixels: int,
+                    signed: bool = False) -> None:
+        """Whole-lane shift, zero fill."""
+        self._execute("shift_lanes", dst, (a,),
+                      {"pixels": pixels, "signed": signed})
+
+    def shift_bits(self, dst, a, amount: int,
+                   signed: bool = True) -> None:
+        """In-lane bit shift (left positive, wrapping)."""
+        self._execute("shift_bits", dst, (a,),
+                      {"amount": amount, "signed": signed})
+
+    def copy(self, dst, src, signed: bool = True) -> None:
+        """Move a value unchanged."""
+        self._execute("copy", dst, (src,), {"signed": signed})
+
+    def abs_diff(self, dst, a, b, signed: bool = False) -> None:
+        """``dst = |a - b|``."""
+        self._execute("abs_diff", dst, (a, b), {"signed": signed})
+
+    def maximum(self, dst, a, b, signed: bool = False) -> None:
+        """``dst = max(a, b)``."""
+        self._execute("maximum", dst, (a, b), {"signed": signed})
+
+    def minimum(self, dst, a, b, signed: bool = False) -> None:
+        """``dst = min(a, b)``."""
+        self._execute("minimum", dst, (a, b), {"signed": signed})
+
+    def mul(self, dst, a, b, rshift: int = 0, saturate: bool = True,
+            signed: bool = True,
+            multiplier_bits: Optional[int] = None) -> None:
+        """``dst = (a * b) >> rshift``."""
+        self._execute("mul", dst, (a, b),
+                      {"rshift": rshift, "saturate": saturate,
+                       "signed": signed})
+
+    def div(self, dst, a, b, lshift: int = 0,
+            signed: bool = True) -> None:
+        """``dst = (a << lshift) / b`` (truncating)."""
+        self._execute("div", dst, (a, b),
+                      {"lshift": lshift, "signed": signed})
+
+    # -- snapshots for differential comparison ---------------------------
+
+    def snapshot(self) -> Dict[str, List[List[int]]]:
+        """Full machine state as lane patterns (rows and Tmp bank)."""
+        return {
+            "rows": [self._patterns_of(w) for w in self._rows],
+            "tmp": [self._patterns_of(w) for w in self._tmp],
+        }

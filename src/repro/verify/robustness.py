@@ -1,0 +1,145 @@
+"""Fault-injection robustness trials for the conformance harness.
+
+Each trial arms a seeded :class:`~repro.pim.faults.FaultInjector` on a
+word-level device, runs a short op sequence, and classifies the fault
+against two golden-model runs:
+
+* **detected** -- the golden model run on the *corrupted* initial
+  state diverges from the clean run, i.e. the flip is observable in
+  the final machine state, and the differential harness flags it;
+* **masked** -- both golden runs agree (the flipped cell was
+  overwritten before influencing anything), so the fault is provably
+  benign.
+
+In both classes the faulty device must agree bit-for-bit with the
+corrupted-golden prediction (the fault's effect is *bounded*: exactly
+one modeled flip, no secondary corruption) and must self-report as
+suspect via :meth:`~repro.pim.device.PIMDevice.fault_state` -- the
+signal the serving layer uses to evict and reset the device
+(``repro.serve.pool.PoolWorker``).  Any other outcome is a **miss**
+and fails the gate.
+
+Transient sense-amp read errors are probabilistic per read, so those
+trials only count when the injector actually fired
+(``read_faults > 0``); a fired read error always corrupts an operand
+on its way into the accumulator, so it must surface as a divergence
+from the clean golden run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.pim.config import PIMConfig
+from repro.pim.device import PIMDevice
+from repro.pim.faults import FaultInjector, FaultPlan
+from repro.verify.golden import GoldenMachine
+
+__all__ = ["fault_detection_trials"]
+
+
+def _load_bytes(machine, memory) -> None:
+    machine.set_precision(8)
+    for row, data in enumerate(memory):
+        machine.load(row, np.array(data, dtype=np.int64), signed=False)
+
+
+def _run_probe(machine) -> None:
+    """A short op sequence touching adds, logic and a multiply."""
+    machine.set_precision(8)
+    machine.add(2, 0, 1, saturate=True, signed=False)
+    machine.logic_xor(3, 0, 2)
+    machine.set_precision(16)
+    machine.mul(4, 0, 1, saturate=True, signed=True)
+
+
+def fault_detection_trials(trials: int = 25, seed: int = 2026,
+                           config: Optional[PIMConfig] = None,
+                           transient: bool = False) -> dict:
+    """Run seeded single-fault trials; returns a JSON-ready summary.
+
+    Every trial flips one random stored bit (or, with ``transient``,
+    arms a per-read sense-amp error) in an otherwise clean device and
+    classifies the outcome as detected, masked or missed (see the
+    module docstring).  ``missed == 0`` together with the device
+    reporting itself suspect is the gate the CLI and CI enforce.
+    """
+    config = config or PIMConfig(wordline_bits=128, num_rows=6,
+                                 num_tmp_registers=2)
+    registry = get_registry()
+    trials_ctr = registry.counter(
+        "verify_fault_trials_total",
+        "Fault-injection robustness trials by outcome")
+
+    def final_state(machine):
+        machine.set_precision(8)
+        return [[int(v) for v in machine.store(r, signed=False)]
+                for r in range(config.num_rows)]
+
+    detected = 0
+    masked = 0
+    armed = 0
+    missed = []
+    for t in range(int(trials)):
+        rng = np.random.default_rng([int(seed), t])
+        memory = [[int(b) for b in rng.integers(0, 256, config.row_bytes)]
+                  for _ in range(config.num_rows)]
+        clean = GoldenMachine(config)
+        _load_bytes(clean, memory)
+        _run_probe(clean)
+        want_clean = final_state(clean)
+
+        dev = PIMDevice(config)
+        _load_bytes(dev, memory)
+        if transient:
+            plan = FaultPlan(seed=int(seed) * 1000 + t,
+                             read_flip_prob=0.02)
+            want_faulty = None
+        else:
+            row = int(rng.integers(0, config.num_rows))
+            bit = int(rng.integers(0, config.wordline_bits))
+            plan = FaultPlan(seed=int(seed) * 1000 + t,
+                             stored_flips=((row, bit),))
+            flipped = [list(r) for r in memory]
+            flipped[row][bit // 8] ^= 1 << (bit % 8)
+            corrupt = GoldenMachine(config)
+            _load_bytes(corrupt, flipped)
+            _run_probe(corrupt)
+            want_faulty = final_state(corrupt)
+        dev.attach_fault_injector(FaultInjector(plan))
+        _run_probe(dev)
+        state = dev.fault_state()
+        fired = bool(state["stored_faults"] or state["read_faults"])
+        if not fired:
+            # A transient plan may not draw an error on this trial;
+            # nothing was injected, so there is nothing to detect.
+            trials_ctr.inc(outcome="not-armed")
+            continue
+        armed += 1
+        got = final_state(dev)
+        bounded = want_faulty is None or got == want_faulty
+        if state["suspect"] and bounded and got != want_clean:
+            detected += 1
+            trials_ctr.inc(outcome="detected")
+        elif state["suspect"] and bounded and \
+                want_faulty is not None and want_faulty == want_clean:
+            masked += 1
+            trials_ctr.inc(outcome="masked")
+        else:
+            missed.append({"trial": t, "plan_seed": plan.seed,
+                           "state": state, "bounded": bounded})
+            trials_ctr.inc(outcome="missed")
+    return {
+        "schema": "repro.verify.faults/1",
+        "seed": int(seed),
+        "mode": "transient" if transient else "stored",
+        "trials": int(trials),
+        "armed": armed,
+        "detected": detected,
+        "masked": masked,
+        "missed": missed,
+        "ok": not missed and armed == detected + masked,
+    }

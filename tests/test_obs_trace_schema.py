@@ -1,0 +1,95 @@
+"""Schema tests for the Perfetto/Chrome trace export.
+
+Pins the wire format downstream viewers rely on: every event carries
+the Trace Event Format keys (``ph``, ``ts``, ``pid``, ``name``), and
+kernel-category spans nest inside the frame span that opened them on
+the simulated-cycle timeline.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import write_chrome_trace
+from repro.obs.export import chrome_trace_events
+from repro.obs.tracer import Tracer
+from repro.pim import PIMConfig, PIMDevice
+
+
+@pytest.fixture()
+def traced_frame():
+    """One frame span wrapping two kernel spans on a live device."""
+    tracer = Tracer()
+    tracer.enable()
+    try:
+        dev = PIMDevice(PIMConfig(wordline_bits=128, num_rows=6))
+        rng = np.random.default_rng(0)
+        for row in (0, 1):
+            dev.load(row, rng.integers(0, 256, 16), signed=False)
+        with tracer.span("frame", category="frame", device=dev):
+            with tracer.span("lpf", category="kernel", device=dev):
+                dev.add(2, 0, 1, saturate=True, signed=False)
+            with tracer.span("hpf", category="kernel", device=dev):
+                dev.abs_diff(3, 0, 1)
+    finally:
+        tracer.disable()
+    return tracer
+
+
+def _complete_events(events):
+    return [e for e in events if e["ph"] == "X"]
+
+
+class TestTraceEventSchema:
+    def test_every_event_has_required_keys(self, traced_frame):
+        for event in chrome_trace_events(traced_frame.spans):
+            for key in ("ph", "pid", "name"):
+                assert key in event, (key, event)
+        span_events = _complete_events(
+            chrome_trace_events(traced_frame.spans))
+        assert span_events, "no span events exported"
+        for event in span_events:
+            for key in ("ph", "ts", "pid", "name",
+                        "dur", "tid", "cat", "args"):
+                assert key in event, (key, event)
+
+    def test_written_file_is_loadable_json(self, traced_frame, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json",
+                                  spans=traced_frame.spans)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events, "trace must not be empty"
+        assert {e["name"] for e in _complete_events(events)} == \
+            {"frame", "lpf", "hpf"}
+        # Metadata events name the process/threads for the viewer.
+        assert any(e["ph"] == "M" and e["name"] == "process_name"
+                   for e in events)
+
+    def test_kernel_spans_nest_within_frame_span(self, traced_frame):
+        events = _complete_events(
+            chrome_trace_events(traced_frame.spans))
+        frames = [e for e in events if e["cat"] == "frame"]
+        kernels = [e for e in events if e["cat"] == "kernel"]
+        assert len(frames) == 1 and len(kernels) == 2
+        f = frames[0]
+        for k in kernels:
+            assert f["ts"] <= k["ts"]
+            assert k["ts"] + k["dur"] <= f["ts"] + f["dur"], \
+                f"kernel {k['name']} escapes its frame span"
+        # The two kernels must not overlap each other either.
+        a, b = sorted(kernels, key=lambda e: e["ts"])
+        assert a["ts"] + a["dur"] <= b["ts"]
+
+    def test_events_sorted_by_timestamp(self, traced_frame):
+        events = _complete_events(
+            chrome_trace_events(traced_frame.spans))
+        stamps = [e["ts"] for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_span_args_carry_cost_attribution(self, traced_frame):
+        events = _complete_events(
+            chrome_trace_events(traced_frame.spans))
+        for event in events:
+            assert event["args"]["cycles"] > 0
+            assert "mem_rd" in event["args"]

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.obs",
     "repro.serve",
+    "repro.verify",
 ]
 
 

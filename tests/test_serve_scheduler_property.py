@@ -1,0 +1,98 @@
+"""Property tests of the serving scheduler's two invariants.
+
+Hypothesis drives random submission/dispatch/completion interleavings
+against :class:`repro.serve.FifoScheduler` and checks, regardless of
+the interleaving:
+
+* frames of one session are delivered strictly in submission order
+  and never run concurrently (per-session FIFO);
+* :class:`~repro.serve.scheduler.Backpressure` always carries a
+  positive ``retry_after_s`` hint, whatever service times fed the EMA.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import Backpressure, FifoScheduler, WorkItem
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_per_session_fifo_under_random_interleavings(data):
+    n_sessions = data.draw(st.integers(1, 4), label="sessions")
+    n_items = data.draw(st.integers(1, 24), label="items")
+    max_batch = data.draw(st.integers(1, 4), label="max_batch")
+    keys = (None, ("edge", 8), ("edge", 16))
+
+    sched = FifoScheduler(max_queue=64, max_batch=max_batch)
+    pending = []
+    for i in range(n_items):
+        session = f"s{data.draw(st.integers(0, n_sessions - 1))}"
+        key = keys[data.draw(st.integers(0, len(keys) - 1))]
+        seq = sum(1 for it in pending if it.session == session)
+        pending.append(WorkItem(session=session, seq=seq,
+                                batch_key=key, payload=None))
+    submitted = 0
+    inflight = []
+    delivered = {}
+
+    def pull():
+        batch = sched.next_batch(timeout=0)
+        for item in batch:
+            # No two frames of one session may be in flight at once.
+            assert all(it.session != item.session for it in inflight)
+            delivered.setdefault(item.session, []).append(item.seq)
+            inflight.append(item)
+
+    while submitted < len(pending) or inflight or sched.depth():
+        choices = []
+        if submitted < len(pending):
+            choices.append("submit")
+        if sched.depth():
+            choices.append("pull")
+        if inflight:
+            choices.append("complete")
+        action = data.draw(st.sampled_from(choices), label="action")
+        if action == "submit":
+            sched.submit(pending[submitted])
+            submitted += 1
+        elif action == "pull":
+            pull()
+        else:
+            idx = data.draw(
+                st.integers(0, len(inflight) - 1), label="complete")
+            sched.done(inflight.pop(idx), service_s=0.001)
+
+    for session, seqs in delivered.items():
+        assert seqs == sorted(seqs), \
+            f"{session} delivered out of order: {seqs}"
+        assert seqs == list(range(len(seqs))), \
+            f"{session} dropped or duplicated frames: {seqs}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(max_queue=st.integers(1, 8),
+       workers=st.integers(1, 4),
+       service_times=st.lists(
+           st.floats(min_value=0.0, max_value=2.0,
+                     allow_nan=False, allow_infinity=False),
+           max_size=12))
+def test_backpressure_retry_after_is_always_positive(
+        max_queue, workers, service_times):
+    sched = FifoScheduler(max_queue=max_queue, workers=workers)
+    # Drive the service-time EMA through arbitrary observations,
+    # including zero-cost frames that shrink it toward zero.
+    for service_s in service_times:
+        sched.done(WorkItem(session="warm", seq=0, batch_key=None,
+                            payload=None), service_s=service_s)
+    for i in range(max_queue):
+        sched.submit(WorkItem(session=f"s{i}", seq=0,
+                              batch_key=None, payload=None))
+    with_full_queue = WorkItem(session="late", seq=0,
+                               batch_key=None, payload=None)
+    try:
+        sched.submit(with_full_queue)
+        raise AssertionError("full queue accepted a frame")
+    except Backpressure as bp:
+        assert bp.retry_after_s > 0.0
+        assert bp.depth == max_queue

@@ -1,0 +1,108 @@
+"""Differential fuzzer and regression-corpus tests.
+
+The fuzzer's contract: deterministic generation from the seed, a
+shrinker that preserves failure while cutting ops and operand bytes,
+and a corpus under ``tests/corpus/`` that replays clean forever once
+the bug it commemorates is fixed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fixedpoint import ops
+from repro.pim import PIMConfig
+from repro.verify import DifferentialFuzzer, FuzzCase, replay_corpus
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture()
+def broken_average():
+    """Plant an off-by-one in the word device's avg op."""
+    orig = ops.average
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(ops, "average", lambda a, b: orig(a, b) ^ 1)
+        yield
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        a = DifferentialFuzzer(seed=2026)
+        b = DifferentialFuzzer(seed=2026)
+        for i in (0, 1, 17):
+            assert a.generate(i).to_dict() == b.generate(i).to_dict()
+
+    def test_different_seeds_differ(self):
+        a = DifferentialFuzzer(seed=1).generate(0).to_dict()
+        b = DifferentialFuzzer(seed=2).generate(0).to_dict()
+        assert a != b
+
+    def test_case_roundtrips_through_json(self):
+        case = DifferentialFuzzer(seed=3).generate(5)
+        back = FuzzCase.from_dict(case.to_dict())
+        assert back.to_dict() == case.to_dict()
+        assert back.config == case.config
+
+    def test_generated_cases_pass_clean_tree(self):
+        fuzzer = DifferentialFuzzer(seed=2026)
+        for i in range(5):
+            assert fuzzer.generate(i).run() == []
+
+
+class TestRegressionCorpus:
+    def test_corpus_replays_clean(self):
+        """Every persisted regression must stay fixed (CI gate)."""
+        results = replay_corpus(CORPUS)
+        assert len(results) >= 3, "seed corpus entries missing"
+        for result in results:
+            assert result["mismatches"] == [], result
+
+    def test_corpus_commemorates_known_bug_families(self):
+        names = {r["name"] for r in replay_corpus(CORPUS)}
+        assert "regress-64bit-overflow" in names
+        assert "regress-mul32-unsigned-sat" in names
+        assert "regress-div64-intmin" in names
+
+    def test_missing_corpus_is_empty_not_error(self, tmp_path):
+        assert replay_corpus(tmp_path / "nope") == []
+
+
+class TestShrinker:
+    def test_minimize_preserves_failure_and_shrinks(self, broken_average):
+        cfg = PIMConfig(wordline_bits=128, num_rows=6,
+                        num_tmp_registers=2)
+        filler = [{"method": "logic_and", "dst": 3, "srcs": [0, 1],
+                   "kwargs": {}} for _ in range(4)]
+        program = filler[:2] + [
+            {"method": "avg", "dst": 4, "srcs": [0, 1],
+             "kwargs": {"signed": False}}] + filler[2:]
+        case = FuzzCase(
+            config=cfg,
+            memory=[[(r * 31 + i) % 256 for i in range(cfg.row_bytes)]
+                    for r in range(cfg.num_rows)],
+            program=program, name="shrink-me")
+        assert case.run(), "planted avg bug not visible"
+        minimized = DifferentialFuzzer(seed=1, config=cfg).minimize(case)
+        assert minimized.run(), "shrinker lost the failure"
+        assert len(minimized.program) == 1
+        assert minimized.program[0]["method"] == "avg"
+        # The operand bytes are irrelevant to this bug, so the
+        # byte-shrink pass zeroes the memory completely.
+        assert all(b == 0 for row in minimized.memory for b in row)
+
+    def test_campaign_persists_minimized_failures(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        orig = ops.average
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ops, "average", lambda a, b: orig(a, b) ^ 1)
+            report = DifferentialFuzzer(seed=5).run(
+                cases=40, corpus_dir=corpus, max_failures=2)
+        assert not report["ok"]
+        assert report["failures"]
+        entries = sorted(corpus.glob("*.json"))
+        assert len(entries) == len(report["failures"])
+        # Once the planted bug is gone, the persisted regressions
+        # replay clean -- the corpus lifecycle the harness relies on.
+        for result in replay_corpus(corpus):
+            assert result["mismatches"] == [], result

@@ -1,0 +1,187 @@
+"""Directed tests of the pure-python golden ISA model.
+
+The golden model (:mod:`repro.verify.golden`) is the reference every
+device backend is differentially checked against, so its own semantics
+are pinned here with hand-computed vectors -- especially the 64-bit
+host-bound edges (wrap-around, INT64_MIN division, borrow-driven
+``abs_diff``) that historically diverged between backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pim import PIMConfig, PIMDevice
+from repro.verify import GoldenMachine, golden_op, sign_value, to_pattern
+
+I8_MIN, I8_MAX = -128, 127
+I64_MIN, I64_MAX = -(1 << 63), (1 << 63) - 1
+U64 = 1 << 64
+
+
+class TestPatternHelpers:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64])
+    def test_roundtrip_signed(self, bits):
+        for v in (0, 1, -1, (1 << (bits - 1)) - 1, -(1 << (bits - 1))):
+            assert sign_value(to_pattern(v, bits), bits, True) == v
+
+    @pytest.mark.parametrize("bits", [8, 16, 32])
+    def test_roundtrip_unsigned(self, bits):
+        for v in (0, 1, (1 << bits) - 1, 1 << (bits - 1)):
+            assert sign_value(to_pattern(v, bits), bits, False) == v
+
+    def test_unsigned_view_degenerates_at_64bit(self):
+        # Host-bound rule: the int64 host word IS the lane, so the
+        # unsigned interpretation does not exist at 64-bit width.
+        assert sign_value(1 << 63, 64, False) == I64_MIN
+
+    def test_to_pattern_masks(self):
+        assert to_pattern(-1, 8) == 0xFF
+        assert to_pattern(0x1FF, 8) == 0xFF
+        assert to_pattern(-1, 64) == (1 << 64) - 1
+
+
+def one(method, bits, srcs, **kw):
+    out = golden_op(method, bits, [[p] for p in srcs], **kw)
+    assert len(out) == 1
+    return out[0]
+
+
+class TestGoldenOpDirected:
+    def test_add_wraps_and_saturates(self):
+        a, b = to_pattern(100, 8), to_pattern(100, 8)
+        assert sign_value(one("add", 8, [a, b], signed=True), 8,
+                          True) == -56
+        assert sign_value(one("add", 8, [a, b], signed=True,
+                             saturate=True), 8, True) == I8_MAX
+        assert one("add", 8, [0xFF, 0x01], signed=False) == 0x00
+        assert one("add", 8, [0xFF, 0x01], signed=False,
+                   saturate=True) == 0xFF
+
+    def test_add64_wraps_mod_2_64(self):
+        a = to_pattern(I64_MAX, 64)
+        got = one("add", 64, [a, 1], signed=True)
+        assert sign_value(got, 64, True) == I64_MIN
+
+    def test_sub_borrow(self):
+        assert one("sub", 8, [0x00, 0x01], signed=False) == 0xFF
+        assert one("sub", 8, [0x00, 0x01], signed=False,
+                   saturate=True) == 0x00
+
+    def test_avg_uses_full_width_sum(self):
+        # The carry out of the lane add participates in the shift, so
+        # 200 avg 100 is 150 -- not the wrapped-sum 22.
+        assert one("avg", 8, [200, 100], signed=False) == 150
+
+    def test_cmp_gt_is_signed_aware(self):
+        a, b = to_pattern(-1, 8), to_pattern(1, 8)
+        assert one("cmp_gt", 8, [a, b], signed=True) == 0
+        assert one("cmp_gt", 8, [a, b], signed=False) == 1
+
+    def test_logic_ops(self):
+        assert one("logic_and", 8, [0xF0, 0xCC]) == 0xC0
+        assert one("logic_or", 8, [0xF0, 0xCC]) == 0xFC
+        assert one("logic_xor", 8, [0xF0, 0xCC]) == 0x3C
+        assert one("logic_nor", 8, [0xF0, 0xCC]) == 0x03
+
+    def test_shift_lanes_fills_zero(self):
+        out = golden_op("shift_lanes", 8, [[1, 2, 3, 4]], pixels=1)
+        assert out == [2, 3, 4, 0]
+        out = golden_op("shift_lanes", 8, [[1, 2, 3, 4]], pixels=-2)
+        assert out == [0, 0, 1, 2]
+
+    def test_shift_bits_arithmetic_right(self):
+        assert one("shift_bits", 8, [to_pattern(-8, 8)], amount=-2,
+                   signed=True) == to_pattern(-2, 8)
+        assert one("shift_bits", 8, [0x01], amount=3) == 0x08
+
+    def test_abs_diff_borrow_at_64bit(self):
+        # |a - b| where the difference wraps in the host word: the
+        # negation must follow the operand comparison, not the wrapped
+        # difference's sign.
+        a, b = to_pattern(I64_MAX, 64), to_pattern(-2, 64)
+        want = to_pattern(I64_MAX - (-2), 64)   # wrapped magnitude
+        assert one("abs_diff", 64, [a, b], signed=True) == want
+        assert one("abs_diff", 64, [b, a], signed=True) == want
+
+    def test_max_min_signed_vs_unsigned(self):
+        a, b = to_pattern(-1, 8), to_pattern(1, 8)
+        assert sign_value(one("maximum", 8, [a, b], signed=True), 8,
+                          True) == 1
+        assert one("maximum", 8, [a, b], signed=False) == 0xFF
+        assert sign_value(one("minimum", 8, [a, b], signed=True), 8,
+                          True) == -1
+
+    def test_mul_rshift_and_saturation(self):
+        a = to_pattern(100, 16)
+        assert sign_value(one("mul", 16, [a, a], rshift=4,
+                             saturate=True), 16, True) == \
+            (100 * 100) >> 4
+        big = to_pattern(0x4000, 16)
+        assert sign_value(one("mul", 16, [big, big], saturate=True),
+                          16, True) == (1 << 15) - 1
+
+    def test_mul32_unsigned_saturates_exactly(self):
+        # The product exceeds int64 intermediate range; the golden
+        # model must still saturate to the unsigned lane max (the bug
+        # class seeded in tests/corpus/regress-mul32-unsigned-sat).
+        a = to_pattern(0x80000001, 32)
+        b = to_pattern(0xFFFFFFFF, 32)
+        assert one("mul", 32, [a, b], signed=False,
+                   saturate=True) == 0xFFFFFFFF
+
+    def test_div_by_zero_saturates(self):
+        assert sign_value(one("div", 8, [to_pattern(5, 8), 0],
+                             signed=True), 8, True) == I8_MAX
+        assert sign_value(one("div", 8, [to_pattern(-5, 8), 0],
+                             signed=True), 8, True) == -I8_MAX
+
+    def test_div64_intmin(self):
+        # INT64_MIN / INT64_MIN must be exactly 1 (corpus seed
+        # regress-div64-intmin).
+        a = to_pattern(I64_MIN, 64)
+        assert sign_value(one("div", 64, [a, a], signed=True), 64,
+                          True) == 1
+        # INT64_MIN / -1 overflows int64; under the host-bound rule
+        # the quotient wraps back to INT64_MIN, same as the devices.
+        assert sign_value(one("div", 64, [a, to_pattern(-1, 64)],
+                             signed=True), 64, True) == I64_MIN
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="no op"):
+            golden_op("frobnicate", 8, [[0]])
+
+
+class TestGoldenMachine:
+    def test_load_store_roundtrip(self):
+        cfg = PIMConfig(wordline_bits=64, num_rows=4)
+        m = GoldenMachine(cfg)
+        vals = np.array([1, -2, 127, -128, 0, 55, -7, 99],
+                        dtype=np.int64)
+        m.load(0, vals)
+        assert m.store(0) == list(vals)
+
+    def test_matches_word_device_on_short_program(self):
+        cfg = PIMConfig(wordline_bits=128, num_rows=6,
+                        num_tmp_registers=2)
+        rng = np.random.default_rng(7)
+        rows = [rng.integers(0, 256, cfg.row_bytes) for _ in range(3)]
+
+        def drive(machine):
+            machine.set_precision(8)
+            for r, data in enumerate(rows):
+                machine.load(r, np.asarray(data, dtype=np.int64),
+                             signed=False)
+            machine.add(3, 0, 1, saturate=True, signed=False)
+            machine.abs_diff(4, 1, 2, signed=False)
+            machine.set_precision(16)
+            machine.mul(5, 0, 1, saturate=True, signed=True)
+            machine.set_precision(8)
+            return [machine.store_patterns(r)
+                    if hasattr(machine, "store_patterns")
+                    else [int(v) & 0xFF
+                          for v in machine.store(r, signed=False)]
+                    for r in range(cfg.num_rows)]
+
+        golden = drive(GoldenMachine(cfg))
+        device = drive(PIMDevice(cfg))
+        assert golden == device

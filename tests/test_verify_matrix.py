@@ -1,0 +1,195 @@
+"""Conformance matrix, coverage ledger and fault-detection tests.
+
+Covers the ISSUE acceptance criteria directly: the matrix runs every
+OpKind at all four lane widths with zero golden mismatches, the
+coverage ledger gates against the committed baseline, and a
+deliberately injected single-bit SRAM fault is caught by the harness.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.pim import PIMConfig, PIMDevice
+from repro.pim.config import SUPPORTED_PRECISIONS
+from repro.pim.faults import FaultInjector, FaultPlan
+from repro.verify import (
+    METHOD_CONFIGS,
+    METHOD_OPKINDS,
+    ConformanceReport,
+    ConformanceRunner,
+    CoverageLedger,
+    GoldenMachine,
+    directed_patterns,
+    expected_cells,
+    fault_detection_trials,
+)
+
+BASELINE = Path(__file__).parent / "conformance_baseline.json"
+
+
+class TestDirectedPatterns:
+    @pytest.mark.parametrize("bits", SUPPORTED_PRECISIONS)
+    def test_contains_signature_edges(self, bits):
+        pats = directed_patterns(bits)
+        mask = (1 << bits) - 1
+        top = 1 << (bits - 1)
+        for edge in (0, 1, mask, top, top - 1, top + 1):
+            assert edge & mask in pats
+        assert len(pats) == len(set(pats)), "duplicates waste vectors"
+
+    def test_patterns_fit_lane(self):
+        for bits in SUPPORTED_PRECISIONS:
+            assert all(0 <= p < (1 << bits)
+                       for p in directed_patterns(bits))
+
+
+class TestConformanceMatrix:
+    def test_full_matrix_zero_mismatches(self):
+        """Acceptance: every OpKind x every lane width, all backends
+        agree with golden on every directed and random vector."""
+        report = ConformanceRunner(seed=2026, samples=1).run()
+        assert report.mismatches == [], "\n".join(
+            m.describe() for m in report.mismatches[:10])
+        assert report.cycle_disagreements == []
+        assert report.ok
+        ledger = report.ledger
+        assert ledger.coverage() == 1.0
+        assert ledger.missing() == []
+        assert ledger.opkinds_fully_covered()
+        # Every OpKind is exercised at every supported lane width.
+        matrix = ledger.opkind_matrix()
+        for opkind, by_bits in matrix.items():
+            for bits in SUPPORTED_PRECISIONS:
+                assert by_bits[bits], f"{opkind} untested at {bits}b"
+
+    def test_single_cell_records_every_backend(self):
+        runner = ConformanceRunner(seed=7, samples=1)
+        report = ConformanceReport(seed=7)
+        runner.run_cell("add", 8, "u-sat", report)
+        cells = report.ledger.cells()
+        assert ("add", 8, "u-sat") in cells
+        assert set(cells[("add", 8, "u-sat")]) == set(runner.backends)
+        assert report.vectors > 0 and report.ok
+
+    def test_matrix_detects_planted_device_bug(self, monkeypatch):
+        """A wrong device result must surface as a Mismatch."""
+        orig = PIMDevice.logic_xor
+
+        def bad_xor(self, dst, a, b):
+            orig(self, dst, a, b)
+            self.inject_fault(int(dst), 0)  # corrupt the result row
+
+        monkeypatch.setattr(PIMDevice, "logic_xor", bad_xor)
+        runner = ConformanceRunner(seed=11, samples=0,
+                                   backends=("pim",))
+        report = ConformanceReport(seed=11)
+        runner.run_cell("logic_xor", 8, "u", report)
+        assert report.mismatches, \
+            "planted XOR corruption was not caught"
+
+
+class TestExpectedCells:
+    def test_64bit_is_signed_only_except_logic(self):
+        for (method, bits, cfg) in expected_cells():
+            if bits >= 64 and not method.startswith("logic_"):
+                assert cfg.startswith("s"), (method, bits, cfg)
+
+    def test_every_method_has_configs_and_opkinds(self):
+        assert set(METHOD_CONFIGS) == set(METHOD_OPKINDS)
+        for method, cfgs in METHOD_CONFIGS.items():
+            assert cfgs, method
+            assert METHOD_OPKINDS[method], method
+
+
+class TestCoverageLedger:
+    def test_record_merge_and_report_roundtrip(self, tmp_path):
+        a, b = CoverageLedger(), CoverageLedger()
+        a.record("add", 8, "u", "pim", vectors=10)
+        b.record("add", 8, "u", "pim", vectors=5)
+        b.record("mul", 16, "s-sat", "bitpim", vectors=3)
+        a.merge(b)
+        assert a.cells()[("add", 8, "u")]["pim"] == 15
+        path = a.write(tmp_path / "cov.json")
+        loaded = CoverageLedger.load_report(path)
+        assert loaded["schema"] == "repro.verify.coverage/1"
+        assert loaded["covered_cells"] == 2
+
+    def test_regression_gate(self, tmp_path):
+        full = CoverageLedger()
+        full.record("add", 8, "u", "pim")
+        full.record("sub", 8, "u", "pim")
+        full.write(tmp_path / "base.json")
+        shrunk = CoverageLedger()
+        shrunk.record("add", 8, "u", "pim")
+        shrunk.record("avg", 8, "u", "pim")
+        diff = shrunk.regressions(
+            CoverageLedger.load_report(tmp_path / "base.json"))
+        assert diff["missing_cells"] == [["sub", 8, "u"]]
+        # New cells never fail the gate; only lost cells do.
+        assert shrunk.regressions(shrunk.load_report(
+            full.write(tmp_path / "self.json")))["coverage_drop"] == 0
+
+    def test_committed_baseline_matches_current_matrix(self):
+        """The checked-in baseline must not demand cells the current
+        matrix no longer produces, and the matrix must not regress
+        against it -- the exact CI gate."""
+        baseline = CoverageLedger.load_report(BASELINE)
+        current = CoverageLedger()
+        for method, bits, cfg in expected_cells():
+            current.record(method, bits, cfg, "pim")
+        diff = current.regressions(baseline)
+        assert diff["missing_cells"] == [], \
+            "matrix lost baseline cells"
+        assert baseline["expected_cells"] == len(expected_cells())
+        assert baseline["coverage"] == 1.0
+
+
+class TestFaultDetection:
+    def test_single_bit_sram_fault_is_caught(self):
+        """Acceptance: one deliberately flipped SRAM bit makes the
+        device diverge from the golden model and the harness flags
+        the device as suspect."""
+        cfg = PIMConfig(wordline_bits=128, num_rows=6,
+                        num_tmp_registers=2)
+        rng = np.random.default_rng(2026)
+        memory = [rng.integers(0, 256, cfg.row_bytes)
+                  for _ in range(cfg.num_rows)]
+
+        def drive(machine):
+            machine.set_precision(8)
+            for r, data in enumerate(memory):
+                machine.load(r, np.asarray(data, dtype=np.int64),
+                             signed=False)
+
+        clean = GoldenMachine(cfg)
+        drive(clean)
+        clean.add(2, 0, 1, saturate=True, signed=False)
+        want = [clean.store_patterns(r) for r in range(cfg.num_rows)]
+
+        dev = PIMDevice(cfg)
+        drive(dev)
+        # The deliberate fault: one stored bit in an input row.
+        dev.attach_fault_injector(FaultInjector(
+            FaultPlan(seed=1, stored_flips=((0, 17),))))
+        dev.add(2, 0, 1, saturate=True, signed=False)
+        got = [[int(v) & 0xFF for v in dev.store(r, signed=False)]
+               for r in range(cfg.num_rows)]
+        assert got != want, "single-bit fault went unnoticed"
+        state = dev.fault_state()
+        assert state["suspect"] and state["stored_faults"] == 1
+        # The divergence is exactly the modeled flip: rows 0 (the
+        # flipped cell itself) and 2 (the sum through it) differ.
+        diff_rows = [r for r in range(cfg.num_rows)
+                     if got[r] != want[r]]
+        assert diff_rows == [0, 2]
+
+    def test_fault_trials_gate(self):
+        stored = fault_detection_trials(trials=8, seed=2026)
+        assert stored["ok"] and stored["missed"] == []
+        assert stored["armed"] == stored["detected"] + stored["masked"]
+        assert stored["detected"] > 0
+        transient = fault_detection_trials(trials=8, seed=2026,
+                                           transient=True)
+        assert transient["ok"] and transient["missed"] == []

@@ -11,6 +11,7 @@ drop in unchanged.
 
 from repro.dataset.synthetic import (
     Frame,
+    FrameCorruptor,
     PlaneScene,
     TexturedPlane,
     apply_kinect_noise,
@@ -38,6 +39,7 @@ from repro.dataset.storage import export_sequence, load_sequence
 
 __all__ = [
     "Frame",
+    "FrameCorruptor",
     "PlaneScene",
     "TexturedPlane",
     "apply_kinect_noise",

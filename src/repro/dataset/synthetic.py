@@ -20,7 +20,7 @@ from repro.geometry.camera import CameraIntrinsics
 from repro.geometry.se3 import SE3
 
 __all__ = [
-    "TexturedPlane", "PlaneScene", "Frame",
+    "TexturedPlane", "PlaneScene", "Frame", "FrameCorruptor",
     "checkerboard_texture", "noise_texture", "uniform_texture",
     "make_room_scene", "make_desk_scene", "make_structure_notex_scene",
     "render_frame", "render_sequence",
@@ -165,6 +165,75 @@ def apply_kinect_noise(frame: Frame, rng,
                    rng.normal(0.0, intensity_sigma, frame.gray.shape),
                    0, 255)
     return Frame(gray=gray, depth=depth, timestamp=frame.timestamp)
+
+
+class FrameCorruptor:
+    """Seeded transport/sensor corruption of rendered frames.
+
+    Models faults *between* the sensor and the tracker -- bit rot on
+    the wire, dead depth regions -- as opposed to
+    :func:`apply_kinect_noise`, which models the sensor itself.  The
+    corruptions are exactly the kinds
+    :func:`repro.vo.health.validate_frame` detects: non-finite or
+    out-of-range intensities, and NaN / zero / negative depth.  Every
+    draw comes from one private generator, so a given seed and call
+    sequence reproduces the same corruption bit-for-bit (the chaos
+    harness and the sensor-noise benchmark both rely on this).
+    """
+
+    #: Corruption kinds understood by :meth:`corrupt`.
+    KINDS = ("bitrot", "depth-holes")
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def bitrot(self, frame: Frame, fraction: float = 0.02) -> Frame:
+        """Corrupt a fraction of intensity pixels.
+
+        Half the hit pixels go non-finite (NaN), half go wildly
+        out-of-range (+-1e4) -- the two signatures of flipped exponent
+        or sign bits in a float image.
+        """
+        gray = frame.gray.copy()
+        n = max(1, int(round(fraction * gray.size)))
+        idx = self._rng.choice(gray.size, size=n, replace=False)
+        flat = gray.reshape(-1)
+        half = n // 2
+        flat[idx[:half]] = np.nan
+        flat[idx[half:]] = self._rng.choice(
+            [-1e4, 1e4], size=n - half)
+        return Frame(gray=gray, depth=frame.depth,
+                     timestamp=frame.timestamp)
+
+    def depth_holes(self, frame: Frame, num_holes: int = 3,
+                    max_size: int = 12) -> Frame:
+        """Punch rectangular invalid-depth regions into the frame.
+
+        Each hole is filled with one of the invalid-depth signatures a
+        broken registration pipeline produces: NaN, zero, or negative
+        range.
+        """
+        depth = frame.depth.copy()
+        h, w = depth.shape
+        fills = (np.nan, 0.0, -1.0)
+        for i in range(num_holes):
+            hh = int(self._rng.integers(2, max_size + 1))
+            ww = int(self._rng.integers(2, max_size + 1))
+            y = int(self._rng.integers(0, max(1, h - hh)))
+            x = int(self._rng.integers(0, max(1, w - ww)))
+            depth[y:y + hh, x:x + ww] = fills[i % len(fills)]
+        return Frame(gray=frame.gray, depth=depth,
+                     timestamp=frame.timestamp)
+
+    def corrupt(self, frame: Frame, kind: str) -> Frame:
+        """Apply one corruption by name (see :attr:`KINDS`)."""
+        if kind == "bitrot":
+            return self.bitrot(frame)
+        if kind == "depth-holes":
+            return self.depth_holes(frame)
+        raise ValueError(
+            f"unknown corruption {kind!r}; choose from {self.KINDS}")
 
 
 def render_frame(scene: PlaneScene, pose_wc: SE3,

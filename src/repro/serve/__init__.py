@@ -26,6 +26,11 @@ This package is that serving layer for the simulated stack:
 Per-session results are bit-identical to solo tracker runs; see
 ``docs/serving.md`` for the architecture and the backpressure
 contract.
+
+Fault containment rides on the same pieces: per-request deadlines and
+:class:`DeadlineExceeded`, bounded worker retries with checkpoint
+restore, and a per-worker :class:`CircuitBreaker`; see
+``docs/resilience.md``.
 """
 
 from repro.serve.loadgen import (
@@ -36,14 +41,21 @@ from repro.serve.loadgen import (
     solo_trajectories,
     trajectories_match,
 )
-from repro.serve.pool import DevicePool, TrackResult
-from repro.serve.scheduler import Backpressure, FifoScheduler, WorkItem
+from repro.serve.pool import CircuitBreaker, DevicePool, TrackResult
+from repro.serve.scheduler import (
+    Backpressure,
+    DeadlineExceeded,
+    FifoScheduler,
+    WorkItem,
+)
 from repro.serve.service import VOService
 from repro.serve.session import Session, SessionManager
 
 __all__ = [
     "Backpressure",
+    "CircuitBreaker",
     "ClientStats",
+    "DeadlineExceeded",
     "DevicePool",
     "FifoScheduler",
     "Session",

@@ -24,6 +24,16 @@ release the GIL and overlap across workers, which is exactly the
 behaviour of N real accelerators driven from one host: pool throughput
 scales with workers until the host CPU, not the device, saturates.
 With both knobs at zero workers run flat out (pure host speed).
+
+**Fault containment.**  Each worker wraps the frame in a bounded
+retry: a failed attempt rolls the tracker state back to an O(1)
+restore point, resets the worker's devices, and tries again up to
+``max_retries`` times.  A frame that still fails restores the session
+from its last checkpointed keyframe before the error reaches the
+client.  A per-worker :class:`CircuitBreaker` watches the fault
+signals (failed frames, retries, faulty-device evictions): after
+``breaker_threshold`` consecutive signals the worker stops pulling
+work for ``breaker_cooldown_s``, then half-opens for a probe frame.
 """
 
 from __future__ import annotations
@@ -32,14 +42,15 @@ import logging
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.geometry.se3 import SE3
 from repro.obs.metrics import get_registry
 from repro.serve.scheduler import FifoScheduler, WorkItem
 from repro.serve.session import SessionManager
+from repro.vo.health import OK
 
-__all__ = ["TrackResult", "DevicePool"]
+__all__ = ["TrackResult", "CircuitBreaker", "DevicePool"]
 
 log = logging.getLogger(__name__)
 
@@ -59,6 +70,86 @@ class TrackResult:
     queue_s: float            # admission-queue wait
     service_s: float          # worker wall time incl. device dwell
     device_cycles: int        # simulated device cycles of this frame
+    #: Tracking health after this frame (``OK/DEGRADED/LOST``).
+    health: str = OK
+    #: Recovery events of this frame (see
+    #: :attr:`repro.vo.tracker.FrameResult.events`).
+    events: Tuple[str, ...] = ()
+    #: In-place worker retries this frame needed before succeeding.
+    retries: int = 0
+
+
+class CircuitBreaker:
+    """Per-worker breaker over consecutive device-fault signals.
+
+    States follow the classic pattern: ``closed`` (normal service)
+    trips to ``open`` after ``threshold`` consecutive fault signals;
+    after ``cooldown_s`` the breaker ``half-open``s and admits one
+    probe frame -- a clean probe closes it, a faulty one re-opens it.
+    A fault signal is either a frame that failed outright or a frame
+    that began by evicting a faulty device.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+    #: Gauge encoding of each state.
+    STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[Callable[[str, str], None]]
+                 = None):
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._on_transition = on_transition
+        self.state = self.CLOSED
+        self.consecutive_faults = 0
+        self.faults_total = 0
+        self.trips_total = 0
+        self._opened_at = 0.0
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        old, self.state = self.state, state
+        if state == self.OPEN:
+            self.trips_total += 1
+            self._opened_at = self._clock()
+        if self._on_transition is not None:
+            self._on_transition(old, state)
+
+    def allow(self) -> bool:
+        """May the worker take work right now?"""
+        if self.state == self.OPEN and \
+                self._clock() - self._opened_at >= self.cooldown_s:
+            self._transition(self.HALF_OPEN)
+        return self.state != self.OPEN
+
+    def record_fault(self) -> None:
+        """One fault signal (failed frame or faulty-device eviction)."""
+        self.faults_total += 1
+        self.consecutive_faults += 1
+        if self.state == self.HALF_OPEN or \
+                self.consecutive_faults >= self.threshold:
+            self._transition(self.OPEN)
+
+    def record_clean(self) -> None:
+        """One clean frame: closes the streak (and a half-open probe)."""
+        self.consecutive_faults = 0
+        if self.state == self.HALF_OPEN:
+            self._transition(self.CLOSED)
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_faults": self.consecutive_faults,
+            "faults_total": self.faults_total,
+            "trips_total": self.trips_total,
+        }
 
 
 class PoolWorker:
@@ -68,19 +159,29 @@ class PoolWorker:
                  sessions: SessionManager,
                  tracker_factory: Callable[[], object],
                  min_service_s: float = 0.0,
-                 device_clock_hz: Optional[float] = None):
+                 device_clock_hz: Optional[float] = None,
+                 max_retries: int = 1,
+                 retry_backoff_s: float = 0.01,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 0.25):
         self.index = index
         self.scheduler = scheduler
         self.sessions = sessions
         self.tracker = tracker_factory()
         self.min_service_s = min_service_s
         self.device_clock_hz = device_clock_hz
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self.busy_s = 0.0
         self.frames = 0
         self._stop = threading.Event()
         self._started_at: Optional[float] = None
         self._thread = threading.Thread(
             target=self._run, name=f"pim-pool-{index}", daemon=True)
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+            on_transition=self._on_breaker_transition)
         registry = get_registry()
         self._frames_ctr = registry.counter(
             "serve_worker_frames_total", "Frames tracked per worker")
@@ -98,6 +199,26 @@ class PoolWorker:
         self._evictions_ctr = registry.counter(
             "serve_device_evictions_total",
             "Devices reset between frames because faults were detected")
+        self._retries_ctr = registry.counter(
+            "serve_retries_total",
+            "In-place frame retries after a worker-side exception")
+        self._circuit_gauge = registry.gauge(
+            "serve_circuit_state",
+            "Per-worker circuit breaker state "
+            "(0=closed, 1=half-open, 2=open)")
+        self._circuit_transitions = registry.counter(
+            "serve_circuit_transitions_total",
+            "Circuit breaker state transitions per worker")
+        self._circuit_gauge.set(
+            CircuitBreaker.STATE_CODES[self.breaker.state],
+            worker=self.index)
+
+    def _on_breaker_transition(self, old: str, new: str) -> None:
+        log.warning("worker %d circuit breaker %s -> %s",
+                    self.index, old, new)
+        self._circuit_gauge.set(CircuitBreaker.STATE_CODES[new],
+                                worker=self.index)
+        self._circuit_transitions.inc(worker=self.index, to=new)
 
     # -- device plumbing -------------------------------------------------
 
@@ -148,9 +269,45 @@ class PoolWorker:
 
     # -- the frame loop --------------------------------------------------
 
+    def _track_with_retry(self, item: WorkItem):
+        """Track one frame with bounded in-place retries.
+
+        Before each attempt a :meth:`TrackerState.restore_point` is
+        taken; a failed attempt rolls the state back, resets this
+        worker's devices (clearing any mid-frame corruption), backs
+        off briefly, and tries again -- up to ``max_retries`` extra
+        attempts.  Returns ``(frame, retries)``; re-raises the last
+        exception once the budget is spent.
+        """
+        state = self.tracker.state
+        gray, depth, timestamp = item.payload
+        attempt = 0
+        while True:
+            point = state.restore_point()
+            try:
+                return self.tracker.process(gray, depth,
+                                            timestamp), attempt
+            except Exception:
+                state.rollback(point)
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                self._retries_ctr.inc(worker=self.index)
+                log.warning(
+                    "worker %d retrying session %s frame %d "
+                    "(attempt %d/%d)", self.index, item.session,
+                    item.seq, attempt, self.max_retries,
+                    exc_info=True)
+                # Device state is the usual culprit: return to
+                # power-on before the retry touches it again.
+                self._reset_devices()
+                if self.retry_backoff_s > 0:
+                    time.sleep(self.retry_backoff_s * attempt)
+
     def _process(self, item: WorkItem) -> None:
         t0 = time.perf_counter()
         session = self.sessions.checkout(item.session)
+        fault_signal = False
         try:
             if session.frames == 0:
                 # Fresh stream on a reused device: back to power-on
@@ -159,12 +316,12 @@ class PoolWorker:
             else:
                 # Mid-stream health check: a device flagged faulty
                 # since the last frame is reset before reuse.
-                self._evict_faulty_devices()
+                fault_signal = self._evict_faulty_devices() > 0
             self.tracker.state = session.state
-            gray, depth, timestamp = item.payload
             cycles_before = self._device_cycles()
-            frame = self.tracker.process(gray, depth, timestamp)
+            frame, retries = self._track_with_retry(item)
             cycles = self._device_cycles() - cycles_before
+            fault_signal = fault_signal or retries > 0
             result = TrackResult(
                 session=session.sid, generation=session.generation,
                 frame_index=len(session.state.results) - 1,
@@ -173,14 +330,28 @@ class PoolWorker:
                 lm_iterations=frame.lm.iterations if frame.lm else 0,
                 worker=self.index,
                 queue_s=max(0.0, item.dequeued_at - item.enqueued_at),
-                service_s=0.0, device_cycles=cycles)
+                service_s=0.0, device_cycles=cycles,
+                health=frame.health, events=frame.events,
+                retries=retries)
         except BaseException as exc:  # noqa: BLE001 -- fault isolation
+            # Terminal failure: roll the session back to its last
+            # checkpointed keyframe so the *next* frame resumes from
+            # known-good state instead of whatever the failed attempt
+            # left behind.
+            restored = self.sessions.restore_checkpoint(session)
             self.sessions.checkin(session)
             self.scheduler.done(item)
-            log.exception("worker %d failed on session %s frame %d",
-                          self.index, item.session, item.seq)
+            self.breaker.record_fault()
+            log.exception(
+                "worker %d failed on session %s frame %d "
+                "(checkpoint restored: %s)", self.index,
+                item.session, item.seq, restored)
             item.future.set_exception(exc)
             return
+        if frame.is_keyframe and frame.health == OK:
+            # A healthy keyframe is the resume point of choice: deep
+            # snapshot it before anything downstream can corrupt it.
+            self.sessions.save_checkpoint(session)
         self.sessions.checkin(session)
         host_s = time.perf_counter() - t0
         dwell = self.min_service_s
@@ -194,6 +365,12 @@ class PoolWorker:
         result.service_s = service_s
         self.busy_s += service_s
         self.frames += 1
+        if fault_signal:
+            # The frame succeeded but needed an eviction or retry:
+            # that is still a device-fault signal for the breaker.
+            self.breaker.record_fault()
+        else:
+            self.breaker.record_clean()
         self.scheduler.done(item, service_s=service_s)
         self._frames_ctr.inc(worker=self.index)
         self._cycles_ctr.inc(cycles, worker=self.index)
@@ -208,6 +385,12 @@ class PoolWorker:
     def _run(self) -> None:
         self._started_at = time.perf_counter()
         while not self._stop.is_set():
+            if not self.breaker.allow():
+                # Tripped: stop pulling work so the other workers (or
+                # the deadline expiry path) absorb the traffic until
+                # the cooldown elapses and the breaker half-opens.
+                self._stop.wait(min(0.05, self.breaker.cooldown_s))
+                continue
             batch = self.scheduler.next_batch(timeout=0.05)
             for item in batch:
                 self._process(item)
@@ -218,6 +401,9 @@ class PoolWorker:
         self._thread.start()
 
     def stop(self, timeout: float = 5.0) -> None:
+        """Signal and join the worker thread (idempotent, never
+        raises: a worker that was never started just records the
+        stop flag)."""
         self._stop.set()
         if self._thread.is_alive():
             self._thread.join(timeout)
@@ -237,42 +423,68 @@ class DevicePool:
                  sessions: SessionManager,
                  tracker_factory: Callable[[], object],
                  min_service_s: float = 0.0,
-                 device_clock_hz: Optional[float] = None):
+                 device_clock_hz: Optional[float] = None,
+                 max_retries: int = 1,
+                 retry_backoff_s: float = 0.01,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 0.25):
         if workers < 1:
             raise ValueError("pool needs at least one worker")
         self.workers: List[PoolWorker] = [
             PoolWorker(i, scheduler, sessions, tracker_factory,
                        min_service_s=min_service_s,
-                       device_clock_hz=device_clock_hz)
+                       device_clock_hz=device_clock_hz,
+                       max_retries=max_retries,
+                       retry_backoff_s=retry_backoff_s,
+                       breaker_threshold=breaker_threshold,
+                       breaker_cooldown_s=breaker_cooldown_s)
             for i in range(workers)]
         self._started = False
 
     def start(self) -> None:
-        """Start every worker thread (idempotent)."""
+        """Start every worker thread (idempotent, exception-safe).
+
+        If any worker fails to start, the ones already running are
+        stopped before the error propagates, so a failed start never
+        leaks threads.
+        """
         if self._started:
             return
-        for worker in self.workers:
-            worker.start()
+        started: List[PoolWorker] = []
+        try:
+            for worker in self.workers:
+                worker.start()
+                started.append(worker)
+        except BaseException:
+            for worker in started:
+                worker.stop()
+            raise
         self._started = True
         log.info("device pool started with %d workers",
                  len(self.workers))
 
     def stop(self) -> None:
-        """Signal and join every worker."""
+        """Signal and join every worker (idempotent, never raises)."""
         for worker in self.workers:
             worker.stop()
         self._started = False
 
     def stats(self) -> dict:
-        """Per-worker frames/utilization plus pool totals."""
+        """Per-worker frames/utilization/breaker plus pool totals."""
         per_worker = [{
             "worker": w.index,
             "frames": w.frames,
             "busy_s": w.busy_s,
             "utilization": w.utilization(),
+            "breaker": w.breaker.stats(),
         } for w in self.workers]
         return {
             "workers": len(self.workers),
             "frames": sum(w.frames for w in self.workers),
+            "retries_total": int(
+                self.workers[0]._retries_ctr.total()),
+            "breakers_open": sum(
+                1 for w in self.workers
+                if w.breaker.state != CircuitBreaker.CLOSED),
             "per_worker": per_worker,
         }

@@ -11,8 +11,21 @@ dispatch loop:
   skipped too.
 * **Explicit backpressure** -- a full queue rejects at admission with
   :class:`Backpressure` carrying a ``retry_after_s`` hint derived from
-  the observed service-time EMA, instead of blocking the client or
-  growing without bound.
+  the *observed queue drain rate* (an EMA over the intervals between
+  completions across the whole pool), instead of blocking the client
+  or growing without bound.  Until the first completion is observed
+  the hint falls back to a service-time estimate.
+
+Two failure-containment features ride on the queue:
+
+* **Per-request deadlines** -- an item whose ``deadline`` (scheduler
+  clock) passes while queued is expired instead of dispatched: its
+  future fails with :class:`DeadlineExceeded` and the expiry is
+  counted, so a stalled pool sheds load instead of serving arbitrarily
+  stale frames.
+* **Fail-pending** -- :meth:`FifoScheduler.fail_pending` drains every
+  queued item into a caller-supplied exception; the service uses it on
+  close so no client blocks forever on a future that will never run.
 
 Workers pull with :meth:`FifoScheduler.next_batch`, which may
 *micro-batch*: after fixing the head-of-line item, later eligible items
@@ -33,7 +46,8 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import get_registry
 
-__all__ = ["Backpressure", "WorkItem", "FifoScheduler"]
+__all__ = ["Backpressure", "DeadlineExceeded", "WorkItem",
+           "FifoScheduler"]
 
 
 class Backpressure(RuntimeError):
@@ -42,7 +56,8 @@ class Backpressure(RuntimeError):
     Attributes:
         depth: Queue depth at rejection time.
         retry_after_s: Suggested client wait before resubmitting
-            (expected time for the pool to drain one slot).
+            (expected time for the pool to drain one slot, from the
+            observed drain rate).
     """
 
     def __init__(self, depth: int, retry_after_s: float):
@@ -51,6 +66,18 @@ class Backpressure(RuntimeError):
             f"retry after {retry_after_s:.3f}s")
         self.depth = depth
         self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(RuntimeError):
+    """The frame's deadline passed before a worker could take it."""
+
+    def __init__(self, session: str, seq: int, overdue_s: float):
+        super().__init__(
+            f"frame {seq} of session {session!r} expired in queue "
+            f"({overdue_s:.3f}s past its deadline)")
+        self.session = session
+        self.seq = seq
+        self.overdue_s = overdue_s
 
 
 @dataclass
@@ -69,6 +96,9 @@ class WorkItem:
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
     dequeued_at: float = 0.0
+    #: Scheduler-clock time after which the item must not be
+    #: dispatched (``None`` = no deadline).
+    deadline: Optional[float] = None
 
 
 class FifoScheduler:
@@ -89,8 +119,14 @@ class FifoScheduler:
         self._inflight: Dict[str, int] = {}
         self._cond = threading.Condition()
         self._closed = False
-        #: EMA of per-frame service time, feeding the retry-after hint.
+        #: EMA of per-frame service time (kept as the cold-start
+        #: fallback for the retry hint and for stats).
         self._service_ema_s = 0.05
+        #: EMA of the interval between successive completions across
+        #: the whole pool -- the observed time for the queue to drain
+        #: one slot.  ``None`` until two completions are seen.
+        self._drain_ema_s: Optional[float] = None
+        self._last_done_at: Optional[float] = None
         registry = get_registry()
         self._rejected = registry.counter(
             "serve_admission_rejected_total",
@@ -102,8 +138,23 @@ class FifoScheduler:
         self._batched = registry.counter(
             "serve_microbatched_frames_total",
             "Frames that rode in a batch behind another session's frame")
+        self._expired = registry.counter(
+            "serve_deadline_expired_total",
+            "Frames expired in queue past their deadline")
 
     # -- client side ----------------------------------------------------
+
+    def _retry_after_s(self, depth: int) -> float:
+        """Expected wait for one queue slot to free (caller holds lock).
+
+        Derived from the observed drain rate (EMA of the interval
+        between completions across the pool); before any completion
+        has been observed, falls back to the service-time estimate
+        divided across the workers.
+        """
+        if self._drain_ema_s is not None:
+            return max(self._drain_ema_s, 1e-4)
+        return self._service_ema_s * max(1.0, depth / self.workers)
 
     def submit(self, item: WorkItem) -> None:
         """Enqueue one frame or raise :class:`Backpressure`."""
@@ -113,15 +164,30 @@ class FifoScheduler:
             depth = len(self._queue)
             if depth >= self.max_queue:
                 self._rejected.inc()
-                retry = self._service_ema_s * max(
-                    1.0, depth / self.workers)
-                raise Backpressure(depth, retry)
+                raise Backpressure(depth, self._retry_after_s(depth))
             item.enqueued_at = self._clock()
             self._queue.append(item)
             self._depth_gauge.set(len(self._queue))
             self._cond.notify()
 
     # -- worker side ----------------------------------------------------
+
+    def _expire_overdue(self, now: float) -> None:
+        """Fail queued items past their deadline (caller holds lock).
+
+        An expired item never executes, so removing it cannot break
+        per-session ordering: later frames of the session simply see
+        a gap, exactly as if the client had dropped the frame.
+        """
+        overdue = [item for item in self._queue
+                   if item.deadline is not None and now > item.deadline]
+        for item in overdue:
+            self._queue.remove(item)
+            self._expired.inc()
+            item.future.set_exception(DeadlineExceeded(
+                item.session, item.seq, now - item.deadline))
+        if overdue:
+            self._depth_gauge.set(len(self._queue))
 
     def _scan(self) -> List[WorkItem]:
         """Pick the next batch (caller holds the lock); [] if none."""
@@ -159,6 +225,7 @@ class FifoScheduler:
         deadline = None if timeout is None else self._clock() + timeout
         with self._cond:
             while True:
+                self._expire_overdue(self._clock())
                 batch = self._scan()
                 if batch:
                     break
@@ -193,6 +260,15 @@ class FifoScheduler:
             if service_s is not None and service_s >= 0:
                 self._service_ema_s += 0.2 * (service_s -
                                               self._service_ema_s)
+            now = self._clock()
+            if self._last_done_at is not None:
+                interval = max(0.0, now - self._last_done_at)
+                if self._drain_ema_s is None:
+                    self._drain_ema_s = interval
+                else:
+                    self._drain_ema_s += 0.2 * (interval -
+                                                self._drain_ema_s)
+            self._last_done_at = now
             self._cond.notify_all()
 
     # -- lifecycle ------------------------------------------------------
@@ -203,6 +279,22 @@ class FifoScheduler:
             self._closed = True
             self._cond.notify_all()
 
+    def fail_pending(self, exc: BaseException) -> int:
+        """Fail every still-queued item with ``exc``; returns the count.
+
+        The service calls this after stopping the pool so a client
+        blocked on a future whose frame will never run gets an error
+        instead of hanging forever.
+        """
+        with self._cond:
+            pending = list(self._queue)
+            self._queue.clear()
+            for item in pending:
+                item.future.set_exception(exc)
+            self._depth_gauge.set(0)
+            self._cond.notify_all()
+            return len(pending)
+
     def depth(self) -> int:
         """Current queue depth."""
         with self._cond:
@@ -211,12 +303,18 @@ class FifoScheduler:
     def stats(self) -> dict:
         """Point-in-time queue statistics."""
         with self._cond:
+            drain = self._drain_ema_s
             return {
                 "depth": len(self._queue),
                 "max_queue": self.max_queue,
                 "max_batch": self.max_batch,
                 "inflight_sessions": len(self._inflight),
                 "service_ema_s": self._service_ema_s,
+                "drain_ema_s": drain,
+                "drain_rate_per_s": (1.0 / drain) if drain else None,
+                "retry_after_s": self._retry_after_s(
+                    len(self._queue)),
+                "expired_total": int(self._expired.total()),
                 "rejected_total": int(self._rejected.total()),
                 "closed": self._closed,
             }

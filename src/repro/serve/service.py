@@ -12,7 +12,10 @@ workers -- behind one blocking call::
 ``submit`` raises :class:`~repro.serve.scheduler.Backpressure` when
 the admission queue is full; the exception carries a ``retry_after_s``
 hint and the client owns the retry (see
-:mod:`repro.serve.loadgen` for a retrying client).
+:mod:`repro.serve.loadgen` for a retrying client).  A per-request
+deadline (``deadline_s``) bounds how long a frame may sit in the queue
+before it fails with
+:class:`~repro.serve.scheduler.DeadlineExceeded`.
 
 Frames submitted under one session id execute strictly in submission
 order against that session's own tracker state, so a session's
@@ -20,6 +23,13 @@ trajectory is bit-identical to running its frames through a solo
 :class:`~repro.vo.tracker.EBVOTracker` -- regardless of how many other
 sessions interleave, which worker serves each frame, or how frames are
 micro-batched.
+
+``close`` is idempotent and exception-safe: it always joins the
+workers and then fails any still-queued futures, so no client blocks
+forever on a frame that will never run.  :meth:`VOService.stats`
+doubles as the health check -- its ``health`` section summarises
+circuit-breaker states, queue saturation, and checkpoint restores,
+and :meth:`VOService.healthy` reduces it to one bool.
 """
 
 from __future__ import annotations
@@ -50,7 +60,10 @@ class VOService:
                  max_queue: int = 64, max_batch: int = 4,
                  idle_timeout_s: float = 60.0, max_sessions: int = 64,
                  min_service_s: float = 0.0,
-                 device_clock_hz: Optional[float] = None):
+                 device_clock_hz: Optional[float] = None,
+                 max_retries: int = 1,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 0.25):
         if frontend not in _FRONTENDS:
             raise ValueError(
                 f"unknown frontend {frontend!r}; choose from "
@@ -70,7 +83,10 @@ class VOService:
             tracker_factory=lambda: EBVOTracker(frontend_cls(config),
                                                 config),
             min_service_s=min_service_s,
-            device_clock_hz=device_clock_hz)
+            device_clock_hz=device_clock_hz,
+            max_retries=max_retries,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s)
         self._seq = itertools.count(1)
         self._closed = False
 
@@ -78,16 +94,34 @@ class VOService:
 
     def start(self) -> "VOService":
         """Start the worker pool (idempotent)."""
-        self.pool.start()
+        try:
+            self.pool.start()
+        except BaseException:
+            # A failed start must leave nothing running: the pool has
+            # already stopped its own threads, so just mark us closed.
+            self.close()
+            raise
         return self
 
     def close(self) -> None:
-        """Stop admitting, drain nothing further, join the workers."""
+        """Stop admitting, join the workers, fail pending futures.
+
+        Idempotent and exception-safe: every stage runs even if an
+        earlier one raises, so a double close (or a close after a
+        failed start) can never leak worker threads or leave a client
+        blocked on a future that will never complete.
+        """
         if self._closed:
             return
         self._closed = True
-        self.scheduler.close()
-        self.pool.stop()
+        try:
+            self.scheduler.close()
+        finally:
+            try:
+                self.pool.stop()
+            finally:
+                self.scheduler.fail_pending(
+                    RuntimeError("service closed"))
 
     def __enter__(self) -> "VOService":
         return self.start()
@@ -116,12 +150,16 @@ class VOService:
 
     def submit(self, session_id: str, gray: np.ndarray,
                depth: np.ndarray, timestamp: float = 0.0,
-               timeout: Optional[float] = None) -> TrackResult:
+               timeout: Optional[float] = None,
+               deadline_s: Optional[float] = None) -> TrackResult:
         """Track one frame for ``session_id``; blocks for the result.
 
         Raises :class:`~repro.serve.scheduler.Backpressure` when the
         admission queue is full (nothing was enqueued; resubmit after
-        ``retry_after_s``).  Any tracking error surfaces here as the
+        ``retry_after_s``).  With ``deadline_s`` set, a frame still
+        queued that long after submission fails with
+        :class:`~repro.serve.scheduler.DeadlineExceeded` instead of
+        being served stale.  Any tracking error surfaces here as the
         original exception.
         """
         if self._closed:
@@ -132,13 +170,45 @@ class VOService:
                         batch_key=self._batch_key(gray.shape),
                         payload=(gray, np.asarray(depth),
                                  float(timestamp)))
+        if deadline_s is not None:
+            item.deadline = self.scheduler._clock() + deadline_s
         self.scheduler.submit(item)   # may raise Backpressure
         return item.future.result(timeout)
 
+    # -- health ----------------------------------------------------------
+
     def stats(self) -> dict:
-        """Scheduler, session, and pool statistics in one dict."""
-        return {
-            "scheduler": self.scheduler.stats(),
-            "sessions": self.sessions.stats(),
-            "pool": self.pool.stats(),
+        """Scheduler, session, pool, and health stats in one dict."""
+        scheduler = self.scheduler.stats()
+        sessions = self.sessions.stats()
+        pool = self.pool.stats()
+        breakers = {w["worker"]: w["breaker"]["state"]
+                    for w in pool["per_worker"]}
+        saturation = scheduler["depth"] / scheduler["max_queue"]
+        health = {
+            "closed": self._closed,
+            "breakers": breakers,
+            "breakers_open": pool["breakers_open"],
+            "queue_saturation": saturation,
+            "retries_total": pool["retries_total"],
+            "deadline_expired_total": scheduler["expired_total"],
+            "checkpoint_restores_total": sessions["restores_total"],
+            "healthy": (not self._closed
+                        and pool["breakers_open"] < len(
+                            self.pool.workers)
+                        and saturation < 1.0),
         }
+        return {
+            "scheduler": scheduler,
+            "sessions": sessions,
+            "pool": pool,
+            "health": health,
+        }
+
+    def healthy(self) -> bool:
+        """One-bool health check: serving capacity exists right now.
+
+        True while the service is open, at least one worker's breaker
+        admits work, and the admission queue is not saturated.
+        """
+        return bool(self.stats()["health"]["healthy"])

@@ -19,6 +19,14 @@ Sessions marked busy (checked out by a pool worker) are never evicted.
 Generation counters are persistent per id: they only ever grow, so a
 ``(sid, generation)`` pair uniquely names one incarnation of a stream
 across evictions.
+
+Sessions also carry a **checkpoint**: a deep snapshot of the tracker
+state taken at the last good keyframe (:meth:`SessionManager.save_checkpoint`).
+When a worker fails a frame terminally -- device fault storm, tracker
+exception past the retry budget -- it restores the session from that
+checkpoint (:meth:`SessionManager.restore_checkpoint`), so the stream
+resumes from the last good keyframe instead of resetting to a cold
+start.
 """
 
 from __future__ import annotations
@@ -45,6 +53,13 @@ class Session:
     last_active: float = 0.0
     frames: int = 0
     busy: bool = False
+    #: Deep snapshot of ``state`` at the last good keyframe (``None``
+    #: until the first checkpoint).  A worker that fails a frame
+    #: terminally restores from here, so the stream resumes from the
+    #: last good keyframe instead of resetting to a cold start.
+    checkpointed: Optional[TrackerState] = None
+    #: Stream index of the frame the checkpoint was taken after.
+    checkpoint_frame: int = -1
 
 
 class SessionManager:
@@ -68,6 +83,12 @@ class SessionManager:
             "Sessions evicted, by reason (idle or capacity)")
         self._active_gauge = registry.gauge(
             "serve_sessions_active", "Sessions currently resident")
+        self._checkpoints = registry.counter(
+            "serve_session_checkpoints_total",
+            "Session tracker-state checkpoints taken")
+        self._restores = registry.counter(
+            "serve_session_restores_total",
+            "Sessions restored from their last checkpoint")
 
     # -- internal helpers (lock held) -----------------------------------
 
@@ -143,6 +164,29 @@ class SessionManager:
             session.frames += 1
             session.last_active = self._clock()
 
+    def save_checkpoint(self, session: Session) -> None:
+        """Snapshot the session's tracker state (workers call this
+        after a frame that anchored a keyframe while healthy)."""
+        with self._lock:
+            session.checkpointed = session.state.checkpoint()
+            session.checkpoint_frame = \
+                len(session.state.results) - 1
+            self._checkpoints.inc()
+
+    def restore_checkpoint(self, session: Session) -> bool:
+        """Roll the session back to its last checkpoint.
+
+        Returns False (and leaves the state untouched) when no
+        checkpoint was ever taken.  The checkpoint itself survives,
+        so repeated failures keep restoring the same good state.
+        """
+        with self._lock:
+            if session.checkpointed is None:
+                return False
+            session.state.restore(session.checkpointed)
+            self._restores.inc()
+            return True
+
     def get(self, sid: str) -> Optional[Session]:
         """Look up a resident session without touching it."""
         with self._lock:
@@ -162,4 +206,6 @@ class SessionManager:
                 "busy": sum(1 for s in self._sessions.values()
                             if s.busy),
                 "evicted_total": int(self._evicted.total()),
+                "checkpoints_total": int(self._checkpoints.total()),
+                "restores_total": int(self._restores.total()),
             }

@@ -19,8 +19,20 @@ Three layers pin the simulator's numerical semantics:
 ``python -m repro.verify`` runs the whole harness (matrix + fuzz +
 corpus replay + fault-injection trials) and emits a JSON report; CI
 gates on zero mismatches and non-regressing coverage.
+
+A fourth layer, :mod:`repro.verify.chaos` (``python -m repro.verify
+chaos``), pins *recovery* rather than semantics: seeded fault storms
+-- frame corruption, dropped frames, stalled clients, device faults --
+against a live :class:`~repro.serve.service.VOService`, gated on zero
+unrecovered sessions and full fault attribution.
 """
 
+from repro.verify.chaos import (
+    ChaosConfig,
+    InjectedFault,
+    build_fault_storm,
+    run_chaos,
+)
 from repro.verify.coverage import (
     CoverageLedger,
     METHOD_CONFIGS,
@@ -54,4 +66,8 @@ __all__ = [
     "FuzzCase",
     "replay_corpus",
     "fault_detection_trials",
+    "ChaosConfig",
+    "InjectedFault",
+    "build_fault_storm",
+    "run_chaos",
 ]

@@ -5,6 +5,10 @@
     PYTHONPATH=src python -m repro.verify --seed 2026 \\
         --out verify_report.json --check-baseline tests/conformance_baseline.json
 
+The ``chaos`` subcommand runs the serving-layer fault storm instead::
+
+    PYTHONPATH=src python -m repro.verify chaos --seed 0 --frames 40
+
 Runs, in order: the conformance matrix (every cell, all backends),
 the differential fuzzer, the persisted regression corpus, and the
 fault-injection robustness trials (stored and transient).  The exit
@@ -34,7 +38,16 @@ MIN_COVERAGE = 0.95
 
 
 def main(argv=None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    ``python -m repro.verify chaos ...`` dispatches to the chaos
+    harness (:mod:`repro.verify.chaos`); everything else runs the
+    conformance harness below.
+    """
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "chaos":
+        from repro.verify.chaos import main as chaos_main
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.verify",
         description="Differential ISA conformance harness")

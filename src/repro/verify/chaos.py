@@ -1,0 +1,541 @@
+"""Chaos harness: seeded fault storms against a live ``VOService``.
+
+The conformance harness (:mod:`repro.verify.matrix`) pins what the
+simulator *computes*; this module pins how the full serving stack
+*recovers*.  A chaos run builds a deterministic fault storm from one
+seed -- frame-level faults (dropped frames, bit-rotted images, depth
+holes, stalled clients) via
+:class:`~repro.dataset.synthetic.FrameCorruptor`, plus device-level
+faults via :class:`~repro.pim.faults.FaultInjector` armed on live pool
+workers mid-run -- and drives it through concurrent client sessions,
+exactly like :mod:`repro.serve.loadgen` but with the storm applied.
+
+Each session is then classified:
+
+* ``recovered`` -- finished with tracking health ``OK`` and an ATE
+  within the inflation bound of its clean solo reference.
+* ``degraded``  -- ATE within bound but final health not ``OK``.
+* ``unrecovered`` -- ATE beyond bound, final health ``LOST``, or a
+  terminal frame error with no successful frame after it.
+
+The gate (:func:`run_chaos` / ``python -m repro.verify chaos``) holds
+the SLO: **zero unrecovered sessions**, every injected fault
+attributed in the recovery report (repair events on the served frame,
+a device eviction, or a client-side record), and a pre-storm control
+phase whose served trajectory is bit-identical to the solo tracker --
+pinning that the fault-free path is unchanged by the resilience
+machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataset.synthetic import FrameCorruptor
+from repro.evaluation.ate import absolute_trajectory_error
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.pim.faults import FaultInjector, FaultPlan
+from repro.serve.loadgen import (
+    build_workload,
+    solo_trajectories,
+)
+from repro.serve.scheduler import Backpressure
+from repro.serve.service import _FRONTENDS, VOService
+from repro.vo.health import LOST, OK
+
+__all__ = ["ChaosConfig", "InjectedFault", "build_fault_storm",
+           "run_chaos", "main"]
+
+log = logging.getLogger(__name__)
+
+#: Frame-fault kinds, in injection-cycling order.
+FRAME_FAULTS = ("bitrot", "depth-holes", "drop", "stall")
+
+
+@dataclass
+class ChaosConfig:
+    """One chaos run, fully determined by these knobs."""
+
+    seed: int = 0
+    sessions: int = 4
+    frames: int = 40
+    scale: float = 0.25
+    workers: int = 2
+    frontend: str = "pim"
+    device_detect: bool = True
+    #: Fraction of each faulted session's frames that get a frame
+    #: fault (session 0 is always the fault-free control).
+    frame_fault_rate: float = 0.15
+    #: Worker-device fault injections across the whole run.
+    device_faults: int = 2
+    #: Client stall duration for ``stall`` faults.
+    stall_s: float = 0.15
+    #: Transient read-corruption probability of device faults.
+    read_flip_prob: float = 0.002
+    #: A session recovers if ``ate <= max(clean_ate * ate_inflation,
+    #: ate_floor_m)``.
+    ate_inflation: float = 5.0
+    ate_floor_m: float = 0.05
+
+
+@dataclass
+class InjectedFault:
+    """One scheduled fault and, after the run, its attribution."""
+
+    sid: str
+    frame: int                 # sequence index the fault lands on
+    kind: str                  # FRAME_FAULTS entry or "device"
+    worker: Optional[int] = None   # device faults: target worker
+    attributed: bool = False
+    evidence: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "sid": self.sid, "frame": self.frame, "kind": self.kind,
+            "worker": self.worker, "attributed": self.attributed,
+            "evidence": self.evidence,
+        }
+
+
+def build_fault_storm(config: ChaosConfig
+                      ) -> Tuple[List[InjectedFault], List[InjectedFault]]:
+    """Derive the deterministic fault schedule from the seed.
+
+    Returns ``(frame_faults, device_faults)``.  Session 0 is left
+    fault-free as the bit-identity control; every other session gets
+    at least one frame fault.  Faults land on frames >= 2 (the first
+    keyframe anchors clean) and device faults land before the final
+    stretch so the eviction that clears them is observed within the
+    run.
+    """
+    rng = np.random.default_rng(config.seed)
+    frame_faults: List[InjectedFault] = []
+    kind_cursor = 0
+    for i in range(1, config.sessions):
+        sid = f"client-{i}"
+        n = max(1, int(round(config.frame_fault_rate * config.frames)))
+        lo, hi = 2, max(3, config.frames - 2)
+        picks = sorted(rng.choice(np.arange(lo, hi),
+                                  size=min(n, hi - lo),
+                                  replace=False).tolist())
+        for frame in picks:
+            kind = FRAME_FAULTS[kind_cursor % len(FRAME_FAULTS)]
+            kind_cursor += 1
+            frame_faults.append(InjectedFault(sid=sid, frame=int(frame),
+                                              kind=kind))
+    device_faults: List[InjectedFault] = []
+    if config.sessions > 1:
+        hi = max(4, config.frames - 6)
+        for j in range(config.device_faults):
+            sid = f"client-{1 + j % (config.sessions - 1)}"
+            frame = int(rng.integers(max(2, config.frames // 4), hi))
+            worker = int(rng.integers(0, config.workers))
+            device_faults.append(InjectedFault(
+                sid=sid, frame=frame, kind="device", worker=worker))
+    return frame_faults, device_faults
+
+
+@dataclass
+class _ChaosClient:
+    """One session's live bookkeeping during the storm."""
+
+    sid: str
+    #: Sequence index of each *successful* submission, in order.
+    tracked: List[int] = field(default_factory=list)
+    results: List = field(default_factory=list)
+    dropped: int = 0
+    stalls: int = 0
+    errors: int = 0
+    #: Sequence index of the last terminal frame error (-1 = none).
+    last_error_frame: int = -1
+    #: Sequence index of the last successful frame (-1 = none).
+    last_ok_frame: int = -1
+    backpressure_retries: int = 0
+
+
+def _arm_device_fault(service: VOService, fault: InjectedFault,
+                      seed: int,
+                      read_flip_prob: float) -> Optional[FaultInjector]:
+    """Attach a fault injector to the target worker's devices.
+
+    Prefers the scheduled worker; falls back to any worker that has
+    materialised devices (they are created lazily per shape).  Returns
+    the injector, or ``None`` when no device exists yet.
+    """
+    workers = service.pool.workers
+    order = [fault.worker] + [w.index for w in workers
+                              if w.index != fault.worker]
+    plan = FaultPlan(seed=seed, stored_flips=((0, 0),),
+                     read_flip_prob=read_flip_prob)
+    for index in order:
+        devices = list(workers[index]._devices())
+        if not devices:
+            continue
+        injector = FaultInjector(plan)
+        for dev in devices:
+            dev.attach_fault_injector(injector)
+        fault.worker = index
+        log.warning("chaos: armed device fault on worker %d "
+                    "(%d devices) at %s frame %d", index,
+                    len(devices), fault.sid, fault.frame)
+        return injector
+    return None
+
+
+def _chaos_client(service: VOService, sid: str, sequence,
+                  faults: Dict[int, InjectedFault],
+                  device_faults: Dict[int, InjectedFault],
+                  corruptor: FrameCorruptor, stall_s: float,
+                  read_flip_prob: float,
+                  client: _ChaosClient,
+                  injectors: List[FaultInjector],
+                  injectors_lock: threading.Lock) -> None:
+    for index, frame in enumerate(sequence.frames):
+        device_fault = device_faults.get(index)
+        if device_fault is not None:
+            injector = _arm_device_fault(service, device_fault,
+                                         seed=corruptor.seed + index,
+                                         read_flip_prob=read_flip_prob)
+            if injector is not None:
+                with injectors_lock:
+                    injectors.append(injector)
+                device_fault.evidence = "armed"
+        fault = faults.get(index)
+        submit = frame
+        if fault is not None:
+            if fault.kind == "drop":
+                client.dropped += 1
+                fault.attributed = True
+                fault.evidence = "client dropped frame before submit"
+                continue
+            if fault.kind == "stall":
+                client.stalls += 1
+                time.sleep(stall_s)
+                fault.attributed = True
+                fault.evidence = f"client stalled {stall_s:.2f}s"
+            else:
+                submit = corruptor.corrupt(frame, fault.kind)
+        while True:
+            try:
+                result = service.submit(sid, submit.gray, submit.depth,
+                                        submit.timestamp)
+                client.tracked.append(index)
+                client.results.append(result)
+                client.last_ok_frame = index
+                if fault is not None and not fault.attributed:
+                    repaired = [e for e in result.events
+                                if e.startswith("repaired:")]
+                    signals = [e for e in result.events
+                               if e.startswith("signal:")]
+                    if repaired or signals:
+                        fault.attributed = True
+                        fault.evidence = "events: " + ",".join(
+                            repaired + signals)
+                break
+            except Backpressure as bp:
+                client.backpressure_retries += 1
+                time.sleep(max(bp.retry_after_s, 0.001))
+            except Exception as exc:  # noqa: BLE001 -- chaos outcome
+                client.errors += 1
+                client.last_error_frame = index
+                if fault is not None and not fault.attributed:
+                    fault.attributed = True
+                    fault.evidence = (
+                        f"frame error: {type(exc).__name__}")
+                log.warning("chaos: %s frame %d failed terminally "
+                            "(%s)", sid, index, type(exc).__name__)
+                break
+
+
+def _classify(client: _ChaosClient, ate_m: Optional[float],
+              bound_m: float) -> Tuple[str, str]:
+    """Session outcome and the reason it was assigned."""
+    if not client.results:
+        return "unrecovered", "no frame ever tracked"
+    if client.last_error_frame > client.last_ok_frame:
+        return "unrecovered", (
+            f"terminal error on frame {client.last_error_frame} "
+            f"with no recovery after it")
+    final_health = client.results[-1].health
+    if ate_m is not None and ate_m > bound_m:
+        return "unrecovered", (
+            f"ATE {ate_m:.4f} m exceeds bound {bound_m:.4f} m")
+    if final_health == LOST:
+        return "unrecovered", "session finished LOST"
+    if final_health != OK:
+        return "degraded", f"final health {final_health}"
+    faults_seen = (client.errors or client.dropped or
+                   any(r.events for r in client.results))
+    return "recovered", ("came back healthy within bound"
+                         if faults_seen else
+                         "clean finish within bound")
+
+
+def run_chaos(config: ChaosConfig) -> dict:
+    """Run one seeded fault storm; returns the JSON-ready report."""
+    tracer = get_tracer()
+    registry = get_registry()
+    recovered_ctr = registry.counter(
+        "chaos_recovered_total",
+        "Chaos sessions by final outcome")
+    injected_ctr = registry.counter(
+        "chaos_faults_injected_total",
+        "Faults injected by the chaos harness, by kind")
+
+    with tracer.span("chaos.storm", seed=config.seed,
+                     sessions=config.sessions, frames=config.frames):
+        workload = build_workload(sessions=config.sessions,
+                                  frames=config.frames,
+                                  scale=config.scale,
+                                  seed=config.seed)
+        frame_faults, device_faults = build_fault_storm(config)
+        for fault in frame_faults + device_faults:
+            injected_ctr.inc(kind=fault.kind)
+
+        frontend_cls = _FRONTENDS[config.frontend]
+        service = VOService(workers=config.workers,
+                            frontend=config.frontend,
+                            device_detect=config.device_detect)
+
+        # Clean references: each sequence through an isolated tracker
+        # with the same config (also the bit-identity reference for
+        # the fault-free control session).
+        solo = solo_trajectories(workload, frontend_cls, service.config)
+        clean_ate = {
+            sid: absolute_trajectory_error(
+                solo[sid], workload[sid].groundtruth).rmse
+            for sid in workload}
+
+        evictions = registry.counter("serve_device_evictions_total")
+        evictions_before = evictions.total()
+
+        by_sid_frame: Dict[str, Dict[int, InjectedFault]] = {}
+        for fault in frame_faults:
+            by_sid_frame.setdefault(fault.sid, {})[fault.frame] = fault
+        dev_by_sid_frame: Dict[str, Dict[int, InjectedFault]] = {}
+        for fault in device_faults:
+            dev_by_sid_frame.setdefault(fault.sid, {})[fault.frame] = \
+                fault
+
+        clients = {sid: _ChaosClient(sid=sid) for sid in workload}
+        injectors: List[FaultInjector] = []
+        injectors_lock = threading.Lock()
+        threads = []
+        control_mismatch: List[str] = []
+        with service:
+            # Phase 1 -- fault-free bit-identity: the control
+            # sequence through the full serve stack *before* any
+            # fault is armed.  Device faults corrupt a shared worker,
+            # so only a storm-free phase can pin the fault-free path
+            # bit-for-bit against the solo tracker.
+            control_poses = []
+            for frame in workload["client-0"].frames:
+                result = service.submit("control", frame.gray,
+                                        frame.depth, frame.timestamp)
+                control_poses.append(result.pose)
+            reference = solo["client-0"]
+            if len(control_poses) != len(reference):
+                control_mismatch.append(
+                    f"{len(control_poses)} served vs "
+                    f"{len(reference)} solo frames")
+            else:
+                for i, (a, b) in enumerate(zip(control_poses,
+                                               reference)):
+                    if not (np.array_equal(a.R, b.R) and
+                            np.array_equal(a.t, b.t)):
+                        control_mismatch.append(
+                            f"pose {i} differs from solo")
+                        break
+
+            # Phase 2 -- the storm.
+            for i, (sid, sequence) in enumerate(workload.items()):
+                corruptor = FrameCorruptor(seed=config.seed * 1000 + i)
+                threads.append(threading.Thread(
+                    target=_chaos_client, name=f"chaos-{sid}",
+                    args=(service, sid, sequence,
+                          by_sid_frame.get(sid, {}),
+                          dev_by_sid_frame.get(sid, {}),
+                          corruptor, config.stall_s,
+                          config.read_flip_prob, clients[sid],
+                          injectors, injectors_lock)))
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall_s = time.perf_counter() - t0
+            final_stats = service.stats()
+        evictions_delta = int(evictions.total() - evictions_before)
+
+        # Device-fault attribution: an armed injector makes its
+        # devices suspect, so the owning worker's next frame evicts
+        # (resets) them -- the eviction counter is the evidence.
+        armed = [f for f in device_faults if f.evidence == "armed"]
+        fired = sum(inj.read_faults + inj.stored_faults
+                    for inj in injectors)
+        for i, fault in enumerate(armed):
+            if i < evictions_delta:
+                fault.attributed = True
+                fault.evidence = (
+                    f"worker {fault.worker} device evicted "
+                    f"({fired} bits corrupted across run)")
+        for fault in device_faults:
+            if fault.evidence == "":
+                # No devices existed yet when the client tried to arm
+                # it: nothing was injected, so nothing to attribute.
+                fault.attributed = True
+                fault.evidence = "skipped: no devices materialised"
+
+        # Per-session classification.
+        sessions_report = {}
+        unrecovered = []
+        for sid, client in clients.items():
+            ate_m = None
+            if client.results:
+                estimated = [r.pose for r in client.results]
+                groundtruth = [workload[sid].groundtruth[i]
+                               for i in client.tracked]
+                if len(estimated) == len(groundtruth) >= 3:
+                    ate_m = absolute_trajectory_error(
+                        estimated, groundtruth).rmse
+            bound_m = max(clean_ate[sid] * config.ate_inflation,
+                          config.ate_floor_m)
+            outcome, reason = _classify(client, ate_m, bound_m)
+            recovered_ctr.inc(outcome=outcome)
+            if outcome == "unrecovered":
+                unrecovered.append(sid)
+            session_faults = ([f for f in frame_faults
+                               if f.sid == sid] +
+                              [f for f in device_faults
+                               if f.sid == sid])
+            sessions_report[sid] = {
+                "sequence": workload[sid].name,
+                "frames": config.frames,
+                "tracked": len(client.results),
+                "dropped": client.dropped,
+                "stalls": client.stalls,
+                "errors": client.errors,
+                "backpressure_retries": client.backpressure_retries,
+                "final_health": (client.results[-1].health
+                                 if client.results else None),
+                "ate_m": ate_m,
+                "clean_ate_m": clean_ate[sid],
+                "bound_m": bound_m,
+                "outcome": outcome,
+                "reason": reason,
+                "faults": [f.to_dict() for f in session_faults],
+            }
+
+        unattributed = [f.to_dict() for f in frame_faults + device_faults
+                        if not f.attributed]
+        ok = (not unrecovered and not unattributed
+              and not control_mismatch)
+        report = {
+            "schema": "repro.verify.chaos/1",
+            "seed": config.seed,
+            "config": {
+                "sessions": config.sessions,
+                "frames": config.frames,
+                "scale": config.scale,
+                "workers": config.workers,
+                "frontend": config.frontend,
+                "device_detect": config.device_detect,
+                "frame_fault_rate": config.frame_fault_rate,
+                "device_faults": config.device_faults,
+                "read_flip_prob": config.read_flip_prob,
+                "ate_inflation": config.ate_inflation,
+                "ate_floor_m": config.ate_floor_m,
+            },
+            "ok": ok,
+            "wall_s": wall_s,
+            "faults_injected": len(frame_faults) + len(device_faults),
+            "device_evictions": evictions_delta,
+            "device_bits_corrupted": fired,
+            "unrecovered_sessions": unrecovered,
+            "unattributed_faults": unattributed,
+            "control_bit_identity": {
+                "phase": "pre-storm",
+                "sequence": workload["client-0"].name,
+                "ok": not control_mismatch,
+                "problems": control_mismatch,
+            },
+            "sessions": sessions_report,
+            "service": {
+                "health": final_stats["health"],
+                "retries_total": final_stats["pool"]["retries_total"],
+                "checkpoints_total":
+                    final_stats["sessions"]["checkpoints_total"],
+                "restores_total":
+                    final_stats["sessions"]["restores_total"],
+            },
+        }
+        return report
+
+
+def main(argv=None) -> int:
+    """``python -m repro.verify chaos``: run the storm, gate the SLO."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify chaos",
+        description="Seeded chaos storm against a live VOService")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=40)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--frontend", default="pim",
+                        choices=sorted(_FRONTENDS))
+    parser.add_argument("--no-device-detect", action="store_true",
+                        help="keep edge detection on the host")
+    parser.add_argument("--device-faults", type=int, default=2)
+    parser.add_argument("--out", default="chaos_report.json",
+                        help="where to write the recovery report")
+    args = parser.parse_args(argv)
+
+    config = ChaosConfig(seed=args.seed, sessions=args.sessions,
+                         frames=args.frames, scale=args.scale,
+                         workers=args.workers, frontend=args.frontend,
+                         device_detect=not args.no_device_detect,
+                         device_faults=args.device_faults)
+    report = run_chaos(config)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+
+    outcomes = {sid: s["outcome"]
+                for sid, s in report["sessions"].items()}
+    print(f"chaos: {report['faults_injected']} faults over "
+          f"{config.sessions} sessions x {config.frames} frames "
+          f"in {report['wall_s']:.1f}s; outcomes: {outcomes}")
+    print(f"device evictions: {report['device_evictions']}, "
+          f"worker retries: {report['service']['retries_total']}, "
+          f"checkpoint restores: "
+          f"{report['service']['restores_total']}")
+    print(f"report: {out}")
+    if not report["ok"]:
+        if report["unrecovered_sessions"]:
+            print(f"FAIL: unrecovered sessions: "
+                  f"{report['unrecovered_sessions']}", file=sys.stderr)
+        if report["unattributed_faults"]:
+            print(f"FAIL: {len(report['unattributed_faults'])} "
+                  f"injected faults unattributed", file=sys.stderr)
+        if not report["control_bit_identity"]["ok"]:
+            print(f"FAIL: control session diverged: "
+                  f"{report['control_bit_identity']['problems']}",
+                  file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,15 @@ Two interchangeable frontends carry the arithmetic:
 from repro.vo.config import TrackerConfig
 from repro.vo.features import FeatureSet, extract_features
 from repro.vo.frontend import FloatFrontend, KeyframeMaps, PIMFrontend
+from repro.vo.health import (
+    DEGRADED,
+    LOST,
+    OK,
+    CorruptFrameError,
+    FrameCheck,
+    divergence_signals,
+    validate_frame,
+)
 from repro.vo.lm import LMStats, lm_estimate
 from repro.vo.posegraph import PoseGraph, PoseGraphEdge
 from repro.vo.tracker import (
@@ -30,6 +39,13 @@ __all__ = [
     "TrackerConfig",
     "FeatureSet",
     "extract_features",
+    "OK",
+    "DEGRADED",
+    "LOST",
+    "CorruptFrameError",
+    "FrameCheck",
+    "validate_frame",
+    "divergence_signals",
     "FloatFrontend",
     "PIMFrontend",
     "KeyframeMaps",

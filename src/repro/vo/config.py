@@ -61,6 +61,24 @@ class TrackerConfig:
             fills a per-frame cycle ledger).  Off by default: the
             numpy mirror is faster when no device accounting is
             wanted.
+        validate_inputs: Reject/repair corrupted gray/depth frames
+            (:func:`repro.vo.health.validate_frame`) before they reach
+            the frontends.  Clean frames pass through untouched, so
+            this costs one finiteness scan and never changes fault-free
+            output.
+        health_max_error: Mean squared residual (px^2) above which a
+            solve is declared diverged -- far above the ~5 px^2
+            keyframe re-anchor trigger, so it only fires on garbage.
+        health_max_translation / health_max_rotation: Frame-to-frame
+            motion bounds (m / rad) of the pose-jump sanity check;
+            clean 30 fps motion is millimetres, so these catch only
+            solver blow-ups.
+        health_max_degraded: Consecutive degraded frames before the
+            tracker declares itself LOST and tries relocalization.
+        reloc_keyframes: How many recent keyframes to retain as
+            relocalization candidates when LOST.
+        reloc_max_error: Mean squared residual (px^2) under which a
+            relocalization attempt counts as a match.
     """
 
     camera: CameraIntrinsics = field(default_factory=lambda: TUM_QVGA)
@@ -82,6 +100,13 @@ class TrackerConfig:
     min_features: int = 60
     pyramid_levels: int = 1
     pim_device_detect: bool = False
+    validate_inputs: bool = True
+    health_max_error: float = 75.0
+    health_max_translation: float = 0.30
+    health_max_rotation: float = 0.30
+    health_max_degraded: int = 3
+    reloc_keyframes: int = 3
+    reloc_max_error: float = 8.0
 
     def scaled_for_level(self, level: int) -> "TrackerConfig":
         """Configuration for pyramid level ``level`` (half-res each)."""

@@ -32,8 +32,26 @@ from repro.vision.distance_transform import distance_transform, dt_gradient
 from repro.vision.edges import detect_edges_reference
 from repro.vo.config import TrackerConfig
 from repro.vo.features import FeatureSet
+from repro.vo.health import CorruptFrameError
 
 __all__ = ["KeyframeMaps", "FloatFrontend", "PIMFrontend"]
+
+
+def _check_frame(gray: np.ndarray) -> np.ndarray:
+    """Last line of defence: no non-finite frame reaches a kernel.
+
+    The tracker's input validation repairs or rejects corrupted frames
+    long before this point; anything non-finite arriving here means a
+    caller bypassed it, and failing fast beats silently loading NaN
+    bit patterns into the (simulated) PIM array.
+    """
+    gray = np.asarray(gray)
+    if not np.isfinite(gray).all():
+        raise CorruptFrameError(
+            "frame contains non-finite intensities; run "
+            "repro.vo.health.validate_frame or enable "
+            "TrackerConfig.validate_inputs")
+    return gray
 
 
 @dataclass
@@ -76,6 +94,7 @@ class FloatFrontend:
 
     def detect(self, gray: np.ndarray) -> np.ndarray:
         """Boolean edge map of a frame."""
+        gray = _check_frame(gray)
         return detect_edges_reference(gray, self.config.th1,
                                       self.config.th2)
 
@@ -171,8 +190,8 @@ class PIMFrontend:
         mask, per-stage cycles in :attr:`last_detect_cycles`);
         otherwise on the vectorized numpy mirror.
         """
+        gray = _check_frame(gray)
         if self.config.pim_device_detect:
-            gray = np.asarray(gray)
             device = self._detect_device(gray.shape)
             snap = device.ledger.snapshot()
             with obs_span("frontend_detect", device=device, category="vo",

@@ -33,6 +33,17 @@ class LMStats:
     final_error: float = np.inf
     valid_features: int = 0
     errors: List[float] = field(default_factory=list)
+    #: Damping escalations (rejected trial steps) across the solve --
+    #: a cheap conditioning signal: healthy solves reject a handful,
+    #: a solve fighting corrupted residuals rejects most attempts.
+    rejected_steps: int = 0
+
+    @property
+    def outcome(self) -> str:
+        """``"lost"``, ``"converged"`` or ``"maxiter"``."""
+        if self.lost:
+            return "lost"
+        return "converged" if self.converged else "maxiter"
 
 
 def _solve_step(h: np.ndarray, b: np.ndarray, lam: float,
@@ -69,9 +80,13 @@ def lm_estimate(frontend, feats, maps, init_pose: SE3,
         lm_span.set_attr("iterations", stats.iterations)
         lm_span.set_attr("converged", stats.converged)
         lm_span.set_attr("lost", stats.lost)
-    get_registry().histogram(
+    registry = get_registry()
+    registry.histogram(
         "lm_iterations", "LM iterations per solve").observe(
             stats.iterations)
+    registry.counter(
+        "lm_solves_total",
+        "LM solves by outcome").inc(outcome=stats.outcome)
     return pose, stats
 
 
@@ -108,6 +123,7 @@ def _lm_loop(frontend, feats, maps, init_pose: SE3,
                 stats.valid_features = new_n
                 break
             lam = min(lam * 4.0, 1e6)
+            stats.rejected_steps += 1
         if not accepted:
             stats.converged = True
             break

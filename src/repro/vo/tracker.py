@@ -4,12 +4,23 @@ Optionally tracks coarse-to-fine over an image pyramid
 (``config.pyramid_levels > 1``): the relative pose is first estimated
 at the coarsest level, then refined downward - the standard robustness
 extension for motions larger than the DT convergence basin.
+
+Tracking failure is a first-class state, not an exception: every frame
+moves an explicit health machine (``OK / DEGRADED / LOST``, see
+:mod:`repro.vo.health`).  Corrupted input is repaired or rejected
+before it reaches the frontends; a diverged solve (residual blow-up,
+feature collapse, pose jump) is replaced by the constant-velocity
+motion model; several consecutive degraded frames trigger
+relocalization against the recent keyframes.  On clean input none of
+the detectors fire and the trajectory is bit-identical to a tracker
+without the health machinery.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +30,14 @@ from repro.obs.tracer import span as obs_span
 from repro.vo.config import TrackerConfig
 from repro.vo.features import extract_features
 from repro.vo.frontend import FloatFrontend, KeyframeMaps
+from repro.vo.health import (
+    DEGRADED,
+    HEALTH_LEVELS,
+    LOST,
+    OK,
+    divergence_signals,
+    validate_frame,
+)
 from repro.vo.lm import LMStats, lm_estimate
 from repro.vo.pyramid import build_pyramid
 
@@ -34,6 +53,14 @@ class FrameResult:
     lm: Optional[LMStats]
     num_features: int
     timestamp: float = 0.0
+    #: Tracking health after this frame (``OK/DEGRADED/LOST``).
+    health: str = OK
+    #: What happened to this frame beyond plain tracking, e.g.
+    #: ``"repaired:gray-nonfinite"``, ``"signal:pose-jump"``,
+    #: ``"fallback:motion-model"``, ``"relocalized"``.  Empty on a
+    #: clean frame; the chaos harness attributes injected faults by
+    #: matching these.
+    events: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -56,16 +83,71 @@ class TrackerState:
     :attr:`EBVOTracker.state` between frames (see
     :mod:`repro.serve.session`); a state detached mid-stream and
     re-attached later resumes bit-identically.
+
+    Two snapshot granularities support the serving layer's fault
+    containment:
+
+    * :meth:`checkpoint` / :meth:`restore` -- deep, detached copies
+      for durable per-session checkpoints (survive any mutation of the
+      live state, used to resume from the last good keyframe).
+    * :meth:`restore_point` / :meth:`rollback` -- O(1) shallow marks
+      for in-place retry of a single frame (valid because ``process``
+      only ever *replaces* keyframes/poses and *appends* results,
+      never mutates them).
     """
 
     keyframe: Optional[Keyframe] = None
     last_rel: SE3 = field(default_factory=SE3.identity)  # cur -> keyframe
     results: List[FrameResult] = field(default_factory=list)
+    #: Tracking health (``OK/DEGRADED/LOST``).
+    health: str = OK
+    #: Consecutive degraded frames since the last clean one.
+    degraded_streak: int = 0
+    #: Last clean frame-to-frame world motion (constant-velocity model).
+    last_delta: SE3 = field(default_factory=SE3.identity)
+    #: Recent keyframes retained as relocalization candidates
+    #: (newest last; bounded by ``config.reloc_keyframes``).
+    recent_keyframes: List[Keyframe] = field(default_factory=list)
 
     @property
     def trajectory(self) -> List[SE3]:
         """Estimated camera-to-world poses, one per processed frame."""
         return [r.pose for r in self.results]
+
+    # -- snapshots -------------------------------------------------------
+
+    def checkpoint(self) -> "TrackerState":
+        """Deep, detached snapshot; safe to keep across any mutation."""
+        return copy.deepcopy(self)
+
+    def restore(self, snapshot: "TrackerState") -> "TrackerState":
+        """Load a :meth:`checkpoint` snapshot in place; returns self.
+
+        The snapshot itself stays untouched (fields are deep-copied
+        in), so one checkpoint can be restored any number of times.
+        """
+        other = copy.deepcopy(snapshot)
+        self.keyframe = other.keyframe
+        self.last_rel = other.last_rel
+        self.results = other.results
+        self.health = other.health
+        self.degraded_streak = other.degraded_streak
+        self.last_delta = other.last_delta
+        self.recent_keyframes = other.recent_keyframes
+        return self
+
+    def restore_point(self) -> tuple:
+        """O(1) mark for :meth:`rollback` after a failed frame."""
+        return (self.keyframe, self.last_rel, len(self.results),
+                self.health, self.degraded_streak, self.last_delta,
+                list(self.recent_keyframes))
+
+    def rollback(self, point: tuple) -> None:
+        """Undo every mutation since the matching :meth:`restore_point`."""
+        (self.keyframe, self.last_rel, n_results, self.health,
+         self.degraded_streak, self.last_delta, recent) = point
+        del self.results[n_results:]
+        self.recent_keyframes = list(recent)
 
 
 # Back-compat alias for the former private name.
@@ -115,6 +197,9 @@ class EBVOTracker:
             maps.append(frontend.prepare_keyframe(edges))
         self.state.keyframe = Keyframe(pose_world=pose_world, maps=maps)
         self.state.last_rel = SE3.identity()
+        self.state.recent_keyframes.append(self.state.keyframe)
+        keep = max(1, self.config.reloc_keyframes)
+        del self.state.recent_keyframes[:-keep]
 
     def _needs_keyframe(self, rel_pose: SE3, stats: LMStats,
                         n_features: int) -> bool:
@@ -155,6 +240,51 @@ class EBVOTracker:
                 pose = init  # coarse level unusable; retry finer
         return pose, stats
 
+    # -- health bookkeeping ----------------------------------------------
+
+    def _set_health(self, health: str) -> None:
+        state = self.state
+        if health != state.health:
+            get_registry().counter(
+                "vo_tracking_transitions_total",
+                "Tracking-health transitions").inc(
+                    src=state.health, dst=health)
+            state.health = health
+        get_registry().gauge(
+            "vo_tracking_state",
+            "Tracking health (0=OK, 1=DEGRADED, 2=LOST)").set(
+                HEALTH_LEVELS.index(health))
+
+    def _mark_degraded(self, reasons) -> str:
+        state = self.state
+        state.degraded_streak += 1
+        registry = get_registry()
+        for reason in reasons:
+            registry.counter(
+                "vo_frames_degraded_total",
+                "Frames degraded by divergence signal").inc(
+                    reason=reason)
+        lost = state.degraded_streak >= self.config.health_max_degraded
+        self._set_health(LOST if lost else DEGRADED)
+        return state.health
+
+    def _mark_healthy(self) -> None:
+        self.state.degraded_streak = 0
+        self._set_health(OK)
+
+    def _prev_world(self) -> Optional[SE3]:
+        results = self.state.results
+        return results[-1].pose if results else None
+
+    def _predicted_world(self) -> SE3:
+        """Constant-velocity prediction of this frame's world pose."""
+        prev = self._prev_world()
+        if prev is None:
+            return SE3.identity()
+        return prev @ self.state.last_delta
+
+    # -- the frame pipeline ----------------------------------------------
+
     def process(self, gray: np.ndarray, depth: np.ndarray,
                 timestamp: float = 0.0) -> FrameResult:
         """Track one RGB-D frame; returns its world pose estimate."""
@@ -174,9 +304,34 @@ class EBVOTracker:
                     result.num_features)
         return result
 
+    def _finish(self, result: FrameResult, frame_span) -> FrameResult:
+        frame_span.set_attr("is_keyframe", result.is_keyframe)
+        frame_span.set_attr("health", result.health)
+        if result.events:
+            frame_span.set_attr("events", list(result.events))
+        self.results.append(result)
+        return result
+
     def _process(self, gray: np.ndarray, depth: np.ndarray,
                  timestamp: float, frame_span) -> FrameResult:
         cfg = self.config
+        events: List[str] = []
+        if cfg.validate_inputs:
+            check = validate_frame(gray, depth)
+            registry = get_registry()
+            for event in check.events:
+                kind, _, reason = event.partition(":")
+                registry.counter(
+                    "vo_frames_repaired_total" if kind == "repaired"
+                    else "vo_frames_rejected_total",
+                    "Input frames repaired/rejected by validation, "
+                    "by reason").inc(reason=reason)
+            if not check.ok:
+                return self._rejected_input(timestamp, check.events,
+                                            frame_span)
+            gray, depth = check.gray, check.depth
+            events.extend(check.events)
+
         pyramid = build_pyramid(gray, depth, cfg.pyramid_levels)
         edge_map = self._frontends[0].detect(pyramid[0][0])
         features = extract_features(edge_map, pyramid[0][1],
@@ -185,12 +340,16 @@ class EBVOTracker:
 
         if self.state.keyframe is None:
             self._make_keyframe(pyramid, SE3.identity(), edge_map)
-            frame_span.set_attr("is_keyframe", True)
+            self._mark_healthy()
             result = FrameResult(pose=SE3.identity(), is_keyframe=True,
                                  lm=None, num_features=len(features),
-                                 timestamp=timestamp)
-            self.results.append(result)
-            return result
+                                 timestamp=timestamp, health=OK,
+                                 events=tuple(events))
+            return self._finish(result, frame_span)
+
+        if self.state.health == LOST:
+            return self._relocalize(pyramid, edge_map, features,
+                                    timestamp, events, frame_span)
 
         # Initialize from the last relative pose.  At 30 fps the
         # inter-frame motion is a few millimetres, well inside the LM
@@ -199,21 +358,144 @@ class EBVOTracker:
         # basin and corrupt the next keyframe).
         rel_pose, stats = self._estimate(pyramid, features,
                                          self.state.last_rel)
-        if stats.lost:
-            rel_pose = self.state.last_rel  # hold pose, re-anchor below
         pose_world = self.state.keyframe.pose_world @ rel_pose
+        signals = divergence_signals(stats, self._prev_world(),
+                                     pose_world, cfg)
 
-        is_keyframe = stats.lost or self._needs_keyframe(
-            rel_pose, stats, len(features))
+        if signals == ("feature-collapse",) and not events:
+            # The solver starved on an otherwise clean frame: hold the
+            # pose and re-anchor (the pre-health-machine recovery, kept
+            # bit-identical).  The health machine still records it.
+            rel_pose = self.state.last_rel
+            pose_world = self.state.keyframe.pose_world @ rel_pose
+            self._make_keyframe(pyramid, pose_world, edge_map)
+            health = self._mark_degraded(["feature-collapse"])
+            result = FrameResult(pose=pose_world, is_keyframe=True,
+                                 lm=stats, num_features=len(features),
+                                 timestamp=timestamp, health=health,
+                                 events=tuple(events) +
+                                 ("signal:feature-collapse",
+                                  "reanchored"))
+            return self._finish(result, frame_span)
+
+        if signals:
+            # Untrustworthy solve (or solver starvation on a repaired
+            # frame): discard it, coast on the motion model, and never
+            # anchor a keyframe on suspect data.
+            return self._motion_fallback(stats, len(features),
+                                         timestamp, events, signals,
+                                         frame_span)
+
+        prev_world = self._prev_world()
+        if prev_world is not None:
+            self.state.last_delta = prev_world.inverse() @ pose_world
+        self._mark_healthy()
+
+        is_keyframe = self._needs_keyframe(rel_pose, stats,
+                                           len(features))
         if is_keyframe:
             self._make_keyframe(pyramid, pose_world, edge_map)
         else:
             self.state.last_rel = rel_pose
 
-        frame_span.set_attr("is_keyframe", is_keyframe)
         frame_span.set_attr("num_features", len(features))
         result = FrameResult(pose=pose_world, is_keyframe=is_keyframe,
                              lm=stats, num_features=len(features),
-                             timestamp=timestamp)
-        self.results.append(result)
-        return result
+                             timestamp=timestamp, health=OK,
+                             events=tuple(events))
+        return self._finish(result, frame_span)
+
+    # -- recovery policies -----------------------------------------------
+
+    def _rejected_input(self, timestamp: float, events, frame_span
+                        ) -> FrameResult:
+        """The frame never reached a frontend: coast on the model."""
+        pose_world = self._predicted_world()
+        if self.state.keyframe is not None:
+            self.state.last_rel = \
+                self.state.keyframe.pose_world.inverse() @ pose_world
+        health = self._mark_degraded(["rejected-input"])
+        result = FrameResult(pose=pose_world, is_keyframe=False,
+                             lm=None, num_features=0,
+                             timestamp=timestamp, health=health,
+                             events=tuple(events) +
+                             ("fallback:motion-model",))
+        return self._finish(result, frame_span)
+
+    def _motion_fallback(self, stats, n_features: int, timestamp: float,
+                         events, signals, frame_span) -> FrameResult:
+        """Replace a diverged solve with the constant-velocity pose."""
+        pose_world = self._predicted_world()
+        self.state.last_rel = \
+            self.state.keyframe.pose_world.inverse() @ pose_world
+        health = self._mark_degraded(signals)
+        result = FrameResult(pose=pose_world, is_keyframe=False,
+                             lm=stats, num_features=n_features,
+                             timestamp=timestamp, health=health,
+                             events=tuple(events) +
+                             tuple(f"signal:{s}" for s in signals) +
+                             ("fallback:motion-model",))
+        return self._finish(result, frame_span)
+
+    def _relocalize(self, pyramid, edge_map, features, timestamp: float,
+                    events, frame_span) -> FrameResult:
+        """LOST: re-align against the recent keyframes, newest first.
+
+        The newest candidate is tried with the last relative pose (the
+        status-quo alignment); older ones with the held world pose
+        mapped into their frame.  A candidate matches when its solve
+        keeps enough features and lands under ``reloc_max_error``.
+        Failing every candidate, the tracker re-anchors a fresh
+        keyframe at the held pose -- tracking continues, permanently
+        offset at worst, instead of dying.
+        """
+        cfg = self.config
+        frontend = self._frontends[0]
+        feats = frontend.make_features(features)
+        held_world = self.state.keyframe.pose_world @ self.state.last_rel
+        registry = get_registry()
+        reloc_ctr = registry.counter(
+            "vo_relocalizations_total",
+            "Relocalization attempts while LOST, by outcome")
+
+        candidates = list(reversed(self.state.recent_keyframes))
+        for rank, kf in enumerate(candidates):
+            init = self.state.last_rel if rank == 0 else \
+                kf.pose_world.inverse() @ held_world
+            pose, stats = lm_estimate(frontend, feats, kf.maps[0],
+                                      init, cfg)
+            if stats.lost or stats.final_error > cfg.reloc_max_error:
+                continue
+            reloc_ctr.inc(outcome="matched")
+            self.state.keyframe = kf
+            pose_world = kf.pose_world @ pose
+            prev_world = self._prev_world()
+            if prev_world is not None:
+                self.state.last_delta = prev_world.inverse() @ pose_world
+            self.state.degraded_streak = 0
+            self._set_health(DEGRADED)  # one clean frame promotes to OK
+            is_keyframe = self._needs_keyframe(pose, stats,
+                                               len(features))
+            if is_keyframe:
+                self._make_keyframe(pyramid, pose_world, edge_map)
+            else:
+                self.state.last_rel = pose
+            result = FrameResult(
+                pose=pose_world, is_keyframe=is_keyframe, lm=stats,
+                num_features=len(features), timestamp=timestamp,
+                health=DEGRADED,
+                events=tuple(events) + (f"relocalized:rank{rank}",))
+            return self._finish(result, frame_span)
+
+        # No candidate matched: re-anchor at the held pose and keep
+        # going (the legacy lost recovery).
+        reloc_ctr.inc(outcome="reanchored")
+        self._make_keyframe(pyramid, held_world, edge_map)
+        self.state.degraded_streak = 0
+        self._set_health(DEGRADED)
+        result = FrameResult(pose=held_world, is_keyframe=True,
+                             lm=None, num_features=len(features),
+                             timestamp=timestamp, health=DEGRADED,
+                             events=tuple(events) +
+                             ("reloc-failed", "reanchored"))
+        return self._finish(result, frame_span)

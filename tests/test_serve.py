@@ -1,13 +1,20 @@
 """Tests for the multi-session serving layer (repro.serve)."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.dataset import make_sequence
 from repro.geometry.camera import TUM_QVGA
+from repro.geometry.se3 import SE3
 from repro.obs.metrics import get_registry
 from repro.serve import (
     Backpressure,
+    CircuitBreaker,
+    DeadlineExceeded,
+    DevicePool,
     FifoScheduler,
     SessionManager,
     VOService,
@@ -19,8 +26,26 @@ from repro.serve import (
     trajectories_match,
 )
 from repro.vo import EBVOTracker, PIMFrontend, TrackerConfig
+from repro.vo.tracker import FrameResult, TrackerState
 
 TINY_CAMERA = TUM_QVGA.scaled(0.25)  # 80x60: fast but real tracking
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_pool_threads():
+    """Every test must stop the worker threads it started."""
+    before = {t.ident for t in threading.enumerate()}
+    yield
+    leaked = []
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate()
+                  if t.ident not in before and t.is_alive()
+                  and t.name.startswith("pim-pool")]
+        if not leaked:
+            break
+        time.sleep(0.02)
+    assert not leaked, f"leaked worker threads: {leaked}"
 
 
 class FakeClock:
@@ -267,6 +292,234 @@ class TestService:
         plain = VOService(workers=1, frontend="pim",
                           config=TrackerConfig(camera=TINY_CAMERA))
         assert plain._batch_key(shape) is None
+
+
+class FlakyTracker:
+    """A scriptable tracker: fails the attempts listed in ``failures``.
+
+    ``failures`` maps global attempt number (0-based, counted across
+    every ``process`` call) to an exception to raise.  Successful
+    calls append a minimal :class:`FrameResult`; every third frame is
+    a "keyframe" so checkpointing has something to snapshot.
+    """
+
+    _frontends = ()  # no devices
+    frontend = None
+
+    def __init__(self, failures=None):
+        self.state = TrackerState()
+        self.failures = failures or {}
+        self.attempts = 0
+
+    def process(self, gray, depth, timestamp=0.0):
+        attempt = self.attempts
+        self.attempts += 1
+        if attempt in self.failures:
+            raise self.failures[attempt]
+        index = len(self.state.results)
+        result = FrameResult(pose=SE3.identity(),
+                             is_keyframe=index % 3 == 0,
+                             lm=None, num_features=10,
+                             timestamp=timestamp)
+        self.state.results.append(result)
+        return result
+
+
+def _flaky_pool(failures, workers=1, max_retries=1,
+                breaker_threshold=3):
+    scheduler = FifoScheduler(max_queue=16, workers=workers)
+    sessions = SessionManager()
+    holder = []
+
+    def factory():
+        tracker = FlakyTracker(failures)
+        holder.append(tracker)
+        return tracker
+
+    pool = DevicePool(workers, scheduler, sessions, factory,
+                      max_retries=max_retries, retry_backoff_s=0.0,
+                      breaker_threshold=breaker_threshold,
+                      breaker_cooldown_s=0.05)
+    return scheduler, sessions, pool, holder
+
+
+def _submit(scheduler, sid, seq):
+    item = WorkItem(session=sid, seq=seq, batch_key=None,
+                    payload=(None, None, 0.0))
+    scheduler.submit(item)
+    return item.future
+
+
+class TestResilience:
+    def test_worker_retry_recovers_transient_failure(self):
+        # Attempt 1 (frame 1's first try) fails; the retry succeeds.
+        scheduler, sessions, pool, _ = _flaky_pool(
+            {1: RuntimeError("transient device error")})
+        pool.start()
+        try:
+            first = _submit(scheduler, "a", 0).result(5)
+            second = _submit(scheduler, "a", 1).result(5)
+        finally:
+            pool.stop()
+        assert first.retries == 0
+        assert second.retries == 1
+        assert second.frame_index == 1  # rollback kept indices sane
+        assert pool.stats()["per_worker"][0]["breaker"][
+            "faults_total"] >= 1
+
+    def test_terminal_failure_restores_checkpoint(self):
+        # Frame 0 is a keyframe (checkpointed).  Frame 1 fails both
+        # attempts (attempts 1 and 2) -> checkpoint restore; frame 2
+        # then resumes from the restored state.
+        err = RuntimeError("persistent fault")
+        scheduler, sessions, pool, holder = _flaky_pool(
+            {1: err, 2: err})
+        pool.start()
+        try:
+            _submit(scheduler, "a", 0).result(5)
+            with pytest.raises(RuntimeError):
+                _submit(scheduler, "a", 1).result(5)
+            resumed = _submit(scheduler, "a", 2).result(5)
+        finally:
+            pool.stop()
+        # The resumed frame continued from the checkpoint (1 result
+        # at restore time), not from a poisoned or cold state.
+        assert resumed.frame_index == 1
+        assert sessions.stats()["restores_total"] >= 1
+        assert sessions.stats()["checkpoints_total"] >= 1
+
+    def test_circuit_breaker_state_machine(self):
+        clock = FakeClock()
+        transitions = []
+        breaker = CircuitBreaker(threshold=2, cooldown_s=1.0,
+                                 clock=clock,
+                                 on_transition=lambda a, b:
+                                 transitions.append((a, b)))
+        assert breaker.allow()
+        breaker.record_fault()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_fault()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.advance(1.1)
+        assert breaker.allow()  # half-open probe admitted
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_fault()  # probe failed: straight back open
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_clean()  # probe succeeded: closed again
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.trips_total == 2
+        assert transitions[0] == (CircuitBreaker.CLOSED,
+                                  CircuitBreaker.OPEN)
+
+    def test_breaker_trips_worker_and_recovers(self):
+        # Single worker, retries disabled: three straight failures
+        # trip the breaker; after cooldown it half-opens and a clean
+        # frame closes it again.
+        err = RuntimeError("storm")
+        scheduler, sessions, pool, _ = _flaky_pool(
+            {0: err, 1: err, 2: err}, max_retries=0,
+            breaker_threshold=3)
+        worker = pool.workers[0]
+        pool.start()
+        try:
+            for seq in range(3):
+                with pytest.raises(RuntimeError):
+                    _submit(scheduler, "a", seq).result(5)
+            assert worker.breaker.state == CircuitBreaker.OPEN
+            # Cooldown (0.05s) passes; the next frame is the
+            # half-open probe and succeeds.
+            result = _submit(scheduler, "a", 3).result(5)
+            assert result.frame_index == 0
+            assert worker.breaker.state == CircuitBreaker.CLOSED
+        finally:
+            pool.stop()
+        assert pool.stats()["per_worker"][0]["breaker"][
+            "trips_total"] >= 1
+
+    def test_deadline_expires_queued_item(self):
+        clock = FakeClock()
+        sched = FifoScheduler(max_queue=8, clock=clock)
+        fresh = WorkItem(session="a", seq=0, batch_key=None,
+                         payload=None)
+        stale = WorkItem(session="b", seq=0, batch_key=None,
+                         payload=None, deadline=clock.now + 5.0)
+        sched.submit(fresh)
+        sched.submit(stale)
+        clock.advance(10.0)
+        (item,) = sched.next_batch(timeout=0)
+        assert item is fresh  # the undeadlined item still dispatches
+        with pytest.raises(DeadlineExceeded) as exc:
+            stale.future.result(0)
+        assert exc.value.session == "b"
+        assert exc.value.overdue_s == pytest.approx(5.0)
+        assert sched.stats()["expired_total"] >= 1
+        sched.done(item)
+
+    def test_service_submit_deadline_plumbs_through(self):
+        config = TrackerConfig(camera=TINY_CAMERA)
+        sequence = make_sequence("fr1_xyz", n_frames=1,
+                                 camera=TINY_CAMERA)
+        with VOService(workers=1, frontend="float",
+                       config=config) as service:
+            result = service.submit("a", sequence.frames[0].gray,
+                                    sequence.frames[0].depth,
+                                    deadline_s=30.0)
+        assert result.frame_index == 0
+
+    def test_drain_rate_drives_retry_hint(self):
+        clock = FakeClock()
+        sched = FifoScheduler(max_queue=8, workers=1, clock=clock)
+        assert sched.stats()["drain_ema_s"] is None
+        for seq in range(3):
+            sched.submit(_item("a", seq))
+            (item,) = sched.next_batch(timeout=0)
+            clock.advance(0.2)  # each frame takes 0.2s of clock
+            sched.done(item)
+        stats = sched.stats()
+        assert stats["drain_ema_s"] == pytest.approx(0.2)
+        assert stats["drain_rate_per_s"] == pytest.approx(5.0)
+        assert stats["retry_after_s"] == pytest.approx(0.2)
+        # The hint rides on Backpressure rejections too.
+        for seq in range(8):
+            sched.submit(_item("b", seq))
+        with pytest.raises(Backpressure) as exc:
+            sched.submit(_item("c", 0))
+        assert exc.value.retry_after_s == pytest.approx(0.2)
+
+    def test_close_is_idempotent_and_fails_pending(self):
+        service = VOService(workers=1, frontend="float",
+                            config=TrackerConfig(camera=TINY_CAMERA))
+        service.start()
+        # Trap a frame in the queue with no worker able to run it:
+        # close() must fail its future rather than leave it hanging.
+        item = WorkItem(session="z", seq=1, batch_key=None,
+                        payload=(None, None, 0.0))
+        service.pool.stop()
+        service.scheduler.submit(item)
+        service.close()
+        service.close()  # second close is a no-op, not an error
+        with pytest.raises(RuntimeError, match="service closed"):
+            item.future.result(0)
+
+    def test_close_without_start_is_safe(self):
+        service = VOService(workers=1, frontend="float",
+                            config=TrackerConfig(camera=TINY_CAMERA))
+        service.close()
+        service.close()
+
+    def test_stats_health_section(self):
+        config = TrackerConfig(camera=TINY_CAMERA)
+        with VOService(workers=2, frontend="float",
+                       config=config) as service:
+            assert service.healthy()
+            health = service.stats()["health"]
+            assert health["breakers_open"] == 0
+            assert set(health["breakers"].values()) == {"closed"}
+            assert health["queue_saturation"] == 0.0
+        assert not service.healthy()  # closed service is unhealthy
 
 
 class TestLoadgenHelpers:

@@ -1,0 +1,135 @@
+"""Tests for the chaos harness (repro.verify.chaos)."""
+
+import numpy as np
+
+from repro.dataset.synthetic import Frame, FrameCorruptor
+from repro.verify.chaos import (
+    ChaosConfig,
+    build_fault_storm,
+    main,
+    run_chaos,
+)
+from repro.verify.chaos import _ChaosClient, _classify
+
+
+def _frame():
+    return Frame(gray=np.full((20, 30), 100.0),
+                 depth=np.full((20, 30), 2.0), timestamp=0.5)
+
+
+class TestFrameCorruptor:
+    def test_same_seed_is_bit_identical(self):
+        a = FrameCorruptor(seed=42).bitrot(_frame())
+        b = FrameCorruptor(seed=42).bitrot(_frame())
+        assert np.array_equal(a.gray, b.gray, equal_nan=True)
+        c = FrameCorruptor(seed=43).bitrot(_frame())
+        assert not np.array_equal(a.gray, c.gray, equal_nan=True)
+
+    def test_bitrot_is_detectable(self):
+        rotten = FrameCorruptor(seed=0).bitrot(_frame(), fraction=0.05)
+        bad = ~np.isfinite(rotten.gray) | (rotten.gray < 0) | \
+            (rotten.gray > 255)
+        assert bad.any()
+        # The source frame is untouched (depth shared, gray copied).
+        assert np.isfinite(_frame().gray).all()
+
+    def test_depth_holes_are_invalid_depth(self):
+        holed = FrameCorruptor(seed=1).depth_holes(_frame(),
+                                                   num_holes=3)
+        invalid = ~np.isfinite(holed.depth) | (holed.depth <= 0)
+        assert invalid.any()
+        assert np.isfinite(holed.gray).all()  # gray untouched
+
+    def test_unknown_kind_rejected(self):
+        try:
+            FrameCorruptor(seed=0).corrupt(_frame(), "gamma-rays")
+        except ValueError as exc:
+            assert "gamma-rays" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestFaultStorm:
+    def test_storm_is_deterministic_and_spares_control(self):
+        config = ChaosConfig(seed=5, sessions=4, frames=40)
+        first_f, first_d = build_fault_storm(config)
+        second_f, second_d = build_fault_storm(config)
+        assert [(f.sid, f.frame, f.kind) for f in first_f] == \
+            [(f.sid, f.frame, f.kind) for f in second_f]
+        assert [(f.sid, f.frame, f.worker) for f in first_d] == \
+            [(f.sid, f.frame, f.worker) for f in second_d]
+        # Session 0 is the fault-free control.
+        assert all(f.sid != "client-0" for f in first_f + first_d)
+        # Every other session sees at least one frame fault.
+        assert {f.sid for f in first_f} == \
+            {f"client-{i}" for i in range(1, 4)}
+        # Faults never land on the anchor frames.
+        assert min(f.frame for f in first_f + first_d) >= 2
+
+    def test_different_seeds_differ(self):
+        a, _ = build_fault_storm(ChaosConfig(seed=0))
+        b, _ = build_fault_storm(ChaosConfig(seed=1))
+        assert [(f.sid, f.frame) for f in a] != \
+            [(f.sid, f.frame) for f in b]
+
+
+class TestClassification:
+    def test_terminal_error_without_recovery_is_unrecovered(self):
+        client = _ChaosClient(sid="s")
+        client.results = [object()]
+        client.last_error_frame = 9
+        client.last_ok_frame = 5
+        outcome, _ = _classify(client, ate_m=0.01, bound_m=0.05)
+        assert outcome == "unrecovered"
+
+    def test_ate_blowup_is_unrecovered(self):
+        class R:
+            health = "OK"
+            events = ()
+        client = _ChaosClient(sid="s")
+        client.results = [R()]
+        client.last_ok_frame = 9
+        outcome, reason = _classify(client, ate_m=1.0, bound_m=0.05)
+        assert outcome == "unrecovered"
+        assert "ATE" in reason
+
+    def test_healthy_finish_with_faults_is_recovered(self):
+        class R:
+            health = "OK"
+            events = ("repaired:gray-nonfinite",)
+        client = _ChaosClient(sid="s")
+        client.results = [R()]
+        client.last_ok_frame = 9
+        client.dropped = 1
+        outcome, reason = _classify(client, ate_m=0.01, bound_m=0.05)
+        assert outcome == "recovered"
+        assert "came back" in reason
+
+
+class TestChaosRun:
+    def test_small_storm_meets_slo(self):
+        # Host-side detect keeps this a fast smoke; the CI job runs
+        # the full device-detect storm.
+        config = ChaosConfig(seed=0, sessions=2, frames=10,
+                             workers=2, device_detect=False,
+                             device_faults=0, stall_s=0.01)
+        report = run_chaos(config)
+        assert report["schema"] == "repro.verify.chaos/1"
+        assert report["ok"], (report["unrecovered_sessions"],
+                              report["unattributed_faults"],
+                              report["control_bit_identity"])
+        assert report["control_bit_identity"]["ok"]
+        assert report["sessions"]["client-0"]["outcome"] == "recovered"
+        assert report["faults_injected"] > 0
+        faults = [f for s in report["sessions"].values()
+                  for f in s["faults"]]
+        assert faults and all(f["attributed"] for f in faults)
+
+    def test_cli_writes_report_and_exits_zero(self, tmp_path):
+        out = tmp_path / "chaos.json"
+        code = main(["--seed", "0", "--sessions", "2", "--frames",
+                     "8", "--workers", "1", "--frontend", "float",
+                     "--no-device-detect", "--device-faults", "0",
+                     "--out", str(out)])
+        assert code == 0
+        assert out.exists()

@@ -1,4 +1,6 @@
-"""Robustness tests: Huber weighting and corrupted-input tracking."""
+"""Robustness tests: Huber weighting, corrupted-input tracking, and
+the tracking-health state machine (validation, fallback, relocalize,
+checkpoint/restore)."""
 
 import numpy as np
 import pytest
@@ -6,12 +8,17 @@ import pytest
 from repro.dataset.synthetic import make_room_scene, render_frame
 from repro.geometry import SE3, TUM_QVGA, se3_exp
 from repro.vo import (
+    DEGRADED,
+    LOST,
+    OK,
+    CorruptFrameError,
     EBVOTracker,
     FloatFrontend,
     PIMFrontend,
     TrackerConfig,
     extract_features,
     lm_estimate,
+    validate_frame,
 )
 
 CAM = TUM_QVGA.scaled(0.5)
@@ -108,3 +115,171 @@ class TestCorruptedInputTracking:
             tracker.trajectory[-1]
         t_err, _ = est_rel.distance_to(gt_rel)
         assert t_err < 0.04
+
+
+def _walk_frames(scene, n, step=0.004):
+    """Render a short smooth forward walk."""
+    frames = []
+    for i in range(n):
+        pw = se3_exp(np.array([step * i, -step * i / 2, step * i,
+                               0.001 * i, 0, 0]))
+        frames.append((pw, render_frame(scene, pw, CAM,
+                                        timestamp=i / 30)))
+    return frames
+
+
+class TestValidateFrame:
+    def test_clean_frame_passes_untouched(self):
+        gray = np.full((4, 4), 100.0)
+        depth = np.full((4, 4), 2.0)
+        check = validate_frame(gray, depth)
+        assert check.ok and not check.repaired
+        assert check.gray is gray and check.depth is depth
+
+    def test_nonfinite_gray_repaired(self):
+        gray = np.full((4, 4), 100.0)
+        gray[1, 2] = np.nan
+        check = validate_frame(gray, np.full((4, 4), 2.0))
+        assert check.ok and check.repaired
+        assert "repaired:gray-nonfinite" in check.events
+        assert np.isfinite(check.gray).all()
+
+    def test_out_of_range_gray_clipped(self):
+        gray = np.full((4, 4), 100.0)
+        gray[0, 0] = 1e4
+        check = validate_frame(gray, np.full((4, 4), 2.0))
+        assert check.ok
+        assert "repaired:gray-range" in check.events
+        assert check.gray.max() <= 255.0
+
+    def test_invalid_depth_repaired_to_inf(self):
+        depth = np.full((4, 4), 2.0)
+        depth[0, 0] = np.nan
+        depth[1, 1] = -1.0
+        depth[2, 2] = 0.0
+        check = validate_frame(np.full((4, 4), 100.0), depth)
+        assert check.ok
+        assert "repaired:depth-invalid" in check.events
+        assert np.isinf(check.depth[0, 0])
+        assert np.isinf(check.depth[1, 1])
+
+    def test_hopeless_frames_rejected(self):
+        gray = np.full((4, 4), np.nan)
+        check = validate_frame(gray, np.full((4, 4), 2.0))
+        assert not check.ok
+        assert any(e.startswith("rejected:") for e in check.events)
+        shape = validate_frame(np.zeros((4, 4)), np.ones((5, 5)))
+        assert not shape.ok
+
+    def test_frontend_refuses_corrupt_input(self):
+        cfg = TrackerConfig(camera=CAM)
+        bad = np.full((CAM.height, CAM.width), np.nan)
+        for frontend in (FloatFrontend(cfg), PIMFrontend(cfg)):
+            with pytest.raises(CorruptFrameError):
+                frontend.detect(bad)
+
+
+class TestHealthStateMachine:
+    def test_keyframe_fallback_on_lm_nonconvergence(self):
+        """A starved solve holds the pose and re-anchors (legacy)."""
+        scene = make_room_scene()
+        cfg = TrackerConfig(camera=CAM, max_features=2000)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        frames = _walk_frames(scene, 3)
+        for _, fr in frames:
+            good = tracker.process(fr.gray, fr.depth, fr.timestamp)
+        assert good.health == OK
+        held_pose = good.pose
+        # A featureless frame starves the solver (LM non-convergence
+        # via feature collapse): the tracker must hold the pose and
+        # re-anchor a keyframe rather than emit garbage.
+        flat = np.full((CAM.height, CAM.width), 128.0)
+        result = tracker.process(flat, frames[-1][1].depth, 0.2)
+        assert result.is_keyframe
+        assert result.health == DEGRADED
+        assert "reanchored" in result.events
+        assert np.array_equal(result.pose.R, held_pose.R)
+        assert np.array_equal(result.pose.t, held_pose.t)
+
+    def test_divergence_triggers_motion_fallback(self):
+        scene = make_room_scene()
+        cfg = TrackerConfig(camera=CAM, max_features=2000,
+                            health_max_translation=0.02,
+                            health_max_rotation=0.02)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        frames = _walk_frames(scene, 3)
+        for _, fr in frames:
+            tracker.process(fr.gray, fr.depth, fr.timestamp)
+        # A teleport far beyond the pose-jump bound: the solve (or
+        # its divergence) must be discarded for the motion model.
+        jump = render_frame(scene, se3_exp(np.array(
+            [0.4, 0.3, -0.2, 0.1, 0.1, 0])), CAM)
+        result = tracker.process(jump.gray, jump.depth, 0.2)
+        assert result.health == DEGRADED
+        assert "fallback:motion-model" in result.events
+        assert not result.is_keyframe
+        assert tracker.state.degraded_streak == 1
+
+    def test_streak_goes_lost_then_relocalizes(self):
+        scene = make_room_scene()
+        cfg = TrackerConfig(camera=CAM, max_features=2000,
+                            health_max_translation=0.02,
+                            health_max_rotation=0.02,
+                            health_max_degraded=2)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        frames = _walk_frames(scene, 3)
+        for _, fr in frames:
+            tracker.process(fr.gray, fr.depth, fr.timestamp)
+        jump = render_frame(scene, se3_exp(np.array(
+            [0.5, 0.4, -0.3, 0.12, 0.1, 0])), CAM)
+        tracker.process(jump.gray, jump.depth, 0.2)
+        tracker.process(jump.gray, jump.depth, 0.23)
+        assert tracker.state.health == LOST
+        # Content near the last good view: relocalization re-aligns
+        # against a recent keyframe and resumes DEGRADED.
+        back = frames[-1][1]
+        result = tracker.process(back.gray, back.depth, 0.3)
+        assert result.health == DEGRADED
+        assert any(e.startswith("relocalized:") or e == "reanchored"
+                   for e in result.events)
+        # One clean frame then promotes back to OK.
+        clean = tracker.process(back.gray, back.depth, 0.33)
+        assert clean.health == OK
+
+
+class TestCheckpointRestore:
+    def test_deep_checkpoint_round_trip_bit_identical(self):
+        scene = make_room_scene()
+        cfg = TrackerConfig(camera=CAM, max_features=2000)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        frames = _walk_frames(scene, 6)
+        for _, fr in frames[:3]:
+            tracker.process(fr.gray, fr.depth, fr.timestamp)
+        snapshot = tracker.state.checkpoint()
+        first = [tracker.process(fr.gray, fr.depth, fr.timestamp)
+                 for _, fr in frames[3:]]
+        # Mutating on after the snapshot must not have leaked into it.
+        tracker.state.restore(snapshot)
+        assert len(tracker.state.results) == 3
+        second = [tracker.process(fr.gray, fr.depth, fr.timestamp)
+                  for _, fr in frames[3:]]
+        for a, b in zip(first, second):
+            assert np.array_equal(a.pose.R, b.pose.R)
+            assert np.array_equal(a.pose.t, b.pose.t)
+            assert a.is_keyframe == b.is_keyframe
+
+    def test_restore_point_rollback_replays_identically(self):
+        scene = make_room_scene()
+        cfg = TrackerConfig(camera=CAM, max_features=2000)
+        tracker = EBVOTracker(FloatFrontend(cfg), cfg)
+        frames = _walk_frames(scene, 4)
+        for _, fr in frames[:3]:
+            tracker.process(fr.gray, fr.depth, fr.timestamp)
+        point = tracker.state.restore_point()
+        _, last = frames[3]
+        first = tracker.process(last.gray, last.depth, last.timestamp)
+        tracker.state.rollback(point)
+        assert len(tracker.state.results) == 3
+        again = tracker.process(last.gray, last.depth, last.timestamp)
+        assert np.array_equal(first.pose.R, again.pose.R)
+        assert np.array_equal(first.pose.t, again.pose.t)

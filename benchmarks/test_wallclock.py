@@ -1,11 +1,12 @@
 """Wall-clock speedup of compiled-program replay (simulator speed).
 
-Asserts the headline acceptance criterion of the capture/replay layer:
+Asserts the headline acceptance criteria of the capture/replay layer:
 the batched executor runs the QVGA LPF -> HPF -> NMS chain at least 5x
-faster than eagerly replaying the same programs row by row, with
-bit-identical SRAM contents and identical ledger totals.  Results are
-archived under ``benchmarks/results/`` and written to the repo-root
-``BENCH_pim.json``.
+faster than eagerly replaying the same programs row by row, and the
+compiled lowering backend at least 2x faster than the batched
+executor, with bit-identical SRAM contents and identical ledger totals
+on every path.  Results are archived under ``benchmarks/results/`` and
+written to the repo-root ``BENCH_pim.json``.
 """
 
 import json
@@ -25,6 +26,16 @@ def test_wallclock_replay_speedup(record_report):
     assert warp["ledger_identical"]
     assert edge["speedup"] >= 5.0, (
         f"batched replay only {edge['speedup']}x faster than eager")
+
+    # Compiled backend: same bits, same ledger, >= 2x over batched.
+    assert edge["compiled_mask_bit_identical"]
+    assert edge["compiled_sram_bit_identical"]
+    assert edge["compiled_ledger_identical"]
+    assert warp["compiled_ledger_identical"]
+    assert warp["compiled_sram_bit_identical"]
+    assert edge["compiled_speedup_vs_batched"] >= 2.0, (
+        f"compiled replay only {edge['compiled_speedup_vs_batched']}x "
+        f"faster than batched")
 
     path = write_results(results)
     record_report("wallclock_replay", json.dumps(results, indent=2))

@@ -1,15 +1,21 @@
-"""Wall-clock benchmark: compiled-program replay vs eager execution.
+"""Wall-clock benchmark: replay execution backends vs eager execution.
 
 This measures *simulator* speed, not modelled device cycles: how much
 faster the Python simulator runs the QVGA LPF -> HPF -> NMS chain (and
 the warp kernel) when each per-row program is executed as row-batched
-2-D numpy operations with O(1) ledger accounting, compared to replaying
-the same programs one micro-op at a time.  Both paths are exercised on
-the *same* recorded programs, so the parity checks (bit-identical
-memory, identical ledger totals) are part of the benchmark contract.
+2-D numpy operations with O(1) ledger accounting -- and faster still
+through the compiled lowering backend (:mod:`repro.pim.lowering`) --
+compared to replaying the same programs one micro-op at a time.  All
+paths are exercised on the *same* recorded programs, so the parity
+checks (bit-identical memory, identical ledger totals) are part of the
+benchmark contract.
+
+Results are stamped with the git revision and backend versions
+(numpy, numba when importable) so BENCH_pim.json stays attributable
+across the PR sequence.
 
 The harness is shared by ``benchmarks/test_wallclock.py`` (asserts the
-speedup and parity) and ``benchmarks/run_wallclock.py`` (writes
+speedups and parity) and ``benchmarks/run_wallclock.py`` (writes
 ``BENCH_pim.json`` at the repository root).
 """
 
@@ -17,10 +23,11 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -36,6 +43,7 @@ from repro.kernels.warp import (
     warp_pim_batched,
 )
 from repro.pim import PIMDevice
+from repro.pim.lowering import NUMBA_VERSION
 
 __all__ = ["run_wallclock", "write_results", "BENCH_FILENAME"]
 
@@ -74,23 +82,36 @@ def _bench_edge_pipeline(image: np.ndarray, repeats: int) -> Dict:
         lambda: detect_edges_replay(PIMDevice(), image, th1, th2,
                                     mode="batched"),
         repeats)
+    compiled_s = _best_of(
+        lambda: detect_edges_replay(PIMDevice(), image, th1, th2,
+                                    mode="compiled"),
+        repeats)
 
-    dev_e, dev_b = PIMDevice(), PIMDevice()
+    dev_e, dev_b, dev_c = PIMDevice(), PIMDevice(), PIMDevice()
     res_e = detect_edges_replay(dev_e, image, th1, th2, mode="eager")
     res_b = detect_edges_replay(dev_b, image, th1, th2, mode="batched")
+    res_c = detect_edges_replay(dev_c, image, th1, th2, mode="compiled")
     fast = detect_edges_fast(image, th1, th2)
     return {
         "stages": ["lpf", "hpf", "nms"],
         "image_shape": list(image.shape),
         "eager_ms": round(eager_s * 1e3, 3),
         "replay_ms": round(replay_s * 1e3, 3),
+        "compiled_ms": round(compiled_s * 1e3, 3),
         "speedup": round(eager_s / replay_s, 2),
+        "compiled_speedup_vs_batched": round(replay_s / compiled_s, 2),
         "mask_bit_identical": bool(
             np.array_equal(res_e.edge_map, res_b.edge_map)),
+        "compiled_mask_bit_identical": bool(
+            np.array_equal(res_e.edge_map, res_c.edge_map)),
         "matches_vectorized_reference": bool(
             np.array_equal(res_b.edge_map, fast.edge_map)),
         "sram_bit_identical": bool(np.array_equal(dev_e._mem, dev_b._mem)),
+        "compiled_sram_bit_identical": bool(
+            np.array_equal(dev_e._mem, dev_c._mem)),
         "ledger_identical": _ledgers_equal(dev_e.ledger, dev_b.ledger),
+        "compiled_ledger_identical": _ledgers_equal(dev_e.ledger,
+                                                    dev_c.ledger),
         "replay_cycles": dict(res_b.cycles),
     }
 
@@ -118,18 +139,30 @@ def _bench_warp(num_features: int, repeats: int) -> Dict:
 
     def batched() -> PIMDevice:
         device = PIMDevice()
-        warp_pim_batched(device, qpose, feats, camera)
+        warp_pim_batched(device, qpose, feats, camera, mode="batched")
+        return device
+
+    def compiled() -> PIMDevice:
+        device = PIMDevice()
+        warp_pim_batched(device, qpose, feats, camera, mode="compiled")
         return device
 
     eager_s = _best_of(eager, max(1, repeats // 2))
     batched_s = _best_of(batched, repeats)
-    dev_e, dev_b = eager(), batched()
+    compiled_s = _best_of(compiled, repeats)
+    dev_e, dev_b, dev_c = eager(), batched(), compiled()
     return {
         "features": num_features,
         "eager_ms": round(eager_s * 1e3, 3),
         "batched_ms": round(batched_s * 1e3, 3),
+        "compiled_ms": round(compiled_s * 1e3, 3),
         "speedup": round(eager_s / batched_s, 2),
+        "compiled_speedup_vs_batched": round(batched_s / compiled_s, 2),
         "ledger_identical": _ledgers_equal(dev_e.ledger, dev_b.ledger),
+        "compiled_ledger_identical": _ledgers_equal(dev_e.ledger,
+                                                    dev_c.ledger),
+        "compiled_sram_bit_identical": bool(
+            np.array_equal(dev_b._mem, dev_c._mem)),
     }
 
 
@@ -147,13 +180,28 @@ def run_wallclock(repeats: int = 5, image_shape=(240, 320),
     return {
         "benchmark": "pim-program-replay-wallclock",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_sha": _git_sha(),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
+        "numba": NUMBA_VERSION,
         "machine": platform.machine(),
         "repeats": repeats,
         "edge_pipeline": _bench_edge_pipeline(image, repeats),
         "warp": _bench_warp(num_features, repeats),
     }
+
+
+def _git_sha() -> Optional[str]:
+    """Current repository revision, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha or None
 
 
 def write_results(results: Dict, path=None) -> Path:

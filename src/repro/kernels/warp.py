@@ -320,7 +320,8 @@ def warp_program(qpose: QuantizedPose, fraction_bits: int,
 
 def warp_pim_batched(device, qpose: QuantizedPose,
                      feats: QuantizedFeatures, camera: CameraIntrinsics,
-                     base_row: int = 0) -> WarpResult:
+                     base_row: int = 0,
+                     mode: str = "auto") -> WarpResult:
     """Warp an arbitrary-size feature set through one program replay.
 
     Features are split into blocks of up to 160 (the 16-bit lane
@@ -328,7 +329,8 @@ def warp_pim_batched(device, qpose: QuantizedPose,
     rows starting at ``base_row + block * WARP_BLOCK_ROWS``.  The
     compute body is recorded once and replayed across all block bases,
     vectorized; outputs and ledger totals are identical to looping
-    :func:`warp_pim` over the blocks.
+    :func:`warp_pim` over the blocks.  ``mode`` selects the
+    :meth:`~repro.pim.device.PIMDevice.run_program` replay backend.
     """
     lanes = device.config.lanes(_LANE_BITS)
     n = len(feats)
@@ -352,7 +354,7 @@ def warp_pim_batched(device, qpose: QuantizedPose,
                            device.config)
     with obs_span("warp", device=device, category="kernel",
                   features=n, blocks=num_blocks):
-        device.run_program(program, bases)
+        device.run_program(program, bases, mode=mode)
 
     def collect(offset: int) -> np.ndarray:
         block = device.store_rows([b + offset for b in bases])

@@ -19,6 +19,11 @@ The package models the architecture of paper section 4:
   and row-batched replay (:meth:`PIMDevice.run_program`) with an LRU
   :class:`ProgramCache`, bit-exact and cost-exact against the eager
   per-row path.
+* :mod:`repro.pim.lowering` -- the compiled replay backend: programs
+  lowered once into fused vectorized plans (``mode="compiled"``).
+* :mod:`repro.pim.store` -- :class:`ProgramStore`, content-addressed
+  on-disk persistence layered under :class:`ProgramCache` so new
+  processes warm-start without re-recording.
 """
 
 from repro.pim.config import PIMConfig
@@ -26,14 +31,18 @@ from repro.pim.cost import CostLedger
 from repro.pim.device import TMP, BitPIMDevice, Imm, PIMDevice, Rel, Tmp
 from repro.pim.energy import AreaModel, EnergyModel, EnergyReport
 from repro.pim.faults import FaultInjector, FaultPlan
+from repro.pim.isa import ISA_VERSION
 from repro.pim.program import (
     PIMProgram,
     ProgramCache,
     ProgramRecorder,
     program_key,
 )
+from repro.pim.store import ProgramStore
 
 __all__ = [
+    "ISA_VERSION",
+    "ProgramStore",
     "PIMConfig",
     "CostLedger",
     "PIMDevice",

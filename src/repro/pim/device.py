@@ -628,28 +628,32 @@ class PIMDevice(_DeviceCore):
             base_rows: Row indices substituted for the program's
                 :class:`~repro.pim.isa.Rel` operands, one replay each,
                 in order.
-            mode: ``"auto"`` batches when provably equivalent and falls
-                back to eager otherwise; ``"eager"`` forces one-by-one
-                replay through the ordinary micro-op methods;
-                ``"batched"`` demands vectorized execution and raises
-                if the program/bases combination cannot be batched.
+            mode: ``"auto"`` runs the compiled plan when provably
+                equivalent (falling back to the interpreted batched
+                executor if lowering declined the program, and to
+                eager on a hazard); ``"compiled"`` is ``"auto"`` with
+                the explicit intent recorded in metrics/spans;
+                ``"eager"`` forces one-by-one replay through the
+                ordinary micro-op methods; ``"batched"`` demands the
+                interpreted vectorized executor and raises if the
+                program/bases combination cannot be batched.
 
-        Batched execution performs each recorded op as a single 2-D
-        numpy operation across all base rows and charges the ledger in
-        O(1) (program aggregate x number of bases).  Memory contents,
-        ledger totals and (when tracing) the trace stream are identical
-        to the eager path; the program's hazard analysis plus the
-        base-row checks below guarantee it, and equivalence tests pin
-        it.
+        Vectorized execution (batched or compiled, see
+        :mod:`repro.pim.lowering`) performs the recorded ops across
+        all base rows at once and charges the ledger in O(1) (program
+        aggregate x number of bases).  Memory contents, ledger totals
+        and (when tracing) the trace stream are identical to the eager
+        path; the program's hazard analysis plus the base-row checks
+        below guarantee it, and equivalence tests pin it.
 
         Every call records its decision in the metrics registry
-        (``pim_replay_total{mode=...}``; auto-mode fallbacks also bump
-        ``pim_replay_fallback_total{reason=...}`` with the hazard rule
-        that fired, see :meth:`batch_rejection_reason`) and, when
-        tracing, runs under a ``run_program:<name>`` span carrying the
-        same attributes.
+        (``pim_replay_total{mode=...}``; auto/compiled-mode fallbacks
+        also bump ``pim_replay_fallback_total{reason=...}`` with the
+        hazard rule that fired, see :meth:`batch_rejection_reason`,
+        or ``"lowering-unsupported"``) and, when tracing, runs under a
+        ``run_program:<name>`` span carrying the same attributes.
         """
-        if mode not in ("auto", "eager", "batched"):
+        if mode not in ("auto", "eager", "batched", "compiled"):
             raise ValueError(f"unknown replay mode {mode!r}")
         if program.config_digest != self.config.digest():
             raise ValueError(
@@ -665,21 +669,33 @@ class PIMDevice(_DeviceCore):
             raise ValueError(
                 f"program cannot be replayed in batched mode for these "
                 f"base rows: {reason} (see PIMProgram.batchable)")
-        executed = "eager" if reason is not None else "batched"
+        plan = None
+        fallback: Optional[str] = reason
+        if reason is None and mode in ("auto", "compiled"):
+            from repro.pim.lowering import compiled_plan
+            plan = compiled_plan(program, self.config)
+            if plan is None:
+                fallback = "lowering-unsupported"
+        if reason is not None:
+            executed = "eager"
+        elif plan is not None:
+            executed = "compiled"
+        else:
+            executed = "batched"
         registry = get_registry()
         registry.counter(
             "pim_replay_total",
             "run_program calls by executed replay mode").inc(
                 mode=executed)
-        if mode == "auto" and reason is not None:
+        if mode in ("auto", "compiled") and fallback is not None:
             registry.counter(
                 "pim_replay_fallback_total",
-                "auto-mode batched->eager fallbacks by hazard rule"
-            ).inc(reason=reason)
+                "auto-mode compiled/batched->eager fallbacks by rule"
+            ).inc(reason=fallback)
         attrs = {"program": program.name, "bases": len(bases),
                  "requested_mode": mode, "executed_mode": executed}
-        if reason is not None:
-            attrs["fallback_reason"] = reason
+        if fallback is not None:
+            attrs["fallback_reason"] = fallback
         with get_tracer().span(f"run_program:{program.name}",
                                device=self, category="replay",
                                **attrs):
@@ -688,8 +704,22 @@ class PIMDevice(_DeviceCore):
                 for base in bases:
                     program.replay(self, base)
                 return
-            self._replay_batched(program,
-                                 np.asarray(bases, dtype=np.int64))
+            base_arr = np.asarray(bases, dtype=np.int64)
+            if plan is not None:
+                self._replay_compiled(program, plan, base_arr)
+            else:
+                self._replay_batched(program, base_arr)
+
+    def _replay_compiled(self, program, plan,
+                         bases: np.ndarray) -> None:
+        """Execute a lowered plan with the O(1) aggregate charge."""
+        reps = int(bases.size)
+        self.ledger.charge_program(program.aggregate, reps)
+        if CLOCK.enabled and self._advances_clock:
+            CLOCK.advance(program.aggregate.cycles * reps)
+        plan.execute(self, bases)
+        if self._trace_enabled:
+            self._emit_program_trace(program, bases)
 
     def batch_rejection_reason(self, program,
                                bases: List[int]) -> Optional[str]:
@@ -704,6 +734,17 @@ class PIMDevice(_DeviceCore):
         still batch when the bases are spread further apart than the
         program's relative footprint (disjoint footprints cannot
         alias across elements).
+
+        With a single base row the cross-element hazards vanish: the
+        batched executor's per-element Tmp/abs buffers reproduce eager
+        visibility exactly at ``reps == 1`` (read-before-first-write
+        broadcasts the pre-state, later reads see the buffered write,
+        and the lone element's value is what gets written back), so
+        the ``registers_ok`` and ``rel_order_safe`` structural checks
+        are skipped.  The fault-injection and abs/rel aliasing checks
+        still apply: the compiled executor defers relative-row
+        scatters to section boundaries, so an absolute read of a
+        relatively-written row could otherwise observe stale memory.
 
         Returns the name of the first hazard rule that fired --
         ``"fault-injection-active"``, ``"bases-not-increasing"``,
@@ -722,9 +763,9 @@ class PIMDevice(_DeviceCore):
         if len(bases) > 1 and any(b2 <= b1 for b1, b2 in
                                   zip(bases, bases[1:])):
             return "bases-not-increasing"
-        if not program.registers_ok:
+        if len(bases) > 1 and not program.registers_ok:
             return "register-reuse-hazard"
-        if not program.rel_order_safe:
+        if len(bases) > 1 and not program.rel_order_safe:
             span = program.rel_span
             if any(b2 - b1 <= span for b1, b2 in zip(bases, bases[1:])):
                 return "rel-aliasing-within-span"
@@ -820,16 +861,20 @@ class PIMDevice(_DeviceCore):
         for row, buf in abs_buf.items():
             self._mem[row][:] = buf[-1]
         if self._trace_enabled:
-            for base in bases:
-                for op in program.ops:
-                    for step, cost in zip(op.plan, op.costs):
-                        self._append_trace(TraceRecord(
-                            kind=step.kind, precision=cost.precision,
-                            cycles=cost.cycles,
-                            dst=self._resolved_name(step.dst, base),
-                            srcs=tuple(self._resolved_name(s, base)
-                                       for s in step.srcs),
-                            note=step.note))
+            self._emit_program_trace(program, bases)
+
+    def _emit_program_trace(self, program, bases: np.ndarray) -> None:
+        """Emit the eager-identical trace stream for a vectorized run."""
+        for base in bases:
+            for op in program.ops:
+                for step, cost in zip(op.plan, op.costs):
+                    self._append_trace(TraceRecord(
+                        kind=step.kind, precision=cost.precision,
+                        cycles=cost.cycles,
+                        dst=self._resolved_name(step.dst, base),
+                        srcs=tuple(self._resolved_name(s, base)
+                                   for s in step.srcs),
+                        note=step.note))
 
     @classmethod
     def _resolved_name(cls, operand, base: int) -> str:

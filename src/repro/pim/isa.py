@@ -21,10 +21,19 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 __all__ = [
+    "ISA_VERSION",
     "OpKind", "TraceRecord", "op_cycles",
     "TMP", "Tmp", "Imm", "Rel", "Src", "Dst",
     "ChargeStep", "StepCost", "charge_plan", "step_cost",
 ]
+
+#: Version of the micro-op ISA semantics and cost contract.  Bump this
+#: whenever op semantics, the charge plans or the recorded-program
+#: format change incompatibly: the on-disk
+#: :class:`~repro.pim.store.ProgramStore` keys entries by
+#: ``(cache key, device geometry, ISA_VERSION)``, so a bump invalidates
+#: every persisted program instead of replaying stale semantics.
+ISA_VERSION = 1
 
 
 class OpKind(enum.Enum):

@@ -448,10 +448,19 @@ class ProgramCache:
         self._misses = registry.counter(
             "program_cache_misses_total",
             "ProgramCache lookups that required recording")
+        self._evictions = registry.counter(
+            "program_cache_evictions_total",
+            "ProgramCache entries dropped by LRU capacity pressure")
+        self._recordings = registry.counter(
+            "program_recorded_total",
+            "Programs recorded from scratch (memory and store missed)")
         self._hits_base = float(self._hits.value(cache=self.name))
         self._misses_base = float(self._misses.value(cache=self.name))
+        self._evictions_base = float(
+            self._evictions.value(cache=self.name))
         self._lock = threading.RLock()
         self._programs: "OrderedDict[Tuple, PIMProgram]" = OrderedDict()
+        self._store = None
 
     @property
     def hits(self) -> int:
@@ -464,20 +473,47 @@ class ProgramCache:
         return int(self._misses.value(cache=self.name) -
                    self._misses_base)
 
+    @property
+    def evictions(self) -> int:
+        """LRU evictions since creation/:meth:`clear`."""
+        return int(self._evictions.value(cache=self.name) -
+                   self._evictions_base)
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.pim.store.ProgramStore` or None."""
+        return self._store
+
+    def attach_store(self, store) -> None:
+        """Layer a persistent :class:`~repro.pim.store.ProgramStore`.
+
+        Once attached, :meth:`get_or_record` consults the store on a
+        memory miss before re-recording, and writes fresh recordings
+        through, so a later process (or a pool of workers sharing the
+        directory) warm-starts without recording anything.
+        """
+        self._store = store
+
     def stats(self) -> Dict[str, object]:
         """Point-in-time snapshot: hits, misses, size, capacity, rate."""
         hits, misses = self.hits, self.misses
         lookups = hits + misses
         with self._lock:
             size = len(self._programs)
-        return {
+            store = self._store
+        stats = {
             "name": self.name,
             "hits": hits,
             "misses": misses,
+            "evictions": self.evictions,
+            "recorded": int(self._recordings.value(cache=self.name)),
             "size": size,
             "capacity": self.capacity,
             "hit_rate": hits / lookups if lookups else 0.0,
         }
+        if store is not None:
+            stats["store"] = store.stats()
+        return stats
 
     def __len__(self) -> int:
         with self._lock:
@@ -506,6 +542,7 @@ class ProgramCache:
             self._programs.move_to_end(key)
             while len(self._programs) > self.capacity:
                 self._programs.popitem(last=False)
+                self._evictions.inc(cache=self.name)
 
     def get_or_record(self, key, config: PIMConfig,
                       build: Callable[[ProgramRecorder], None],
@@ -518,12 +555,24 @@ class ProgramCache:
         milliseconds), so two threads missing on the same key may both
         record -- the first insert wins and both callers get the
         canonical cached object.
+
+        With a store attached (:meth:`attach_store`), a memory miss
+        first tries the persistent layer; only a miss in *both* layers
+        records (counted by ``program_recorded_total``), and the fresh
+        recording is written through to disk.
         """
         program = self.get(key)
         if program is None:
-            recorder = ProgramRecorder(config, name=name or str(key[0]))
-            build(recorder)
-            program = recorder.finish()
+            store = self._store
+            if store is not None:
+                program = store.load(key, config)
+            recorded = program is None
+            if recorded:
+                recorder = ProgramRecorder(config,
+                                           name=name or str(key[0]))
+                build(recorder)
+                program = recorder.finish()
+                self._recordings.inc(cache=self.name)
             with self._lock:
                 existing = self._programs.get(key)
                 if existing is not None:
@@ -531,6 +580,8 @@ class ProgramCache:
                     program = existing
                 else:
                     self.put(key, program)
+            if recorded and store is not None and program is not None:
+                store.save(key, program)
         return program
 
     def clear(self) -> None:

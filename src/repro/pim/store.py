@@ -1,0 +1,266 @@
+"""Content-addressed on-disk persistence for recorded PIM programs.
+
+:class:`~repro.pim.program.ProgramCache` makes a kernel's program
+free after the first frame *within one process*; every new process
+(each ``serve.DevicePool`` worker restart, every CLI invocation) still
+pays the full re-recording cost per kernel x shape x precision.  This
+module adds the missing layer: a :class:`ProgramStore` directory that
+persists recorded programs so later processes warm-start from disk.
+
+Addressing and invalidation
+---------------------------
+
+Entries are content-addressed.  The file name is the SHA-256 of
+
+* the caller's canonical cache key (the same tuple
+  :func:`~repro.pim.program.program_key` builds),
+* the device geometry digest (``PIMConfig.digest()``), and
+* :data:`~repro.pim.isa.ISA_VERSION`.
+
+A geometry change or an ISA semantics bump therefore *unreaches* every
+stale entry instead of requiring an explicit flush -- old files are
+simply never looked up again.
+
+Integrity
+---------
+
+The payload is canonical JSON, and the envelope stores its SHA-256.
+On load the digest is recomputed; any mismatch (truncated write,
+bit-rot, hand-editing) counts a ``program_store_corrupt_total`` metric
+and behaves exactly like a miss, so a damaged store can cost time but
+never correctness.  Loaded op streams are not trusted either: they are
+re-driven through a fresh :class:`~repro.pim.program.ProgramRecorder`,
+so operand validation and the ledger aggregate are re-derived from the
+current cost model rather than deserialized from disk.
+
+Writes go through a temp file + :func:`os.replace`, so concurrent
+workers sharing one store directory can race safely: the loser of a
+race overwrites the winner with identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.obs.metrics import get_registry
+from repro.pim.config import PIMConfig
+from repro.pim.isa import ISA_VERSION, Imm, Rel, _TmpSentinel
+from repro.pim.program import PIMProgram, ProgramRecorder
+
+__all__ = ["ProgramStore"]
+
+_FORMAT = "repro-pim-program-v1"
+
+
+def _encode_operand(operand):
+    """Tagged-list encoding of one operand (JSON has no Rel/Tmp/Imm)."""
+    if operand is None:
+        return None
+    if isinstance(operand, Imm):
+        return ["imm", operand.value]
+    if isinstance(operand, _TmpSentinel):
+        return ["tmp", operand.index]
+    if isinstance(operand, Rel):
+        return ["rel", int(operand)]
+    return ["row", int(operand)]
+
+
+def _decode_operand(spec):
+    if spec is None:
+        return None
+    tag, value = spec
+    if tag == "imm":
+        return Imm(value)
+    if tag == "tmp":
+        return _TmpSentinel(int(value))
+    if tag == "rel":
+        return Rel(int(value))
+    if tag == "row":
+        return int(value)
+    raise ValueError(f"unknown operand tag {tag!r}")
+
+
+def _canonical_json(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _encode_key(key) -> list:
+    """JSON-stable form of a cache key (tuples become tagged lists)."""
+    if isinstance(key, (list, tuple)):
+        return ["t", [_encode_key(k) for k in key]]
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return ["v", key]
+    return ["v", repr(key)]
+
+
+class ProgramStore:
+    """A directory of content-addressed recorded programs.
+
+    Layered *under* :class:`~repro.pim.program.ProgramCache` via
+    :meth:`ProgramCache.attach_store`: memory misses consult the store
+    before re-recording, and fresh recordings are written through.
+
+    Metrics (labelled with the store's ``name``):
+
+    * ``program_store_hits_total`` -- loads that returned a program;
+    * ``program_store_misses_total`` -- loads with no usable entry;
+    * ``program_store_corrupt_total`` -- entries rejected by the
+      integrity or rebuild checks (counted *in addition to* the miss);
+    * ``program_store_writes_total`` -- entries persisted.
+    """
+
+    def __init__(self, root, name: Optional[str] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.name = name if name is not None else self.root.name
+        registry = get_registry()
+        self._hits = registry.counter(
+            "program_store_hits_total",
+            "ProgramStore loads that returned a persisted program")
+        self._misses = registry.counter(
+            "program_store_misses_total",
+            "ProgramStore loads with no usable entry")
+        self._corrupt = registry.counter(
+            "program_store_corrupt_total",
+            "ProgramStore entries rejected by integrity checks")
+        self._writes = registry.counter(
+            "program_store_writes_total",
+            "ProgramStore entries persisted to disk")
+
+    # -- addressing -----------------------------------------------------
+
+    def address(self, key, config_digest: str) -> str:
+        """Content address for a cache key under one geometry + ISA."""
+        material = _canonical_json({
+            "format": _FORMAT,
+            "isa_version": ISA_VERSION,
+            "config_digest": config_digest,
+            "key": _encode_key(key),
+        })
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key, config_digest: str) -> Path:
+        return self.root / f"{self.address(key, config_digest)}.json"
+
+    # -- persistence ----------------------------------------------------
+
+    def save(self, key, program: PIMProgram) -> Path:
+        """Persist one program; returns the entry path."""
+        payload = {
+            "format": _FORMAT,
+            "isa_version": ISA_VERSION,
+            "config_digest": program.config_digest,
+            "key": _encode_key(key),
+            "name": program.name,
+            "initial_precision": program.initial_precision,
+            "ops": [
+                {
+                    "method": op.method,
+                    "dst": _encode_operand(op.dst),
+                    "srcs": [_encode_operand(s) for s in op.srcs],
+                    "kwargs": op.kwargs,
+                }
+                for op in program.ops
+            ],
+        }
+        payload_json = _canonical_json(payload)
+        envelope = _canonical_json({
+            "payload": payload,
+            "payload_sha256": hashlib.sha256(
+                payload_json.encode("utf-8")).hexdigest(),
+        })
+        path = self._path(key, program.config_digest)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(envelope + "\n")
+        os.replace(tmp, path)
+        self._writes.inc(store=self.name)
+        return path
+
+    def load(self, key, config: PIMConfig) -> Optional[PIMProgram]:
+        """Rebuild the persisted program for ``key`` (None on miss).
+
+        Any failure mode -- missing file, malformed JSON, digest
+        mismatch, unknown operand tag, an op the current recorder
+        rejects -- is contained to a miss (plus a corruption count when
+        an entry existed but was unusable); a damaged store can never
+        produce a wrong program.
+        """
+        path = self._path(key, config.digest())
+        try:
+            raw = path.read_text()
+        except OSError:
+            self._misses.inc(store=self.name)
+            return None
+        try:
+            envelope = json.loads(raw)
+            payload = envelope["payload"]
+            payload_json = _canonical_json(payload)
+            digest = hashlib.sha256(
+                payload_json.encode("utf-8")).hexdigest()
+            if digest != envelope["payload_sha256"]:
+                raise ValueError("payload digest mismatch")
+            if payload["format"] != _FORMAT or \
+                    payload["isa_version"] != ISA_VERSION or \
+                    payload["config_digest"] != config.digest():
+                raise ValueError("entry addressed under stale contract")
+            program = self._rebuild(payload, config)
+        except Exception:
+            self._corrupt.inc(store=self.name)
+            self._misses.inc(store=self.name)
+            return None
+        self._hits.inc(store=self.name)
+        return program
+
+    @staticmethod
+    def _rebuild(payload: Dict, config: PIMConfig) -> PIMProgram:
+        """Re-drive the op stream through a fresh recorder.
+
+        The persisted file stores only the *surface calls*; plans,
+        per-step costs and the ledger aggregate are re-derived by the
+        recorder so they always reflect the current cost model.
+        """
+        recorder = ProgramRecorder(config, name=str(payload["name"]))
+        initial = int(payload["initial_precision"])
+        if initial != recorder._precision:
+            # Restore the recording-time lane width without emitting a
+            # set_precision op the original program did not contain.
+            super(ProgramRecorder, recorder).set_precision(initial)
+            recorder._initial_precision = initial
+        for op in payload["ops"]:
+            method = op["method"]
+            if method == "set_precision":
+                recorder.set_precision(int(op["kwargs"]["precision"]))
+                continue
+            dst = _decode_operand(op["dst"])
+            srcs = [_decode_operand(s) for s in op["srcs"]]
+            getattr(recorder, method)(dst, *srcs, **op["kwargs"])
+        return recorder.finish()
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        """Point-in-time snapshot of entry count and metric totals."""
+        return {
+            "name": self.name,
+            "root": str(self.root),
+            "entries": len(self),
+            "hits": int(self._hits.value(store=self.name)),
+            "misses": int(self._misses.value(store=self.name)),
+            "corrupt": int(self._corrupt.value(store=self.name)),
+            "writes": int(self._writes.value(store=self.name)),
+        }
+
+    def clear(self) -> None:
+        """Delete every entry (metrics stay monotonic)."""
+        for entry in self.root.glob("*.json"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass

@@ -59,6 +59,10 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="image scale relative to QVGA")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--program-store", default=None, metavar="DIR",
+                        help="persist recorded PIM programs in DIR; a "
+                             "second serve process pointed at the same "
+                             "directory warm-starts without recording")
     parser.add_argument("--out", default="serve_output",
                         help="output directory for the report")
     parser.add_argument("--smoke", action="store_true",
@@ -91,8 +95,11 @@ def main(argv=None) -> int:
                    config=config, max_queue=args.queue,
                    max_batch=args.batch,
                    min_service_s=args.min_service_s,
-                   device_clock_hz=args.clock_hz) as service:
+                   device_clock_hz=args.clock_hz,
+                   program_store=args.program_store) as service:
         report, clients = run_load(service, workload)
+        if service.program_store is not None:
+            report["programs"] = service.stats()["programs"]
 
     failures = []
     if args.smoke:

@@ -63,11 +63,24 @@ class VOService:
                  device_clock_hz: Optional[float] = None,
                  max_retries: int = 1,
                  breaker_threshold: int = 3,
-                 breaker_cooldown_s: float = 0.25):
+                 breaker_cooldown_s: float = 0.25,
+                 program_store=None):
         if frontend not in _FRONTENDS:
             raise ValueError(
                 f"unknown frontend {frontend!r}; choose from "
                 f"{sorted(_FRONTENDS)}")
+        # A persistent program store (a ProgramStore instance or a
+        # directory path) layers under the process-wide kernel program
+        # cache: every worker warm-starts from programs recorded by
+        # any earlier process sharing the directory.
+        self.program_store = None
+        if program_store is not None:
+            from repro.kernels.common import KERNEL_PROGRAM_CACHE
+            from repro.pim.store import ProgramStore
+            if not isinstance(program_store, ProgramStore):
+                program_store = ProgramStore(program_store)
+            self.program_store = program_store
+            KERNEL_PROGRAM_CACHE.attach_store(program_store)
         if config is None:
             config = TrackerConfig(pim_device_detect=device_detect)
         self.config = config
@@ -198,12 +211,16 @@ class VOService:
                             self.pool.workers)
                         and saturation < 1.0),
         }
-        return {
+        stats = {
             "scheduler": scheduler,
             "sessions": sessions,
             "pool": pool,
             "health": health,
         }
+        if self.program_store is not None:
+            from repro.kernels.common import KERNEL_PROGRAM_CACHE
+            stats["programs"] = KERNEL_PROGRAM_CACHE.stats()
+        return stats
 
     def healthy(self) -> bool:
         """One-bool health check: serving capacity exists right now.

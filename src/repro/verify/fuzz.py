@@ -6,7 +6,8 @@ registers as operands -- and runs each one through every backend
 (:class:`~repro.pim.device.PIMDevice`, the bit-true
 :class:`~repro.pim.device.BitPIMDevice`, and the op stream recorded as
 a :class:`~repro.pim.program.PIMProgram` and replayed through
-``run_program``), comparing the complete final machine state (every
+``run_program`` both eagerly and via the compiled lowering backend),
+comparing the complete final machine state (every
 row, every Tmp register, byte for byte) and the cycle ledgers against
 the pure-python golden model.
 
@@ -47,7 +48,7 @@ CORPUS_SCHEMA = "repro.verify.corpus/1"
 #: edges that historically break lane arithmetic.
 EDGE_BYTES = (0x00, 0x01, 0x7F, 0x80, 0xFF, 0x55, 0xAA, 0xFE)
 
-_BACKENDS = ("pim", "bitpim", "replay")
+_BACKENDS = ("pim", "bitpim", "replay", "replay-compiled")
 
 
 def _encode_operand(op) -> object:
@@ -112,7 +113,8 @@ class FuzzCase:
     def _fresh_backends(self) -> Dict[str, object]:
         return {"pim": PIMDevice(self.config),
                 "bitpim": BitPIMDevice(self.config),
-                "replay": PIMDevice(self.config)}
+                "replay": PIMDevice(self.config),
+                "replay-compiled": PIMDevice(self.config)}
 
     def _load(self, machine) -> None:
         machine.set_precision(8)
@@ -150,12 +152,14 @@ class FuzzCase:
             dev = devices[backend]
             self._load(dev)
             try:
-                if backend == "replay":
+                if backend in ("replay", "replay-compiled"):
                     recorder = ProgramRecorder(self.config,
                                                name=self.name)
                     self._apply(recorder)
-                    dev.run_program(recorder.finish(), [0],
-                                    mode="eager")
+                    dev.run_program(
+                        recorder.finish(), [0],
+                        mode="eager" if backend == "replay"
+                        else "compiled")
                 else:
                     self._apply(dev)
             except Exception as exc:  # noqa: BLE001

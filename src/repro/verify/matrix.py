@@ -8,9 +8,12 @@ execution backends against the pure-python golden model
 * ``pim`` -- the word-level :class:`~repro.pim.device.PIMDevice`;
 * ``bitpim`` -- the bit-true :class:`~repro.pim.device.BitPIMDevice`
   (per-op cycle charges are also pinned against ``pim``);
-* ``replay-eager`` / ``replay-batched`` -- the op recorded as a
-  one-op relative :class:`~repro.pim.program.PIMProgram` and replayed
-  through both :meth:`~repro.pim.device.PIMDevice.run_program` paths.
+* ``replay-eager`` / ``replay-batched`` / ``replay-compiled`` -- the
+  op recorded as a one-op relative
+  :class:`~repro.pim.program.PIMProgram` and replayed through every
+  :meth:`~repro.pim.device.PIMDevice.run_program` execution path
+  (the compiled column exercises the :mod:`repro.pim.lowering`
+  backend, falling back per its documented rules).
 
 Every cell sees *directed* edge vectors (zero, +-1, the lane MIN/MAX,
 their neighbours, alternating 01/10 patterns, and the carry patterns
@@ -41,7 +44,12 @@ from repro.verify.golden import golden_op, sign_value, to_pattern
 __all__ = ["Mismatch", "ConformanceReport", "ConformanceRunner",
            "directed_patterns", "DEFAULT_BACKENDS"]
 
-DEFAULT_BACKENDS = ("pim", "bitpim", "replay-eager", "replay-batched")
+DEFAULT_BACKENDS = ("pim", "bitpim", "replay-eager", "replay-batched",
+                    "replay-compiled")
+
+#: run_program mode driven by each replay-* conformance backend.
+_REPLAY_MODES = {"replay-eager": "eager", "replay-batched": "batched",
+                 "replay-compiled": "compiled"}
 
 #: Row layout inside the runner's device: two independent operand
 #: groups (A, B -> DST) at bases 0 and 4, far enough apart that the
@@ -277,10 +285,8 @@ class ConformanceRunner:
                 for base, group in zip(_BASES, groups):
                     load(dev, base, group)
                 before = dev.ledger.cycles
-                dev.run_program(
-                    program, _BASES,
-                    mode="eager" if backend == "replay-eager"
-                    else "batched")
+                dev.run_program(program, _BASES,
+                                mode=_REPLAY_MODES[backend])
                 cycles[backend] = dev.ledger.cycles - before
             for base, expect in zip(_BASES, golden):
                 got = out_patterns(dev, base)

@@ -118,7 +118,8 @@ class TestSpanAttribution:
         kernel_ids = {s.span_id for s in tracer.spans
                       if s.category == "kernel"}
         assert all(s.parent_id in kernel_ids for s in replay)
-        assert all(s.attrs["executed_mode"] in ("eager", "batched")
+        assert all(s.attrs["executed_mode"] in ("eager", "batched",
+                                                "compiled")
                    for s in replay)
 
 

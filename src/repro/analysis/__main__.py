@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.analysis [report] [--frames N] [--out DIR] [--verbose]
     python -m repro.analysis trace [--frames N] [--out DIR] [--verbose]
+    python -m repro.analysis slo [BENCH_serve.json] [--p99-target S]
 
 The default (``report``) subcommand runs all experiment drivers and
 writes the text reports (and Fig. 8 SVGs) to the output directory --
@@ -11,6 +12,9 @@ equivalent to the benchmark harness without pytest.  The ``trace``
 subcommand tracks synthetic frames with telemetry enabled and exports
 a Perfetto-loadable Chrome trace, a JSONL metrics stream and the
 per-kernel attribution summary (see :mod:`repro.analysis.trace_cli`).
+The ``slo`` subcommand pretty-prints (and optionally gates) a serving
+SLO report written by ``python -m repro.serve`` (see
+:mod:`repro.analysis.slo_cli`).
 """
 
 from __future__ import annotations
@@ -50,6 +54,9 @@ def main(argv=None) -> None:
     if argv and argv[0] == "trace":
         from repro.analysis.trace_cli import trace_main
         raise SystemExit(trace_main(argv[1:]))
+    if argv and argv[0] == "slo":
+        from repro.analysis.slo_cli import slo_main
+        raise SystemExit(slo_main(argv[1:]))
     if argv and argv[0] == "report":
         argv = argv[1:]
     parser = argparse.ArgumentParser(description=__doc__)

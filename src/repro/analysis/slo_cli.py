@@ -1,0 +1,129 @@
+"""``python -m repro.analysis slo``: inspect and gate a serve SLO report.
+
+Reads a ``BENCH_serve.json`` (or ``serve_report.json``) written by
+``python -m repro.serve``, prints the rolling-window SLO state as the
+familiar analysis tables, and optionally *gates* it: with
+``--p99-target`` / ``--max-miss-rate`` / ``--min-availability`` the
+command exits non-zero when the report violates the objective, which
+is how the CI serve-SLO smoke job turns the benchmark artifact into a
+pass/fail signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.analysis.reporting import format_table
+from repro.obs import setup_logging
+
+log = logging.getLogger(__name__)
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def evaluate_slo(report: dict, p99_target=None, max_miss_rate=None,
+                 min_availability=None) -> List[str]:
+    """Gate one report against the given objectives; [] = pass."""
+    slo = report.get("slo")
+    if slo is None:
+        return ["report has no 'slo' section (re-run the loadgen "
+                "from this revision)"]
+    problems = []
+    p99 = slo["latency_s"]["p99"]
+    if p99_target is not None:
+        if p99 is None:
+            problems.append("p99 latency missing (no completed "
+                            "requests in window)")
+        elif p99 > p99_target:
+            problems.append(
+                f"p99 latency {p99:.4f}s exceeds target "
+                f"{p99_target:.4f}s")
+    if max_miss_rate is not None and \
+            slo["deadline_miss_rate"] > max_miss_rate:
+        problems.append(
+            f"deadline-miss rate {slo['deadline_miss_rate']:.4f} "
+            f"exceeds {max_miss_rate:.4f}")
+    if min_availability is not None and \
+            slo["availability"] < min_availability:
+        problems.append(
+            f"availability {slo['availability']:.6f} below "
+            f"{min_availability:.6f}")
+    return problems
+
+
+def slo_main(argv=None) -> int:
+    """Entry point of the SLO inspection/gating subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis slo", description=__doc__)
+    parser.add_argument("report", nargs="?",
+                        default="serve_output/BENCH_serve.json",
+                        help="BENCH_serve.json / serve_report.json "
+                             "path")
+    parser.add_argument("--p99-target", type=float, default=None,
+                        metavar="S",
+                        help="fail if p99 latency exceeds S seconds "
+                             "(or is missing)")
+    parser.add_argument("--max-miss-rate", type=float, default=None,
+                        metavar="R",
+                        help="fail if the deadline-miss rate exceeds R")
+    parser.add_argument("--min-availability", type=float, default=None,
+                        metavar="A",
+                        help="fail if windowed availability is below A")
+    parser.add_argument("--verbose", action="store_true",
+                        help="debug-level console logging")
+    args = parser.parse_args(argv)
+    setup_logging(verbose=args.verbose)
+
+    path = Path(args.report)
+    if not path.exists():
+        log.error("no such report: %s", path)
+        return 2
+    report = json.loads(path.read_text())
+    slo = report.get("slo")
+    if slo is not None:
+        print(format_table(
+            ["quantile", "latency (s)", "queue wait (s)"],
+            [[q, _fmt(slo["latency_s"][q]), _fmt(slo["queue_s"][q])]
+             for q in ("p50", "p95", "p99", "max", "mean")],
+            title=f"Serve SLO window ({slo['window_s']:.0f}s, "
+                  f"{slo['samples']} samples) -- {path}"))
+        budget = slo["error_budget"]
+        print()
+        print(format_table(
+            ["metric", "value"],
+            [["goodput (req/s)", _fmt(slo["goodput_rps"], 2)],
+             ["availability", _fmt(slo["availability"], 6)],
+             ["error rate", _fmt(slo["error_rate"], 6)],
+             ["deadline-miss rate",
+              _fmt(slo["deadline_miss_rate"], 6)],
+             ["budget burn rate", _fmt(budget["burn_rate"], 3)],
+             ["budget remaining",
+              _fmt(budget["remaining_fraction"], 3)],
+             ["outcomes", ", ".join(
+                 f"{k}={v}" for k, v in slo["counts"].items())],
+             ["git sha", report.get("git_sha") or "-"],
+             ["stamped", report.get("timestamp") or "-"]],
+            title="Objectives"))
+    problems = evaluate_slo(report, p99_target=args.p99_target,
+                            max_miss_rate=args.max_miss_rate,
+                            min_availability=args.min_availability)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    if (args.p99_target is not None or
+            args.max_miss_rate is not None or
+            args.min_availability is not None):
+        print("OK: report within every requested objective")
+    return 0

@@ -22,12 +22,9 @@ speedups and parity) and ``benchmarks/run_wallclock.py`` (writes
 from __future__ import annotations
 
 import json
-import platform
-import subprocess
-import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 import numpy as np
 
@@ -42,6 +39,7 @@ from repro.kernels.warp import (
     warp_pim,
     warp_pim_batched,
 )
+from repro.obs.stamp import run_stamp
 from repro.pim import PIMDevice
 from repro.pim.lowering import NUMBA_VERSION
 
@@ -179,29 +177,12 @@ def run_wallclock(repeats: int = 5, image_shape=(240, 320),
     image = rng.integers(0, 256, size=image_shape, dtype=np.uint8)
     return {
         "benchmark": "pim-program-replay-wallclock",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "git_sha": _git_sha(),
-        "python": sys.version.split()[0],
-        "numpy": np.__version__,
+        **run_stamp(),
         "numba": NUMBA_VERSION,
-        "machine": platform.machine(),
         "repeats": repeats,
         "edge_pipeline": _bench_edge_pipeline(image, repeats),
         "warp": _bench_warp(num_features, repeats),
     }
-
-
-def _git_sha() -> Optional[str]:
-    """Current repository revision, or None outside a git checkout."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=Path(__file__).resolve().parent,
-            capture_output=True, text=True, timeout=10, check=True)
-    except (OSError, subprocess.SubprocessError):
-        return None
-    sha = out.stdout.strip()
-    return sha or None
 
 
 def write_results(results: Dict, path=None) -> Path:

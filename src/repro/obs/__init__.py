@@ -17,6 +17,21 @@ instead of bolting it onto one benchmark script:
   Perfetto / ``chrome://tracing``), a JSONL metrics stream, and a
   console summary reproducing the paper's Fig. 10-a/10-b tables from a
   live run.
+* :mod:`repro.obs.context` -- explicit trace-context propagation:
+  :class:`TraceContext` handles carried across threads and detached
+  :class:`SpanHandle` spans, so a serving request admitted on one
+  thread and tracked on another still yields one connected span tree.
+* :mod:`repro.obs.slo` -- a rolling-window SLO engine (exact latency /
+  queue-wait quantiles, goodput, deadline-miss rate, error-budget burn)
+  feeding ``VOService.stats()`` and ``BENCH_serve.json``.
+* :mod:`repro.obs.flight` -- an always-on flight recorder: a bounded
+  event ring plus span trees of the last N failed requests, dumped as
+  a stamped incident bundle when a breaker opens or chaos fails.
+* :mod:`repro.obs.promtext` -- Prometheus text exposition (and a
+  validating parser) for the metrics registry, served by the status
+  endpoint.
+* :mod:`repro.obs.stamp` -- the shared git-SHA/toolchain provenance
+  stamp every emitted artifact carries.
 * :func:`repro.obs.setup_logging` -- one-call stdlib ``logging``
   configuration shared by every CLI entry point.
 
@@ -24,7 +39,24 @@ Nothing in this package imports :mod:`repro.pim` (devices and ledgers
 are duck-typed), so the pim/kernels/vo layers can depend on it freely.
 """
 
+from repro.obs.context import (
+    NULL_HANDLE,
+    SpanHandle,
+    TraceContext,
+    current_context,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+)
 from repro.obs.logconf import setup_logging
+from repro.obs.promtext import (
+    parse_prometheus_text,
+    render_prometheus_text,
+)
+from repro.obs.slo import SloEngine, SloTargets, percentile
+from repro.obs.stamp import git_sha, run_stamp
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -61,5 +93,10 @@ __all__ = [
     "set_registry",
     "chrome_trace_events", "console_summary", "write_chrome_trace",
     "write_metrics_jsonl",
+    "NULL_HANDLE", "SpanHandle", "TraceContext", "current_context",
+    "SloEngine", "SloTargets", "percentile",
+    "FlightRecorder", "get_flight_recorder", "set_flight_recorder",
+    "parse_prometheus_text", "render_prometheus_text",
+    "git_sha", "run_stamp",
     "setup_logging",
 ]

@@ -1,0 +1,115 @@
+"""Explicit trace-context propagation across thread boundaries.
+
+The span tracer's implicit parenting is a thread-local stack, which is
+exactly right while one thread runs a frame -- but a serving request
+crosses threads: the client thread admits it, the scheduler queues it,
+a pool worker tracks it.  A :class:`TraceContext` is the portable
+handle that keeps those pieces one tree: it names a ``(trace_id,
+span_id)`` pair and can be carried anywhere (a queue item, a closure, a
+log line) and later passed as the ``parent`` of a new span on any
+thread.
+
+Two propagation styles compose:
+
+* ``tracer.span(name, parent=ctx)`` -- open a *stack* span whose
+  parent is the remote context instead of the local stack top.  The
+  span still pushes onto the opening thread's stack, so everything the
+  thread does underneath (tracker frame spans, kernel spans) nests
+  into the request tree automatically.
+* ``tracer.begin(name, parent=ctx)`` -- open a *detached*
+  :class:`SpanHandle` that never touches any stack and may be finished
+  from a different thread than the one that began it (the scheduler
+  queue span: begun at admission on the client thread, finished at
+  dispatch on a worker thread).
+
+Every span carries a ``trace_id`` -- the span id of its tree's root --
+so one request's spans can be collected after the fact with
+:meth:`~repro.obs.tracer.Tracer.spans_for_trace` regardless of which
+threads executed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TraceContext", "SpanHandle", "current_context"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A portable reference to one open (or finished) span.
+
+    Attributes:
+        trace_id: Span id of the tree's root span -- shared by every
+            span of one request.
+        span_id: The referenced span itself (the parent-to-be).
+    """
+
+    trace_id: int
+    span_id: int
+
+
+class SpanHandle:
+    """A detached span: begun on one thread, finishable on any other.
+
+    Unlike the context-manager spans, a handle never joins a thread's
+    span stack -- its parent is whatever ``parent`` context it was
+    begun with.  ``finish`` is idempotent (the second call is a no-op)
+    because failure paths often race a success path to close the same
+    request span.
+    """
+
+    __slots__ = ("_tracer", "span", "_wall", "_done")
+
+    def __init__(self, tracer, span, wall_start: float):
+        self._tracer = tracer
+        self.span = span
+        self._wall = wall_start
+        self._done = False
+
+    @property
+    def context(self) -> Optional[TraceContext]:
+        """This span as a parent context for further spans."""
+        return TraceContext(self.span.trace_id, self.span.span_id)
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute to the span."""
+        self.span.attrs[key] = value
+
+    def finish(self, **attrs) -> None:
+        """Close the span (idempotent); ``attrs`` merge in at close."""
+        if self._done:
+            return
+        self._done = True
+        if attrs:
+            self.span.attrs.update(attrs)
+        self._tracer._finish_detached(self.span, self._wall)
+
+
+class _NullHandle:
+    """Shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    @property
+    def context(self) -> Optional[TraceContext]:
+        return None
+
+    def set_attr(self, key: str, value) -> None:
+        """No-op."""
+
+    def finish(self, **attrs) -> None:
+        """No-op."""
+
+
+NULL_HANDLE = _NullHandle()
+
+
+def current_context() -> Optional[TraceContext]:
+    """Context of the default tracer's innermost open span, if any."""
+    from repro.obs.tracer import get_tracer
+    span = get_tracer().current_span()
+    if span is None:
+        return None
+    return TraceContext(span.trace_id, span.span_id)

@@ -6,7 +6,15 @@ The trace exporter emits the Trace Event Format understood by Perfetto
 *simulated device cycles* (the shared :data:`repro.obs.tracer.CLOCK`),
 not wall time -- the timeline you see is the timeline the modelled
 hardware would execute.  Ledger deltas, energy and span attributes ride
-along in ``args``.
+along in ``args``, as do ``span_id`` / ``parent_id`` / ``trace_id`` so
+a request's tree stays reconstructable from the exported JSON.
+
+Serve-plane spans (category ``"serve"``: the per-request ``request`` /
+``queue`` / ``track`` spans) additionally appear on a second process
+track -- the **wall-clock** timeline (``pid 1``, 1 us = 1 us of host
+time) -- so one trace shows both how long a request really took and
+where its simulated device cycles went; the shared ``trace_id`` in
+``args`` links the two views of the same request.
 
 The console summary reproduces the paper's evaluation tables from a
 live run: per-kernel cycle totals and shares (Fig. 10-a's x-axis) and
@@ -35,18 +43,34 @@ def _leaf_spans(spans: Sequence[Span]) -> List[Span]:
     return [s for s in spans if s.span_id not in parents]
 
 
+#: Span categories exported on the wall-clock process track too.
+WALL_CLOCK_CATEGORIES = frozenset({"serve"})
+
+
 def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
     """Spans as Chrome trace-event dicts, sorted by start timestamp.
 
     Timestamps/durations are simulated cycles written into the ``ts`` /
-    ``dur`` microsecond fields, so 1 us in the viewer = 1 device cycle.
+    ``dur`` microsecond fields, so 1 us in the viewer = 1 device cycle
+    (``pid 0``).  Serve-plane spans (categories in
+    :data:`WALL_CLOCK_CATEGORIES`) are exported a second time on
+    ``pid 1`` with real wall-clock timestamps, so the request timeline
+    and the device timeline sit side by side in one trace.
     """
     tids = {}
     events: List[dict] = []
+    wall_spans = [s for s in spans
+                  if s.category in WALL_CLOCK_CATEGORIES
+                  and s.wall_ts > 0.0]
+    wall_t0 = min((s.wall_ts for s in wall_spans), default=0.0)
     for span in spans:
         tid = tids.setdefault(span.thread, len(tids))
         args: Dict[str, object] = dict(span.attrs)
         args["wall_ms"] = round(span.wall_s * 1e3, 3)
+        args["span_id"] = span.span_id
+        args["parent_id"] = span.parent_id
+        if span.trace_id:
+            args["trace_id"] = span.trace_id
         if span.ledger is not None:
             args["cycles"] = int(span.cycles)
             args["energy_pj"] = round(float(span.energy_pj), 1)
@@ -62,16 +86,38 @@ def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
             "tid": tid,
             "args": args,
         })
+        if span.category in WALL_CLOCK_CATEGORIES \
+                and span.wall_ts > 0.0:
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": int((span.wall_ts - wall_t0) * 1e6),
+                "dur": max(1, int(span.wall_s * 1e6)),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            })
     events.sort(key=lambda e: (e["ts"], -e["dur"]))
     meta: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
         "args": {"name": "PIM-EBVO (simulated cycles)"},
     }]
+    if wall_spans:
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+            "args": {"name": "serve (wall clock)"},
+        })
     for thread, tid in sorted(tids.items(), key=lambda kv: kv[1]):
         meta.append({
             "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
             "args": {"name": f"thread-{thread}"},
         })
+        if wall_spans:
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": 1,
+                "tid": tid, "args": {"name": f"thread-{thread}"},
+            })
     return meta + events
 
 

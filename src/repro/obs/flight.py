@@ -1,0 +1,171 @@
+"""Always-on flight recorder for the serving plane.
+
+Traces answer "where did the cycles go" for runs you chose to record;
+incidents happen on runs you didn't.  The flight recorder is the
+always-on middle ground: a bounded ring of cheap structured events
+(admissions, dispatches, retries, breaker transitions) plus, for the
+last N requests that failed / retried / missed a deadline, the full
+span tree of that request captured at the moment it went wrong.
+
+When something trips -- a circuit breaker opens, the chaos harness
+classifies a session unrecovered -- :meth:`FlightRecorder.dump` writes
+an **incident bundle**: a JSON file with the recent event ring, the
+captured request span trees, and the shared provenance stamp
+(:func:`repro.obs.stamp.run_stamp`), so a failure in CI reproduces as
+an artifact instead of a log line that scrolled away.
+
+The recorder is unconditionally cheap: recording an event is one deque
+append under a lock, and span trees are only materialised on the
+failure paths that capture them.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.stamp import run_stamp
+
+__all__ = ["FlightRecorder", "get_flight_recorder",
+           "set_flight_recorder"]
+
+LOG = logging.getLogger(__name__)
+
+#: Bundle schema identifier (bump on incompatible change).
+BUNDLE_SCHEMA = "repro.obs.flight/1"
+
+
+class FlightRecorder:
+    """Bounded event ring + last-N failed-request span trees.
+
+    Args:
+        max_events: Ring capacity for structured events; the oldest
+            events fall out first (counted, warned once).
+        max_incidents: How many captured request span trees to keep.
+    """
+
+    def __init__(self, max_events: int = 4096,
+                 max_incidents: int = 16):
+        if max_events < 1 or max_incidents < 1:
+            raise ValueError("ring capacities must be positive")
+        self._lock = threading.Lock()
+        self._events: Deque[dict] = deque(maxlen=max_events)
+        self._incidents: Deque[dict] = deque(maxlen=max_incidents)
+        self._seq = 0
+        self._dropped_events = 0
+        self._drop_warned = False
+        self._dumps = 0
+
+    # -- events ----------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one structured event to the ring."""
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self._dropped_events += 1
+                if not self._drop_warned:
+                    self._drop_warned = True
+                    LOG.warning(
+                        "flight recorder event ring full "
+                        "(max_events=%d); oldest events are being "
+                        "dropped", self._events.maxlen)
+            self._seq += 1
+            # ``rec_seq`` is the recorder's own monotone counter; a
+            # caller field named ``seq`` (e.g. a frame sequence
+            # number) must not clobber it.
+            self._events.append({
+                "rec_seq": self._seq,
+                "t": time.time(),
+                "kind": kind,
+                **fields,
+            })
+
+    # -- incidents -------------------------------------------------------
+
+    def incident(self, reason: str, trace_id: int = 0,
+                 spans: Optional[List[Dict[str, Any]]] = None,
+                 **fields) -> None:
+        """Capture one bad request: reason + its span tree (if traced)."""
+        with self._lock:
+            self._seq += 1
+            self._incidents.append({
+                "rec_seq": self._seq,
+                "t": time.time(),
+                "reason": reason,
+                "trace_id": trace_id,
+                "spans": spans or [],
+                **fields,
+            })
+        self.event("incident", reason=reason, trace_id=trace_id)
+
+    # -- reading / dumping ----------------------------------------------
+
+    def stats(self) -> dict:
+        """Occupancy and drop counters, JSON-ready."""
+        with self._lock:
+            return {
+                "events": len(self._events),
+                "max_events": self._events.maxlen,
+                "dropped_events": self._dropped_events,
+                "incidents": len(self._incidents),
+                "max_incidents": self._incidents.maxlen,
+                "dumps": self._dumps,
+            }
+
+    def bundle(self, reason: str = "", **context) -> dict:
+        """The current rings as one JSON-ready incident bundle."""
+        with self._lock:
+            events = list(self._events)
+            incidents = list(self._incidents)
+            dropped = self._dropped_events
+        return {
+            "schema": BUNDLE_SCHEMA,
+            "reason": reason,
+            "context": context,
+            "stamp": run_stamp(),
+            "dropped_events": dropped,
+            "events": events,
+            "incidents": incidents,
+        }
+
+    def dump(self, path, reason: str = "", **context) -> Path:
+        """Write :meth:`bundle` to ``path``; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.bundle(reason, **context), indent=1,
+                       default=str) + "\n")
+        with self._lock:
+            self._dumps += 1
+        LOG.warning("flight recorder dumped incident bundle to %s "
+                    "(reason: %s)", path, reason or "unspecified")
+        return path
+
+    def reset(self) -> None:
+        """Clear both rings and all counters (tests)."""
+        with self._lock:
+            self._events.clear()
+            self._incidents.clear()
+            self._seq = 0
+            self._dropped_events = 0
+            self._drop_warned = False
+            self._dumps = 0
+
+
+_RECORDER = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide default flight recorder."""
+    return _RECORDER
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> None:
+    """Swap the process-wide default recorder (tests)."""
+    global _RECORDER
+    _RECORDER = recorder

@@ -21,12 +21,15 @@ def setup_logging(verbose: bool = False,
                   stream=None) -> logging.Logger:
     """Configure console logging for the ``repro`` namespace.
 
-    Idempotent: repeated calls adjust the level but attach only one
-    handler.  Returns the ``repro`` root logger.
+    Idempotent: repeated calls adjust the level (and, if ``stream`` is
+    given, retarget the existing handler) but attach only one handler.
+    Returns the ``repro`` root logger.
 
     Args:
         verbose: DEBUG level when true, INFO otherwise.
-        stream: Output stream (default ``sys.stderr``).
+        stream: Output stream (default ``sys.stderr``).  Passing a
+            different stream on a later call redirects the already
+            attached handler rather than being silently ignored.
     """
     logger = logging.getLogger("repro")
     level = logging.DEBUG if verbose else logging.INFO
@@ -39,6 +42,15 @@ def setup_logging(verbose: bool = False,
         handler._repro_console = True
         handler.setFormatter(logging.Formatter(_FORMAT, _DATEFMT))
         logger.addHandler(handler)
+    elif stream is not None and handler.stream is not stream:
+        try:
+            handler.setStream(stream)
+        except (ValueError, OSError):
+            # setStream flushes the old stream first; if that stream
+            # is already closed (a captured stream of a finished test,
+            # a redirected pipe torn down by the caller), swap without
+            # the flush instead of failing the whole setup call.
+            handler.stream = stream
     handler.setLevel(level)
     # The CLIs are the top of the process; don't duplicate into root.
     logger.propagate = False

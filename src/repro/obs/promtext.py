@@ -1,0 +1,162 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+The status server's ``/metrics`` endpoint speaks the Prometheus
+text format (version 0.0.4) so the registry's counters, gauges and
+histograms can be scraped by any off-the-shelf collector.  The
+renderer maps the registry's snapshot directly:
+
+* counters gain the conventional ``_total`` suffix if missing,
+* histograms expand into cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count``,
+* label values are escaped per the spec (backslash, quote, newline).
+
+:func:`parse_prometheus_text` is the inverse used by tests and the CI
+smoke job: it validates that a scraped payload is well-formed and
+returns ``{metric_name: {frozenset(labels): value}}`` for assertions.
+No external client library is involved in either direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["render_prometheus_text", "parse_prometheus_text"]
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labelstr(labels: Dict[str, str], extra: Optional[Tuple[str, str]]
+              = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"'
+                    for k, v in items)
+    return "{" + body + "}"
+
+
+def _fmt(value) -> str:
+    value = float(value)
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus_text(registry: Optional[MetricsRegistry] = None
+                           ) -> str:
+    """The registry as Prometheus exposition text (trailing newline)."""
+    registry = registry or get_registry()
+    lines = []
+    for metric in registry.snapshot():
+        name = metric["name"]
+        kind = metric["type"]
+        if kind == "counter" and not name.endswith("_total"):
+            name += "_total"
+        if metric["description"]:
+            lines.append(f"# HELP {name} {metric['description']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in metric["series"]:
+            labels = series["labels"]
+            if kind == "histogram":
+                for bound, count in series["buckets"].items():
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labelstr(labels, ('le', bound))} "
+                        f"{_fmt(count)}")
+                lines.append(
+                    f"{name}_sum{_labelstr(labels)} "
+                    f"{_fmt(series['sum'])}")
+                lines.append(
+                    f"{name}_count{_labelstr(labels)} "
+                    f"{_fmt(series['count'])}")
+            else:
+                lines.append(
+                    f"{name}{_labelstr(labels)} "
+                    f"{_fmt(series['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq].strip().lstrip(",").strip()
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {body[eq:]!r}")
+        j = eq + 2
+        out = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                nxt = body[j + 1]
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                j += 2
+            else:
+                out.append(body[j])
+                j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus_text(text: str
+                          ) -> Dict[str, Dict[FrozenSet, float]]:
+    """Parse exposition text back into ``name -> {labelset: value}``.
+
+    Raises ``ValueError`` on malformed lines, which is what makes it
+    usable as a validator for scraped ``/metrics`` payloads.
+    """
+    samples: Dict[str, Dict[FrozenSet, float]] = {}
+    typed = set()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(
+                    f"line {lineno}: malformed comment {raw!r}")
+            if parts[1] == "TYPE":
+                typed.add(parts[2])
+            continue
+        if "{" in line:
+            brace = line.index("{")
+            close = line.rindex("}")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close])
+            rest = line[close + 1:].split()
+        else:
+            fields = line.split()
+            name, labels, rest = fields[0], {}, fields[1:]
+        if not rest:
+            raise ValueError(f"line {lineno}: missing value in {raw!r}")
+        value = float(rest[0].replace("+Inf", "inf")
+                      .replace("-Inf", "-inf"))
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        samples.setdefault(name, {})[
+            frozenset(labels.items())] = value
+    # Every sample family must trace back to a TYPE comment (histogram
+    # samples use the base name + _bucket/_sum/_count suffixes).
+    for name in samples:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and \
+                    name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            raise ValueError(f"sample {name!r} has no # TYPE line")
+    return samples

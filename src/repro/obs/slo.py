@@ -1,0 +1,194 @@
+"""Rolling-window SLO engine for the serving plane.
+
+The paper's end-to-end claim is frames-per-second under a real
+workload; a serving deployment restates that as an SLO: request
+latency quantiles, queue wait, goodput, deadline-miss rate, and how
+fast the error budget is burning.  :class:`SloEngine` computes all of
+them over a sliding time window with **exact** quantiles (the window
+is bounded, so sorting it is cheap at frame-rate call sites -- no
+sketching, no drift), which keeps ``BENCH_serve.json`` numbers
+reproducible run-over-run.
+
+Outcomes fold in from three places in the serve stack:
+
+* pool workers record ``ok`` / ``error`` completions with their
+  end-to-end latency (queue wait + service time),
+* the scheduler records ``deadline_miss`` when a queued frame expires
+  and ``rejected`` when admission backpressures,
+* :meth:`SloEngine.snapshot` is surfaced by ``VOService.stats()``,
+  the ``/slo`` status endpoint, and the BENCH_serve report.
+
+The **error budget** follows the classic SRE formulation: with an
+availability target of ``a`` the budget is an error fraction of
+``1 - a``; the burn rate is the observed error fraction divided by
+that budget (1.0 = burning exactly at budget; >1 = the window is
+eating future budget).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+__all__ = ["SloTargets", "SloEngine", "percentile"]
+
+#: Recognised request outcomes.
+OUTCOMES = ("ok", "error", "deadline_miss", "rejected")
+
+
+def percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of a list (``q`` in [0, 100]).
+
+    Returns None for an empty list.  ``values`` may be unsorted.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = int(round(q / 100.0 * (len(ordered) - 1)))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class SloTargets:
+    """The service-level objectives a snapshot is judged against."""
+
+    #: Target fraction of non-error completions (deadline misses and
+    #: errors both count against it; admission rejections do not --
+    #: backpressure is the contract, not a failure).
+    availability: float = 0.999
+    #: Target p99 end-to-end latency in seconds (None = no latency
+    #: objective).
+    p99_latency_s: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError("availability must be in (0, 1)")
+
+
+class SloEngine:
+    """Sliding-window request outcomes with exact quantiles.
+
+    Thread-safe; ``record`` is a deque append plus bookkeeping, cheap
+    enough for per-request call sites.  The window is bounded both in
+    time (``window_s``) and count (``max_samples``, a ring: the oldest
+    samples fall out first and are counted in ``dropped_samples``).
+    """
+
+    def __init__(self, window_s: float = 60.0,
+                 targets: Optional[SloTargets] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 max_samples: int = 65536):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self.window_s = window_s
+        self.targets = targets or SloTargets()
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: (t, outcome, latency_s, queue_s) samples, oldest first.
+        self._samples: Deque[Tuple[float, str, Optional[float],
+                                   Optional[float]]] = \
+            deque(maxlen=max_samples)
+        self._dropped = 0
+        self._started_at = clock()
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, outcome: str, latency_s: Optional[float] = None,
+               queue_s: Optional[float] = None) -> None:
+        """Fold one request outcome into the window."""
+        if outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown outcome {outcome!r}; choose from {OUTCOMES}")
+        with self._lock:
+            if len(self._samples) == self._samples.maxlen:
+                self._dropped += 1
+            self._samples.append((self._clock(), outcome,
+                                  latency_s, queue_s))
+
+    def reset(self) -> None:
+        """Drop every sample and restart the window."""
+        with self._lock:
+            self._samples.clear()
+            self._dropped = 0
+            self._started_at = self._clock()
+
+    # -- reading ---------------------------------------------------------
+
+    def _window(self) -> Tuple[list, float, int]:
+        """Prune and copy the live window (returns samples, now, drops)."""
+        with self._lock:
+            now = self._clock()
+            horizon = now - self.window_s
+            while self._samples and self._samples[0][0] < horizon:
+                self._samples.popleft()
+            return list(self._samples), now, self._dropped
+
+    def snapshot(self) -> dict:
+        """JSON-ready SLO state of the current window."""
+        samples, now, dropped = self._window()
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        latencies: List[float] = []
+        queue_waits: List[float] = []
+        for _, outcome, latency_s, queue_s in samples:
+            counts[outcome] += 1
+            if latency_s is not None:
+                latencies.append(latency_s)
+            if queue_s is not None:
+                queue_waits.append(queue_s)
+
+        completed = counts["ok"] + counts["error"] + \
+            counts["deadline_miss"]
+        bad = counts["error"] + counts["deadline_miss"]
+        error_rate = bad / completed if completed else 0.0
+        miss_rate = counts["deadline_miss"] / completed \
+            if completed else 0.0
+        # Goodput divides by the window actually covered so a service
+        # younger than the window is not under-reported.
+        coverage_s = min(self.window_s, max(now - self._started_at,
+                                            1e-9))
+        allowed = 1.0 - self.targets.availability
+        p99 = percentile(latencies, 99)
+        p99_ok: Optional[bool] = None
+        if self.targets.p99_latency_s is not None and p99 is not None:
+            p99_ok = p99 <= self.targets.p99_latency_s
+        return {
+            "window_s": self.window_s,
+            "samples": len(samples),
+            "dropped_samples": dropped,
+            "counts": counts,
+            "goodput_rps": counts["ok"] / coverage_s,
+            "latency_s": self._quantiles(latencies),
+            "queue_s": self._quantiles(queue_waits),
+            "deadline_miss_rate": miss_rate,
+            "error_rate": error_rate,
+            "availability": 1.0 - error_rate,
+            "error_budget": {
+                "target_availability": self.targets.availability,
+                "allowed_error_rate": allowed,
+                "observed_error_rate": error_rate,
+                "burn_rate": error_rate / allowed if allowed else None,
+                "remaining_fraction": max(
+                    0.0, 1.0 - (error_rate / allowed)) if allowed
+                    else None,
+            },
+            "targets": {
+                "availability": self.targets.availability,
+                "p99_latency_s": self.targets.p99_latency_s,
+            },
+            "p99_within_target": p99_ok,
+        }
+
+    @staticmethod
+    def _quantiles(values: List[float]) -> dict:
+        return {
+            "p50": percentile(values, 50),
+            "p95": percentile(values, 95),
+            "p99": percentile(values, 99),
+            "max": max(values) if values else None,
+            "mean": sum(values) / len(values) if values else None,
+        }

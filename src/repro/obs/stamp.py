@@ -1,0 +1,53 @@
+"""One shared provenance stamp for every emitted artifact.
+
+``BENCH_pim.json`` established the attribution contract: every
+committed artifact carries the git revision, a timestamp, and the
+toolchain versions that produced it, so the PR-over-PR trajectory
+stays comparable.  ``BENCH_serve.json``, ``chaos_report.json`` and the
+flight-recorder incident bundles reuse the same stamp through
+:func:`run_stamp` instead of growing their own variants.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["git_sha", "run_stamp"]
+
+
+def git_sha() -> Optional[str]:
+    """Current repository revision, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10, check=True)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+def run_stamp() -> Dict[str, Optional[str]]:
+    """Provenance fields in the ``BENCH_pim.json`` stamp format.
+
+    Keys: ``timestamp`` (local ISO-8601), ``git_sha``, ``python``,
+    ``numpy``, ``machine``.
+    """
+    try:
+        import numpy as np
+        numpy_version = np.__version__
+    except ImportError:                      # pragma: no cover
+        numpy_version = None
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "machine": platform.machine(),
+    }

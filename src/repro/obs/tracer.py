@@ -24,21 +24,41 @@ uninstrumented run.
 Thread-safety: the span stack is thread-local; finished spans and span
 id allocation are guarded by a lock; each span records its thread so
 exporters can lay out one track per thread.
+
+Cross-thread trees: a span opened with an explicit ``parent``
+(:class:`~repro.obs.context.TraceContext`) joins that remote tree
+instead of the local stack top, and :meth:`Tracer.begin` opens a
+detached :class:`~repro.obs.context.SpanHandle` that can be finished
+from any thread -- see :mod:`repro.obs.context`.  Every span carries a
+``trace_id`` (its root's span id), so one request's spans can be
+collected afterwards with :meth:`Tracer.spans_for_trace`.
+
+Finished spans live in a bounded ring (``max_spans``): when a long run
+overflows it, the oldest spans are dropped, a one-line warning is
+emitted on the first drop, and every drop is counted in the
+``obs_tracer_spans_dropped_total`` metric so silent span loss under
+heavy load is visible.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.obs.context import NULL_HANDLE, SpanHandle, TraceContext
 
 __all__ = [
     "CLOCK", "SimClock", "Span", "Tracer",
     "annotate", "current_span", "disable_tracing", "enable_tracing",
     "get_tracer", "set_tracer", "span", "tracing_enabled",
 ]
+
+log = logging.getLogger(__name__)
 
 
 class SimClock:
@@ -80,11 +100,15 @@ class Span:
     Attributes:
         name: Span label (``"lpf"``, ``"frame"``, ...).
         category: Coarse grouping for exporters (``"kernel"``,
-            ``"frame"``, ``"vo"``, ``"replay"``...).
+            ``"frame"``, ``"vo"``, ``"replay"``, ``"serve"``...).
         span_id: Unique id, allocated in start order.
         parent_id: Enclosing span's id (None for roots).
+        trace_id: Span id of this tree's root (equals ``span_id``
+            for a root span) -- shared by every span of one request.
         thread: Native thread id the span ran on.
         ts: Simulated-cycle timestamp at span start (shared clock).
+        wall_ts: Host ``perf_counter`` timestamp at span start, for
+            the wall-clock export timeline.
         dur: Simulated cycles elapsed on the shared clock.
         cycles: Device-ledger cycle delta (None when no device given).
             Equals ``dur`` when the span's device is the only one
@@ -101,8 +125,10 @@ class Span:
     category: str = ""
     span_id: int = 0
     parent_id: Optional[int] = None
+    trace_id: int = 0
     thread: int = 0
     ts: int = 0
+    wall_ts: float = 0.0
     dur: int = 0
     cycles: Optional[int] = None
     ledger: Optional[Any] = None
@@ -120,6 +146,33 @@ class Span:
             "mem_wr": int(self.ledger.sram_writes),
             "tmp_reg": int(self.ledger.tmp_accesses),
         }
+
+    def context(self) -> TraceContext:
+        """This span as a parent context for cross-thread children."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record (flight-recorder incident bundles)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "thread": self.thread,
+            "ts": int(self.ts),
+            "dur": int(self.dur),
+            "wall_ts": float(self.wall_ts),
+            "wall_s": float(self.wall_s),
+            "attrs": dict(self.attrs),
+        }
+        if self.cycles is not None:
+            record["cycles"] = int(self.cycles)
+        if self.energy_pj is not None:
+            record["energy_pj"] = float(self.energy_pj)
+        if self.ledger is not None:
+            record["accesses"] = self.accesses
+        return record
 
 
 class _NullSpan:
@@ -143,25 +196,34 @@ _NULL_SPAN = _NullSpan()
 class _ActiveSpan:
     """Context manager for one live span of an enabled tracer."""
 
-    __slots__ = ("_tracer", "_span", "_device", "_snapshot", "_wall")
+    __slots__ = ("_tracer", "_span", "_device", "_snapshot", "_wall",
+                 "_explicit")
 
-    def __init__(self, tracer: "Tracer", span: Span, device) -> None:
+    def __init__(self, tracer: "Tracer", span: Span, device,
+                 explicit_parent: bool = False) -> None:
         self._tracer = tracer
         self._span = span
         self._device = device
         self._snapshot = None
         self._wall = 0.0
+        self._explicit = explicit_parent
 
     def set_attr(self, key: str, value) -> None:
         """Attach an attribute to the span while it is open."""
         self._span.attrs[key] = value
+
+    @property
+    def context(self) -> TraceContext:
+        """The open span as a parent context for remote children."""
+        return self._span.context()
 
     def __enter__(self) -> "_ActiveSpan":
         if self._device is not None:
             self._snapshot = self._device.ledger.snapshot()
         self._span.ts = CLOCK.now()
         self._wall = time.perf_counter()
-        self._tracer._push(self._span)
+        self._span.wall_ts = self._wall
+        self._tracer._push(self._span, explicit=self._explicit)
         return self
 
     def __exit__(self, *exc) -> None:
@@ -177,14 +239,30 @@ class _ActiveSpan:
 
 
 class Tracer:
-    """Collects spans when enabled; a strict no-op otherwise."""
+    """Collects spans when enabled; a strict no-op otherwise.
 
-    def __init__(self, enabled: bool = False):
+    ``max_spans`` bounds the finished-span ring: a run that outgrows
+    it keeps the *newest* spans, warns once, and counts every dropped
+    span (``dropped_spans`` and the
+    ``obs_tracer_spans_dropped_total`` metric).
+    """
+
+    #: Default finished-span ring capacity.
+    DEFAULT_MAX_SPANS = 200_000
+
+    def __init__(self, enabled: bool = False,
+                 max_spans: Optional[int] = None):
         self.enabled = enabled
+        self.max_spans = self.DEFAULT_MAX_SPANS if max_spans is None \
+            else int(max_spans)
+        if self.max_spans < 1:
+            raise ValueError("max_spans must be positive")
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._local = threading.local()
-        self._finished: List[Span] = []
+        self._finished: Deque[Span] = deque(maxlen=self.max_spans)
+        self._dropped = 0
+        self._drop_warned = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -203,14 +281,28 @@ class Tracer:
     def reset(self) -> None:
         """Drop all finished spans and rewind the cycle clock."""
         with self._lock:
-            self._finished = []
+            self._finished = deque(maxlen=self.max_spans)
             self._ids = itertools.count(1)
+            self._dropped = 0
+            self._drop_warned = False
         CLOCK.reset()
 
     # -- span API --------------------------------------------------------
 
+    def _new_span(self, name: str, category: str, parent,
+                  attrs: Dict[str, Any]) -> Span:
+        """Allocate a span record, resolving an explicit parent."""
+        with self._lock:
+            span_id = next(self._ids)
+        record = Span(name=name, category=category, span_id=span_id,
+                      thread=threading.get_ident(), attrs=attrs)
+        if parent is not None:
+            record.parent_id = parent.span_id
+            record.trace_id = parent.trace_id or parent.span_id
+        return record
+
     def span(self, name: str, device=None, category: str = "",
-             **attrs):
+             parent: Optional[TraceContext] = None, **attrs):
         """Open a span; returns a context manager.
 
         Args:
@@ -218,15 +310,37 @@ class Tracer:
             device: Optional PIM device whose ledger delta the span
                 should capture (entry/exit snapshots).
             category: Coarse grouping used by exporters.
+            parent: Explicit parent (a
+                :class:`~repro.obs.context.TraceContext` or
+                :class:`Span`) overriding the thread-local stack top
+                -- the cross-thread propagation path.  The span still
+                pushes onto *this* thread's stack, so nested work
+                joins the remote tree automatically.
             **attrs: Initial span attributes.
         """
         if not self.enabled:
             return _NULL_SPAN
-        with self._lock:
-            span_id = next(self._ids)
-        record = Span(name=name, category=category, span_id=span_id,
-                      thread=threading.get_ident(), attrs=dict(attrs))
-        return _ActiveSpan(self, record, device)
+        record = self._new_span(name, category, parent, dict(attrs))
+        return _ActiveSpan(self, record, device,
+                           explicit_parent=parent is not None)
+
+    def begin(self, name: str, category: str = "",
+              parent: Optional[TraceContext] = None, **attrs):
+        """Open a detached span finishable from any thread.
+
+        Returns a :class:`~repro.obs.context.SpanHandle` (or a shared
+        no-op handle while disabled).  The span never joins a thread's
+        stack; its parent is ``parent`` (or it roots a new trace).
+        """
+        if not self.enabled:
+            return NULL_HANDLE
+        record = self._new_span(name, category, parent, dict(attrs))
+        if record.trace_id == 0:
+            record.trace_id = record.span_id
+        record.ts = CLOCK.now()
+        wall = time.perf_counter()
+        record.wall_ts = wall
+        return SpanHandle(self, record, wall)
 
     def annotate(self, key: str, value) -> None:
         """Set an attribute on the innermost open span, if any."""
@@ -262,6 +376,16 @@ class Tracer:
         """Finished spans with no parent."""
         return [s for s in self.spans if s.parent_id is None]
 
+    def spans_for_trace(self, trace_id: int) -> List[Span]:
+        """Finished spans of one trace, in completion order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    @property
+    def dropped_spans(self) -> int:
+        """Finished spans evicted from the ring since the last reset."""
+        with self._lock:
+            return self._dropped
+
     # -- internals -------------------------------------------------------
 
     def _stack(self) -> List[Span]:
@@ -270,18 +394,53 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def _push(self, span: Span) -> None:
+    def _push(self, span: Span, explicit: bool = False) -> None:
         stack = self._stack()
-        if stack:
+        if stack and not explicit:
             span.parent_id = stack[-1].span_id
+            span.trace_id = stack[-1].trace_id
+        if span.trace_id == 0:
+            span.trace_id = span.span_id
         stack.append(span)
+
+    def _record(self, span: Span) -> None:
+        """Append a finished span, evicting at the ring cap."""
+        warn = dropped = False
+        with self._lock:
+            if len(self._finished) >= self.max_spans:
+                self._finished.popleft()
+                self._dropped += 1
+                dropped = True
+                if not self._drop_warned:
+                    self._drop_warned = warn = True
+            self._finished.append(span)
+        if warn:
+            log.warning(
+                "tracer span ring full (cap %d): dropping oldest "
+                "spans; see obs_tracer_spans_dropped_total",
+                self.max_spans)
+        if dropped:
+            _dropped_counter().inc()
 
     def _pop(self, span: Span) -> None:
         stack = self._stack()
         if stack and stack[-1] is span:
             stack.pop()
-        with self._lock:
-            self._finished.append(span)
+        self._record(span)
+
+    def _finish_detached(self, span: Span, wall_start: float) -> None:
+        """Close a :meth:`begin` span (called by its handle)."""
+        span.wall_s = time.perf_counter() - wall_start
+        span.dur = CLOCK.now() - span.ts
+        self._record(span)
+
+
+def _dropped_counter():
+    """The shared span-drop counter (lazy: avoids an import cycle)."""
+    from repro.obs.metrics import get_registry
+    return get_registry().counter(
+        "obs_tracer_spans_dropped_total",
+        "Finished spans evicted from the tracer ring buffer")
 
 
 _TRACER = Tracer()
@@ -298,9 +457,11 @@ def set_tracer(tracer: Tracer) -> None:
     _TRACER = tracer
 
 
-def span(name: str, device=None, category: str = "", **attrs):
+def span(name: str, device=None, category: str = "",
+         parent: Optional[TraceContext] = None, **attrs):
     """Open a span on the default tracer (no-op when disabled)."""
-    return _TRACER.span(name, device=device, category=category, **attrs)
+    return _TRACER.span(name, device=device, category=category,
+                        parent=parent, **attrs)
 
 
 def annotate(key: str, value) -> None:

@@ -748,6 +748,7 @@ class PIMDevice(_DeviceCore):
 
         Returns the name of the first hazard rule that fired --
         ``"fault-injection-active"``, ``"bases-not-increasing"``,
+        ``"precision-switch-mid-program"``,
         ``"register-reuse-hazard"``, ``"rel-aliasing-within-span"``,
         ``"abs-write-aliases-rel-row"`` or
         ``"abs-read-aliases-rel-write"`` -- so auto-mode fallbacks
@@ -763,6 +764,12 @@ class PIMDevice(_DeviceCore):
         if len(bases) > 1 and any(b2 <= b1 for b1, b2 in
                                   zip(bases, bases[1:])):
             return "bases-not-increasing"
+        if len(bases) > 1 and not program.precision_stable:
+            # Eager replay is base-major: a precision switch recorded
+            # after a compute op persists into the next base's replay
+            # of the earlier ops, so op-major execution would compute
+            # (and charge) those ops at the wrong precision.
+            return "precision-switch-mid-program"
         if len(bases) > 1 and not program.registers_ok:
             return "register-reuse-hazard"
         if len(bases) > 1 and not program.rel_order_safe:

@@ -166,6 +166,7 @@ class PIMProgram:
     batchable: bool = field(init=False)
     registers_ok: bool = field(init=False)
     rel_order_safe: bool = field(init=False)
+    precision_stable: bool = field(init=False)
     rel_read_offsets: FrozenSet[int] = field(init=False)
     rel_write_offsets: FrozenSet[int] = field(init=False)
     abs_read_rows: FrozenSet[int] = field(init=False)
@@ -192,6 +193,21 @@ class PIMProgram:
             if isinstance(o, int) and not isinstance(o, Rel) else None)
         object.__setattr__(self, "registers_ok", tmp_ok and abs_ok)
         object.__setattr__(self, "rel_order_safe", _rel_hazards_ok(body))
+        # Eager replay is base-major: a set_precision recorded after a
+        # compute op persists into the next base's replay of the ops
+        # before it, which op-major (vectorized) execution cannot
+        # reproduce.  Leading switches are safe -- replay resets to
+        # initial_precision, so every base sees them before computing.
+        seen_compute = False
+        stable = True
+        for op in self.ops:
+            if op.method == "set_precision":
+                if seen_compute:
+                    stable = False
+                    break
+            else:
+                seen_compute = True
+        object.__setattr__(self, "precision_stable", stable)
         object.__setattr__(self, "batchable",
                            tmp_ok and abs_ok and self.rel_order_safe)
 

@@ -21,7 +21,12 @@ This package is that serving layer for the simulated stack:
   :class:`TrackResult`.
 * :mod:`repro.serve.loadgen` -- a K-client closed-loop load generator
   with retry-on-backpressure and a JSON throughput/latency report
-  (:func:`run_load`), also behind ``python -m repro.serve``.
+  (:func:`run_load`), also behind ``python -m repro.serve``; the
+  stamped serving benchmark lands in ``BENCH_serve.json``
+  (:func:`write_bench_report`).
+* :mod:`repro.serve.status` -- a stdlib HTTP status endpoint
+  (:class:`StatusServer`): ``/metrics`` (Prometheus text),
+  ``/healthz``, ``/slo``, ``/flightrecorder``.
 
 Per-session results are bit-identical to solo tracker runs; see
 ``docs/serving.md`` for the architecture and the backpressure
@@ -40,7 +45,9 @@ from repro.serve.loadgen import (
     service_trajectories,
     solo_trajectories,
     trajectories_match,
+    write_bench_report,
 )
+from repro.serve.status import StatusServer
 from repro.serve.pool import CircuitBreaker, DevicePool, TrackResult
 from repro.serve.scheduler import (
     Backpressure,
@@ -60,6 +67,7 @@ __all__ = [
     "FifoScheduler",
     "Session",
     "SessionManager",
+    "StatusServer",
     "TrackResult",
     "VOService",
     "WorkItem",
@@ -68,4 +76,5 @@ __all__ = [
     "service_trajectories",
     "solo_trajectories",
     "trajectories_match",
+    "write_bench_report",
 ]

@@ -22,6 +22,7 @@ from repro.serve.loadgen import (
     service_trajectories,
     solo_trajectories,
     trajectories_match,
+    write_bench_report,
 )
 from repro.serve.service import _FRONTENDS, VOService
 from repro.vo.config import TrackerConfig
@@ -63,6 +64,15 @@ def main(argv=None) -> int:
                         help="persist recorded PIM programs in DIR; a "
                              "second serve process pointed at the same "
                              "directory warm-starts without recording")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        help="per-request queue deadline; expired "
+                             "frames are dropped and counted")
+    parser.add_argument("--status-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics, /healthz, /slo and "
+                             "/flightrecorder on PORT while the load "
+                             "runs (0 = ephemeral); the final scrape "
+                             "is saved to <out>/metrics.prom")
     parser.add_argument("--out", default="serve_output",
                         help="output directory for the report")
     parser.add_argument("--smoke", action="store_true",
@@ -96,10 +106,32 @@ def main(argv=None) -> int:
                    max_batch=args.batch,
                    min_service_s=args.min_service_s,
                    device_clock_hz=args.clock_hz,
-                   program_store=args.program_store) as service:
-        report, clients = run_load(service, workload)
-        if service.program_store is not None:
-            report["programs"] = service.stats()["programs"]
+                   program_store=args.program_store,
+                   incident_dir=out) as service:
+        status = None
+        if args.status_port is not None:
+            from repro.serve.status import StatusServer
+            status = StatusServer(service,
+                                  port=args.status_port).start()
+        try:
+            report, clients = run_load(service, workload,
+                                       deadline_s=args.deadline_s)
+            if service.program_store is not None:
+                report["programs"] = service.stats()["programs"]
+            if status is not None:
+                # Scrape our own /metrics endpoint -- the same bytes a
+                # collector would pull -- so the artifact proves the
+                # exposition is live and parseable.
+                from urllib.request import urlopen
+                with urlopen(f"{status.url}/metrics",
+                             timeout=10) as resp:
+                    prom_path = out / "metrics.prom"
+                    prom_path.write_bytes(resp.read())
+                    log.info("scraped %s/metrics -> %s", status.url,
+                             prom_path)
+        finally:
+            if status is not None:
+                status.stop()
 
     failures = []
     if args.smoke:
@@ -125,9 +157,11 @@ def main(argv=None) -> int:
     report_path = out / "serve_report.json"
     report_path.write_text(json.dumps(report, indent=2,
                                       default=float) + "\n")
-    log.info("throughput %.1f frames/s, queue p95 %s s; wrote %s",
-             report["throughput_fps"],
-             report["queue_latency_s"]["p95"], report_path)
+    bench_path = write_bench_report(report, out / "BENCH_serve.json")
+    log.info("throughput %.1f frames/s, queue p95 %s s; wrote %s "
+             "and %s", report["throughput_fps"],
+             report["queue_latency_s"]["p95"], report_path,
+             bench_path)
     return 1 if failures else 0
 
 

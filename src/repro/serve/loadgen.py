@@ -17,6 +17,7 @@ for the zero-cross-session-corruption check
 
 from __future__ import annotations
 
+import json
 import logging
 import threading
 import time
@@ -32,14 +33,16 @@ from repro.dataset.sequences import (
 )
 from repro.geometry.camera import TUM_QVGA
 from repro.obs.metrics import get_registry
+from repro.obs.slo import percentile
+from repro.obs.stamp import run_stamp
 from repro.serve.pool import TrackResult
-from repro.serve.scheduler import Backpressure
+from repro.serve.scheduler import Backpressure, DeadlineExceeded
 from repro.vo.config import TrackerConfig
 from repro.vo.tracker import EBVOTracker
 
 __all__ = ["ClientStats", "build_workload", "run_load",
-           "service_trajectories", "solo_trajectories",
-           "trajectories_match"]
+           "write_bench_report", "service_trajectories",
+           "solo_trajectories", "trajectories_match"]
 
 log = logging.getLogger(__name__)
 
@@ -53,6 +56,7 @@ class ClientStats:
     results: List[TrackResult] = field(default_factory=list)
     retries: int = 0
     errors: int = 0
+    deadline_misses: int = 0
 
 
 def build_workload(sessions: int = 3, frames: int = 20,
@@ -73,22 +77,22 @@ def build_workload(sessions: int = 3, frames: int = 20,
     return workload
 
 
-def _percentile(values: List[float], q: float) -> float:
-    """Nearest-rank percentile of a non-empty list (q in [0, 100])."""
-    ordered = sorted(values)
-    rank = int(round(q / 100.0 * (len(ordered) - 1)))
-    return ordered[rank]
-
-
 def _client(service, sid: str, sequence: SyntheticSequence,
-            stats: ClientStats, max_retries: int) -> None:
+            stats: ClientStats, max_retries: int,
+            deadline_s=None) -> None:
     for frame in sequence.frames:
         attempts = 0
         while True:
             try:
                 result = service.submit(sid, frame.gray, frame.depth,
-                                        frame.timestamp)
+                                        frame.timestamp,
+                                        deadline_s=deadline_s)
                 stats.results.append(result)
+                break
+            except DeadlineExceeded:
+                # The frame went stale in the queue; the camera model
+                # drops it and moves on to the next capture.
+                stats.deadline_misses += 1
                 break
             except Backpressure as bp:
                 attempts += 1
@@ -102,14 +106,16 @@ def _client(service, sid: str, sequence: SyntheticSequence,
 
 
 def run_load(service, workload: Dict[str, SyntheticSequence],
-             max_retries: int = 1000):
+             max_retries: int = 1000, deadline_s=None):
     """Drive the workload to completion; ``(report, clients)``.
 
     ``report`` is JSON-ready serving metrics; ``clients`` carries the
     raw per-frame :class:`TrackResult` lists for correctness checks
     (:func:`service_trajectories`).  The service must already be
     started; the caller owns its lifecycle (so one service can be
-    measured under several workloads).
+    measured under several workloads).  With ``deadline_s`` set,
+    every submission carries that per-request deadline and expired
+    frames are dropped (counted per client and in the report).
     """
     rejected_before = get_registry().counter(
         "serve_admission_rejected_total").total()
@@ -118,7 +124,7 @@ def run_load(service, workload: Dict[str, SyntheticSequence],
     threads = [
         threading.Thread(target=_client, name=f"loadgen-{c.sid}",
                          args=(service, c.sid, workload[c.sid], c,
-                               max_retries))
+                               max_retries, deadline_s))
         for c in clients]
     t0 = time.perf_counter()
     for t in threads:
@@ -139,9 +145,9 @@ def run_load(service, workload: Dict[str, SyntheticSequence],
         "wall_s": wall_s,
         "throughput_fps": len(results) / wall_s if wall_s else 0.0,
         "queue_latency_s": {
-            "p50": _percentile(queue_s, 50) if queue_s else None,
-            "p95": _percentile(queue_s, 95) if queue_s else None,
-            "p99": _percentile(queue_s, 99) if queue_s else None,
+            "p50": percentile(queue_s, 50),
+            "p95": percentile(queue_s, 95),
+            "p99": percentile(queue_s, 99),
             "max": max(queue_s) if queue_s else None,
         },
         "service_s_mean": (sum(r.service_s for r in results) /
@@ -150,6 +156,7 @@ def run_load(service, workload: Dict[str, SyntheticSequence],
             sum(r.device_cycles for r in results) / len(results)
         ) if results else None,
         "retries": sum(c.retries for c in clients),
+        "deadline_misses": sum(c.deadline_misses for c in clients),
         "rejections": int(get_registry().counter(
             "serve_admission_rejected_total").total() -
             rejected_before),
@@ -161,15 +168,38 @@ def run_load(service, workload: Dict[str, SyntheticSequence],
             "frames": len(c.results),
             "retries": c.retries,
             "errors": c.errors,
+            "deadline_misses": c.deadline_misses,
             "workers_used": sorted({r.worker for r in c.results}),
         } for c in clients},
     }
+    slo = getattr(service, "slo", None)
+    if slo is not None:
+        report["slo"] = slo.snapshot()
     log.info("load complete: %d frames in %.2fs (%.1f fps), "
              "queue p95 %s, %d rejections",
              report["frames_tracked"], wall_s,
              report["throughput_fps"],
              report["queue_latency_s"]["p95"], report["rejections"])
     return report, clients
+
+
+def write_bench_report(report: dict, path) -> "Path":
+    """Write ``BENCH_serve.json``: the loadgen report plus provenance.
+
+    The stamp (git SHA, timestamp, toolchain versions) follows the
+    ``BENCH_pim.json`` format so serving benchmarks stay attributable
+    across the PR sequence exactly like the kernel benchmarks.
+    """
+    from pathlib import Path
+    payload = {
+        "benchmark": "vo-serve-loadgen",
+        **run_stamp(),
+        **report,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2,
+                               default=float) + "\n")
+    return path
 
 
 def service_trajectories(clients_or_results) -> Dict[str, List]:

@@ -45,7 +45,10 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.geometry.se3 import SE3
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import get_registry
+from repro.obs.slo import SloEngine
+from repro.obs.tracer import get_tracer
 from repro.serve.scheduler import FifoScheduler, WorkItem
 from repro.serve.session import SessionManager
 from repro.vo.health import OK
@@ -163,7 +166,10 @@ class PoolWorker:
                  max_retries: int = 1,
                  retry_backoff_s: float = 0.01,
                  breaker_threshold: int = 3,
-                 breaker_cooldown_s: float = 0.25):
+                 breaker_cooldown_s: float = 0.25,
+                 slo: Optional[SloEngine] = None,
+                 flight: Optional[FlightRecorder] = None,
+                 incident_dir=None):
         self.index = index
         self.scheduler = scheduler
         self.sessions = sessions
@@ -172,6 +178,9 @@ class PoolWorker:
         self.device_clock_hz = device_clock_hz
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.slo = slo
+        self.flight = flight
+        self.incident_dir = incident_dir
         self.busy_s = 0.0
         self.frames = 0
         self._stop = threading.Event()
@@ -219,6 +228,26 @@ class PoolWorker:
         self._circuit_gauge.set(CircuitBreaker.STATE_CODES[new],
                                 worker=self.index)
         self._circuit_transitions.inc(worker=self.index, to=new)
+        if self.flight is not None:
+            self.flight.event("breaker_transition", worker=self.index,
+                              old=old, new=new)
+            if new == CircuitBreaker.OPEN:
+                # An opening breaker is the canonical incident: dump
+                # the flight recorder so the lead-up survives the run.
+                self.flight.incident("breaker_open",
+                                     worker=self.index)
+                if self.incident_dir is not None:
+                    from pathlib import Path
+                    path = Path(self.incident_dir) / (
+                        f"incident_breaker_worker{self.index}_"
+                        f"{self.breaker.trips_total}.json")
+                    try:
+                        self.flight.dump(path, reason="breaker_open",
+                                         worker=self.index)
+                    except OSError:
+                        log.exception(
+                            "failed to dump incident bundle to %s",
+                            path)
 
     # -- device plumbing -------------------------------------------------
 
@@ -265,6 +294,9 @@ class PoolWorker:
             dev.reset()
             evicted += 1
             self._evictions_ctr.inc(worker=self.index, reason=reason)
+            if self.flight is not None:
+                self.flight.event("device_eviction",
+                                  worker=self.index, reason=reason)
         return evicted
 
     # -- the frame loop --------------------------------------------------
@@ -287,9 +319,9 @@ class PoolWorker:
             try:
                 return self.tracker.process(gray, depth,
                                             timestamp), attempt
-            except Exception:
-                state.rollback(point)
+            except Exception as exc:
                 if attempt >= self.max_retries:
+                    state.rollback(point)
                     raise
                 attempt += 1
                 self._retries_ctr.inc(worker=self.index)
@@ -298,14 +330,43 @@ class PoolWorker:
                     "(attempt %d/%d)", self.index, item.session,
                     item.seq, attempt, self.max_retries,
                     exc_info=True)
-                # Device state is the usual culprit: return to
-                # power-on before the retry touches it again.
-                self._reset_devices()
+                if self.flight is not None:
+                    self.flight.event(
+                        "retry", worker=self.index,
+                        session=item.session, seq=item.seq,
+                        attempt=attempt, error=type(exc).__name__)
+                # The rollback is part of the request's span tree: it
+                # runs on the worker thread inside the "track" span,
+                # so implicit stacking parents it correctly.
+                with get_tracer().span(
+                        "rollback", category="serve",
+                        attempt=attempt, error=type(exc).__name__):
+                    state.rollback(point)
+                    # Device state is the usual culprit: return to
+                    # power-on before the retry touches it again.
+                    self._reset_devices()
                 if self.retry_backoff_s > 0:
                     time.sleep(self.retry_backoff_s * attempt)
 
     def _process(self, item: WorkItem) -> None:
+        # The track span joins the request's trace via the carried
+        # context; kernel/frame spans opened by the tracker on this
+        # thread nest under it through the thread-local stack.  The
+        # future completes only after the span is recorded, so a
+        # client waking on the result can capture the full tree.
+        with get_tracer().span("track", category="serve",
+                               parent=item.ctx, session=item.session,
+                               seq=item.seq,
+                               worker=self.index) as tspan:
+            kind, value = self._process_traced(item, tspan)
+        if kind == "ok":
+            item.future.set_result(value)
+        else:
+            item.future.set_exception(value)
+
+    def _process_traced(self, item: WorkItem, tspan) -> tuple:
         t0 = time.perf_counter()
+        queue_s = max(0.0, item.dequeued_at - item.enqueued_at)
         session = self.sessions.checkout(item.session)
         fault_signal = False
         try:
@@ -329,7 +390,7 @@ class PoolWorker:
                 num_features=frame.num_features,
                 lm_iterations=frame.lm.iterations if frame.lm else 0,
                 worker=self.index,
-                queue_s=max(0.0, item.dequeued_at - item.enqueued_at),
+                queue_s=queue_s,
                 service_s=0.0, device_cycles=cycles,
                 health=frame.health, events=frame.events,
                 retries=retries)
@@ -342,12 +403,23 @@ class PoolWorker:
             self.sessions.checkin(session)
             self.scheduler.done(item)
             self.breaker.record_fault()
+            host_s = time.perf_counter() - t0
+            tspan.set_attr("outcome", "error")
+            tspan.set_attr("error", type(exc).__name__)
+            if self.slo is not None:
+                self.slo.record("error", latency_s=queue_s + host_s,
+                                queue_s=queue_s)
+            if self.flight is not None:
+                self.flight.event(
+                    "frame_failed", worker=self.index,
+                    session=item.session, seq=item.seq,
+                    error=type(exc).__name__,
+                    checkpoint_restored=restored)
             log.exception(
                 "worker %d failed on session %s frame %d "
                 "(checkpoint restored: %s)", self.index,
                 item.session, item.seq, restored)
-            item.future.set_exception(exc)
-            return
+            return "error", exc
         if frame.is_keyframe and frame.health == OK:
             # A healthy keyframe is the resume point of choice: deep
             # snapshot it before anything downstream can corrupt it.
@@ -365,6 +437,12 @@ class PoolWorker:
         result.service_s = service_s
         self.busy_s += service_s
         self.frames += 1
+        tspan.set_attr("outcome", "ok")
+        tspan.set_attr("retries", result.retries)
+        tspan.set_attr("device_cycles", cycles)
+        if self.slo is not None:
+            self.slo.record("ok", latency_s=queue_s + service_s,
+                            queue_s=queue_s)
         if fault_signal:
             # The frame succeeded but needed an eviction or retry:
             # that is still a device-fault signal for the breaker.
@@ -380,7 +458,7 @@ class PoolWorker:
             if wall > 0:
                 self._util_gauge.set(min(1.0, self.busy_s / wall),
                                      worker=self.index)
-        item.future.set_result(result)
+        return "ok", result
 
     def _run(self) -> None:
         self._started_at = time.perf_counter()
@@ -427,7 +505,10 @@ class DevicePool:
                  max_retries: int = 1,
                  retry_backoff_s: float = 0.01,
                  breaker_threshold: int = 3,
-                 breaker_cooldown_s: float = 0.25):
+                 breaker_cooldown_s: float = 0.25,
+                 slo: Optional[SloEngine] = None,
+                 flight: Optional[FlightRecorder] = None,
+                 incident_dir=None):
         if workers < 1:
             raise ValueError("pool needs at least one worker")
         self.workers: List[PoolWorker] = [
@@ -437,7 +518,9 @@ class DevicePool:
                        max_retries=max_retries,
                        retry_backoff_s=retry_backoff_s,
                        breaker_threshold=breaker_threshold,
-                       breaker_cooldown_s=breaker_cooldown_s)
+                       breaker_cooldown_s=breaker_cooldown_s,
+                       slo=slo, flight=flight,
+                       incident_dir=incident_dir)
             for i in range(workers)]
         self._started = False
 

@@ -44,7 +44,10 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.obs.context import NULL_HANDLE, TraceContext
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import get_registry
+from repro.obs.slo import SloEngine
 
 __all__ = ["Backpressure", "DeadlineExceeded", "WorkItem",
            "FifoScheduler"]
@@ -99,6 +102,12 @@ class WorkItem:
     #: Scheduler-clock time after which the item must not be
     #: dispatched (``None`` = no deadline).
     deadline: Optional[float] = None
+    #: Trace context of the request's root span, carried to whichever
+    #: worker thread tracks the frame (``None`` = untraced).
+    ctx: Optional[TraceContext] = None
+    #: Detached queue span: begun at admission on the client thread,
+    #: finished by the scheduler at dispatch / expiry / fail-pending.
+    queue_handle: object = NULL_HANDLE
 
 
 class FifoScheduler:
@@ -106,7 +115,9 @@ class FifoScheduler:
 
     def __init__(self, max_queue: int = 64, max_batch: int = 1,
                  workers: int = 1,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 slo: Optional[SloEngine] = None,
+                 flight: Optional[FlightRecorder] = None):
         if max_queue < 1:
             raise ValueError("max_queue must be positive")
         if max_batch < 1:
@@ -115,6 +126,11 @@ class FifoScheduler:
         self.max_batch = max_batch
         self.workers = max(1, workers)
         self._clock = clock
+        # Optional serve-plane observability: the scheduler owns the
+        # queue-side outcomes (rejections, deadline misses) while the
+        # pool workers record completions.
+        self.slo = slo
+        self.flight = flight
         self._queue: Deque[WorkItem] = deque()
         self._inflight: Dict[str, int] = {}
         self._cond = threading.Condition()
@@ -164,11 +180,19 @@ class FifoScheduler:
             depth = len(self._queue)
             if depth >= self.max_queue:
                 self._rejected.inc()
+                if self.slo is not None:
+                    self.slo.record("rejected")
+                if self.flight is not None:
+                    self.flight.event("rejected", session=item.session,
+                                      seq=item.seq, depth=depth)
                 raise Backpressure(depth, self._retry_after_s(depth))
             item.enqueued_at = self._clock()
             self._queue.append(item)
             self._depth_gauge.set(len(self._queue))
             self._cond.notify()
+        if self.flight is not None:
+            self.flight.event("admitted", session=item.session,
+                              seq=item.seq, depth=depth + 1)
 
     # -- worker side ----------------------------------------------------
 
@@ -184,6 +208,16 @@ class FifoScheduler:
         for item in overdue:
             self._queue.remove(item)
             self._expired.inc()
+            waited = max(0.0, now - item.enqueued_at)
+            item.queue_handle.finish(outcome="deadline_miss",
+                                     queue_s=waited)
+            if self.slo is not None:
+                self.slo.record("deadline_miss", latency_s=waited,
+                                queue_s=waited)
+            if self.flight is not None:
+                self.flight.event("deadline_miss",
+                                  session=item.session, seq=item.seq,
+                                  overdue_s=now - item.deadline)
             item.future.set_exception(DeadlineExceeded(
                 item.session, item.seq, now - item.deadline))
         if overdue:
@@ -240,6 +274,9 @@ class FifoScheduler:
             for item in batch:
                 self._queue.remove(item)
                 item.dequeued_at = now
+                item.queue_handle.finish(
+                    outcome="dispatched",
+                    queue_s=max(0.0, now - item.enqueued_at))
                 self._inflight[item.session] = \
                     self._inflight.get(item.session, 0) + 1
             self._depth_gauge.set(len(self._queue))
@@ -290,6 +327,8 @@ class FifoScheduler:
             pending = list(self._queue)
             self._queue.clear()
             for item in pending:
+                item.queue_handle.finish(outcome="failed",
+                                         error=type(exc).__name__)
                 item.future.set_exception(exc)
             self._depth_gauge.set(0)
             self._cond.notify_all()

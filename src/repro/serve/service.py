@@ -39,6 +39,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import SloEngine, SloTargets
+from repro.obs.tracer import get_tracer
 from repro.serve.pool import DevicePool, TrackResult
 from repro.serve.scheduler import FifoScheduler, WorkItem
 from repro.serve.session import SessionManager
@@ -64,7 +67,11 @@ class VOService:
                  max_retries: int = 1,
                  breaker_threshold: int = 3,
                  breaker_cooldown_s: float = 0.25,
-                 program_store=None):
+                 program_store=None,
+                 slo_window_s: float = 60.0,
+                 slo_targets: Optional[SloTargets] = None,
+                 flight: Optional[FlightRecorder] = None,
+                 incident_dir=None):
         if frontend not in _FRONTENDS:
             raise ValueError(
                 f"unknown frontend {frontend!r}; choose from "
@@ -88,9 +95,19 @@ class VOService:
         frontend_cls = _FRONTENDS[frontend]
         self.sessions = SessionManager(idle_timeout_s=idle_timeout_s,
                                        max_sessions=max_sessions)
+        # One SLO window and one flight recorder per service: the
+        # scheduler feeds in queue-side outcomes, the workers feed in
+        # completions, and stats()/the status server read them out.
+        self.slo = SloEngine(window_s=slo_window_s,
+                             targets=slo_targets)
+        self.flight = flight if flight is not None \
+            else FlightRecorder()
+        self.incident_dir = incident_dir
         self.scheduler = FifoScheduler(max_queue=max_queue,
                                        max_batch=max_batch,
-                                       workers=workers)
+                                       workers=workers,
+                                       slo=self.slo,
+                                       flight=self.flight)
         self.pool = DevicePool(
             workers, self.scheduler, self.sessions,
             tracker_factory=lambda: EBVOTracker(frontend_cls(config),
@@ -99,7 +116,9 @@ class VOService:
             device_clock_hz=device_clock_hz,
             max_retries=max_retries,
             breaker_threshold=breaker_threshold,
-            breaker_cooldown_s=breaker_cooldown_s)
+            breaker_cooldown_s=breaker_cooldown_s,
+            slo=self.slo, flight=self.flight,
+            incident_dir=incident_dir)
         self._seq = itertools.count(1)
         self._closed = False
 
@@ -179,14 +198,60 @@ class VOService:
             raise RuntimeError("service is closed")
         gray = np.asarray(gray)
         self.sessions.touch(session_id)
-        item = WorkItem(session=session_id, seq=next(self._seq),
+        seq = next(self._seq)
+        # The request root span: begun here on the client thread,
+        # finished here once the result (or failure) comes back, with
+        # the queue and worker-side track spans as its children.  With
+        # tracing disabled both handles are the shared no-op.
+        tracer = get_tracer()
+        request = tracer.begin("request", category="serve",
+                               session=session_id, seq=seq)
+        item = WorkItem(session=session_id, seq=seq,
                         batch_key=self._batch_key(gray.shape),
                         payload=(gray, np.asarray(depth),
-                                 float(timestamp)))
+                                 float(timestamp)),
+                        ctx=request.context,
+                        queue_handle=tracer.begin(
+                            "queue", category="serve",
+                            parent=request.context,
+                            session=session_id, seq=seq))
         if deadline_s is not None:
             item.deadline = self.scheduler._clock() + deadline_s
-        self.scheduler.submit(item)   # may raise Backpressure
-        return item.future.result(timeout)
+        try:
+            self.scheduler.submit(item)   # may raise Backpressure
+        except BaseException as exc:
+            item.queue_handle.finish(outcome="rejected")
+            request.finish(outcome="rejected",
+                           error=type(exc).__name__)
+            raise
+        try:
+            result = item.future.result(timeout)
+        except BaseException as exc:
+            request.finish(outcome="error",
+                           error=type(exc).__name__)
+            self._capture_incident(type(exc).__name__, item, request)
+            raise
+        if result.retries:
+            # The request succeeded but needed worker retries: keep
+            # its span tree for post-mortems all the same.
+            request.finish(outcome="ok", retries=result.retries)
+            self._capture_incident("retried", item, request)
+        else:
+            request.finish(outcome="ok")
+        return result
+
+    def _capture_incident(self, reason: str, item: WorkItem,
+                          request) -> None:
+        """Record a bad request's span tree in the flight recorder."""
+        ctx = request.context
+        trace_id = ctx.trace_id if ctx is not None else 0
+        spans = []
+        if trace_id:
+            spans = [s.to_dict() for s in
+                     get_tracer().spans_for_trace(trace_id)]
+        self.flight.incident(reason, trace_id=trace_id,
+                             session=item.session, seq=item.seq,
+                             spans=spans)
 
     # -- health ----------------------------------------------------------
 
@@ -216,6 +281,8 @@ class VOService:
             "sessions": sessions,
             "pool": pool,
             "health": health,
+            "slo": self.slo.snapshot(),
+            "flight": self.flight.stats(),
         }
         if self.program_store is not None:
             from repro.kernels.common import KERNEL_PROGRAM_CACHE

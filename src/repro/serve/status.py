@@ -1,0 +1,163 @@
+"""Stdlib HTTP status endpoint for a running :class:`VOService`.
+
+``python -m repro.serve --status-port 8080`` starts a
+:class:`StatusServer` next to the service.  Four read-only endpoints,
+no dependencies beyond ``http.server``:
+
+========================  ==============================================
+``/metrics``              Prometheus text exposition of the process-wide
+                          metrics registry (scrapeable by any collector;
+                          see :mod:`repro.obs.promtext`).
+``/healthz``              ``200 ok`` / ``503 unhealthy`` from
+                          :meth:`VOService.healthy` -- load-balancer
+                          probe semantics, body is the JSON health
+                          section.
+``/slo``                  The rolling-window SLO snapshot
+                          (:meth:`repro.obs.slo.SloEngine.snapshot`).
+``/flightrecorder``       The full flight-recorder bundle: recent
+                          events plus captured incident span trees.
+========================  ==============================================
+
+The server runs on a daemon thread (``ThreadingHTTPServer``), binds
+loopback by default, and serves GETs only; anything else is 404/405.
+It never mutates the service, so it is safe to leave on in benchmarks
+-- a scrape costs one registry snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.metrics import get_registry
+from repro.obs.promtext import render_prometheus_text
+
+__all__ = ["StatusServer"]
+
+log = logging.getLogger(__name__)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes GETs to the owning :class:`StatusServer`'s service."""
+
+    #: Set by StatusServer when the handler class is specialised.
+    status: "StatusServer"
+
+    # Quiet: route access logs through our logger at DEBUG, not stderr.
+    def log_message(self, fmt, *args):  # noqa: D102
+        log.debug("%s - %s", self.address_string(), fmt % args)
+
+    def _reply(self, code: int, body: str,
+               content_type: str = "application/json") -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type",
+                         f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self):  # noqa: N802 -- http.server API
+        service = self.status.service
+        try:
+            if self.path == "/metrics":
+                self._reply(200,
+                            render_prometheus_text(get_registry()),
+                            content_type="text/plain; version=0.0.4")
+            elif self.path == "/healthz":
+                stats = service.stats()
+                healthy = bool(stats["health"]["healthy"])
+                self._reply(200 if healthy else 503,
+                            json.dumps(stats["health"],
+                                       default=str) + "\n")
+            elif self.path == "/slo":
+                self._reply(200, json.dumps(service.slo.snapshot(),
+                                            default=str) + "\n")
+            elif self.path == "/flightrecorder":
+                self._reply(200, json.dumps(service.flight.bundle(),
+                                            default=str) + "\n")
+            else:
+                self._reply(404, json.dumps(
+                    {"error": "not found", "endpoints": [
+                        "/metrics", "/healthz", "/slo",
+                        "/flightrecorder"]}) + "\n")
+        except Exception as exc:  # noqa: BLE001 -- keep serving
+            log.exception("status endpoint %s failed", self.path)
+            try:
+                self._reply(500, json.dumps(
+                    {"error": type(exc).__name__}) + "\n")
+            except OSError:
+                pass
+
+
+class StatusServer:
+    """A daemon-thread HTTP server exposing one service's status.
+
+    Usage::
+
+        status = StatusServer(service, port=8080).start()
+        ...
+        status.stop()
+
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`port` after :meth:`start` (tests and the CI smoke job use
+    this to avoid port collisions).
+    """
+
+    def __init__(self, service, port: int = 0,
+                 host: str = "127.0.0.1"):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (None before :meth:`start`)."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> Optional[str]:
+        """Base URL of the running server (None before start)."""
+        if self._httpd is None:
+            return None
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StatusServer":
+        """Bind and start serving on a daemon thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,),
+                       {"status": self})
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="serve-status", daemon=True)
+        self._thread.start()
+        log.info("status server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut down and join the server thread (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "StatusServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -44,6 +44,7 @@ import numpy as np
 from repro.dataset.synthetic import FrameCorruptor
 from repro.evaluation.ate import absolute_trajectory_error
 from repro.obs.metrics import get_registry
+from repro.obs.stamp import run_stamp
 from repro.obs.tracer import get_tracer
 from repro.pim.faults import FaultInjector, FaultPlan
 from repro.serve.loadgen import (
@@ -282,8 +283,14 @@ def _classify(client: _ChaosClient, ate_m: Optional[float],
                          "clean finish within bound")
 
 
-def run_chaos(config: ChaosConfig) -> dict:
-    """Run one seeded fault storm; returns the JSON-ready report."""
+def run_chaos(config: ChaosConfig, incident_dir=None) -> dict:
+    """Run one seeded fault storm; returns the JSON-ready report.
+
+    With ``incident_dir`` set, an unrecovered session additionally
+    dumps the service's flight-recorder bundle (recent events plus
+    captured failed-request span trees) to
+    ``<incident_dir>/chaos_incident.json`` for post-mortems.
+    """
     tracer = get_tracer()
     registry = get_registry()
     recovered_ctr = registry.counter(
@@ -437,12 +444,26 @@ def run_chaos(config: ChaosConfig) -> dict:
                 "faults": [f.to_dict() for f in session_faults],
             }
 
+        # An unrecovered session is the chaos harness's incident: feed
+        # it to the flight recorder so the run's lead-up (events plus
+        # failed-request span trees) survives as a dumped bundle.
+        for sid in unrecovered:
+            service.flight.incident(
+                "chaos_unrecovered", session=sid,
+                detail=sessions_report[sid]["reason"])
+        if unrecovered and incident_dir is not None:
+            service.flight.dump(
+                Path(incident_dir) / "chaos_incident.json",
+                reason="chaos_unrecovered", sessions=unrecovered,
+                seed=config.seed)
+
         unattributed = [f.to_dict() for f in frame_faults + device_faults
                         if not f.attributed]
         ok = (not unrecovered and not unattributed
               and not control_mismatch)
         report = {
             "schema": "repro.verify.chaos/1",
+            **run_stamp(),
             "seed": config.seed,
             "config": {
                 "sessions": config.sessions,
@@ -471,6 +492,7 @@ def run_chaos(config: ChaosConfig) -> dict:
                 "problems": control_mismatch,
             },
             "sessions": sessions_report,
+            "flight": service.flight.stats(),
             "service": {
                 "health": final_stats["health"],
                 "retries_total": final_stats["pool"]["retries_total"],
@@ -507,8 +529,8 @@ def main(argv=None) -> int:
                          workers=args.workers, frontend=args.frontend,
                          device_detect=not args.no_device_detect,
                          device_faults=args.device_faults)
-    report = run_chaos(config)
     out = Path(args.out)
+    report = run_chaos(config, incident_dir=out.parent)
     out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
 
     outcomes = {sid: s["outcome"]

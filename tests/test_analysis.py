@@ -167,3 +167,60 @@ class TestReporting:
         assert paper_data.FIG9A["pim_lm8"] == 8 * 58_899
         for kernel, vals in paper_data.FIG9B.items():
             assert vals["naive"] > vals["opt"]
+
+
+class TestSloCli:
+    """The ``python -m repro.analysis slo`` report inspector/gate."""
+
+    @staticmethod
+    def _report(**overrides):
+        from repro.obs.slo import SloEngine
+        engine = SloEngine(window_s=60.0)
+        for _ in range(9):
+            engine.record("ok", latency_s=0.1, queue_s=0.01)
+        engine.record("error", latency_s=0.4, queue_s=0.02)
+        report = {"git_sha": "deadbeef", "timestamp": "2026-01-01",
+                  "slo": engine.snapshot()}
+        report.update(overrides)
+        return report
+
+    def test_missing_slo_section_fails(self):
+        from repro.analysis.slo_cli import evaluate_slo
+        problems = evaluate_slo({"frames_tracked": 3})
+        assert problems and "no 'slo' section" in problems[0]
+
+    def test_gates(self):
+        from repro.analysis.slo_cli import evaluate_slo
+        report = self._report()
+        assert evaluate_slo(report) == []
+        assert evaluate_slo(report, p99_target=1.0) == []
+        assert any("p99" in p for p in
+                   evaluate_slo(report, p99_target=0.05))
+        assert evaluate_slo(report, max_miss_rate=0.0) == []
+        assert any("availability" in p for p in
+                   evaluate_slo(report, min_availability=0.95))
+
+    def test_p99_missing_fails_when_target_set(self):
+        from repro.analysis.slo_cli import evaluate_slo
+        from repro.obs.slo import SloEngine
+        report = {"slo": SloEngine().snapshot()}  # empty window
+        assert evaluate_slo(report) == []
+        assert any("missing" in p for p in
+                   evaluate_slo(report, p99_target=1.0))
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis.slo_cli import slo_main
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(self._report()))
+        assert slo_main([str(path), "--max-miss-rate", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Serve SLO window" in out
+        assert "deadbeef" in out
+        assert "OK: report within every requested objective" in out
+
+        assert slo_main([str(path), "--min-availability",
+                         "0.99"]) == 1
+        assert "FAIL" in capsys.readouterr().err
+        assert slo_main([str(tmp_path / "absent.json")]) == 2

@@ -407,3 +407,32 @@ class TestLogging:
         assert logger.level == logging.DEBUG
         setup_logging()  # back to INFO for other tests
         assert logger.level == logging.INFO
+
+    def test_changed_stream_retargets_existing_handler(self):
+        """A later call with a different stream must redirect the one
+        attached handler, not silently keep writing to the old one."""
+        import io
+        import sys
+
+        logger = setup_logging()
+        original = next(h for h in logger.handlers
+                        if getattr(h, "_repro_console", False))
+        first, second = io.StringIO(), io.StringIO()
+        try:
+            assert setup_logging(stream=first) is logger
+            logging.getLogger("repro.test").info("to first")
+            assert setup_logging(stream=second) is logger
+            logging.getLogger("repro.test").info("to second")
+            # Still exactly one console handler, now on the new stream.
+            consoles = [h for h in logger.handlers
+                        if getattr(h, "_repro_console", False)]
+            assert len(consoles) == 1
+            assert consoles[0].stream is second
+            assert "to first" in first.getvalue()
+            assert "to second" not in first.getvalue()
+            assert "to second" in second.getvalue()
+            # A call without a stream leaves the target untouched.
+            setup_logging()
+            assert consoles[0].stream is second
+        finally:
+            original.setStream(sys.stderr)

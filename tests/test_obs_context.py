@@ -1,0 +1,225 @@
+"""Tests for cross-thread trace-context propagation (repro.obs.context).
+
+Covers the PR acceptance criteria around explicit context handles:
+detached spans begun on one thread and finished on another, explicit
+``parent=`` overriding the thread-local stack, trace_id propagation
+(every span of one request shares its root's id), the no-op handles
+when tracing is disabled, and the bounded finished-span ring (warn
+once + ``obs_tracer_spans_dropped_total``).
+"""
+
+import logging
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_HANDLE,
+    MetricsRegistry,
+    SpanHandle,
+    TraceContext,
+    current_context,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracer import (
+    Tracer,
+    _NULL_SPAN,
+    get_tracer,
+    set_tracer,
+)
+
+
+@pytest.fixture()
+def fresh_obs():
+    """Isolated tracer + registry, restored afterwards."""
+    old_tracer, old_registry = get_tracer(), get_registry()
+    tracer, registry = Tracer(), MetricsRegistry()
+    set_tracer(tracer)
+    set_registry(registry)
+    tracer.enable()
+    yield tracer, registry
+    tracer.disable()
+    set_tracer(old_tracer)
+    set_registry(old_registry)
+
+
+class TestTraceContext:
+    def test_begin_roots_a_new_trace(self, fresh_obs):
+        tracer, _ = fresh_obs
+        handle = tracer.begin("request", category="serve")
+        assert isinstance(handle, SpanHandle)
+        ctx = handle.context
+        assert isinstance(ctx, TraceContext)
+        # A root's trace id is its own span id.
+        assert ctx.trace_id == ctx.span_id
+        handle.finish(outcome="ok")
+        (span,) = tracer.spans
+        assert span.name == "request"
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_id is None
+        assert span.attrs["outcome"] == "ok"
+
+    def test_begin_child_inherits_trace(self, fresh_obs):
+        tracer, _ = fresh_obs
+        root = tracer.begin("request")
+        child = tracer.begin("queue", parent=root.context)
+        assert child.context.trace_id == root.context.trace_id
+        assert child.span.parent_id == root.context.span_id
+        child.finish()
+        root.finish()
+
+    def test_finish_is_idempotent(self, fresh_obs):
+        tracer, _ = fresh_obs
+        handle = tracer.begin("request")
+        handle.finish(outcome="ok")
+        handle.finish(outcome="late")  # must be a no-op
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].attrs["outcome"] == "ok"
+
+    def test_detached_span_finished_on_another_thread(self, fresh_obs):
+        tracer, _ = fresh_obs
+        handle = tracer.begin("queue", category="serve")
+        begun_on = handle.span.thread
+
+        worker = threading.Thread(
+            target=lambda: handle.finish(outcome="dispatched"))
+        worker.start()
+        worker.join()
+
+        (span,) = tracer.spans
+        assert span.thread == begun_on  # records the *beginning* thread
+        assert span.attrs["outcome"] == "dispatched"
+        assert span.wall_s >= 0.0
+
+    def test_explicit_parent_overrides_stack(self, fresh_obs):
+        tracer, _ = fresh_obs
+        remote = tracer.begin("request")
+        with tracer.span("unrelated"):
+            # parent= wins over the local stack top...
+            with tracer.span("track", parent=remote.context):
+                # ...but the span still pushed onto this thread's
+                # stack, so plain nested spans join the remote tree.
+                with tracer.span("kernel_work"):
+                    pass
+        remote.finish()
+
+        by_name = {s.name: s for s in tracer.spans}
+        track = by_name["track"]
+        assert track.parent_id == remote.context.span_id
+        assert track.trace_id == remote.context.trace_id
+        kernel = by_name["kernel_work"]
+        assert kernel.parent_id == track.span_id
+        assert kernel.trace_id == remote.context.trace_id
+        # The sibling tree stays its own trace.
+        assert by_name["unrelated"].trace_id != remote.context.trace_id
+
+    def test_cross_thread_tree_is_connected(self, fresh_obs):
+        """A client thread + worker thread produce one connected tree."""
+        tracer, _ = fresh_obs
+        request = tracer.begin("request", category="serve")
+        ctx = request.context
+
+        def worker():
+            with tracer.span("track", parent=ctx, category="serve"):
+                with tracer.span("frame", category="frame"):
+                    pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        request.finish(outcome="ok")
+
+        tree = tracer.spans_for_trace(ctx.trace_id)
+        assert {s.name for s in tree} == {"request", "track", "frame"}
+        ids = {s.span_id for s in tree}
+        for span in tree:
+            assert span.parent_id is None or span.parent_id in ids
+
+    def test_spans_for_trace_filters(self, fresh_obs):
+        tracer, _ = fresh_obs
+        first = tracer.begin("request")
+        second = tracer.begin("request")
+        first.finish()
+        second.finish()
+        mine = tracer.spans_for_trace(first.context.trace_id)
+        assert [s.span_id for s in mine] == [first.context.span_id]
+
+    def test_current_context(self, fresh_obs):
+        tracer, _ = fresh_obs
+        assert current_context() is None
+        with tracer.span("outer") as outer:
+            ctx = current_context()
+            assert ctx == outer.context
+            assert ctx.trace_id == ctx.span_id
+        assert current_context() is None
+
+
+class TestDisabledHandles:
+    def test_begin_returns_shared_null_handle(self, fresh_obs):
+        tracer, _ = fresh_obs
+        tracer.disable()
+        handle = tracer.begin("request", category="serve")
+        assert handle is NULL_HANDLE
+        assert handle.context is None
+        handle.set_attr("k", 1)   # all no-ops
+        handle.finish(outcome="ok")
+        assert tracer.spans == []
+
+    def test_span_with_parent_is_null_when_disabled(self, fresh_obs):
+        tracer, _ = fresh_obs
+        tracer.disable()
+        ctx = TraceContext(trace_id=7, span_id=7)
+        assert tracer.span("track", parent=ctx) is _NULL_SPAN
+        assert current_context() is None
+
+
+class TestSpanRing:
+    def test_ring_cap_warns_once_and_counts(self, fresh_obs, caplog):
+        """Overflowing the finished-span ring keeps the newest spans,
+        warns exactly once, and counts every drop in both the property
+        and the ``obs_tracer_spans_dropped_total`` metric."""
+        _, registry = fresh_obs
+        tracer = Tracer(max_spans=4)
+        set_tracer(tracer)
+        tracer.enable()
+        # setup_logging (run by other tests in the suite) stops the
+        # "repro" logger from propagating to root, which is where
+        # caplog listens; restore propagation for this capture.
+        repro_logger = logging.getLogger("repro")
+        saved_propagate = repro_logger.propagate
+        repro_logger.propagate = True
+        try:
+            with caplog.at_level("WARNING",
+                                 logger="repro.obs.tracer"):
+                for i in range(7):
+                    with tracer.span(f"s{i}"):
+                        pass
+        finally:
+            repro_logger.propagate = saved_propagate
+        assert len(tracer.spans) == 4
+        assert [s.name for s in tracer.spans] == \
+            ["s3", "s4", "s5", "s6"]
+        assert tracer.dropped_spans == 3
+        counter = registry.counter("obs_tracer_spans_dropped_total")
+        assert counter.total() == 3
+        warnings = [r for r in caplog.records
+                    if "span ring full" in r.getMessage()]
+        assert len(warnings) == 1
+
+    def test_reset_clears_drop_state(self, fresh_obs):
+        _, _ = fresh_obs
+        tracer = Tracer(max_spans=2)
+        set_tracer(tracer)
+        tracer.enable()
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped_spans == 2
+        tracer.reset()
+        assert tracer.dropped_spans == 0
+        assert tracer.spans == []
+
+    def test_max_spans_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)

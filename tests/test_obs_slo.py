@@ -1,0 +1,201 @@
+"""Tests for the rolling-window SLO engine (repro.obs.slo)."""
+
+import pytest
+
+from repro.obs.slo import OUTCOMES, SloEngine, SloTargets, percentile
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _engine(**kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("clock", clock)
+    return SloEngine(**kwargs), clock
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 99) is None
+
+    def test_single_value(self):
+        assert percentile([3.0], 50) == 3.0
+        assert percentile([3.0], 99) == 3.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 51.0   # round(0.5 * 99) = 50
+        assert percentile(values, 100) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 100) == 5.0
+
+
+class TestSloTargets:
+    def test_availability_must_be_fraction(self):
+        with pytest.raises(ValueError):
+            SloTargets(availability=1.0)
+        with pytest.raises(ValueError):
+            SloTargets(availability=0.0)
+
+    def test_defaults(self):
+        targets = SloTargets()
+        assert targets.availability == pytest.approx(0.999)
+        assert targets.p99_latency_s is None
+
+
+class TestSloEngine:
+    def test_unknown_outcome_rejected(self):
+        engine, _ = _engine()
+        with pytest.raises(ValueError):
+            engine.record("melted")
+        for outcome in OUTCOMES:
+            engine.record(outcome)  # all valid outcomes accepted
+        assert engine.snapshot()["samples"] == len(OUTCOMES)
+
+    def test_counts_and_rates(self):
+        engine, _ = _engine()
+        for _ in range(8):
+            engine.record("ok", latency_s=0.1, queue_s=0.01)
+        engine.record("error", latency_s=0.5, queue_s=0.02)
+        engine.record("deadline_miss", latency_s=0.3, queue_s=0.3)
+        snap = engine.snapshot()
+        assert snap["counts"] == {"ok": 8, "error": 1,
+                                  "deadline_miss": 1, "rejected": 0}
+        # 2 bad of 10 completed.
+        assert snap["error_rate"] == pytest.approx(0.2)
+        assert snap["availability"] == pytest.approx(0.8)
+        assert snap["deadline_miss_rate"] == pytest.approx(0.1)
+
+    def test_rejections_do_not_count_against_availability(self):
+        engine, _ = _engine()
+        engine.record("ok", latency_s=0.1)
+        for _ in range(5):
+            engine.record("rejected")
+        snap = engine.snapshot()
+        assert snap["availability"] == pytest.approx(1.0)
+        assert snap["error_rate"] == pytest.approx(0.0)
+        assert snap["counts"]["rejected"] == 5
+
+    def test_exact_latency_quantiles(self):
+        engine, _ = _engine()
+        for ms in range(1, 101):             # 1ms .. 100ms
+            engine.record("ok", latency_s=ms / 1000.0,
+                          queue_s=ms / 10000.0)
+        snap = engine.snapshot()
+        assert snap["latency_s"]["p50"] == pytest.approx(0.051)
+        assert snap["latency_s"]["p99"] == pytest.approx(0.099)
+        assert snap["latency_s"]["max"] == pytest.approx(0.100)
+        assert snap["latency_s"]["mean"] == pytest.approx(0.0505)
+        assert snap["queue_s"]["max"] == pytest.approx(0.0100)
+
+    def test_empty_window_quantiles_are_none(self):
+        engine, _ = _engine()
+        snap = engine.snapshot()
+        assert snap["latency_s"] == {"p50": None, "p95": None,
+                                     "p99": None, "max": None,
+                                     "mean": None}
+        assert snap["error_rate"] == 0.0
+        assert snap["goodput_rps"] == 0.0
+
+    def test_window_prunes_old_samples(self):
+        engine, clock = _engine(window_s=60.0)
+        engine.record("ok", latency_s=0.1)
+        clock.advance(30)
+        engine.record("ok", latency_s=0.2)
+        assert engine.snapshot()["samples"] == 2
+        clock.advance(45)      # first sample is now 75s old
+        snap = engine.snapshot()
+        assert snap["samples"] == 1
+        assert snap["latency_s"]["max"] == pytest.approx(0.2)
+        clock.advance(60)      # everything aged out
+        assert engine.snapshot()["samples"] == 0
+
+    def test_goodput_uses_covered_window(self):
+        """A service younger than the window is not under-reported."""
+        engine, clock = _engine(window_s=60.0)
+        for _ in range(10):
+            engine.record("ok", latency_s=0.01)
+        clock.advance(5.0)     # only 5s of the 60s window has passed
+        snap = engine.snapshot()
+        assert snap["goodput_rps"] == pytest.approx(2.0)
+
+    def test_error_budget_burn(self):
+        engine, _ = _engine(targets=SloTargets(availability=0.9))
+        for _ in range(8):
+            engine.record("ok", latency_s=0.1)
+        engine.record("error", latency_s=0.1)
+        engine.record("error", latency_s=0.1)
+        budget = engine.snapshot()["error_budget"]
+        assert budget["target_availability"] == pytest.approx(0.9)
+        assert budget["allowed_error_rate"] == pytest.approx(0.1)
+        assert budget["observed_error_rate"] == pytest.approx(0.2)
+        # Burning at twice the allowed rate: the budget is gone.
+        assert budget["burn_rate"] == pytest.approx(2.0)
+        assert budget["remaining_fraction"] == pytest.approx(0.0)
+
+    def test_p99_target_judgement(self):
+        engine, _ = _engine(
+            targets=SloTargets(p99_latency_s=1.0))
+        engine.record("ok", latency_s=0.5)
+        assert engine.snapshot()["p99_within_target"] is True
+        engine.record("ok", latency_s=2.0)
+        assert engine.snapshot()["p99_within_target"] is False
+
+    def test_no_p99_target_is_unjudged(self):
+        engine, _ = _engine()
+        engine.record("ok", latency_s=0.5)
+        assert engine.snapshot()["p99_within_target"] is None
+
+    def test_max_samples_ring_drops_oldest(self):
+        engine, _ = _engine(max_samples=4)
+        for ms in range(6):
+            engine.record("ok", latency_s=ms / 1000.0)
+        snap = engine.snapshot()
+        assert snap["samples"] == 4
+        assert snap["dropped_samples"] == 2
+        # The survivors are the newest four (2ms..5ms).
+        assert snap["latency_s"]["p50"] is not None
+        assert snap["latency_s"]["max"] == pytest.approx(0.005)
+
+    def test_reset(self):
+        engine, _ = _engine()
+        engine.record("error", latency_s=1.0)
+        engine.reset()
+        snap = engine.snapshot()
+        assert snap["samples"] == 0
+        assert snap["dropped_samples"] == 0
+        assert snap["availability"] == 1.0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SloEngine(window_s=0)
+        with pytest.raises(ValueError):
+            SloEngine(max_samples=0)
+
+    def test_record_is_thread_safe(self):
+        import threading
+
+        engine, _ = _engine()
+
+        def hammer():
+            for _ in range(500):
+                engine.record("ok", latency_s=0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert engine.snapshot()["counts"]["ok"] == 2000

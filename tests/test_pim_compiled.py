@@ -210,6 +210,37 @@ def test_compiled_mode_falls_back_on_hazard():
     _assert_state_equal(dev_c, dev_e)
 
 
+def test_mid_program_precision_switch_falls_back_multi_base():
+    """A precision switch after a compute op rejects multi-base
+    vectorized replay: eager is base-major, so the switch persists
+    into the next base's replay of the earlier ops (changing both the
+    bytes of precision-sensitive ops and the per-precision ledger
+    profile), which op-major execution cannot reproduce.  Leading
+    switches stay batchable, and a single base is always safe."""
+    rec = ProgramRecorder(CONFIG, name="setp-mid")
+    rec.add(Rel(0), Rel(0), Imm(100), saturate=True, signed=False)
+    rec.set_precision(16)
+    rec.copy(TMP, Rel(0))
+    program = rec.finish()
+    assert not program.precision_stable
+    device = PIMDevice(CONFIG)
+    assert device.batch_rejection_reason(program, [1]) is None
+    assert device.batch_rejection_reason(program, [1, 2]) == \
+        "precision-switch-mid-program"
+    dev_c = _fresh_device(7)
+    dev_e = _fresh_device(7)
+    dev_c.run_program(program, [1, 2], mode="compiled")
+    dev_e.run_program(program, [1, 2], mode="eager")
+    _assert_state_equal(dev_c, dev_e)
+
+    leading = ProgramRecorder(CONFIG, name="setp-leading")
+    leading.set_precision(16)
+    leading.add(Rel(0), Rel(0), Imm(100), saturate=True, signed=False)
+    program = leading.finish()
+    assert program.precision_stable
+    assert device.batch_rejection_reason(program, [1, 2]) is None
+
+
 def test_single_base_relaxation_keeps_multi_base_hazards():
     """The relaxation is strictly single-base: reps > 1 still reject."""
     rec = ProgramRecorder(CONFIG, name="tmp-hazard")

@@ -124,6 +124,40 @@ class TestChaosRun:
         faults = [f for s in report["sessions"].values()
                   for f in s["faults"]]
         assert faults and all(f["attributed"] for f in faults)
+        # The report is stamped like BENCH_pim.json so chaos runs stay
+        # attributable to a revision, and carries flight-ring stats.
+        for key in ("timestamp", "python", "numpy", "machine"):
+            assert key in report
+        assert "git_sha" in report
+        assert report["flight"]["events"] >= 0
+
+    def test_unrecovered_session_dumps_incident_bundle(self,
+                                                       tmp_path):
+        """Forcing the ATE bound to ~zero classifies every session
+        unrecovered, which must dump a flight-recorder incident
+        bundle (event ring + captured incidents) for post-mortems."""
+        import json
+
+        config = ChaosConfig(seed=0, sessions=2, frames=8,
+                             workers=1, device_detect=False,
+                             device_faults=0, stall_s=0.01,
+                             ate_inflation=0.0, ate_floor_m=1e-12)
+        report = run_chaos(config, incident_dir=tmp_path)
+        assert report["unrecovered_sessions"]
+        assert not report["ok"]
+
+        bundle_path = tmp_path / "chaos_incident.json"
+        assert bundle_path.exists()
+        bundle = json.loads(bundle_path.read_text())
+        assert bundle["schema"] == "repro.obs.flight/1"
+        assert bundle["reason"] == "chaos_unrecovered"
+        assert bundle["context"]["sessions"] == \
+            report["unrecovered_sessions"]
+        assert bundle["events"], "event ring should not be empty"
+        reasons = {i["reason"] for i in bundle["incidents"]}
+        assert "chaos_unrecovered" in reasons
+        # The bundle is stamped like every other benchmark artifact.
+        assert "git_sha" in bundle["stamp"]
 
     def test_cli_writes_report_and_exits_zero(self, tmp_path):
         out = tmp_path / "chaos.json"
@@ -133,3 +167,7 @@ class TestChaosRun:
                      "--out", str(out)])
         assert code == 0
         assert out.exists()
+        import json
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.verify.chaos/1"
+        assert "timestamp" in report

@@ -5,6 +5,7 @@ Usage::
     python -m repro.analysis [report] [--frames N] [--out DIR] [--verbose]
     python -m repro.analysis trace [--frames N] [--out DIR] [--verbose]
     python -m repro.analysis slo [BENCH_serve.json] [--p99-target S]
+    python -m repro.analysis sweep [--arrays 1,2,4,8] [--out DIR]
 
 The default (``report``) subcommand runs all experiment drivers and
 writes the text reports (and Fig. 8 SVGs) to the output directory --
@@ -14,12 +15,16 @@ a Perfetto-loadable Chrome trace, a JSONL metrics stream and the
 per-kernel attribution summary (see :mod:`repro.analysis.trace_cli`).
 The ``slo`` subcommand pretty-prints (and optionally gates) a serving
 SLO report written by ``python -m repro.serve`` (see
-:mod:`repro.analysis.slo_cli`).
+:mod:`repro.analysis.slo_cli`).  The ``sweep`` subcommand runs the
+:mod:`repro.sim` multi-array design-space sweep and writes the stamped
+``BENCH_sweep.json`` (see :mod:`repro.analysis.sweep_cli`).
+
+All subcommands share the ``--verbose`` / ``--json`` flags via the
+:mod:`repro.analysis.cli` parent parser.
 """
 
 from __future__ import annotations
 
-import argparse
 import logging
 import sys
 import time
@@ -43,8 +48,9 @@ from repro.analysis import (
     run_tmpreg_ablation,
     trajectory_svg,
 )
+from repro.analysis.cli import (emit_json, init_logging,
+                                subcommand_parser)
 from repro.analysis.reporting import format_table
-from repro.obs import setup_logging
 
 log = logging.getLogger(__name__)
 
@@ -57,23 +63,27 @@ def main(argv=None) -> None:
     if argv and argv[0] == "slo":
         from repro.analysis.slo_cli import slo_main
         raise SystemExit(slo_main(argv[1:]))
+    if argv and argv[0] == "sweep":
+        from repro.analysis.sweep_cli import sweep_main
+        raise SystemExit(sweep_main(argv[1:]))
     if argv and argv[0] == "report":
         argv = argv[1:]
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = subcommand_parser("python -m repro.analysis", __doc__)
     parser.add_argument("--frames", type=int, default=60,
                         help="sequence length for the tracking runs")
     parser.add_argument("--out", default="analysis_output")
-    parser.add_argument("--verbose", action="store_true",
-                        help="debug-level console logging")
     args = parser.parse_args(argv)
-    setup_logging(verbose=args.verbose)
+    init_logging(args)
     out = Path(args.out)
     out.mkdir(exist_ok=True)
+
+    written = []
 
     def emit(name: str, text: str) -> None:
         log.info("== %s %s\n%s", name, "=" * max(0, 60 - len(name)),
                  text)
         (out / f"{name}.txt").write_text(text + "\n")
+        written.append(name)
 
     start = time.time()
 
@@ -180,6 +190,9 @@ def main(argv=None) -> None:
 
     log.info("all reports written to %s/ (%.0f s)", out,
              time.time() - start)
+    if args.json:
+        emit_json({"out": str(out), "reports": written,
+                   "seconds": round(time.time() - start, 1)})
 
 
 if __name__ == "__main__":

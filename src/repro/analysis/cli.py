@@ -1,0 +1,53 @@
+"""Shared command-line plumbing for the ``repro.analysis`` subcommands.
+
+Every subcommand (``report`` / ``trace`` / ``slo`` / ``sweep``) takes
+the same cross-cutting flags -- ``--verbose`` console logging and
+``--json`` machine-readable output -- so they are defined once here as
+an argparse *parent* parser instead of each CLI re-declaring its own
+copies.  Subcommands build their parser with
+:func:`subcommand_parser` and call :func:`init_logging` right after
+parsing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import setup_logging
+
+__all__ = ["common_parent", "subcommand_parser", "init_logging",
+           "emit_json"]
+
+
+def common_parent() -> argparse.ArgumentParser:
+    """The shared flags every analysis subcommand accepts."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("common options")
+    group.add_argument("--verbose", action="store_true",
+                       help="debug-level console logging")
+    group.add_argument("--json", action="store_true",
+                       help="machine-readable JSON on stdout instead "
+                            "of tables")
+    return parent
+
+
+def subcommand_parser(prog: str, description: str,
+                      **kwargs) -> argparse.ArgumentParser:
+    """An ArgumentParser pre-wired with the common parent flags."""
+    return argparse.ArgumentParser(
+        prog=prog, description=description,
+        parents=[common_parent()], **kwargs)
+
+
+def init_logging(args: argparse.Namespace) -> None:
+    """Configure console logging from the parsed common flags."""
+    setup_logging(verbose=args.verbose)
+
+
+def emit_json(payload) -> None:
+    """Print one JSON document on stdout (the ``--json`` contract)."""
+    json.dump(payload, sys.stdout, indent=2, sort_keys=False,
+              default=str)
+    sys.stdout.write("\n")

@@ -11,15 +11,15 @@ pass/fail signal.
 
 from __future__ import annotations
 
-import argparse
 import json
 import logging
 import sys
 from pathlib import Path
 from typing import List
 
+from repro.analysis.cli import (emit_json, init_logging,
+                                subcommand_parser)
 from repro.analysis.reporting import format_table
-from repro.obs import setup_logging
 
 log = logging.getLogger(__name__)
 
@@ -64,8 +64,8 @@ def evaluate_slo(report: dict, p99_target=None, max_miss_rate=None,
 
 def slo_main(argv=None) -> int:
     """Entry point of the SLO inspection/gating subcommand."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis slo", description=__doc__)
+    parser = subcommand_parser(
+        "python -m repro.analysis slo", __doc__)
     parser.add_argument("report", nargs="?",
                         default="serve_output/BENCH_serve.json",
                         help="BENCH_serve.json / serve_report.json "
@@ -80,10 +80,8 @@ def slo_main(argv=None) -> int:
     parser.add_argument("--min-availability", type=float, default=None,
                         metavar="A",
                         help="fail if windowed availability is below A")
-    parser.add_argument("--verbose", action="store_true",
-                        help="debug-level console logging")
     args = parser.parse_args(argv)
-    setup_logging(verbose=args.verbose)
+    init_logging(args)
 
     path = Path(args.report)
     if not path.exists():
@@ -91,6 +89,13 @@ def slo_main(argv=None) -> int:
         return 2
     report = json.loads(path.read_text())
     slo = report.get("slo")
+    problems = evaluate_slo(report, p99_target=args.p99_target,
+                            max_miss_rate=args.max_miss_rate,
+                            min_availability=args.min_availability)
+    if args.json:
+        emit_json({"report": str(path), "slo": slo,
+                   "problems": problems})
+        return 1 if problems else 0
     if slo is not None:
         print(format_table(
             ["quantile", "latency (s)", "queue wait (s)"],
@@ -115,9 +120,6 @@ def slo_main(argv=None) -> int:
              ["git sha", report.get("git_sha") or "-"],
              ["stamped", report.get("timestamp") or "-"]],
             title="Objectives"))
-    problems = evaluate_slo(report, p99_target=args.p99_target,
-                            max_miss_rate=args.max_miss_rate,
-                            min_availability=args.min_availability)
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)

@@ -1,0 +1,192 @@
+"""``python -m repro.analysis sweep``: the timing design-space sweep.
+
+Measures the edge pipeline once on a real device, then sweeps the
+:mod:`repro.sim` timing model across array count x accumulator slice
+width x per-array buffer capacity (rows), writing the stamped
+``BENCH_sweep.json`` with every point's cycles/energy, the Pareto
+front, and the array-scaling series.  Always re-derives the
+single-array conformance anchor first and **exits non-zero when the
+simulated single-array schedule does not reproduce the serial ledger
+cycle total exactly** -- that equality is what ties the whole sweep
+back to the validated cost model, and CI gates on it.
+
+Optionally (``--trace``) exports the best multi-array point's
+simulated schedule as a Chrome trace, one process track per array and
+per DMA channel, next to any device spans.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import emit_json, init_logging, \
+    subcommand_parser
+from repro.analysis.reporting import format_table
+from repro.obs import write_chrome_trace
+from repro.sim.sweep import (DEFAULT_ARRAYS, DEFAULT_CACHE_ROWS,
+                             DEFAULT_SLICES, run_sweep, write_bench)
+from repro.sim.workload import PLACEMENTS
+
+log = logging.getLogger(__name__)
+
+
+def _int_list(text: str):
+    try:
+        values = tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise ValueError(f"expected comma-separated ints, got {text!r}")
+    if not values:
+        raise ValueError("empty list")
+    return values
+
+
+def sweep_summary(payload: dict) -> str:
+    """The sweep result as printable console tables."""
+    anchor = payload["anchor"]
+    lines = [format_table(
+        ["quantity", "value"],
+        [["serial ledger cycles", anchor["serial_ledger_cycles"]],
+         ["1-array simulated cycles", anchor["simulated_cycles"]],
+         ["exact", "yes" if anchor["exact"] else "NO - MISMATCH"]],
+        title="Conformance anchor (1 array, I/O-free DMA)")]
+    lines.append(format_table(
+        ["arrays", "speedup", "stall cycles", "dma overlap"],
+        [[row["arrays"], f"{row['speedup']:.2f}x",
+          row["stall_cycles_total"], row["dma_overlap_cycles"]]
+         for row in payload["scaling"]],
+        title="Array scaling (default slice/capacity)"))
+    lines.append(format_table(
+        ["arrays", "slice", "rows", "place", "time (us)",
+         "energy (uJ)", "speedup", "stalls"],
+        [[p["arrays"], p["slice_bits"], p["cache_rows"],
+          p["placement"], f"{p['time_us']:.1f}",
+          f"{p['total_energy_uj']:.1f}", f"{p['speedup']:.2f}x",
+          p["stall_cycles_total"]]
+         for p in payload["pareto_front"]],
+        title="Pareto front (min time, min energy)"))
+    if payload["skipped"]:
+        lines.append("skipped points:")
+        lines.extend(f"  - {s['reason']}" for s in payload["skipped"])
+    return "\n\n".join(lines)
+
+
+def sweep_main(argv=None) -> int:
+    """Entry point of the ``sweep`` subcommand."""
+    parser = subcommand_parser(
+        "python -m repro.analysis sweep", __doc__)
+    parser.add_argument("--frames", type=int, default=8,
+                        help="frames in the synthesized pipeline")
+    parser.add_argument("--arrays", type=_int_list,
+                        default=DEFAULT_ARRAYS,
+                        help="comma-separated array counts")
+    parser.add_argument("--slices", type=_int_list,
+                        default=DEFAULT_SLICES,
+                        help="comma-separated slice widths (bits)")
+    parser.add_argument("--cache-rows", type=_int_list,
+                        default=DEFAULT_CACHE_ROWS,
+                        help="comma-separated per-array row counts")
+    parser.add_argument("--placement", choices=list(PLACEMENTS) +
+                        ["both"], default="frame",
+                        help="task-to-array placement policy")
+    parser.add_argument("--dma-cycles-per-row", type=int, default=8,
+                        help="bus cycles per transferred row "
+                             "(0 = the paper's I/O-free accounting)")
+    parser.add_argument("--dma-channels", type=int, default=1,
+                        help="independent host DMA channels")
+    parser.add_argument("--height", type=int, default=240,
+                        help="frame height (rows)")
+    parser.add_argument("--width", type=int, default=320,
+                        help="frame width (pixels)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="arbitration seed (event order is "
+                             "deterministic per seed)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless some multi-array point "
+                             "reaches X speedup")
+    parser.add_argument("--out", default="analysis_output",
+                        help="output directory")
+    parser.add_argument("--trace", action="store_true",
+                        help="export the fastest point's simulated "
+                             "schedule as sweep_trace.json")
+    args = parser.parse_args(argv)
+    if args.frames < 1:
+        parser.error("--frames must be >= 1")
+    init_logging(args)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    placements = PLACEMENTS if args.placement == "both" \
+        else (args.placement,)
+    log.info("sweeping arrays=%s slices=%s cache_rows=%s "
+             "placements=%s (%d frames of %dx%d)",
+             args.arrays, args.slices, args.cache_rows, placements,
+             args.frames, args.height, args.width)
+    payload = run_sweep(
+        frames=args.frames, arrays=args.arrays, slices=args.slices,
+        cache_rows=args.cache_rows, placements=placements,
+        dma_cycles_per_row=args.dma_cycles_per_row,
+        dma_channels=args.dma_channels, seed=args.seed,
+        height=args.height, width=args.width)
+
+    bench_path = write_bench(out / "BENCH_sweep.json", payload)
+    log.info("wrote %s (%d points, %d on the Pareto front)",
+             bench_path, len(payload["points"]),
+             len(payload["pareto_front"]))
+
+    if args.trace and payload["points"]:
+        _export_best_trace(payload, args, out)
+
+    if args.json:
+        emit_json(payload)
+    else:
+        print(sweep_summary(payload))
+
+    if not payload["anchor"]["exact"]:
+        print("FAIL: single-array simulation does not reproduce the "
+              f"serial ledger total ({payload['anchor']})",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup is not None:
+        best = max(p["speedup"] for p in payload["points"])
+        if best < args.min_speedup:
+            print(f"FAIL: best speedup {best:.2f}x below required "
+                  f"{args.min_speedup:.2f}x", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _export_best_trace(payload: dict, args, out: Path) -> None:
+    """Re-simulate the fastest point and export its schedule."""
+    from repro.pim.config import PIMConfig
+    from repro.sim.engine import simulate
+    from repro.sim.machine import MachineSpec
+    from repro.sim.workload import build_tasks, \
+        measure_edge_stage_costs
+
+    best = min(payload["points"], key=lambda p: p["time_us"])
+    workload = measure_edge_stage_costs(height=args.height,
+                                        width=args.width,
+                                        seed=args.seed)
+    spec = MachineSpec(
+        n_arrays=best["arrays"],
+        array=PIMConfig(wordline_bits=args.width * 8,
+                        num_rows=best["cache_rows"],
+                        slice_bits=best["slice_bits"],
+                        num_banks=min(8, best["cache_rows"])),
+        dma_channels=args.dma_channels,
+        dma_cycles_per_row=args.dma_cycles_per_row)
+    result = simulate(
+        build_tasks(workload, spec, args.frames, best["placement"]),
+        spec, seed=args.seed, record_metrics=False)
+    path = write_chrome_trace(out / "sweep_trace.json",
+                              spans=result.to_spans())
+    log.info("wrote %s (best point: %d arrays, %d-bit slices, "
+             "%d rows)", path, best["arrays"], best["slice_bits"],
+             best["cache_rows"])
+
+
+if __name__ == "__main__":
+    raise SystemExit(sweep_main())

@@ -14,12 +14,13 @@ jacobian / hessian kernels appear on the timeline -- then exports:
 
 from __future__ import annotations
 
-import argparse
 import logging
 from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.cli import (emit_json, init_logging,
+                                subcommand_parser)
 from repro.dataset import make_sequence
 from repro.fixedpoint import Q14_2
 from repro.geometry import se3_exp
@@ -30,7 +31,6 @@ from repro.obs import (
     disable_tracing,
     enable_tracing,
     get_registry,
-    setup_logging,
     write_chrome_trace,
     write_metrics_jsonl,
 )
@@ -43,8 +43,8 @@ log = logging.getLogger(__name__)
 
 def trace_main(argv=None) -> int:
     """Entry point of the ``trace`` subcommand."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis trace", description=__doc__)
+    parser = subcommand_parser(
+        "python -m repro.analysis trace", __doc__)
     parser.add_argument("--frames", type=int, default=8,
                         help="number of synthetic frames to track")
     parser.add_argument("--sequence", default="fr1_xyz",
@@ -52,12 +52,10 @@ def trace_main(argv=None) -> int:
     parser.add_argument("--out", default="analysis_output",
                         help="output directory")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--verbose", action="store_true",
-                        help="debug-level console logging")
     args = parser.parse_args(argv)
     if args.frames < 1:
         parser.error("--frames must be >= 1")
-    setup_logging(verbose=args.verbose)
+    init_logging(args)
     out = Path(args.out)
     out.mkdir(exist_ok=True)
 
@@ -101,6 +99,11 @@ def trace_main(argv=None) -> int:
     (out / "trace_summary.txt").write_text(summary + "\n")
     log.info("wrote %s (%d spans) and %s", trace_path,
              len(tracer.spans), metrics_path)
+    if args.json:
+        emit_json({"trace": str(trace_path),
+                   "metrics": str(metrics_path),
+                   "summary": str(out / "trace_summary.txt"),
+                   "spans": len(tracer.spans)})
     return 0
 
 

@@ -81,6 +81,7 @@ from repro.obs.tracer import (
 from repro.obs.export import (
     chrome_trace_events,
     console_summary,
+    op_breakdown_rows,
     write_chrome_trace,
     write_metrics_jsonl,
 )
@@ -91,8 +92,8 @@ __all__ = [
     "span", "tracing_enabled",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
     "set_registry",
-    "chrome_trace_events", "console_summary", "write_chrome_trace",
-    "write_metrics_jsonl",
+    "chrome_trace_events", "console_summary", "op_breakdown_rows",
+    "write_chrome_trace", "write_metrics_jsonl",
     "NULL_HANDLE", "SpanHandle", "TraceContext", "current_context",
     "SloEngine", "SloTargets", "percentile",
     "FlightRecorder", "get_flight_recorder", "set_flight_recorder",

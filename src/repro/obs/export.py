@@ -34,7 +34,7 @@ from repro.obs.tracer import Span, Tracer, get_tracer
 __all__ = [
     "chrome_trace_events", "write_chrome_trace",
     "write_metrics_jsonl", "kernel_cycle_rows", "access_share_rows",
-    "console_summary",
+    "op_breakdown_rows", "console_summary",
 ]
 
 
@@ -46,6 +46,15 @@ def _leaf_spans(spans: Sequence[Span]) -> List[Span]:
 #: Span categories exported on the wall-clock process track too.
 WALL_CLOCK_CATEGORIES = frozenset({"serve"})
 
+#: First pid used for simulated-schedule tracks (``sim_track`` attr).
+SIM_TRACK_BASE_PID = 2
+
+
+def _sim_track_key(track: str):
+    """Sort sim tracks as array-0, array-1, ..., dma-0, dma-1, ..."""
+    prefix, _, suffix = track.rpartition("-")
+    return (prefix, int(suffix)) if suffix.isdigit() else (track, 0)
+
 
 def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
     """Spans as Chrome trace-event dicts, sorted by start timestamp.
@@ -56,6 +65,13 @@ def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
     :data:`WALL_CLOCK_CATEGORIES`) are exported a second time on
     ``pid 1`` with real wall-clock timestamps, so the request timeline
     and the device timeline sit side by side in one trace.
+
+    Spans carrying a ``sim_track`` attribute -- the
+    :mod:`repro.sim` engine's per-array / per-DMA-channel schedule
+    (:meth:`repro.sim.engine.SimResult.to_spans`) -- get one process
+    track each (pids from :data:`SIM_TRACK_BASE_PID`) instead of
+    joining ``pid 0``, so a multi-array simulation lays out next to
+    the serial device timeline in the same viewer.
     """
     tids = {}
     events: List[dict] = []
@@ -63,8 +79,12 @@ def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
                   if s.category in WALL_CLOCK_CATEGORIES
                   and s.wall_ts > 0.0]
     wall_t0 = min((s.wall_ts for s in wall_spans), default=0.0)
+    sim_tracks = sorted({s.attrs["sim_track"] for s in spans
+                         if "sim_track" in s.attrs},
+                        key=_sim_track_key)
+    sim_pids = {track: SIM_TRACK_BASE_PID + i
+                for i, track in enumerate(sim_tracks)}
     for span in spans:
-        tid = tids.setdefault(span.thread, len(tids))
         args: Dict[str, object] = dict(span.attrs)
         args["wall_ms"] = round(span.wall_s * 1e3, 3)
         args["span_id"] = span.span_id
@@ -72,10 +92,24 @@ def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
         if span.trace_id:
             args["trace_id"] = span.trace_id
         if span.ledger is not None:
-            args["cycles"] = int(span.cycles)
+            args["cycles"] = int(span.cycles) \
+                if span.cycles is not None else None
             args["energy_pj"] = round(float(span.energy_pj), 1)
             args.update(span.accesses)
             args["host_transfers"] = int(span.ledger.host_transfers)
+        if "sim_track" in span.attrs:
+            events.append({
+                "name": span.name,
+                "cat": span.category or "sim",
+                "ph": "X",
+                "ts": int(span.ts),
+                "dur": int(span.dur),
+                "pid": sim_pids[span.attrs["sim_track"]],
+                "tid": 0,
+                "args": args,
+            })
+            continue
+        tid = tids.setdefault(span.thread, len(tids))
         events.append({
             "name": span.name,
             "cat": span.category or "span",
@@ -107,6 +141,11 @@ def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
         meta.append({
             "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
             "args": {"name": "serve (wall clock)"},
+        })
+    for track, pid in sim_pids.items():
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"sim {track}"},
         })
     for thread, tid in sorted(tids.items(), key=lambda kv: kv[1]):
         meta.append({
@@ -217,10 +256,45 @@ def access_share_rows(spans: Sequence[Span],
     return rows
 
 
+def op_breakdown_rows(spans: Sequence[Span],
+                      category: str = "kernel") -> List[dict]:
+    """Per-op-class cycle/energy rows from the spans' merged ledgers.
+
+    Folds every selected span's ledger delta into one
+    :class:`~repro.pim.cost.CostLedger` and renders its
+    :meth:`~repro.pim.cost.CostLedger.breakdown` -- which micro-op
+    *classes* (add, mul, shift, ...) the cycles and energy went to,
+    across all kernels.  Ledgers stay duck-typed (``snapshot`` /
+    ``merge`` / ``breakdown``), preserving this package's
+    no-pim-imports rule.
+    """
+    if category is None:
+        pool = _leaf_spans(spans)
+    else:
+        pool = [s for s in spans if s.category == category]
+    merged = None
+    for span in pool:
+        if span.ledger is None:
+            continue
+        if merged is None:
+            merged = span.ledger.snapshot()
+        else:
+            merged.merge(span.ledger)
+    if merged is None:
+        return []
+    return [{"op": op, **row}
+            for op, row in merged.breakdown().items()]
+
+
 def console_summary(spans: Optional[Sequence[Span]] = None,
                     tracer: Optional[Tracer] = None,
                     category: str = "kernel") -> str:
-    """The Fig. 10-a/10-b tables of a traced run, as printable text."""
+    """The Fig. 10-a/10-b tables of a traced run, as printable text.
+
+    Three tables: per-kernel cycles/energy (Fig. 10-a), per-kernel
+    memory-access shares (Fig. 10-b), and the per-op-class breakdown
+    of the merged ledger (:meth:`CostLedger.breakdown`).
+    """
     if spans is None:
         spans = (tracer or get_tracer()).spans
     cycle_rows = kernel_cycle_rows(spans, category=category)
@@ -243,4 +317,13 @@ def console_summary(spans: Optional[Sequence[Span]] = None,
           f"{r['mem_wr']:6.1%}", f"{r['tmp_reg']:6.1%}"]
          for r in share_rows],
         title="Memory-access shares (Fig. 10-b style)")
-    return fig10a + "\n\n" + fig10b
+    tables = [fig10a, fig10b]
+    op_rows = op_breakdown_rows(spans, category=category)
+    if op_rows:
+        tables.append(_table(
+            ["op class", "count", "cycles", "share", "energy (uJ)"],
+            [[r["op"], r["count"], r["cycles"],
+              f"{r['cycle_share']:6.1%}",
+              f"{r['energy_pj'] / 1e6:.2f}"] for r in op_rows],
+            title="Per-op-class breakdown (CostLedger.breakdown)"))
+    return "\n\n".join(tables)

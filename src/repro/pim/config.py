@@ -30,12 +30,21 @@ class PIMConfig:
             design uses one ("a modest setup"); section 5.4 suggests
             more registers as an efficiency extension, which the
             kernels exploit automatically when available.
+        num_banks: Physical row banks the array is partitioned into
+            (contiguous row ranges).  Banks are *timing-only*
+            structure: they never change what a program computes, but
+            the :mod:`repro.sim` timing model arbitrates concurrent
+            DMA/compute access per bank, so two operations touching
+            disjoint banks may overlap while same-bank access
+            serializes.  ``0`` (the default) means auto:
+            ``min(8, num_rows)``, so tiny test geometries stay valid.
     """
 
     wordline_bits: int = 2560
     num_rows: int = 256
     slice_bits: int = 8
     num_tmp_registers: int = 1
+    num_banks: int = 0
 
     def __post_init__(self) -> None:
         if self.wordline_bits % self.slice_bits:
@@ -44,6 +53,12 @@ class PIMConfig:
             raise ValueError("geometry must be positive")
         if self.num_tmp_registers < 1:
             raise ValueError("need at least one Tmp register")
+        if self.num_banks == 0:
+            object.__setattr__(self, "num_banks", min(8, self.num_rows))
+        if not 1 <= self.num_banks <= self.num_rows:
+            raise ValueError(
+                f"num_banks {self.num_banks} must be in "
+                f"[1, {self.num_rows}]")
 
     def lanes(self, precision: int) -> int:
         """SIMD lanes available at the given lane width."""
@@ -65,13 +80,32 @@ class PIMConfig:
         """Bytes per row (word line is byte-aligned by construction)."""
         return self.wordline_bits // 8
 
+    @property
+    def bank_rows(self) -> int:
+        """Rows per bank (last bank may be short when not divisible)."""
+        return -(-self.num_rows // self.num_banks)
+
+    def bank_of(self, row: int) -> int:
+        """Bank index holding ``row``."""
+        if not 0 <= row < self.num_rows:
+            raise IndexError(
+                f"row {row} out of range [0, {self.num_rows})")
+        return row // self.bank_rows
+
+    def banks_of_rows(self, rows) -> frozenset:
+        """The set of bank indices a row collection touches."""
+        return frozenset(self.bank_of(int(r)) for r in rows)
+
     def digest(self) -> str:
         """Stable short fingerprint of the geometry.
 
         Programs recorded for one geometry are only replayable on
         devices with the same geometry; caches key on this digest
         (plus kernel, shape and precision) so a config change can
-        never resurrect a stale program.
+        never resurrect a stale program.  Only execution-visible
+        geometry enters the digest -- ``num_banks`` is timing-only
+        structure, so two configs differing in banking alone share
+        programs (and persistent store entries) by design.
         """
         import hashlib
         blob = (f"{self.wordline_bits}:{self.num_rows}:"

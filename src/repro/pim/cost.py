@@ -17,6 +17,10 @@ from repro.pim.isa import OpKind
 
 __all__ = ["CostLedger", "AccessBreakdown"]
 
+#: Per-op-class cost fields tracked in :attr:`CostLedger.op_costs`.
+_OP_COST_FIELDS = ("cycles", "sram_reads", "sram_writes",
+                   "tmp_accesses", "logic_ops")
+
 
 @dataclass
 class AccessBreakdown:
@@ -58,6 +62,12 @@ class CostLedger:
         op_profile: Histogram by ``(OpKind, precision)`` - the raw
             material for cross-architecture cost comparisons (for
             example the bit-serial model re-prices this profile).
+        op_costs: Cost decomposition by op class, keyed
+            ``(OpKind, field)`` with ``field`` one of ``cycles`` /
+            ``sram_reads`` / ``sram_writes`` / ``tmp_accesses`` /
+            ``logic_ops``.  :meth:`breakdown` renders it as the
+            structured per-class cycle/energy table consumers used to
+            reconstruct by diffing snapshots around each kernel.
     """
 
     cycles: int = 0
@@ -68,6 +78,7 @@ class CostLedger:
     host_transfers: int = 0
     op_counts: Counter = field(default_factory=Counter)
     op_profile: Counter = field(default_factory=Counter)
+    op_costs: Counter = field(default_factory=Counter)
 
     def charge(self, kind: OpKind, cycles: int, sram_reads: int = 0,
                sram_writes: int = 0, tmp_accesses: int = 0,
@@ -81,6 +92,15 @@ class CostLedger:
         self.op_counts[kind] += 1
         if precision:
             self.op_profile[(kind, precision)] += 1
+        self.op_costs[(kind, "cycles")] += cycles
+        if sram_reads:
+            self.op_costs[(kind, "sram_reads")] += sram_reads
+        if sram_writes:
+            self.op_costs[(kind, "sram_writes")] += sram_writes
+        if tmp_accesses:
+            self.op_costs[(kind, "tmp_accesses")] += tmp_accesses
+        if logic_ops:
+            self.op_costs[(kind, "logic_ops")] += logic_ops
 
     def charge_host_transfer(self, rows: int = 1) -> None:
         """Record host DMA traffic (not charged to cycles)."""
@@ -109,6 +129,8 @@ class CostLedger:
             self.op_counts[kind] += count * reps
         for key, count in aggregate.op_profile.items():
             self.op_profile[key] += count * reps
+        for key, count in aggregate.op_costs.items():
+            self.op_costs[key] += count * reps
 
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger into this one."""
@@ -120,6 +142,7 @@ class CostLedger:
         self.host_transfers += other.host_transfers
         self.op_counts.update(other.op_counts)
         self.op_profile.update(other.op_profile)
+        self.op_costs.update(other.op_costs)
 
     def snapshot(self) -> "CostLedger":
         """An independent copy of the current totals."""
@@ -133,6 +156,7 @@ class CostLedger:
         )
         copy.op_counts = Counter(self.op_counts)
         copy.op_profile = Counter(self.op_profile)
+        copy.op_costs = Counter(self.op_costs)
         return copy
 
     def delta_since(self, snapshot: "CostLedger") -> "CostLedger":
@@ -147,7 +171,42 @@ class CostLedger:
         )
         delta.op_counts = self.op_counts - snapshot.op_counts
         delta.op_profile = self.op_profile - snapshot.op_profile
+        delta.op_costs = self.op_costs - snapshot.op_costs
         return delta
+
+    def breakdown(self, model: EnergyModel = EnergyModel()
+                  ) -> Dict[str, Dict[str, float]]:
+        """Structured per-op-class cycle/energy decomposition.
+
+        Returns ``{op_class: {count, cycles, cycle_share, sram_reads,
+        sram_writes, tmp_accesses, logic_ops, energy_pj,
+        energy_share}}``, sorted by descending cycles.  Classes are
+        :class:`OpKind` names lower-cased.  This is the introspection
+        hook :mod:`repro.sim` and the Fig. 10 console summary consume
+        instead of diffing snapshots around every kernel.
+        """
+        rows: Dict[str, Dict[str, float]] = {}
+        for kind, count in self.op_counts.items():
+            cost = {f: int(self.op_costs.get((kind, f), 0))
+                    for f in _OP_COST_FIELDS}
+            energy = model.report(
+                sram_accesses=cost["sram_reads"] + cost["sram_writes"],
+                logic_ops=cost["logic_ops"],
+                tmp_accesses=cost["tmp_accesses"])
+            rows[kind.name.lower()] = {
+                "count": int(count),
+                "energy_pj": energy.total_pj,
+                **cost,
+            }
+        total_cycles = sum(r["cycles"] for r in rows.values())
+        total_pj = sum(r["energy_pj"] for r in rows.values())
+        for row in rows.values():
+            row["cycle_share"] = (row["cycles"] / total_cycles
+                                  if total_cycles else 0.0)
+            row["energy_share"] = (row["energy_pj"] / total_pj
+                                   if total_pj else 0.0)
+        return dict(sorted(rows.items(),
+                           key=lambda kv: -kv[1]["cycles"]))
 
     @property
     def accesses(self) -> AccessBreakdown:
@@ -176,3 +235,4 @@ class CostLedger:
         self.host_transfers = 0
         self.op_counts.clear()
         self.op_profile.clear()
+        self.op_costs.clear()

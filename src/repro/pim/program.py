@@ -226,6 +226,25 @@ class PIMProgram:
             return 0
         return max(offsets) - min(offsets)
 
+    def row_footprint(self, base: int = 0) -> FrozenSet[int]:
+        """Absolute SRAM rows one replay at ``base`` touches.
+
+        Relative offsets are resolved against ``base``; absolute rows
+        are included as-is.  This is the introspection hook the
+        :mod:`repro.sim` timing model uses to derive a replay's bank
+        footprint without re-interpreting the op stream.
+        """
+        rel = self.rel_read_offsets | self.rel_write_offsets
+        return (frozenset(int(base) + off for off in rel)
+                | self.abs_read_rows | self.abs_write_rows)
+
+    def banks_touched(self, config, bases) -> FrozenSet[int]:
+        """Banks of ``config`` touched when replaying over ``bases``."""
+        rows = set()
+        for base in bases:
+            rows.update(self.row_footprint(int(base)))
+        return config.banks_of_rows(rows)
+
     def __len__(self) -> int:
         return sum(1 for op in self.ops
                    if op.method != "set_precision")

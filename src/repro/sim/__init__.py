@@ -1,0 +1,43 @@
+"""Event-driven multi-array timing simulation and design-space sweep.
+
+``repro.sim`` answers the question the serial
+:class:`~repro.pim.cost.CostLedger` cannot: how does the pipeline
+perform on a *system* of N PIM arrays, with banked SRAM, shared host
+DMA channels, and stages of different frames in flight at once?
+
+The package splits into:
+
+* :mod:`repro.sim.machine` -- the machine model
+  (:class:`~repro.sim.machine.MachineSpec`): array count, per-array
+  geometry/banking, DMA channels, and the documented timing/energy
+  modelling assumptions.
+* :mod:`repro.sim.engine` -- the event-driven engine
+  (:func:`~repro.sim.engine.simulate`): schedules a task DAG onto
+  compute units, banks and DMA channels with deterministic seeded
+  arbitration, attributing contention stalls and DMA/compute overlap.
+* :mod:`repro.sim.workload` -- measures the edge pipeline's per-stage
+  costs once on a real device and synthesizes F-frame task graphs
+  under ``"frame"`` or ``"stage"`` placement.
+* :mod:`repro.sim.sweep` -- the arrays x slice-width x buffer-capacity
+  design-space sweep behind ``python -m repro.analysis sweep``,
+  emitting the stamped ``BENCH_sweep.json`` with its Pareto front.
+
+The load-bearing invariant: a single-array schedule under the paper's
+I/O-free DMA accounting reproduces the serial ledger cycle total
+**exactly** -- the simulator extends the cost model, it never forks it.
+See ``docs/timing.md`` for the event/resource semantics.
+"""
+
+from repro.sim.engine import (SimResult, SimTask, TimelineSpan,
+                              serial_cycles, simulate)
+from repro.sim.machine import DEFAULT_MACHINE, MachineSpec
+from repro.sim.sweep import pareto_front, run_sweep, write_bench
+from repro.sim.workload import (EdgeWorkload, StageCost, build_tasks,
+                                measure_edge_stage_costs)
+
+__all__ = [
+    "DEFAULT_MACHINE", "EdgeWorkload", "MachineSpec", "SimResult",
+    "SimTask", "StageCost", "TimelineSpan", "build_tasks",
+    "measure_edge_stage_costs", "pareto_front", "run_sweep",
+    "serial_cycles", "simulate", "write_bench",
+]

@@ -1,0 +1,133 @@
+"""The multi-array machine model the timing simulator schedules onto.
+
+One :class:`MachineSpec` describes a *system* of ``n_arrays`` SRAM-PIM
+macros (each with the per-array geometry of a
+:class:`~repro.pim.config.PIMConfig`, including its timing-only bank
+partition), connected to the host by ``dma_channels`` shared DMA
+channels.  The resources the event engine arbitrates follow directly:
+
+* one **compute unit** per array (the accumulator/shifter periphery --
+  one micro-op stream at a time, exactly like the real device),
+* ``num_banks`` **banks** per array (row ranges; concurrent DMA and
+  compute may overlap on one array only when their bank footprints are
+  disjoint),
+* the **DMA channels** (``load_rows``/``store_rows`` traffic; the
+  shared host bus is what saturates first as arrays scale, producing
+  the contention knee of the design-space sweep).
+
+Timing/energy modelling assumptions (documented, not paper numbers --
+see ``docs/timing.md``):
+
+* ``dma_cycles_per_row`` defaults to 8: a 2560-bit word line moved
+  over a 320-bit host bus takes 8 bus beats.  Setting it to 0 restores
+  the paper's accounting ("without considering the I/O overhead"),
+  which is the convention of the :class:`~repro.pim.cost.CostLedger`
+  cycle domain and therefore of the single-array conformance anchor.
+* The accumulator's critical path grows with the in-slice ripple, so
+  the clock period scales with ``slice_bits``:
+  ``period = base * (0.75 + 0.25 * slice_bits / 8)``.
+* Each slice-boundary carry-control gate costs ~0.1 % of a logic op's
+  energy, so wider slices (fewer boundaries) spend *less* logic energy
+  per op -- the latency/energy trade the sweep explores.
+* An idle-but-clocked array burns ``idle_cycle_pj`` per cycle (clock
+  tree + sense-amp bias).  Idle energy is what eventually dominates
+  past the contention knee: arrays stall, array-cycles grow, cycles
+  stop improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pim.config import DEFAULT_CONFIG, PIMConfig
+from repro.pim.energy import CLOCK_HZ
+
+__all__ = ["MachineSpec", "DEFAULT_MACHINE"]
+
+#: Reference clock period at 8-bit slices (the paper's 216 MHz).
+BASE_PERIOD_NS = 1e9 / CLOCK_HZ
+
+#: Fractional logic-energy cost of one slice-boundary carry gate.
+CARRY_GATE_ENERGY_FRACTION = 0.001
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A system of N PIM arrays plus its host-interconnect timing.
+
+    Attributes:
+        n_arrays: Number of identical PIM macros.
+        array: Per-array geometry (rows double as the frame-buffer
+            capacity axis of the sweep; ``num_banks`` partitions the
+            rows for DMA/compute overlap arbitration).
+        dma_channels: Independent host DMA channels (shared by all
+            arrays; the contention bottleneck).
+        dma_cycles_per_row: Bus beats per transferred row; 0 models
+            the paper's I/O-free accounting.
+        idle_cycle_pj: Energy an idle-but-clocked array burns per
+            cycle.
+    """
+
+    n_arrays: int = 1
+    array: PIMConfig = field(default_factory=lambda: DEFAULT_CONFIG)
+    dma_channels: int = 1
+    dma_cycles_per_row: int = 8
+    idle_cycle_pj: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.n_arrays < 1:
+            raise ValueError("need at least one array")
+        if self.dma_channels < 1:
+            raise ValueError("need at least one DMA channel")
+        if self.dma_cycles_per_row < 0:
+            raise ValueError("dma_cycles_per_row must be >= 0")
+        if self.idle_cycle_pj < 0:
+            raise ValueError("idle_cycle_pj must be >= 0")
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period under the slice-ripple critical-path model."""
+        return BASE_PERIOD_NS * (0.75 +
+                                 0.25 * self.array.slice_bits / 8.0)
+
+    @property
+    def clock_mhz(self) -> float:
+        """Achievable clock under the slice-ripple model."""
+        return 1e3 / self.period_ns
+
+    @property
+    def logic_energy_factor(self) -> float:
+        """Relative logic-op energy vs the 8-bit-slice reference.
+
+        Fewer slice boundaries means fewer carry-control gates
+        switching per op; the factor is 1.0 at 8-bit slices.
+        """
+        def boundaries(slice_bits: int) -> int:
+            return self.array.wordline_bits // slice_bits - 1
+        ref = 1.0 + CARRY_GATE_ENERGY_FRACTION * boundaries(8)
+        now = 1.0 + CARRY_GATE_ENERGY_FRACTION * boundaries(
+            self.array.slice_bits)
+        return now / ref
+
+    def dma_cycles(self, rows: int) -> int:
+        """Bus cycles to move ``rows`` word lines over one channel."""
+        return int(rows) * self.dma_cycles_per_row
+
+    def describe(self) -> dict:
+        """JSON-ready summary for BENCH artifacts."""
+        return {
+            "n_arrays": self.n_arrays,
+            "array_rows": self.array.num_rows,
+            "array_kb": self.array.capacity_bytes / 1024.0,
+            "num_banks": self.array.num_banks,
+            "slice_bits": self.array.slice_bits,
+            "dma_channels": self.dma_channels,
+            "dma_cycles_per_row": self.dma_cycles_per_row,
+            "clock_mhz": round(self.clock_mhz, 2),
+            "logic_energy_factor": round(self.logic_energy_factor, 4),
+            "idle_cycle_pj": self.idle_cycle_pj,
+        }
+
+
+#: Single array of the paper's geometry with the default interconnect.
+DEFAULT_MACHINE = MachineSpec()

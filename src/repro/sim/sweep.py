@@ -1,0 +1,227 @@
+"""Design-space sweep: array count x slice width x buffer capacity.
+
+The sweep runs the measured edge-pipeline workload
+(:func:`repro.sim.workload.measure_edge_stage_costs`) through the
+timing engine across a grid of machine shapes and reports, per point,
+the makespan, measured speedup over the serial ledger, contention
+stalls, DMA/compute overlap and total (dynamic + idle) energy.  The
+cross-product answers the questions a silicon budget forces:
+
+* **arrays** -- throughput scales with N until the shared host DMA bus
+  saturates (the contention knee: stalls shift from ``compute`` to
+  ``dma`` and speedup flattens while idle energy keeps growing);
+* **slice width** -- wider accumulator slices spend less carry-gate
+  energy per op but lengthen the ripple critical path (slower clock);
+* **buffer capacity** (rows per array) -- one frame slot serializes
+  load-after-store, two enable double buffering that hides DMA.
+
+Every sweep first re-derives the **conformance anchor**: one array
+with I/O-free DMA accounting must reproduce the serial
+:class:`~repro.pim.cost.CostLedger` total *exactly*, or the whole
+result set is untrustworthy (the CLI exits non-zero on a mismatch and
+CI gates on it).
+
+Points whose array cannot hold even one frame are skipped and listed
+in the payload's ``skipped`` section -- the sweep never silently
+narrows its own grid.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.stamp import run_stamp
+from repro.pim.config import PIMConfig
+from repro.sim.engine import SimResult, serial_cycles, simulate
+from repro.sim.machine import MachineSpec
+from repro.sim.workload import (EdgeWorkload, build_tasks,
+                                measure_edge_stage_costs)
+
+__all__ = ["run_sweep", "pareto_front", "write_bench",
+           "DEFAULT_ARRAYS", "DEFAULT_SLICES", "DEFAULT_CACHE_ROWS"]
+
+DEFAULT_ARRAYS = (1, 2, 4, 8)
+DEFAULT_SLICES = (8, 16, 32)
+DEFAULT_CACHE_ROWS = (256, 512)
+
+
+def pareto_front(points: Sequence[dict],
+                 time_key: str = "time_us",
+                 energy_key: str = "total_energy_uj") -> List[int]:
+    """Indices of the non-dominated points (minimize time and energy).
+
+    A point is dominated when another point is no worse on both axes
+    and strictly better on at least one.
+    """
+    front: List[int] = []
+    for i, p in enumerate(points):
+        dominated = False
+        for j, q in enumerate(points):
+            if i == j:
+                continue
+            if (q[time_key] <= p[time_key]
+                    and q[energy_key] <= p[energy_key]
+                    and (q[time_key] < p[time_key]
+                         or q[energy_key] < p[energy_key])):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def _array_config(workload: EdgeWorkload, rows: int,
+                  slice_bits: int) -> PIMConfig:
+    return PIMConfig(wordline_bits=workload.width * 8,
+                     num_rows=rows, slice_bits=slice_bits,
+                     num_banks=min(8, rows))
+
+
+def _point(workload: EdgeWorkload, spec: MachineSpec, frames: int,
+           placement: str, result: SimResult, serial: int) -> dict:
+    return {
+        "arrays": spec.n_arrays,
+        "slice_bits": spec.array.slice_bits,
+        "cache_rows": spec.array.num_rows,
+        "placement": placement,
+        "makespan_cycles": result.makespan,
+        "time_us": round(result.time_ns() / 1e3, 3),
+        "clock_mhz": round(spec.clock_mhz, 2),
+        "speedup": round(serial / result.makespan, 4)
+        if result.makespan else 0.0,
+        "utilization": round(
+            result.compute_busy_total /
+            (spec.n_arrays * result.makespan), 4)
+        if result.makespan else 0.0,
+        "stall_cycles": dict(result.stall_cycles),
+        "stall_cycles_total": result.stall_cycles_total,
+        "dma_overlap_cycles": result.dma_overlap_cycles,
+        "idle_cycles": result.idle_cycles_total,
+        "dynamic_energy_uj": round(result.energy().total_pj / 1e6, 4),
+        "idle_energy_uj": round(result.idle_energy_pj() / 1e6, 4),
+        "total_energy_uj": round(result.total_energy_pj() / 1e6, 4),
+    }
+
+
+def run_sweep(workload: Optional[EdgeWorkload] = None,
+              frames: int = 8,
+              arrays: Sequence[int] = DEFAULT_ARRAYS,
+              slices: Sequence[int] = DEFAULT_SLICES,
+              cache_rows: Sequence[int] = DEFAULT_CACHE_ROWS,
+              placements: Sequence[str] = ("frame",),
+              dma_cycles_per_row: int = 8,
+              dma_channels: int = 1,
+              idle_cycle_pj: float = 40.0,
+              seed: int = 0,
+              height: int = 240, width: int = 320,
+              record_metrics: bool = True) -> dict:
+    """Run the full design-space sweep; returns the BENCH payload.
+
+    The payload carries the provenance stamp, the measured workload,
+    the conformance-anchor verdict (``anchor["exact"]``), every grid
+    point's timing/energy accounting with its Pareto membership, the
+    array-scaling series at the default slice/capacity, and the grid
+    points that had to be skipped (with reasons).
+    """
+    if workload is None:
+        workload = measure_edge_stage_costs(height=height, width=width,
+                                            seed=seed)
+    serial = workload.serial_cycles(frames)
+
+    # Conformance anchor: 1 array, I/O-free DMA, paper slice width.
+    anchor_rows = max([r for r in cache_rows
+                       if r >= workload.frame_rows],
+                      default=workload.frame_rows)
+    anchor_spec = MachineSpec(
+        n_arrays=1, array=_array_config(workload, anchor_rows, 8),
+        dma_channels=1, dma_cycles_per_row=0,
+        idle_cycle_pj=idle_cycle_pj)
+    anchor_tasks = build_tasks(workload, anchor_spec, frames, "frame")
+    anchor_result = simulate(anchor_tasks, anchor_spec, seed=seed,
+                             record_metrics=False)
+    assert serial_cycles(anchor_tasks) == serial
+    anchor = {
+        "serial_ledger_cycles": serial,
+        "simulated_cycles": anchor_result.makespan,
+        "exact": anchor_result.makespan == serial,
+    }
+
+    points: List[dict] = []
+    skipped: List[dict] = []
+    for placement in placements:
+        for rows in cache_rows:
+            if rows < workload.frame_rows:
+                skipped.append({
+                    "cache_rows": rows, "placement": placement,
+                    "reason": f"array of {rows} rows cannot hold one "
+                              f"{workload.frame_rows}-row frame"})
+                continue
+            for slice_bits in slices:
+                for n in arrays:
+                    spec = MachineSpec(
+                        n_arrays=n,
+                        array=_array_config(workload, rows,
+                                            slice_bits),
+                        dma_channels=dma_channels,
+                        dma_cycles_per_row=dma_cycles_per_row,
+                        idle_cycle_pj=idle_cycle_pj)
+                    tasks = build_tasks(workload, spec, frames,
+                                        placement)
+                    result = simulate(tasks, spec, seed=seed,
+                                      record_metrics=record_metrics)
+                    points.append(_point(workload, spec, frames,
+                                         placement, result, serial))
+
+    front = pareto_front(points)
+    for i, point in enumerate(points):
+        point["pareto"] = i in front
+
+    # Array-scaling series at the default slice/capacity/placement:
+    # where the speedup knee sits and what resource causes it.
+    scaling: List[dict] = []
+    if points:
+        slice0 = slices[0]
+        rows0 = max(r for r in cache_rows
+                    if r >= workload.frame_rows)
+        for point in points:
+            if (point["slice_bits"] == slice0
+                    and point["cache_rows"] == rows0
+                    and point["placement"] == placements[0]):
+                scaling.append({
+                    "arrays": point["arrays"],
+                    "speedup": point["speedup"],
+                    "stall_cycles_total":
+                        point["stall_cycles_total"],
+                    "dma_overlap_cycles":
+                        point["dma_overlap_cycles"],
+                })
+        scaling.sort(key=lambda row: row["arrays"])
+
+    return {
+        "benchmark": "sim_sweep",
+        "stamp": run_stamp(),
+        "workload": workload.describe(),
+        "frames": frames,
+        "serial_ledger_cycles": serial,
+        "machine_defaults": {
+            "dma_cycles_per_row": dma_cycles_per_row,
+            "dma_channels": dma_channels,
+            "idle_cycle_pj": idle_cycle_pj,
+            "seed": seed,
+        },
+        "anchor": anchor,
+        "points": points,
+        "pareto_front": [points[i] for i in front],
+        "scaling": scaling,
+        "skipped": skipped,
+    }
+
+
+def write_bench(path, payload: dict) -> Path:
+    """Write a sweep payload as a BENCH artifact; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                    + "\n")
+    return path

@@ -1,0 +1,344 @@
+"""Edge-pipeline workloads for the timing simulator.
+
+The simulator does not re-execute kernels: cycle costs on the PIM
+device are data-independent (a recorded program's aggregate cost
+scaled by row count), so each pipeline stage is *measured once* on a
+real :class:`~repro.pim.device.PIMDevice` -- per-stage
+:class:`~repro.pim.cost.CostLedger` deltas around
+``lpf_pim`` / ``hpf_pim_replay`` / ``nms_pim_replay`` -- and those
+measured costs are then synthesized into an F-frame task graph for
+:func:`repro.sim.engine.simulate`.  Because the stage deltas tile the
+device ledger exactly, the single-array schedule reproduces the serial
+ledger total bit-exactly (the conformance anchor).
+
+Two placement policies map the task graph onto arrays:
+
+* ``"frame"`` -- frame ``f`` runs entirely on array ``f mod N``;
+  arrays pipeline across *frames* (LPF of frame t+1 overlaps NMS of
+  frame t on another array), and the per-array row capacity gives
+  ``S = num_rows // frame_rows`` buffer slots: with one slot the next
+  load must wait for the previous store (serialized DMA), with two the
+  schedule double-buffers and DMA hides under compute.
+* ``"stage"`` -- pipeline stages are spread across arrays (stage ``s``
+  on array ``s mod N``) and frames stream through them, with
+  inter-array handoffs priced as DMA transfers.  Stages co-resident on
+  one array split its rows into per-stage regions; a region too small
+  for even one frame degrades to a whole-array bank claim (maximal
+  conflict, single slot) rather than failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kernels.common import load_image
+from repro.kernels.hpf import hpf_pim_replay
+from repro.kernels.lpf import lpf_pim
+from repro.kernels.nms import nms_pim_replay
+from repro.pim.config import PIMConfig
+from repro.pim.device import PIMDevice
+from repro.sim.engine import SimTask
+from repro.sim.machine import MachineSpec
+from repro.vision.edges import DEFAULT_TH1, DEFAULT_TH2
+
+__all__ = ["StageCost", "EdgeWorkload", "measure_edge_stage_costs",
+           "build_tasks", "SCRATCH_ROWS", "PLACEMENTS"]
+
+#: Scratch rows a frame needs below its image (HPF uses 6, NMS 7; one
+#: spare keeps the footprint byte-aligned to the kernels' worst case).
+SCRATCH_ROWS = 8
+
+#: Placement policies :func:`build_tasks` understands.
+PLACEMENTS = ("frame", "stage")
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One pipeline stage's measured per-frame cost."""
+
+    name: str
+    cycles: int
+    ledger: object  # CostLedger delta for energy attribution
+
+
+@dataclass(frozen=True)
+class EdgeWorkload:
+    """The edge pipeline's measured shape, ready to synthesize."""
+
+    height: int
+    width: int
+    stages: Tuple[StageCost, ...]
+
+    @property
+    def frame_rows(self) -> int:
+        """Array rows one in-flight frame occupies (image + scratch)."""
+        return self.height + SCRATCH_ROWS
+
+    @property
+    def cycles_per_frame(self) -> int:
+        """Serial compute cycles for one frame (the ledger total)."""
+        return sum(s.cycles for s in self.stages)
+
+    def serial_cycles(self, frames: int) -> int:
+        """The serial ledger total for ``frames`` frames."""
+        return frames * self.cycles_per_frame
+
+    def describe(self) -> dict:
+        """JSON-ready stage table for BENCH artifacts."""
+        return {
+            "height": self.height,
+            "width": self.width,
+            "frame_rows": self.frame_rows,
+            "cycles_per_frame": self.cycles_per_frame,
+            "stages": {s.name: s.cycles for s in self.stages},
+        }
+
+
+def measure_edge_stage_costs(height: int = 240, width: int = 320,
+                             th1: int = DEFAULT_TH1,
+                             th2: int = DEFAULT_TH2,
+                             seed: int = 0) -> EdgeWorkload:
+    """Run the edge pipeline once on a real device, per-stage metered.
+
+    The returned stage cycles are ledger *deltas* around each kernel,
+    so their sum equals the device ledger's total for the pipeline --
+    the invariant the single-array conformance anchor leans on.
+    """
+    config = PIMConfig(wordline_bits=width * 8,
+                       num_rows=height + SCRATCH_ROWS,
+                       num_banks=min(8, height + SCRATCH_ROWS))
+    device = PIMDevice(config)
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=(height, width), dtype=np.uint8)
+    load_image(device, image, 0)
+
+    stages: List[StageCost] = []
+
+    def metered(name, fn) -> None:
+        snap = device.ledger.snapshot()
+        fn()
+        delta = device.ledger.delta_since(snap)
+        stages.append(StageCost(name=name, cycles=int(delta.cycles),
+                                ledger=delta))
+
+    metered("lpf", lambda: lpf_pim(device, height, 0))
+    metered("hpf", lambda: hpf_pim_replay(device, height, 0))
+    metered("nms", lambda: nms_pim_replay(device, height, th1, th2, 0))
+    return EdgeWorkload(height=height, width=width,
+                        stages=tuple(stages))
+
+
+def _slot_banks(config: PIMConfig, base: int,
+                rows: int) -> Tuple[int, ...]:
+    """Bank indices (relative to one array) of a row region."""
+    top = min(base + rows, config.num_rows)
+    return tuple(sorted(config.banks_of_rows(range(base, top))))
+
+
+def _slot_layout(config: PIMConfig, frame_rows: int,
+                 region_base: int = 0,
+                 region_rows: Optional[int] = None
+                 ) -> Tuple[int, int]:
+    """``(stride, slots)`` for frame buffers inside a row region.
+
+    Slot strides round up to a bank boundary so that two buffer slots
+    never share a bank -- otherwise a load into the second slot would
+    falsely conflict with compute on the first and double-buffering
+    could never overlap.  When alignment costs a slot the layout falls
+    back to tight packing (overlap then honestly pays the shared-bank
+    conflict).
+    """
+    if region_rows is None:
+        region_rows = config.num_rows - region_base
+    aligned = -(-frame_rows // config.bank_rows) * config.bank_rows
+    slots = region_rows // aligned
+    if slots >= 1 and slots >= region_rows // frame_rows:
+        return aligned, slots
+    return frame_rows, region_rows // frame_rows
+
+
+def _on_array(array: int,
+              banks: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+    """Pin relative bank indices to one array."""
+    return tuple((array, b) for b in banks)
+
+
+class _ChannelPicker:
+    """Round-robin DMA channel assignment (deterministic)."""
+
+    def __init__(self, channels: int) -> None:
+        self._channels = channels
+        self._next = 0
+
+    def take(self) -> int:
+        channel = self._next % self._channels
+        self._next += 1
+        return channel
+
+
+def _build_frame_placement(workload: EdgeWorkload, spec: MachineSpec,
+                           frames: int) -> List[SimTask]:
+    """Frame ``f`` on array ``f mod N``; slots double-buffer DMA."""
+    config = spec.array
+    if config.num_rows < workload.frame_rows:
+        raise ValueError(
+            f"array of {config.num_rows} rows cannot hold one "
+            f"{workload.frame_rows}-row frame")
+    stride, slots = _slot_layout(config, workload.frame_rows)
+    picker = _ChannelPicker(spec.dma_channels)
+    tasks: List[SimTask] = []
+    store_index: List[Optional[int]] = [None] * frames
+    dma_rows = workload.height
+
+    for f in range(frames):
+        array = f % spec.n_arrays
+        slot = (f // spec.n_arrays) % slots
+        base = slot * stride
+        banks = _on_array(array, _slot_banks(config, base,
+                                             workload.frame_rows))
+        # The slot is reusable once its previous occupant was stored.
+        predecessor = f - spec.n_arrays * slots
+        load_deps = ()
+        if predecessor >= 0 and store_index[predecessor] is not None:
+            load_deps = (store_index[predecessor],)
+        load = len(tasks)
+        tasks.append(SimTask(
+            name=f"load@f{f}", kind="dma",
+            cycles=spec.dma_cycles(dma_rows), banks=banks,
+            deps=load_deps, channel=picker.take(), frame=f,
+            stage="load"))
+        prev = load
+        for stage in workload.stages:
+            index = len(tasks)
+            tasks.append(SimTask(
+                name=f"{stage.name}@f{f}", kind="compute",
+                cycles=stage.cycles, array=array, banks=banks,
+                deps=(prev,), frame=f, stage=stage.name,
+                ledger=stage.ledger))
+            prev = index
+        store_index[f] = len(tasks)
+        tasks.append(SimTask(
+            name=f"store@f{f}", kind="dma",
+            cycles=spec.dma_cycles(dma_rows), banks=banks,
+            deps=(prev,), channel=picker.take(), frame=f,
+            stage="store"))
+    return tasks
+
+
+def _build_stage_placement(workload: EdgeWorkload, spec: MachineSpec,
+                           frames: int) -> List[SimTask]:
+    """Stage ``s`` on array ``s mod N``; frames stream through."""
+    config = spec.array
+    n_stages = len(workload.stages)
+    stage_array = [s % spec.n_arrays for s in range(n_stages)]
+
+    # Partition each array's rows among its resident stages.
+    residents: List[List[int]] = [[] for _ in range(spec.n_arrays)]
+    for s, a in enumerate(stage_array):
+        residents[a].append(s)
+    stage_base: List[int] = [0] * n_stages
+    stage_slots: List[int] = [1] * n_stages
+    stage_banks: List[List[Tuple[Tuple[int, int], ...]]] = \
+        [[] for _ in range(n_stages)]
+    for a, stage_ids in enumerate(residents):
+        if not stage_ids:
+            continue
+        region_rows = config.num_rows // len(stage_ids)
+        for r, s in enumerate(stage_ids):
+            if region_rows < workload.frame_rows:
+                # Region too small: whole-array claim, single slot.
+                stage_base[s], stage_slots[s] = 0, 1
+                stage_banks[s] = [_on_array(a, _slot_banks(
+                    config, 0, config.num_rows))]
+                continue
+            stride, slots = _slot_layout(
+                config, workload.frame_rows,
+                region_base=r * region_rows,
+                region_rows=region_rows)
+            stage_base[s], stage_slots[s] = r * region_rows, slots
+            stage_banks[s] = [
+                _on_array(a, _slot_banks(
+                    config, r * region_rows + k * stride,
+                    workload.frame_rows))
+                for k in range(slots)]
+
+    def banks_of(s: int, f: int) -> Tuple[Tuple[int, int], ...]:
+        return stage_banks[s][f % stage_slots[s]]
+
+    picker = _ChannelPicker(spec.dma_channels)
+    tasks: List[SimTask] = []
+    # reader_index[s][f]: task that consumes stage s's slot for frame
+    # f (the handoff to s+1, or the final store) -- reusing the slot
+    # for frame f + slots must wait for it.
+    reader_index: List[List[Optional[int]]] = \
+        [[None] * frames for _ in range(n_stages)]
+    dma_rows = workload.height
+
+    for f in range(frames):
+        def slot_free_dep(s: int) -> Tuple[int, ...]:
+            prev_frame = f - stage_slots[s]
+            if prev_frame >= 0 and \
+                    reader_index[s][prev_frame] is not None:
+                return (reader_index[s][prev_frame],)
+            return ()
+
+        load = len(tasks)
+        tasks.append(SimTask(
+            name=f"load@f{f}", kind="dma",
+            cycles=spec.dma_cycles(dma_rows), banks=banks_of(0, f),
+            deps=slot_free_dep(0), channel=picker.take(), frame=f,
+            stage="load"))
+        prev = load
+        for s, stage in enumerate(workload.stages):
+            index = len(tasks)
+            tasks.append(SimTask(
+                name=f"{stage.name}@f{f}", kind="compute",
+                cycles=stage.cycles, array=stage_array[s],
+                banks=banks_of(s, f), deps=(prev,), frame=f,
+                stage=stage.name, ledger=stage.ledger))
+            prev = index
+            if s + 1 < n_stages:
+                # Handoff to the next stage's region: a DMA copy when
+                # the arrays differ, a free in-place alias otherwise.
+                cross = stage_array[s + 1] != stage_array[s]
+                xfer = len(tasks)
+                tasks.append(SimTask(
+                    name=f"xfer:{stage.name}@f{f}", kind="dma",
+                    cycles=spec.dma_cycles(dma_rows) if cross else 0,
+                    banks=banks_of(s, f) + banks_of(s + 1, f),
+                    deps=(prev,) + slot_free_dep(s + 1),
+                    channel=picker.take(), frame=f,
+                    stage=f"xfer-{stage.name}"))
+                reader_index[s][f] = xfer
+                prev = xfer
+        store = len(tasks)
+        tasks.append(SimTask(
+            name=f"store@f{f}", kind="dma",
+            cycles=spec.dma_cycles(dma_rows),
+            banks=banks_of(n_stages - 1, f), deps=(prev,),
+            channel=picker.take(), frame=f, stage="store"))
+        reader_index[n_stages - 1][f] = store
+    return tasks
+
+
+def build_tasks(workload: EdgeWorkload, spec: MachineSpec,
+                frames: int, placement: str = "frame"
+                ) -> List[SimTask]:
+    """Synthesize the F-frame task graph for one machine spec.
+
+    The compute cycles in the returned graph always sum to
+    ``workload.serial_cycles(frames)`` regardless of placement or
+    array count (work conservation -- property-tested).
+    """
+    if frames < 0:
+        raise ValueError("frames must be >= 0")
+    if placement == "frame":
+        return _build_frame_placement(workload, spec, frames)
+    if placement == "stage":
+        return _build_stage_placement(workload, spec, frames)
+    raise ValueError(
+        f"unknown placement {placement!r}, expected one of "
+        f"{PLACEMENTS}")

@@ -1,0 +1,103 @@
+"""CostLedger per-op-class accounting (``op_costs`` / ``breakdown``)."""
+
+import pytest
+
+from repro.obs.export import op_breakdown_rows
+from repro.obs.tracer import Span
+from repro.pim.cost import CostLedger
+from repro.pim.isa import OpKind
+
+
+def _charged_ledger():
+    ledger = CostLedger()
+    ledger.charge(OpKind.ADD, cycles=1, sram_reads=2, sram_writes=1,
+                  logic_ops=1)
+    ledger.charge(OpKind.ADD, cycles=1, sram_reads=2, logic_ops=1)
+    ledger.charge(OpKind.MUL, cycles=10, sram_reads=2, sram_writes=1,
+                  tmp_accesses=1, logic_ops=10)
+    return ledger
+
+
+class TestBreakdown:
+    def test_cycles_tile_the_ledger_total(self):
+        ledger = _charged_ledger()
+        rows = ledger.breakdown()
+        assert sum(r["cycles"] for r in rows.values()) == \
+            ledger.cycles
+        assert sum(r["count"] for r in rows.values()) == \
+            sum(ledger.op_counts.values())
+
+    def test_per_class_fields(self):
+        rows = _charged_ledger().breakdown()
+        add, mul = rows["add"], rows["mul"]
+        assert add["count"] == 2 and add["cycles"] == 2
+        assert add["sram_reads"] == 4 and add["sram_writes"] == 1
+        assert mul["count"] == 1 and mul["cycles"] == 10
+        assert mul["tmp_accesses"] == 1 and mul["logic_ops"] == 10
+
+    def test_sorted_by_descending_cycles_with_shares(self):
+        rows = _charged_ledger().breakdown()
+        cycles = [r["cycles"] for r in rows.values()]
+        assert cycles == sorted(cycles, reverse=True)
+        assert sum(r["cycle_share"] for r in rows.values()) == \
+            pytest.approx(1.0)
+        assert sum(r["energy_share"] for r in rows.values()) == \
+            pytest.approx(1.0)
+        assert all(r["energy_pj"] > 0 for r in rows.values())
+
+    def test_empty_ledger_breaks_down_to_nothing(self):
+        assert CostLedger().breakdown() == {}
+
+
+class TestOpCostPropagation:
+    def test_snapshot_delta_isolates_op_costs(self):
+        ledger = _charged_ledger()
+        snap = ledger.snapshot()
+        ledger.charge(OpKind.ADD, cycles=1, sram_reads=2,
+                      logic_ops=1)
+        delta = ledger.delta_since(snap)
+        assert delta.breakdown() == {
+            "add": {"count": 1, "cycles": 1, "sram_reads": 2,
+                    "sram_writes": 0, "tmp_accesses": 0,
+                    "logic_ops": 1,
+                    "energy_pj": delta.energy().total_pj,
+                    "cycle_share": 1.0, "energy_share": 1.0}}
+        # The snapshot is independent of later charges.
+        assert snap.op_costs[(OpKind.ADD, "cycles")] == 2
+
+    def test_merge_accumulates_op_costs(self):
+        a, b = _charged_ledger(), _charged_ledger()
+        a.merge(b)
+        assert a.op_costs[(OpKind.MUL, "cycles")] == 20
+        assert a.breakdown()["mul"]["count"] == 2
+
+    def test_charge_program_scales_op_costs(self):
+        aggregate = _charged_ledger()
+        ledger = CostLedger()
+        ledger.charge_program(aggregate, reps=3)
+        assert ledger.op_costs[(OpKind.ADD, "cycles")] == 6
+        assert ledger.breakdown()["mul"]["cycles"] == 30
+
+    def test_reset_clears_op_costs(self):
+        ledger = _charged_ledger()
+        ledger.reset()
+        assert not ledger.op_costs
+
+
+class TestObsBreakdownRows:
+    def test_rows_from_span_ledgers(self):
+        spans = [
+            Span(name="k1", category="kernel", span_id=1,
+                 ledger=_charged_ledger()),
+            Span(name="k2", category="kernel", span_id=2,
+                 ledger=_charged_ledger()),
+            Span(name="other", category="frame", span_id=3,
+                 ledger=_charged_ledger()),
+        ]
+        rows = {r["op"]: r for r in op_breakdown_rows(spans)}
+        assert rows["add"]["count"] == 4      # kernel spans only
+        assert rows["mul"]["cycles"] == 20
+
+    def test_no_ledgers_no_rows(self):
+        spans = [Span(name="k", category="kernel", span_id=1)]
+        assert op_breakdown_rows(spans) == []

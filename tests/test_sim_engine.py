@@ -1,0 +1,255 @@
+"""The event-driven timing engine: semantics + conservation laws.
+
+Covers the unit semantics (dependencies, bank conflicts, DMA/compute
+overlap, deadlock detection) and the three property-tested invariants
+that anchor the simulator to the cost model:
+
+* a single-array schedule's makespan equals the serial cycle sum
+  bit-exactly (the conformance law under I/O-free DMA accounting),
+* total compute work is conserved across any array count,
+* event ordering is deterministic for a fixed arbitration seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import chrome_trace_events
+from repro.obs.metrics import MetricsRegistry, get_registry, \
+    set_registry
+from repro.obs.promtext import render_prometheus_text
+from repro.pim.config import PIMConfig
+from repro.sim.engine import SimTask, serial_cycles, simulate
+from repro.sim.machine import MachineSpec
+
+
+def _spec(n_arrays=1, channels=1, banks=8, rows=256):
+    return MachineSpec(
+        n_arrays=n_arrays,
+        array=PIMConfig(num_rows=rows, num_banks=banks),
+        dma_channels=channels)
+
+
+def compute(cycles, array=0, banks=(), deps=(), name="t"):
+    return SimTask(name=name, kind="compute", cycles=cycles,
+                   array=array, banks=tuple(banks), deps=tuple(deps))
+
+
+def dma(cycles, banks=(), deps=(), channel=0, name="d"):
+    return SimTask(name=name, kind="dma", cycles=cycles,
+                   banks=tuple(banks), deps=tuple(deps),
+                   channel=channel)
+
+
+class TestEngineSemantics:
+    def test_dependency_orders_tasks(self):
+        result = simulate(
+            [compute(10, name="a"), compute(5, deps=(0,), name="b")],
+            _spec(), record_metrics=False)
+        spans = {tl.task.name: tl for tl in result.spans}
+        assert result.makespan == 15
+        assert spans["a"].end == 10
+        assert spans["b"].start == 10
+
+    def test_same_cu_serializes_independent_tasks(self):
+        result = simulate([compute(10), compute(10)], _spec(),
+                          record_metrics=False)
+        assert result.makespan == 20
+        # The loser of the arbitration stalled on the compute unit.
+        assert result.stall_cycles["compute"] == 10
+
+    def test_different_arrays_run_in_parallel(self):
+        result = simulate(
+            [compute(10, array=0), compute(10, array=1)],
+            _spec(n_arrays=2), record_metrics=False)
+        assert result.makespan == 10
+        assert result.stall_cycles_total == 0
+
+    def test_bank_conflict_serializes_dma_against_compute(self):
+        tasks = [compute(10, banks=((0, 0),)),
+                 dma(4, banks=((0, 0),))]
+        result = simulate(tasks, _spec(), record_metrics=False)
+        assert result.makespan == 14
+        assert result.dma_overlap_cycles == 0
+        assert result.stall_cycles["bank"] == 10 or \
+            result.stall_cycles["compute"] == 4
+
+    def test_disjoint_banks_overlap_dma_with_compute(self):
+        tasks = [compute(10, banks=((0, 0),)),
+                 dma(4, banks=((0, 1),))]
+        result = simulate(tasks, _spec(), record_metrics=False)
+        assert result.makespan == 10
+        assert result.dma_overlap_cycles == 4
+
+    def test_single_channel_serializes_dma(self):
+        result = simulate(
+            [dma(8, banks=((0, 0),)), dma(8, banks=((0, 1),))],
+            _spec(), record_metrics=False)
+        assert result.makespan == 16
+        assert result.stall_cycles["dma"] == 8
+
+    def test_two_channels_run_dma_in_parallel(self):
+        result = simulate(
+            [dma(8, banks=((0, 0),), channel=0),
+             dma(8, banks=((0, 1),), channel=1)],
+            _spec(channels=2), record_metrics=False)
+        assert result.makespan == 8
+
+    def test_zero_cycle_tasks_order_dependents(self):
+        tasks = [dma(0), compute(7, deps=(0,)), dma(0, deps=(1,))]
+        result = simulate(tasks, _spec(), record_metrics=False)
+        assert result.makespan == 7
+
+    def test_dependency_cycle_raises(self):
+        tasks = [compute(1, deps=(1,)), compute(1, deps=(0,))]
+        with pytest.raises(ValueError, match="cycle"):
+            simulate(tasks, _spec(), record_metrics=False)
+
+    def test_bad_dep_index_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            simulate([compute(1, deps=(5,))], _spec(),
+                     record_metrics=False)
+
+    def test_array_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="array"):
+            simulate([compute(1, array=3)], _spec(n_arrays=2),
+                     record_metrics=False)
+
+    def test_channel_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="channel"):
+            simulate([dma(1, channel=1)], _spec(channels=1),
+                     record_metrics=False)
+
+    def test_empty_schedule(self):
+        result = simulate([], _spec(), record_metrics=False)
+        assert result.makespan == 0
+        assert result.compute_busy_total == 0
+
+
+# -- property: random DAG-shaped compute/dma task sets -----------------
+
+_cycles = st.integers(min_value=0, max_value=50)
+
+
+@st.composite
+def task_sets(draw, max_arrays=4):
+    n = draw(st.integers(min_value=1, max_value=20))
+    n_arrays = draw(st.integers(min_value=1, max_value=max_arrays))
+    tasks = []
+    for i in range(n):
+        deps = tuple(
+            d for d in range(i)
+            if draw(st.booleans()) and draw(st.booleans()))
+        kind = draw(st.sampled_from(["compute", "compute", "dma"]))
+        banks = tuple(
+            (draw(st.integers(0, n_arrays - 1)),
+             draw(st.integers(0, 7)))
+            for _ in range(draw(st.integers(0, 2))))
+        if kind == "compute":
+            tasks.append(SimTask(
+                name=f"t{i}", kind=kind, cycles=draw(_cycles),
+                array=draw(st.integers(0, n_arrays - 1)),
+                banks=banks, deps=deps))
+        else:
+            tasks.append(SimTask(
+                name=f"t{i}", kind=kind, cycles=draw(_cycles),
+                banks=banks, deps=deps, channel=0))
+    return tasks, n_arrays
+
+
+@given(task_sets(max_arrays=1))
+@settings(max_examples=60, deadline=None)
+def test_property_single_array_serial_conformance(ts):
+    """One compute unit serializes everything: makespan covers the
+    serial sum exactly when no DMA stretches past the compute end."""
+    tasks, _ = ts
+    compute_only = [t for t in tasks if t.kind == "compute"]
+    # Re-index deps after dropping DMA tasks: keep it simple by
+    # clearing them -- ordering does not change a serial makespan.
+    compute_only = [
+        SimTask(name=t.name, kind="compute", cycles=t.cycles,
+                array=0, banks=t.banks) for t in compute_only]
+    result = simulate(compute_only, _spec(n_arrays=1),
+                      record_metrics=False)
+    assert result.makespan == serial_cycles(compute_only)
+    assert result.compute_busy_total == serial_cycles(compute_only)
+
+
+@given(task_sets())
+@settings(max_examples=60, deadline=None)
+def test_property_work_conserved_across_arrays(ts):
+    """Busy compute cycles summed over arrays equal the serial sum."""
+    tasks, n_arrays = ts
+    result = simulate(tasks, _spec(n_arrays=n_arrays),
+                      record_metrics=False)
+    assert result.compute_busy_total == serial_cycles(tasks)
+    for tl in result.spans:
+        assert tl.start >= 0 and tl.end >= tl.start
+
+
+@given(task_sets(), st.integers(min_value=0, max_value=2 ** 16))
+@settings(max_examples=40, deadline=None)
+def test_property_deterministic_under_fixed_seed(ts, seed):
+    """Same tasks + same seed => identical event order and spans."""
+    tasks, n_arrays = ts
+    spec = _spec(n_arrays=n_arrays)
+    a = simulate(tasks, spec, seed=seed, record_metrics=False)
+    b = simulate(tasks, spec, seed=seed, record_metrics=False)
+    assert [(tl.index, tl.start, tl.end, tl.stall, tl.blocker)
+            for tl in a.spans] == \
+        [(tl.index, tl.start, tl.end, tl.stall, tl.blocker)
+         for tl in b.spans]
+    assert a.makespan == b.makespan
+    assert a.stall_cycles == b.stall_cycles
+    assert a.dma_overlap_cycles == b.dma_overlap_cycles
+
+
+# -- observability surfaces --------------------------------------------
+
+
+def test_record_metrics_surfaces_promtext_counters():
+    registry = MetricsRegistry()
+    old = get_registry()
+    set_registry(registry)
+    try:
+        tasks = [compute(10, banks=((0, 0),)),
+                 dma(4, banks=((0, 1),)),
+                 compute(5, banks=((0, 0),))]
+        simulate(tasks, _spec(), record_metrics=True)
+        text = render_prometheus_text(registry)
+    finally:
+        set_registry(old)
+    assert "sim_contention_stall_cycles_total" in text
+    assert 'resource="compute"' in text
+    assert 'resource="bank"' in text
+    assert 'resource="dma"' in text
+    assert "sim_dma_overlap_cycles_total" in text
+    overlap = registry.counter("sim_dma_overlap_cycles_total")
+    assert overlap.total() == 4
+
+
+def test_to_spans_export_as_separate_chrome_pids():
+    tasks = [compute(10, array=0, name="lpf"),
+             compute(10, array=1, name="hpf"),
+             dma(4, name="load")]
+    result = simulate(tasks, _spec(n_arrays=2),
+                      record_metrics=False)
+    spans = result.to_spans()
+    assert {s.attrs["sim_track"] for s in spans} == \
+        {"array-0", "array-1", "dma-0"}
+    events = chrome_trace_events(spans)
+    pids = {e["pid"] for e in events if e.get("ph") == "X"}
+    assert pids == {2, 3, 4}          # no sim span lands on pid 0/1
+    names = {e["args"]["name"] for e in events
+             if e.get("name") == "process_name"}
+    assert {"sim array-0", "sim array-1", "sim dma-0"} <= names
+
+
+def test_result_summary_is_json_ready():
+    import json
+    result = simulate([compute(10), dma(4, banks=((0, 0),))],
+                      _spec(), record_metrics=False)
+    summary = result.summary()
+    json.dumps(summary)
+    assert summary["makespan_cycles"] == result.makespan
+    assert summary["tasks"] == 2

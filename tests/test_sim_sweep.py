@@ -1,0 +1,139 @@
+"""The design-space sweep: payload schema, Pareto logic, CLI gating."""
+
+import json
+
+import pytest
+
+from repro.analysis.sweep_cli import sweep_main
+from repro.sim.sweep import pareto_front, run_sweep
+from repro.sim.workload import measure_edge_stage_costs
+
+H, W = 60, 64
+
+
+@pytest.fixture(scope="module")
+def payload():
+    workload = measure_edge_stage_costs(height=H, width=W)
+    return run_sweep(workload=workload, frames=4,
+                     arrays=(1, 2, 4), slices=(8, 16),
+                     cache_rows=(64, 136, 272),
+                     placements=("frame", "stage"),
+                     record_metrics=False)
+
+
+class TestParetoFront:
+    def test_dominated_points_excluded(self):
+        points = [
+            {"time_us": 1.0, "total_energy_uj": 5.0},
+            {"time_us": 2.0, "total_energy_uj": 2.0},
+            {"time_us": 3.0, "total_energy_uj": 6.0},   # dominated
+        ]
+        assert pareto_front(points) == [0, 1]
+
+    def test_single_point_is_its_own_front(self):
+        assert pareto_front([{"time_us": 1, "total_energy_uj": 1}]) \
+            == [0]
+
+    def test_duplicates_are_mutually_nondominated(self):
+        points = [{"time_us": 1.0, "total_energy_uj": 1.0}] * 2
+        assert pareto_front(points) == [0, 1]
+
+
+class TestSweepPayload:
+    def test_anchor_is_exact(self, payload):
+        anchor = payload["anchor"]
+        assert anchor["exact"]
+        assert anchor["simulated_cycles"] == \
+            anchor["serial_ledger_cycles"]
+        assert anchor["serial_ledger_cycles"] == \
+            payload["serial_ledger_cycles"]
+
+    def test_stamp_has_provenance_fields(self, payload):
+        stamp = payload["stamp"]
+        for key in ("timestamp", "git_sha", "python", "numpy",
+                    "machine"):
+            assert key in stamp
+
+    def test_grid_covered_and_skips_reported(self, payload):
+        # 64-row arrays cannot hold a 68-row frame: skipped, loudly.
+        assert len(payload["skipped"]) == 2
+        assert all("cannot hold" in s["reason"]
+                   for s in payload["skipped"])
+        # 2 placements x 2 usable cache sizes x 2 slices x 3 arrays.
+        assert len(payload["points"]) == 24
+
+    def test_pareto_front_spans_multiple_array_counts(self, payload):
+        front = payload["pareto_front"]
+        assert len(front) >= 2
+        assert len({p["arrays"] for p in front}) > 1
+        marked = [p for p in payload["points"] if p["pareto"]]
+        assert len(marked) == len(front)
+
+    def test_scaling_shows_measured_multi_array_speedup(self,
+                                                        payload):
+        scaling = {row["arrays"]: row for row in payload["scaling"]}
+        assert scaling[2]["speedup"] > scaling[1]["speedup"]
+        assert scaling[4]["speedup"] > scaling[2]["speedup"]
+
+    def test_contention_stalls_reported_per_point(self, payload):
+        for point in payload["points"]:
+            assert set(point["stall_cycles"]) == \
+                {"compute", "bank", "dma"}
+            assert point["stall_cycles_total"] == \
+                sum(point["stall_cycles"].values())
+
+    def test_energy_accounting_is_consistent(self, payload):
+        for point in payload["points"]:
+            assert point["total_energy_uj"] == pytest.approx(
+                point["dynamic_energy_uj"] +
+                point["idle_energy_uj"], abs=0.01)
+
+    def test_payload_is_json_serializable(self, payload):
+        json.dumps(payload)
+
+
+class TestSweepCli:
+    def test_smoke_writes_stamped_bench_artifact(self, tmp_path):
+        rc = sweep_main([
+            "--frames", "3", "--arrays", "1,2", "--slices", "8",
+            "--cache-rows", "136", "--height", str(H),
+            "--width", str(W), "--min-speedup", "1.2",
+            "--out", str(tmp_path)])
+        assert rc == 0
+        bench = json.loads(
+            (tmp_path / "BENCH_sweep.json").read_text())
+        assert bench["benchmark"] == "sim_sweep"
+        assert bench["anchor"]["exact"]
+        assert bench["stamp"]["timestamp"]
+
+    def test_json_flag_emits_payload(self, tmp_path, capsys):
+        rc = sweep_main([
+            "--frames", "2", "--arrays", "1", "--slices", "8",
+            "--cache-rows", "136", "--height", str(H),
+            "--width", str(W), "--json", "--out", str(tmp_path)])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["anchor"]["exact"]
+
+    def test_unreachable_min_speedup_fails(self, tmp_path):
+        rc = sweep_main([
+            "--frames", "2", "--arrays", "1", "--slices", "8",
+            "--cache-rows", "136", "--height", str(H),
+            "--width", str(W), "--min-speedup", "50",
+            "--out", str(tmp_path)])
+        assert rc == 1
+
+    def test_trace_export_writes_sim_tracks(self, tmp_path):
+        rc = sweep_main([
+            "--frames", "2", "--arrays", "2", "--slices", "8",
+            "--cache-rows", "136", "--height", str(H),
+            "--width", str(W), "--trace", "--out", str(tmp_path)])
+        assert rc == 0
+        trace = json.loads(
+            (tmp_path / "sweep_trace.json").read_text())
+        pids = {e["pid"] for e in trace["traceEvents"]
+                if e.get("ph") == "X"}
+        assert pids and min(pids) >= 2
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("name") == "process_name"}
+        assert any(n.startswith("sim array-") for n in names)

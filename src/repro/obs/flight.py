@@ -60,6 +60,27 @@ class FlightRecorder:
         self._dropped_events = 0
         self._drop_warned = False
         self._dumps = 0
+        self._dump_hooks: List = []
+
+    def attach_dump_hook(self, hook) -> None:
+        """Register ``hook(path, reason, context) -> Optional[path]``.
+
+        Every :meth:`dump` invokes the hooks so co-recorders can emit
+        sibling artifacts next to the incident bundle -- the snapshot
+        layer uses this to drop a replayable capture bundle alongside
+        every breaker-open incident.  Paths the hooks return are
+        listed in the bundle's ``artifacts`` field.  A failing hook is
+        logged and skipped; it can never lose the incident itself.
+        """
+        with self._lock:
+            if hook not in self._dump_hooks:
+                self._dump_hooks.append(hook)
+
+    def detach_dump_hook(self, hook) -> None:
+        """Remove a previously attached dump hook (idempotent)."""
+        with self._lock:
+            if hook in self._dump_hooks:
+                self._dump_hooks.remove(hook)
 
     # -- events ----------------------------------------------------------
 
@@ -134,12 +155,31 @@ class FlightRecorder:
         }
 
     def dump(self, path, reason: str = "", **context) -> Path:
-        """Write :meth:`bundle` to ``path``; returns the path."""
+        """Write :meth:`bundle` to ``path``; returns the path.
+
+        Attached dump hooks run first so any sibling artifacts they
+        emit (e.g. a replayable capture bundle) are listed in this
+        bundle's ``artifacts`` field.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            hooks = list(self._dump_hooks)
+        artifacts = []
+        for hook in hooks:
+            try:
+                extra = hook(path, reason, dict(context))
+            except Exception:  # noqa: BLE001 -- never lose the bundle
+                LOG.exception("flight recorder dump hook %r failed",
+                              hook)
+                continue
+            if extra is not None:
+                artifacts.append(str(extra))
+        bundle = self.bundle(reason, **context)
+        if artifacts:
+            bundle["artifacts"] = artifacts
         path.write_text(
-            json.dumps(self.bundle(reason, **context), indent=1,
-                       default=str) + "\n")
+            json.dumps(bundle, indent=1, default=str) + "\n")
         with self._lock:
             self._dumps += 1
         LOG.warning("flight recorder dumped incident bundle to %s "
@@ -155,6 +195,7 @@ class FlightRecorder:
             self._dropped_events = 0
             self._drop_warned = False
             self._dumps = 0
+            self._dump_hooks.clear()
 
 
 _RECORDER = FlightRecorder()

@@ -370,9 +370,12 @@ class PoolWorker:
         session = self.sessions.checkout(item.session)
         fault_signal = False
         try:
-            if session.frames == 0:
-                # Fresh stream on a reused device: back to power-on
-                # state so nothing carries over from the last tenant.
+            if session.frames == 0 or session.force_device_reset:
+                # Fresh stream on a reused device -- or a session just
+                # imported from another pool: back to power-on state so
+                # nothing carries over from the last tenant (or from
+                # the source pool's devices).
+                session.force_device_reset = False
                 self._reset_devices()
             else:
                 # Mid-stream health check: a device flagged faulty

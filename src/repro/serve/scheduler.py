@@ -334,6 +334,38 @@ class FifoScheduler:
             self._cond.notify_all()
             return len(pending)
 
+    # -- migration / snapshot support ------------------------------------
+
+    def extract_session(self, sid: str) -> List[WorkItem]:
+        """Remove and return every queued item of one session, in order.
+
+        The migration path: the extracted items (futures and all) are
+        re-submitted to the target service's scheduler, so the original
+        clients' futures complete with results computed on the target
+        pool.  Items already dispatched are *not* touched -- callers
+        wait for :meth:`session_inflight` to reach zero and extract
+        again, because a frame completing mid-extraction may already
+        have unblocked a later frame of the same session.
+        """
+        with self._cond:
+            items = [item for item in self._queue
+                     if item.session == sid]
+            for item in items:
+                self._queue.remove(item)
+            if items:
+                self._depth_gauge.set(len(self._queue))
+            return items
+
+    def session_inflight(self, sid: str) -> int:
+        """Frames of ``sid`` currently dispatched to workers."""
+        with self._cond:
+            return self._inflight.get(sid, 0)
+
+    def queued_items(self) -> List[WorkItem]:
+        """Point-in-time copy of the queue contents (for snapshots)."""
+        with self._cond:
+            return list(self._queue)
+
     def depth(self) -> int:
         """Current queue depth."""
         with self._cond:

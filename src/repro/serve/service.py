@@ -34,16 +34,24 @@ and :meth:`VOService.healthy` reduces it to one bool.
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional, Tuple
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import get_registry
 from repro.obs.slo import SloEngine, SloTargets
 from repro.obs.tracer import get_tracer
 from repro.serve.pool import DevicePool, TrackResult
-from repro.serve.scheduler import FifoScheduler, WorkItem
+from repro.serve.scheduler import (
+    Backpressure,
+    DeadlineExceeded,
+    FifoScheduler,
+    WorkItem,
+)
 from repro.serve.session import SessionManager
 from repro.vo.config import TrackerConfig
 from repro.vo.frontend import FloatFrontend, PIMFrontend
@@ -71,7 +79,8 @@ class VOService:
                  slo_window_s: float = 60.0,
                  slo_targets: Optional[SloTargets] = None,
                  flight: Optional[FlightRecorder] = None,
-                 incident_dir=None):
+                 incident_dir=None,
+                 capture=None):
         if frontend not in _FRONTENDS:
             raise ValueError(
                 f"unknown frontend {frontend!r}; choose from "
@@ -119,8 +128,40 @@ class VOService:
             breaker_cooldown_s=breaker_cooldown_s,
             slo=self.slo, flight=self.flight,
             incident_dir=incident_dir)
-        self._seq = itertools.count(1)
+        # Record/replay: with ``capture`` truthy every completed frame
+        # (inputs + live outcome) lands in a per-session capture ring,
+        # and every flight-recorder incident dump gains a replayable
+        # ``*_replay.json`` sibling bundle.
+        self.capture = None
+        if capture:
+            from repro.snap.capture import CaptureRing
+            self.capture = capture if isinstance(capture, CaptureRing) \
+                else CaptureRing()
+            self.capture.bind(self.frontend, self.config)
+            self.flight.attach_dump_hook(self.capture.dump_hook)
+        #: RNG seeds of whatever workload drives this service; stored
+        #: here so whole-service snapshots can carry them.
+        self.rng_seeds = None
+        self._seq_lock = threading.Lock()
+        self._last_seq = 0
         self._closed = False
+
+    # -- request sequencing ----------------------------------------------
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._last_seq += 1
+            return self._last_seq
+
+    def seq_watermark(self) -> int:
+        """Highest request sequence number issued so far."""
+        with self._seq_lock:
+            return self._last_seq
+
+    def restore_seq(self, watermark: int) -> None:
+        """Resume sequence numbering after ``watermark`` (snapshots)."""
+        with self._seq_lock:
+            self._last_seq = max(self._last_seq, int(watermark))
 
     # -- lifecycle -------------------------------------------------------
 
@@ -154,6 +195,9 @@ class VOService:
             finally:
                 self.scheduler.fail_pending(
                     RuntimeError("service closed"))
+                if self.capture is not None:
+                    self.flight.detach_dump_hook(
+                        self.capture.dump_hook)
 
     def __enter__(self) -> "VOService":
         return self.start()
@@ -198,7 +242,7 @@ class VOService:
             raise RuntimeError("service is closed")
         gray = np.asarray(gray)
         self.sessions.touch(session_id)
-        seq = next(self._seq)
+        seq = self._next_seq()
         # The request root span: begun here on the client thread,
         # finished here once the result (or failure) comes back, with
         # the queue and worker-side track spans as its children.  With
@@ -230,6 +274,7 @@ class VOService:
             request.finish(outcome="error",
                            error=type(exc).__name__)
             self._capture_incident(type(exc).__name__, item, request)
+            self._capture_frame(item, error=exc)
             raise
         if result.retries:
             # The request succeeded but needed worker retries: keep
@@ -238,7 +283,35 @@ class VOService:
             self._capture_incident("retried", item, request)
         else:
             request.finish(outcome="ok")
+        self._capture_frame(item, result=result, request=request)
         return result
+
+    def _capture_frame(self, item: WorkItem, result=None, error=None,
+                       request=None) -> None:
+        """Record one completed frame in the capture ring (if on).
+
+        Only frames that actually reached a worker are recorded:
+        admission rejections and queue expiries never touched the
+        tracker state, so they are not part of the replayable stream.
+        """
+        if self.capture is None:
+            return
+        if isinstance(error, (Backpressure, DeadlineExceeded)):
+            return
+        gray, depth, timestamp = item.payload
+        if error is not None:
+            outcome = self.capture.error_outcome(error)
+        else:
+            span_count = None
+            ctx = request.context if request is not None else None
+            if ctx is not None and ctx.trace_id:
+                from repro.snap.capture import _compute_span_count
+                span_count = _compute_span_count(get_tracer(),
+                                                 ctx.trace_id)
+            outcome = self.capture.ok_outcome(result,
+                                              span_count=span_count)
+        self.capture.record(item.session, item.seq, gray, depth,
+                            timestamp, outcome)
 
     def _capture_incident(self, reason: str, item: WorkItem,
                           request) -> None:
@@ -252,6 +325,154 @@ class VOService:
         self.flight.incident(reason, trace_id=trace_id,
                              session=item.session, seq=item.seq,
                              spans=spans)
+
+    # -- snapshots, migration, drain -------------------------------------
+
+    def requeue_frame(self, session_id: str, seq: int,
+                      gray: np.ndarray, depth: np.ndarray,
+                      timestamp: float = 0.0) -> Future:
+        """Re-enqueue a frame restored from a snapshot, fire-and-forget.
+
+        Unlike :meth:`submit` this neither blocks nor allocates a new
+        sequence number: the frame keeps its recorded ``seq`` and the
+        returned future completes once a worker serves it (after the
+        pool starts).  Used by the snapshot restore path to put the
+        admission queue back exactly as captured.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        gray = np.asarray(gray)
+        item = WorkItem(session=session_id, seq=seq,
+                        batch_key=self._batch_key(gray.shape),
+                        payload=(gray, np.asarray(depth),
+                                 float(timestamp)))
+        # The recorded seq is now taken: later submits must never
+        # reissue it.
+        self.restore_seq(seq)
+        self.scheduler.submit(item)
+        return item.future
+
+    def _require_migration_compatible(self,
+                                      target: "VOService") -> None:
+        if target is self:
+            raise ValueError("cannot migrate a session onto itself")
+        if target.frontend != self.frontend:
+            raise ValueError(
+                f"migration target runs the {target.frontend!r} "
+                f"frontend; source runs {self.frontend!r}")
+        if target.config != self.config:
+            raise ValueError(
+                "migration target's TrackerConfig differs; migrated "
+                "trajectories would not be bit-identical")
+
+    def quiesce_session(self, session_id: str,
+                        timeout_s: float = 10.0) -> List[WorkItem]:
+        """Pull the session's queued frames and wait out in-flight ones.
+
+        Returns the extracted, still-pending work items in submission
+        order once no frame of the session is queued, dispatched, or
+        holding the session checked out.  On timeout the extracted
+        items are put back and ``TimeoutError`` is raised, so a failed
+        quiesce never strands a client's future.
+        """
+        deadline = time.monotonic() + timeout_s
+        extracted: List[WorkItem] = []
+        while True:
+            extracted.extend(
+                self.scheduler.extract_session(session_id))
+            session = self.sessions.get(session_id)
+            busy = bool(session is not None and session.busy)
+            if not busy and \
+                    self.scheduler.session_inflight(session_id) == 0:
+                # One final sweep: a frame completing during the scan
+                # may have re-exposed a later queued frame.
+                tail = self.scheduler.extract_session(session_id)
+                if not tail:
+                    return extracted
+                extracted.extend(tail)
+                continue
+            if time.monotonic() > deadline:
+                for item in extracted:
+                    self.scheduler.submit(item)
+                raise TimeoutError(
+                    f"session {session_id!r} did not quiesce within "
+                    f"{timeout_s}s")
+            time.sleep(0.002)
+
+    def migrate_session(self, session_id: str, target: "VOService",
+                        timeout_s: float = 10.0):
+        """Live-migrate one session onto another service, losslessly.
+
+        Quiesces the session (in-flight frames finish here, queued
+        ones are pulled), exports its full state (tracker state,
+        checkpoint, generation), imports it on ``target`` with a
+        forced device reset, and replays the pulled frames through the
+        target's scheduler -- **the original clients' futures complete
+        with results computed on the target pool**.  Because tracker
+        state is host-side and complete, the migrated trajectory is
+        bit-identical to one that never moved (the chaos harness
+        gates exactly this).
+
+        The caller owns redirecting *new* traffic to the target;
+        a submit racing the migration on this service would recreate
+        the sid as a fresh stream.
+        """
+        self._require_migration_compatible(target)
+        extracted = self.quiesce_session(session_id,
+                                         timeout_s=timeout_s)
+        try:
+            record = self.sessions.export_session(session_id)
+        except KeyError:
+            # Evicted while quiescing (idle sweep): nothing to move.
+            for item in extracted:
+                self.scheduler.submit(item)
+            raise
+        imported = target.sessions.import_session(
+            record, force_device_reset=True)
+        self.sessions.remove(session_id, reason="migrated")
+        target.restore_seq(max((item.seq for item in extracted),
+                               default=0))
+        for item in extracted:
+            # Re-key for the target's geometry and hand the item --
+            # future and all -- to the target's queue.
+            item.batch_key = target._batch_key(
+                np.asarray(item.payload[0]).shape)
+            target.scheduler.submit(item)
+        get_registry().counter(
+            "serve_sessions_migrated_total",
+            "Sessions live-migrated to another service").inc()
+        self.flight.event("session_migrated", session=session_id,
+                          queued_frames=len(extracted),
+                          generation=record["generation"])
+        return imported
+
+    def drain_to(self, target: "VOService",
+                 timeout_s: float = 30.0) -> List[str]:
+        """Whole-service drain: migrate every resident session.
+
+        The shutdown-for-maintenance path: after this returns, every
+        session (state, checkpoints, queued frames) lives on
+        ``target`` and this service is empty but still running.
+        Returns the migrated session ids.
+        """
+        migrated = []
+        deadline = time.monotonic() + timeout_s
+        for sid in self.sessions.sids():
+            remaining = max(0.1, deadline - time.monotonic())
+            self.migrate_session(sid, target, timeout_s=remaining)
+            migrated.append(sid)
+        self.flight.event("drained", sessions=len(migrated))
+        return migrated
+
+    def snapshot(self, seeds: Optional[dict] = None) -> dict:
+        """Whole-service snapshot document (see :mod:`repro.snap`)."""
+        from repro.snap.state import snapshot_service
+        return snapshot_service(self, seeds=seeds)
+
+    def restore(self, snap: dict, verify: bool = True) -> dict:
+        """Restore a whole-service snapshot into this (fresh) service."""
+        from repro.snap.state import restore_service
+        return restore_service(snap, self, verify=verify)
 
     # -- health ----------------------------------------------------------
 
@@ -287,6 +508,8 @@ class VOService:
         if self.program_store is not None:
             from repro.kernels.common import KERNEL_PROGRAM_CACHE
             stats["programs"] = KERNEL_PROGRAM_CACHE.stats()
+        if self.capture is not None:
+            stats["capture"] = self.capture.stats()
         return stats
 
     def healthy(self) -> bool:

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.obs.metrics import get_registry
+from repro.vo.health import sync_health_gauge
 from repro.vo.tracker import TrackerState
 
 __all__ = ["Session", "SessionManager"]
@@ -60,6 +61,10 @@ class Session:
     checkpointed: Optional[TrackerState] = None
     #: Stream index of the frame the checkpoint was taken after.
     checkpoint_frame: int = -1
+    #: Set on imported (migrated/restored) sessions: the next worker
+    #: to serve this session resets its devices first, exactly like a
+    #: fresh stream, so nothing carries over from the source pool.
+    force_device_reset: bool = False
 
 
 class SessionManager:
@@ -184,8 +189,115 @@ class SessionManager:
             if session.checkpointed is None:
                 return False
             session.state.restore(session.checkpointed)
+            # The restore rewinds the *observable* health state too:
+            # without this, the vo_tracking_state gauge keeps showing
+            # the pre-restore health (e.g. DEGRADED) even though the
+            # restored state is healthy again.
+            sync_health_gauge(session.state.health)
             self._restores.inc()
             return True
+
+    # -- export / import (migration and whole-service snapshots) --------
+
+    def export_session(self, sid: str) -> dict:
+        """Detached record of one resident session.
+
+        Everything another :class:`SessionManager` needs to resume the
+        stream bit-identically: the tracker state and checkpoint (deep
+        copies -- the record never aliases live state), the stream
+        counters, and the generation watermark (so the importing
+        manager can never reuse a generation this id already had).
+        Wall-clock bookkeeping (``created_at``/``last_active``) is
+        deliberately excluded: it is meaningless across processes and
+        would make equal states hash unequal.
+
+        Raises ``KeyError`` for an unknown sid and ``RuntimeError``
+        while the session is checked out by a worker -- quiesce first.
+        """
+        with self._lock:
+            session = self._sessions.get(sid)
+            if session is None:
+                raise KeyError(f"unknown session {sid!r}")
+            if session.busy:
+                raise RuntimeError(
+                    f"session {sid!r} is checked out by a worker; "
+                    f"quiesce before exporting")
+            return {
+                "sid": session.sid,
+                "generation": session.generation,
+                "frames": session.frames,
+                "state": session.state.checkpoint(),
+                "checkpointed": (None if session.checkpointed is None
+                                 else session.checkpointed.checkpoint()),
+                "checkpoint_frame": session.checkpoint_frame,
+                "next_generation": self._generations.get(
+                    sid, session.generation + 1),
+            }
+
+    def import_session(self, record: dict,
+                       force_device_reset: bool = True) -> Session:
+        """Admit an exported session record under its original identity.
+
+        The session resumes with its exported generation (a migrated
+        stream is the *same* incarnation, not a new one) while the
+        generation watermark is raised to the record's, so a later
+        evict/recreate cycle still gets a fresh generation.  The
+        record's states are deep-copied in, so importing the same
+        record twice (e.g. into a control and a target pool) yields
+        independent sessions.
+        """
+        with self._lock:
+            sid = record["sid"]
+            if sid in self._sessions:
+                raise ValueError(f"session {sid!r} is already resident")
+            now = self._clock()
+            self._sweep_idle(now)
+            self._make_room()
+            state = TrackerState().restore(record["state"])
+            checkpointed = record["checkpointed"]
+            if checkpointed is not None:
+                checkpointed = TrackerState().restore(checkpointed)
+            session = Session(
+                sid=sid, generation=record["generation"], state=state,
+                created_at=now, last_active=now,
+                frames=record["frames"], checkpointed=checkpointed,
+                checkpoint_frame=record["checkpoint_frame"],
+                force_device_reset=force_device_reset)
+            self._sessions[sid] = session
+            self._generations[sid] = max(
+                self._generations.get(sid, 0),
+                record["next_generation"])
+            self._active_gauge.set(len(self._sessions))
+            sync_health_gauge(state.health)
+            return session
+
+    def remove(self, sid: str, reason: str = "migrated") -> bool:
+        """Drop a resident idle session (the source side of a
+        migration); returns False when it is absent or busy."""
+        with self._lock:
+            session = self._sessions.get(sid)
+            if session is None or session.busy:
+                return False
+            self._evict(sid, reason)
+            return True
+
+    def sids(self) -> list:
+        """Resident session ids (stable snapshot, sorted)."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def generation_watermarks(self) -> Dict[str, int]:
+        """Copy of the per-id generation watermark table."""
+        with self._lock:
+            return dict(self._generations)
+
+    def restore_generation_watermarks(
+            self, watermarks: Dict[str, int]) -> None:
+        """Raise the watermark table to a snapshot's (never lowers)."""
+        with self._lock:
+            for sid, gen in watermarks.items():
+                self._generations[sid] = max(
+                    self._generations.get(sid, 0), int(gen))
 
     def get(self, sid: str) -> Optional[Session]:
         """Look up a resident session without touching it."""

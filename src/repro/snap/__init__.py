@@ -1,0 +1,68 @@
+"""Deterministic whole-service snapshots, migration, and record/replay.
+
+The PIM-SRAM VO pipeline is fixed-point and fully deterministic, so the
+*entire* service state -- device SRAM contents, tracker state, session
+table, scheduler queue -- is snapshottable and bit-exactly restorable,
+the property large simulator deployments build their operational
+tooling on.  This package turns that property into three tools:
+
+* :mod:`repro.snap.codec` -- the versioned snapshot format
+  (``repro.snap/1``): a tagged canonical encoding of numpy arrays,
+  poses, and whitelisted dataclasses with a per-section content-hash
+  manifest, atomic on-disk serialization, and strict integrity
+  verification on load (a corrupt or truncated snapshot is rejected
+  before anything is restored).
+* :mod:`repro.snap.state` -- snapshot/restore of each state-bearing
+  component (:class:`~repro.pim.device.PIMDevice` SRAM + registers,
+  :class:`~repro.vo.tracker.TrackerState`, the session table, the
+  scheduler queue, circuit breakers, metrics watermarks) and of a
+  whole :class:`~repro.serve.service.VOService`; restore asserts
+  bit-exactness by construction (re-snapshot equals the input hash).
+* :mod:`repro.snap.capture` -- the record/replay path: a per-session
+  inbound-frame + seed capture ring that dumps replayable incident
+  bundles (wired into the flight recorder's breaker-open path), and
+  an offline replayer that re-executes an incident to the exact
+  faulting frame under the tracer.
+
+``python -m repro.snap replay <bundle>`` is the operator entry point.
+"""
+
+from repro.snap.codec import (
+    SNAP_SCHEMA,
+    SnapshotError,
+    content_hash,
+    decode,
+    encode,
+    load_snapshot,
+    make_snapshot,
+    verify_snapshot,
+    write_snapshot,
+)
+from repro.snap.capture import CaptureRing, ReplayReport, replay_bundle
+from repro.snap.state import (
+    restore_service,
+    restore_session_record,
+    restore_tracker_state,
+    snapshot_service,
+    snapshot_tracker_state,
+)
+
+__all__ = [
+    "SNAP_SCHEMA",
+    "SnapshotError",
+    "CaptureRing",
+    "ReplayReport",
+    "content_hash",
+    "decode",
+    "encode",
+    "load_snapshot",
+    "make_snapshot",
+    "replay_bundle",
+    "restore_service",
+    "restore_session_record",
+    "restore_tracker_state",
+    "snapshot_service",
+    "snapshot_tracker_state",
+    "verify_snapshot",
+    "write_snapshot",
+]

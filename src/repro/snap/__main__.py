@@ -1,0 +1,104 @@
+"""Operator CLI for snapshots and replay bundles.
+
+``python -m repro.snap replay <bundle>`` re-executes a captured
+incident offline (see :mod:`repro.snap.capture`); ``info`` and
+``verify`` inspect and integrity-check any ``repro.snap/1`` document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+
+from repro.snap.capture import replay_bundle
+from repro.snap.codec import SnapshotError, load_snapshot
+
+log = logging.getLogger("repro.snap")
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.trace:
+        from repro.obs.tracer import enable_tracing
+        enable_tracing()
+    report = replay_bundle(args.bundle)
+    print(report.summary())
+    if args.json:
+        payload = {
+            "ok": report.ok,
+            "frames_replayed": report.frames_replayed,
+            "frames_recorded": report.frames_recorded,
+            "recorded_device_cycles": report.recorded_device_cycles,
+            "replayed_device_cycles": report.replayed_device_cycles,
+            "sessions": report.sessions,
+            "mismatches": report.mismatches,
+            "faults": report.faults,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        log.info("replay report written to %s", args.json)
+    return 0 if report.ok else 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    snap = load_snapshot(args.snapshot)
+    manifest = snap["manifest"]
+    print(f"schema:       {snap['schema']}")
+    print(f"kind:         {snap['kind']}")
+    print(f"content hash: {manifest['content_hash']}")
+    stamp = snap.get("stamp") or {}
+    print(f"taken:        {stamp.get('timestamp')} "
+          f"@ {stamp.get('git_sha')}")
+    print("sections:")
+    for name, digest in sorted(manifest["sections"].items()):
+        print(f"  {name:12s} {digest[:16]}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    snap = load_snapshot(args.snapshot)
+    print(f"OK: {args.snapshot} verifies as {snap['kind']!r} "
+          f"({snap['manifest']['content_hash'][:16]})")
+    return 0
+
+
+def main(argv=None) -> int:
+    logging.basicConfig(level=logging.INFO,
+                        format="%(levelname)s %(name)s: %(message)s")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.snap",
+        description="Snapshot and replay-bundle tooling")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    replay = sub.add_parser(
+        "replay", help="re-execute a capture bundle offline and "
+                       "compare bit-exactly against the live run")
+    replay.add_argument("bundle", help="capture bundle path")
+    replay.add_argument("--trace", action="store_true",
+                        help="run the replay under the tracer")
+    replay.add_argument("--json", metavar="PATH",
+                        help="write the machine-readable report here")
+    replay.set_defaults(func=_cmd_replay)
+
+    info = sub.add_parser("info",
+                          help="describe a snapshot document")
+    info.add_argument("snapshot")
+    info.set_defaults(func=_cmd_info)
+
+    verify = sub.add_parser(
+        "verify", help="integrity-check a snapshot document")
+    verify.add_argument("snapshot")
+    verify.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SnapshotError as exc:
+        log.error("%s", exc)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,7 @@ from repro.serve.service import _FRONTENDS, VOService
 from repro.vo.health import LOST, OK
 
 __all__ = ["ChaosConfig", "InjectedFault", "build_fault_storm",
-           "run_chaos", "main"]
+           "run_chaos", "run_chaos_migration", "main"]
 
 log = logging.getLogger(__name__)
 
@@ -88,6 +88,10 @@ class ChaosConfig:
     #: ate_floor_m)``.
     ate_inflation: float = 5.0
     ate_floor_m: float = 0.05
+    #: Migration storms (:func:`run_chaos_migration`): the sequence
+    #: index every client rendezvouses at before the worker kill and
+    #: drain.  ``None`` = midpoint of the run.
+    migrate_frame: Optional[int] = None
 
 
 @dataclass
@@ -194,6 +198,64 @@ def _arm_device_fault(service: VOService, fault: InjectedFault,
     return None
 
 
+def _apply_and_submit(service: VOService, sid: str, index: int,
+                      frame, fault: Optional[InjectedFault],
+                      corruptor: FrameCorruptor, stall_s: float,
+                      client: _ChaosClient) -> None:
+    """Apply one frame's scheduled fault (if any) and submit it.
+
+    The shared per-frame body of every chaos client: fault
+    application is a pure function of ``(corruptor seed, index,
+    kind)``, so two runs fed the same schedule submit bit-identical
+    pixels -- the property the migration storm's control comparison
+    rests on.
+    """
+    submit = frame
+    if fault is not None:
+        if fault.kind == "drop":
+            client.dropped += 1
+            fault.attributed = True
+            fault.evidence = "client dropped frame before submit"
+            return
+        if fault.kind == "stall":
+            client.stalls += 1
+            time.sleep(stall_s)
+            fault.attributed = True
+            fault.evidence = f"client stalled {stall_s:.2f}s"
+        else:
+            submit = corruptor.corrupt(frame, fault.kind)
+    while True:
+        try:
+            result = service.submit(sid, submit.gray, submit.depth,
+                                    submit.timestamp)
+            client.tracked.append(index)
+            client.results.append(result)
+            client.last_ok_frame = index
+            if fault is not None and not fault.attributed:
+                repaired = [e for e in result.events
+                            if e.startswith("repaired:")]
+                signals = [e for e in result.events
+                           if e.startswith("signal:")]
+                if repaired or signals:
+                    fault.attributed = True
+                    fault.evidence = "events: " + ",".join(
+                        repaired + signals)
+            return
+        except Backpressure as bp:
+            client.backpressure_retries += 1
+            time.sleep(max(bp.retry_after_s, 0.001))
+        except Exception as exc:  # noqa: BLE001 -- chaos outcome
+            client.errors += 1
+            client.last_error_frame = index
+            if fault is not None and not fault.attributed:
+                fault.attributed = True
+                fault.evidence = (
+                    f"frame error: {type(exc).__name__}")
+            log.warning("chaos: %s frame %d failed terminally "
+                        "(%s)", sid, index, type(exc).__name__)
+            return
+
+
 def _chaos_client(service: VOService, sid: str, sequence,
                   faults: Dict[int, InjectedFault],
                   device_faults: Dict[int, InjectedFault],
@@ -212,51 +274,9 @@ def _chaos_client(service: VOService, sid: str, sequence,
                 with injectors_lock:
                     injectors.append(injector)
                 device_fault.evidence = "armed"
-        fault = faults.get(index)
-        submit = frame
-        if fault is not None:
-            if fault.kind == "drop":
-                client.dropped += 1
-                fault.attributed = True
-                fault.evidence = "client dropped frame before submit"
-                continue
-            if fault.kind == "stall":
-                client.stalls += 1
-                time.sleep(stall_s)
-                fault.attributed = True
-                fault.evidence = f"client stalled {stall_s:.2f}s"
-            else:
-                submit = corruptor.corrupt(frame, fault.kind)
-        while True:
-            try:
-                result = service.submit(sid, submit.gray, submit.depth,
-                                        submit.timestamp)
-                client.tracked.append(index)
-                client.results.append(result)
-                client.last_ok_frame = index
-                if fault is not None and not fault.attributed:
-                    repaired = [e for e in result.events
-                                if e.startswith("repaired:")]
-                    signals = [e for e in result.events
-                               if e.startswith("signal:")]
-                    if repaired or signals:
-                        fault.attributed = True
-                        fault.evidence = "events: " + ",".join(
-                            repaired + signals)
-                break
-            except Backpressure as bp:
-                client.backpressure_retries += 1
-                time.sleep(max(bp.retry_after_s, 0.001))
-            except Exception as exc:  # noqa: BLE001 -- chaos outcome
-                client.errors += 1
-                client.last_error_frame = index
-                if fault is not None and not fault.attributed:
-                    fault.attributed = True
-                    fault.evidence = (
-                        f"frame error: {type(exc).__name__}")
-                log.warning("chaos: %s frame %d failed terminally "
-                            "(%s)", sid, index, type(exc).__name__)
-                break
+        _apply_and_submit(service, sid, index, frame,
+                          faults.get(index), corruptor, stall_s,
+                          client)
 
 
 def _classify(client: _ChaosClient, ate_m: Optional[float],
@@ -505,6 +525,270 @@ def run_chaos(config: ChaosConfig, incident_dir=None) -> dict:
         return report
 
 
+class _ServiceHolder:
+    """Mutable pointer to the service a client should submit to.
+
+    The migration coordinator flips ``service`` from source to target
+    while every client is parked at the rendezvous, so no submit can
+    race the migration and recreate a sid as a fresh stream on the
+    source.
+    """
+
+    def __init__(self, service: VOService):
+        self.service = service
+
+
+class _Rendezvous:
+    """Clients park here at ``frame``; the coordinator migrates, then
+    releases them against the target service."""
+
+    def __init__(self, frame: int, parties: int):
+        self.frame = frame
+        self.barrier = threading.Barrier(parties)
+        self.released = threading.Event()
+
+    def arrive(self) -> None:
+        self.barrier.wait(timeout=60.0)
+        if not self.released.wait(timeout=60.0):
+            raise TimeoutError("migration coordinator never released "
+                               "the rendezvous")
+
+
+def _migration_client(holder: _ServiceHolder, sid: str, sequence,
+                      faults: Dict[int, InjectedFault],
+                      corruptor: FrameCorruptor, stall_s: float,
+                      client: _ChaosClient,
+                      rendezvous: Optional[_Rendezvous]) -> None:
+    """Chaos client without device faults, with a migration stop.
+
+    Frame faults are applied exactly as in :func:`_chaos_client`; at
+    ``rendezvous.frame`` the client parks until the coordinator has
+    killed the worker, drained the source, and flipped ``holder`` to
+    the target.
+    """
+    for index, frame in enumerate(sequence.frames):
+        if rendezvous is not None and index == rendezvous.frame:
+            rendezvous.arrive()
+        _apply_and_submit(holder.service, sid, index, frame,
+                          faults.get(index), corruptor, stall_s,
+                          client)
+
+
+def run_chaos_migration(config: ChaosConfig, incident_dir=None) -> dict:
+    """Kill a worker mid-storm, drain every session to a second
+    service, and require the migrated trajectories to be bit-identical
+    to an unmigrated control run of the same storm.
+
+    Two runs of the same seeded frame-fault storm:
+
+    * **control** -- one service serves the whole storm.
+    * **migrated** -- a source service serves the first half; at the
+      rendezvous frame one source worker is killed (simulating the
+      dying node that motivates the drain), every session is
+      live-migrated (:meth:`VOService.drain_to`) onto a fresh target
+      service, and the storm finishes there.
+
+    Device faults are forced off: they corrupt shared worker devices
+    as a function of *dispatch timing*, so two runs of the same storm
+    would legitimately diverge and the bit-identity comparison would
+    be meaningless.  Frame faults are pure functions of the seed, so
+    with them alone the two runs see bit-identical inputs -- any
+    output divergence is migration state loss, which is exactly what
+    the gate pins.  The gate also holds the usual chaos SLO on the
+    migrated run: zero unrecovered sessions, every fault attributed.
+    """
+    if config.sessions < 2:
+        raise ValueError("migration storm needs >= 2 sessions "
+                         "(session 0 stays the fault-free control)")
+    registry = get_registry()
+    tracer = get_tracer()
+    migrate_frame = (config.migrate_frame
+                     if config.migrate_frame is not None
+                     else max(2, config.frames // 2))
+    if not 0 < migrate_frame < config.frames:
+        raise ValueError(
+            f"migrate_frame {migrate_frame} outside the run "
+            f"(1..{config.frames - 1})")
+
+    with tracer.span("chaos.migration_storm", seed=config.seed,
+                     sessions=config.sessions, frames=config.frames,
+                     migrate_frame=migrate_frame):
+        workload = build_workload(sessions=config.sessions,
+                                  frames=config.frames,
+                                  scale=config.scale,
+                                  seed=config.seed)
+        # Device faults off by construction; the same deterministic
+        # schedule is derived twice so control and migrated runs own
+        # independent attribution records.
+        storm_config = ChaosConfig(**{**config.__dict__,
+                                      "device_faults": 0})
+        control_faults, _ = build_fault_storm(storm_config)
+        migrated_faults, _ = build_fault_storm(storm_config)
+
+        def fault_index(faults):
+            by_sid: Dict[str, Dict[int, InjectedFault]] = {}
+            for fault in faults:
+                by_sid.setdefault(fault.sid, {})[fault.frame] = fault
+            return by_sid
+
+        def run_storm(holders, rendezvous, clients):
+            threads = []
+            for i, (sid, sequence) in enumerate(workload.items()):
+                threads.append(threading.Thread(
+                    target=_migration_client,
+                    name=f"chaos-migrate-{sid}",
+                    args=(holders[sid], sid, sequence,
+                          fault_index(clients["faults"]).get(sid, {}),
+                          FrameCorruptor(seed=config.seed * 1000 + i),
+                          config.stall_s, clients["by_sid"][sid],
+                          rendezvous)))
+            for t in threads:
+                t.start()
+            return threads
+
+        service_config = None
+
+        # -- control run: one service, no migration -------------------
+        control = {"faults": control_faults,
+                   "by_sid": {sid: _ChaosClient(sid=sid)
+                              for sid in workload}}
+        with VOService(workers=config.workers,
+                       frontend=config.frontend,
+                       device_detect=config.device_detect) as svc:
+            service_config = svc.config
+            holders = {sid: _ServiceHolder(svc) for sid in workload}
+            for t in run_storm(holders, None, control):
+                t.join()
+
+        # -- migrated run: source -> kill -> drain -> target ----------
+        migrated = {"faults": migrated_faults,
+                    "by_sid": {sid: _ChaosClient(sid=sid)
+                               for sid in workload}}
+        migrated_ctr = registry.counter("serve_sessions_migrated_total")
+        migrated_before = migrated_ctr.total()
+        killed_worker = None
+        source = VOService(workers=config.workers,
+                           frontend=config.frontend,
+                           device_detect=config.device_detect,
+                           config=service_config)
+        target = VOService(workers=config.workers,
+                           frontend=config.frontend,
+                           device_detect=config.device_detect,
+                           config=service_config)
+        t0 = time.perf_counter()
+        with source, target:
+            holders = {sid: _ServiceHolder(source) for sid in workload}
+            rendezvous = _Rendezvous(migrate_frame,
+                                     parties=len(workload) + 1)
+            threads = run_storm(holders, rendezvous, migrated)
+            # Coordinator: once every client is parked, the "node
+            # failure" happens -- one worker dies -- and the operator
+            # response is a whole-service drain onto the target.
+            rendezvous.barrier.wait(timeout=60.0)
+            killed_worker = config.workers - 1
+            source.pool.workers[killed_worker].stop()
+            source.flight.event("worker_killed",
+                                worker=killed_worker,
+                                reason="chaos_migration_storm")
+            drained = source.drain_to(target)
+            for holder in holders.values():
+                holder.service = target
+            rendezvous.released.set()
+            for t in threads:
+                t.join()
+        wall_s = time.perf_counter() - t0
+
+        # -- bit-identity: migrated trajectories vs the control run ---
+        problems: List[str] = []
+        for sid in workload:
+            a = control["by_sid"][sid]
+            b = migrated["by_sid"][sid]
+            if a.tracked != b.tracked:
+                problems.append(
+                    f"{sid}: tracked frames differ "
+                    f"({len(a.tracked)} control vs {len(b.tracked)} "
+                    f"migrated)")
+                continue
+            for i, (ra, rb) in enumerate(zip(a.results, b.results)):
+                if not (np.array_equal(ra.pose.R, rb.pose.R) and
+                        np.array_equal(ra.pose.t, rb.pose.t)):
+                    problems.append(
+                        f"{sid}: pose {i} (frame {a.tracked[i]}) "
+                        f"diverged after migration")
+                    break
+                if ra.health != rb.health:
+                    problems.append(
+                        f"{sid}: health diverged at frame "
+                        f"{a.tracked[i]}: {ra.health} vs {rb.health}")
+                    break
+
+        # -- classification of the migrated run -----------------------
+        frontend_cls = _FRONTENDS[config.frontend]
+        solo = solo_trajectories(workload, frontend_cls, service_config)
+        clean_ate = {
+            sid: absolute_trajectory_error(
+                solo[sid], workload[sid].groundtruth).rmse
+            for sid in workload}
+        sessions_report = {}
+        unrecovered = []
+        for sid, client in migrated["by_sid"].items():
+            ate_m = None
+            if client.results:
+                estimated = [r.pose for r in client.results]
+                groundtruth = [workload[sid].groundtruth[i]
+                               for i in client.tracked]
+                if len(estimated) == len(groundtruth) >= 3:
+                    ate_m = absolute_trajectory_error(
+                        estimated, groundtruth).rmse
+            bound_m = max(clean_ate[sid] * config.ate_inflation,
+                          config.ate_floor_m)
+            outcome, reason = _classify(client, ate_m, bound_m)
+            if outcome == "unrecovered":
+                unrecovered.append(sid)
+            sessions_report[sid] = {
+                "sequence": workload[sid].name,
+                "tracked": len(client.results),
+                "dropped": client.dropped,
+                "errors": client.errors,
+                "final_health": (client.results[-1].health
+                                 if client.results else None),
+                "ate_m": ate_m,
+                "bound_m": bound_m,
+                "outcome": outcome,
+                "reason": reason,
+                "faults": [f.to_dict() for f in migrated_faults
+                           if f.sid == sid],
+            }
+
+        if (problems or unrecovered) and incident_dir is not None:
+            source.flight.dump(
+                Path(incident_dir) / "chaos_migration_incident.json",
+                reason="chaos_migration_failed",
+                problems=problems, unrecovered=unrecovered,
+                seed=config.seed)
+
+        unattributed = [f.to_dict() for f in migrated_faults
+                        if not f.attributed]
+        ok = not problems and not unrecovered and not unattributed
+        return {
+            "schema": "repro.verify.chaos-migration/1",
+            **run_stamp(),
+            "seed": config.seed,
+            "ok": ok,
+            "wall_s": wall_s,
+            "migrate_frame": migrate_frame,
+            "killed_worker": killed_worker,
+            "sessions_migrated": int(migrated_ctr.total() -
+                                     migrated_before),
+            "drained": drained,
+            "faults_injected": len(migrated_faults),
+            "bit_identity": {"ok": not problems, "problems": problems},
+            "unrecovered_sessions": unrecovered,
+            "unattributed_faults": unattributed,
+            "sessions": sessions_report,
+        }
+
+
 def main(argv=None) -> int:
     """``python -m repro.verify chaos``: run the storm, gate the SLO."""
     parser = argparse.ArgumentParser(
@@ -520,6 +804,14 @@ def main(argv=None) -> int:
     parser.add_argument("--no-device-detect", action="store_true",
                         help="keep edge detection on the host")
     parser.add_argument("--device-faults", type=int, default=2)
+    parser.add_argument("--migrate", action="store_true",
+                        help="run the migration storm instead: kill a "
+                             "worker mid-storm, drain to a second "
+                             "service, gate bit-identity vs an "
+                             "unmigrated control run")
+    parser.add_argument("--migrate-frame", type=int, default=None,
+                        help="rendezvous frame for --migrate "
+                             "(default: midpoint)")
     parser.add_argument("--out", default="chaos_report.json",
                         help="where to write the recovery report")
     args = parser.parse_args(argv)
@@ -528,8 +820,36 @@ def main(argv=None) -> int:
                          frames=args.frames, scale=args.scale,
                          workers=args.workers, frontend=args.frontend,
                          device_detect=not args.no_device_detect,
-                         device_faults=args.device_faults)
+                         device_faults=args.device_faults,
+                         migrate_frame=args.migrate_frame)
     out = Path(args.out)
+    if args.migrate:
+        report = run_chaos_migration(config, incident_dir=out.parent)
+        out.write_text(json.dumps(report, indent=1, sort_keys=True)
+                       + "\n")
+        outcomes = {sid: s["outcome"]
+                    for sid, s in report["sessions"].items()}
+        print(f"chaos migration: killed worker "
+              f"{report['killed_worker']} at frame "
+              f"{report['migrate_frame']}, migrated "
+              f"{report['sessions_migrated']} sessions in "
+              f"{report['wall_s']:.1f}s; outcomes: {outcomes}")
+        print(f"report: {out}")
+        if not report["ok"]:
+            if not report["bit_identity"]["ok"]:
+                print(f"FAIL: migrated trajectories diverged: "
+                      f"{report['bit_identity']['problems']}",
+                      file=sys.stderr)
+            if report["unrecovered_sessions"]:
+                print(f"FAIL: unrecovered sessions: "
+                      f"{report['unrecovered_sessions']}",
+                      file=sys.stderr)
+            if report["unattributed_faults"]:
+                print(f"FAIL: {len(report['unattributed_faults'])} "
+                      f"injected faults unattributed", file=sys.stderr)
+            return 1
+        print("OK (migrated trajectories bit-identical to control)")
+        return 0
     report = run_chaos(config, incident_dir=out.parent)
     out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
 

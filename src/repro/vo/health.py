@@ -38,7 +38,7 @@ from repro.geometry.se3 import SE3, so3_log
 __all__ = [
     "OK", "DEGRADED", "LOST", "HEALTH_LEVELS",
     "CorruptFrameError", "FrameCheck", "validate_frame",
-    "divergence_signals",
+    "divergence_signals", "sync_health_gauge",
 ]
 
 #: Health states, ordered by severity (the gauge exports the index).
@@ -46,6 +46,22 @@ OK = "OK"
 DEGRADED = "DEGRADED"
 LOST = "LOST"
 HEALTH_LEVELS = (OK, DEGRADED, LOST)
+
+
+def sync_health_gauge(health: str) -> None:
+    """Publish ``health`` on the ``vo_tracking_state`` gauge.
+
+    The tracker keeps the gauge current while *it* drives the state
+    machine; any path that rewrites ``TrackerState.health`` behind the
+    tracker's back -- a checkpoint restore, a session import after
+    migration, a whole-service snapshot restore -- must call this so
+    the *observable* health matches the stored one.
+    """
+    from repro.obs.metrics import get_registry
+    get_registry().gauge(
+        "vo_tracking_state",
+        "Tracking health (0=OK, 1=DEGRADED, 2=LOST)").set(
+            HEALTH_LEVELS.index(health))
 
 
 class CorruptFrameError(ValueError):

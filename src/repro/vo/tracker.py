@@ -32,10 +32,10 @@ from repro.vo.features import extract_features
 from repro.vo.frontend import FloatFrontend, KeyframeMaps
 from repro.vo.health import (
     DEGRADED,
-    HEALTH_LEVELS,
     LOST,
     OK,
     divergence_signals,
+    sync_health_gauge,
     validate_frame,
 )
 from repro.vo.lm import LMStats, lm_estimate
@@ -250,10 +250,7 @@ class EBVOTracker:
                 "Tracking-health transitions").inc(
                     src=state.health, dst=health)
             state.health = health
-        get_registry().gauge(
-            "vo_tracking_state",
-            "Tracking health (0=OK, 1=DEGRADED, 2=LOST)").set(
-                HEALTH_LEVELS.index(health))
+        sync_health_gauge(health)
 
     def _mark_degraded(self, reasons) -> str:
         state = self.state

@@ -171,3 +171,64 @@ class TestChaosRun:
         report = json.loads(out.read_text())
         assert report["schema"] == "repro.verify.chaos/1"
         assert "timestamp" in report
+
+
+class TestChaosMigration:
+    def test_migration_storm_is_bit_identical(self):
+        from repro.verify.chaos import run_chaos_migration
+
+        config = ChaosConfig(seed=0, sessions=3, frames=10,
+                             workers=2, frontend="float",
+                             device_detect=False, stall_s=0.01)
+        report = run_chaos_migration(config)
+        assert report["schema"] == "repro.verify.chaos-migration/1"
+        assert report["ok"], (report["bit_identity"],
+                              report["unrecovered_sessions"],
+                              report["unattributed_faults"])
+        assert report["bit_identity"]["ok"]
+        assert report["killed_worker"] == 1
+        assert report["migrate_frame"] == 5
+        assert report["sessions_migrated"] == 3
+        assert sorted(report["drained"]) == \
+            ["client-0", "client-1", "client-2"]
+        # The storm actually stormed: faults were injected on the
+        # non-control sessions and every one was attributed.
+        assert report["faults_injected"] > 0
+        assert not report["unattributed_faults"]
+        outcomes = {s["outcome"]
+                    for s in report["sessions"].values()}
+        assert "unrecovered" not in outcomes
+
+    def test_migration_storm_rejects_single_session(self):
+        from repro.verify.chaos import run_chaos_migration
+
+        try:
+            run_chaos_migration(ChaosConfig(sessions=1))
+        except ValueError as exc:
+            assert "2 sessions" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_migration_storm_rejects_bad_migrate_frame(self):
+        from repro.verify.chaos import run_chaos_migration
+
+        try:
+            run_chaos_migration(ChaosConfig(sessions=2, frames=8,
+                                            migrate_frame=8))
+        except ValueError as exc:
+            assert "migrate_frame" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_cli_migrate_flag(self, tmp_path):
+        out = tmp_path / "migrate.json"
+        code = main(["--migrate", "--seed", "1", "--sessions", "2",
+                     "--frames", "8", "--workers", "2",
+                     "--frontend", "float", "--no-device-detect",
+                     "--out", str(out)])
+        assert code == 0
+        import json
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.verify.chaos-migration/1"
+        assert report["ok"]
+        assert report["bit_identity"]["ok"]

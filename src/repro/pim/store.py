@@ -33,16 +33,23 @@ re-driven through a fresh :class:`~repro.pim.program.ProgramRecorder`,
 so operand validation and the ledger aggregate are re-derived from the
 current cost model rather than deserialized from disk.
 
-Writes go through a temp file + :func:`os.replace`, so concurrent
-workers sharing one store directory can race safely: the loser of a
-race overwrites the winner with identical bytes.
+Writes go through a uniquely-named temp file (pid + thread + counter,
+created ``O_EXCL``) and an atomic :func:`os.replace`, so any number of
+threads *and* processes can share one store directory: racing writers
+never observe each other's half-written files, and the loser of a
+race replaces the winner with identical bytes.  An entry that already
+holds exactly the bytes about to be written is skipped outright --
+the common case when a fleet of shard workers warm-starts from one
+shared store.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -54,6 +61,10 @@ from repro.pim.program import PIMProgram, ProgramRecorder
 __all__ = ["ProgramStore"]
 
 _FORMAT = "repro-pim-program-v1"
+
+#: Monotonic per-process suffix so two threads (or a recycled pid and
+#: a stale leftover) can never pick the same temp-file name.
+_TEMP_COUNTER = itertools.count()
 
 
 def _encode_operand(operand):
@@ -174,11 +185,53 @@ class ProgramStore:
                 payload_json.encode("utf-8")).hexdigest(),
         })
         path = self._path(key, program.config_digest)
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(envelope + "\n")
-        os.replace(tmp, path)
+        data = envelope + "\n"
+        # Entries are content-addressed, so a pre-existing file with
+        # these exact bytes needs no rewrite (every shard worker saves
+        # the same program).  Anything else -- missing, truncated,
+        # corrupted -- falls through to the atomic replace below.
+        try:
+            if path.read_text() == data:
+                return path
+        except OSError:
+            pass
+        self._write_atomic(path, data)
         self._writes.inc(store=self.name)
         return path
+
+    @staticmethod
+    def _write_atomic(path: Path, data: str) -> None:
+        """Crash- and race-safe publish of ``data`` at ``path``.
+
+        The temp name embeds pid, thread id and a process-global
+        counter, and is opened ``O_CREAT | O_EXCL``: two writers can
+        never interleave into one temp file, and a stale temp left by
+        a killed worker that happened to reuse our pid is detected
+        (``FileExistsError``) and side-stepped rather than clobbered.
+        ``os.replace`` then makes the publish atomic -- readers see
+        the old complete entry or the new complete entry, never a
+        prefix.
+        """
+        while True:
+            tmp = path.with_name(
+                f"{path.name}.tmp.{os.getpid()}."
+                f"{threading.get_ident()}.{next(_TEMP_COUNTER)}")
+            try:
+                fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL,
+                             0o644)
+            except FileExistsError:
+                continue  # stale leftover with our name: pick another
+            break
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def load(self, key, config: PIMConfig) -> Optional[PIMProgram]:
         """Rebuild the persisted program for ``key`` (None on miss).

@@ -42,6 +42,7 @@ from repro.serve.loadgen import (
     ClientStats,
     build_workload,
     run_load,
+    run_open_loop_load,
     service_trajectories,
     solo_trajectories,
     trajectories_match,
@@ -73,6 +74,7 @@ __all__ = [
     "WorkItem",
     "build_workload",
     "run_load",
+    "run_open_loop_load",
     "service_trajectories",
     "solo_trajectories",
     "trajectories_match",

@@ -41,8 +41,9 @@ from repro.vo.config import TrackerConfig
 from repro.vo.tracker import EBVOTracker
 
 __all__ = ["ClientStats", "build_workload", "run_load",
-           "write_bench_report", "service_trajectories",
-           "solo_trajectories", "trajectories_match"]
+           "run_open_loop_load", "write_bench_report",
+           "service_trajectories", "solo_trajectories",
+           "trajectories_match"]
 
 log = logging.getLogger(__name__)
 
@@ -180,6 +181,127 @@ def run_load(service, workload: Dict[str, SyntheticSequence],
              report["frames_tracked"], wall_s,
              report["throughput_fps"],
              report["queue_latency_s"]["p95"], report["rejections"])
+    return report, clients
+
+
+def run_open_loop_load(service, workload: Dict[str, SyntheticSequence],
+                       rate_hz: float = 30.0, seed: int = 0,
+                       deadline_s=None, timeout_s: float = 300.0):
+    """Open-loop arrivals: frames arrive on a seeded Poisson clock.
+
+    Unlike :func:`run_load` (closed-loop: frame N+1 waits for frame
+    N's result), each session here submits on its own seeded
+    exponential arrival process at ``rate_hz`` frames/s *regardless of
+    completion* -- the production-traffic model, where offered load
+    does not slow down just because the service is struggling.
+    Submission uses ``submit_nowait`` (the service or shard router
+    must provide it); an admission rejection drops that frame and is
+    counted, deliberately without retry, so goodput-under-overload is
+    measurable.
+
+    Returns ``(report, clients)`` like :func:`run_load`; the report
+    adds end-to-end ``latency_s`` percentiles (submit to completion,
+    wall clock) plus ``offered_fps`` / ``goodput_fps``.
+    """
+    if rate_hz <= 0:
+        raise ValueError("rate_hz must be positive")
+    clients = [ClientStats(sid=sid, sequence=seq.name)
+               for sid, seq in workload.items()]
+    lock = threading.Lock()
+    latencies: List[float] = []
+    futures = []
+
+    def _dispatcher(stats: ClientStats,
+                    sequence: SyntheticSequence,
+                    rng: np.random.Generator) -> None:
+        for frame in sequence.frames:
+            time.sleep(float(rng.exponential(1.0 / rate_hz)))
+            t0 = time.perf_counter()
+            try:
+                future = service.submit_nowait(
+                    stats.sid, frame.gray, frame.depth,
+                    frame.timestamp, deadline_s=deadline_s)
+            except Backpressure:
+                with lock:
+                    stats.retries += 1
+                continue
+
+            def _done(fut, t0=t0, stats=stats):
+                latency = time.perf_counter() - t0
+                exc = fut.exception()
+                with lock:
+                    if exc is None:
+                        latencies.append(latency)
+                        stats.results.append(fut.result())
+                    elif isinstance(exc, DeadlineExceeded):
+                        stats.deadline_misses += 1
+                    else:
+                        stats.errors += 1
+
+            future.add_done_callback(_done)
+            with lock:
+                futures.append(future)
+
+    threads = [
+        threading.Thread(
+            target=_dispatcher, name=f"loadgen-ol-{c.sid}",
+            args=(c, workload[c.sid],
+                  np.random.default_rng(seed + i)))
+        for i, c in enumerate(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    deadline = time.monotonic() + timeout_s
+    with lock:
+        outstanding = list(futures)
+    for future in outstanding:
+        remaining = max(0.01, deadline - time.monotonic())
+        try:
+            future.exception(timeout=remaining)
+        except Exception:  # noqa: BLE001 -- counted in _done
+            pass
+    wall_s = time.perf_counter() - t0
+
+    with lock:
+        observed = list(latencies)
+    results = [r for c in clients for r in c.results]
+    offered = sum(len(workload[c.sid].frames) for c in clients)
+    report = {
+        "mode": "open-loop",
+        "sessions": len(clients),
+        "rate_hz": rate_hz,
+        "frames_offered": offered,
+        "frames_tracked": len(results),
+        "frames_rejected": sum(c.retries for c in clients),
+        "frames_errored": sum(c.errors for c in clients),
+        "deadline_misses": sum(c.deadline_misses
+                               for c in clients),
+        "wall_s": wall_s,
+        "offered_fps": offered / wall_s if wall_s else 0.0,
+        "goodput_fps": len(results) / wall_s if wall_s else 0.0,
+        "latency_s": {
+            "p50": percentile(observed, 50),
+            "p95": percentile(observed, 95),
+            "p99": percentile(observed, 99),
+            "max": max(observed) if observed else None,
+        },
+        "per_session": {c.sid: {
+            "sequence": c.sequence,
+            "frames": len(c.results),
+            "rejected": c.retries,
+            "errors": c.errors,
+            "deadline_misses": c.deadline_misses,
+        } for c in clients},
+    }
+    shards_status = getattr(service, "shards_status", None)
+    if shards_status is not None:
+        report["shards"] = shards_status()
+    log.info("open-loop load complete: %d/%d frames in %.2fs "
+             "(goodput %.1f fps), latency p95 %s",
+             len(results), offered, wall_s, report["goodput_fps"],
+             report["latency_s"]["p95"])
     return report, clients
 
 

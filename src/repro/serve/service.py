@@ -286,6 +286,66 @@ class VOService:
         self._capture_frame(item, result=result, request=request)
         return result
 
+    def submit_nowait(self, session_id: str, gray: np.ndarray,
+                      depth: np.ndarray, timestamp: float = 0.0,
+                      deadline_s: Optional[float] = None) -> Future:
+        """Admit one frame without blocking; returns its future.
+
+        The open-loop counterpart of :meth:`submit`: admission
+        (:class:`~repro.serve.scheduler.Backpressure`) still raises
+        here on the caller's thread, but the result -- or the failure,
+        including :class:`~repro.serve.scheduler.DeadlineExceeded` --
+        is delivered through the returned future.  Capture-ring
+        recording and flight-recorder incidents fire from the
+        future's completion, exactly as the blocking path does.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        gray = np.asarray(gray)
+        self.sessions.touch(session_id)
+        seq = self._next_seq()
+        tracer = get_tracer()
+        request = tracer.begin("request", category="serve",
+                               session=session_id, seq=seq)
+        item = WorkItem(session=session_id, seq=seq,
+                        batch_key=self._batch_key(gray.shape),
+                        payload=(gray, np.asarray(depth),
+                                 float(timestamp)),
+                        ctx=request.context,
+                        queue_handle=tracer.begin(
+                            "queue", category="serve",
+                            parent=request.context,
+                            session=session_id, seq=seq))
+        if deadline_s is not None:
+            item.deadline = self.scheduler._clock() + deadline_s
+        try:
+            self.scheduler.submit(item)   # may raise Backpressure
+        except BaseException as exc:
+            item.queue_handle.finish(outcome="rejected")
+            request.finish(outcome="rejected",
+                           error=type(exc).__name__)
+            raise
+
+        def _finish(future: Future) -> None:
+            exc = future.exception()
+            if exc is not None:
+                request.finish(outcome="error",
+                               error=type(exc).__name__)
+                self._capture_incident(type(exc).__name__, item,
+                                       request)
+                self._capture_frame(item, error=exc)
+                return
+            result = future.result()
+            if result.retries:
+                request.finish(outcome="ok", retries=result.retries)
+                self._capture_incident("retried", item, request)
+            else:
+                request.finish(outcome="ok")
+            self._capture_frame(item, result=result, request=request)
+
+        item.future.add_done_callback(_finish)
+        return item.future
+
     def _capture_frame(self, item: WorkItem, result=None, error=None,
                        request=None) -> None:
         """Record one completed frame in the capture ring (if on).
@@ -330,14 +390,18 @@ class VOService:
 
     def requeue_frame(self, session_id: str, seq: int,
                       gray: np.ndarray, depth: np.ndarray,
-                      timestamp: float = 0.0) -> Future:
+                      timestamp: float = 0.0,
+                      deadline_s: Optional[float] = None) -> Future:
         """Re-enqueue a frame restored from a snapshot, fire-and-forget.
 
         Unlike :meth:`submit` this neither blocks nor allocates a new
         sequence number: the frame keeps its recorded ``seq`` and the
         returned future completes once a worker serves it (after the
         pool starts).  Used by the snapshot restore path to put the
-        admission queue back exactly as captured.
+        admission queue back exactly as captured, and by shard workers
+        to admit router-sequenced frames -- the latter pass the
+        client's ``deadline_s`` through so queue expiry still applies
+        across the process boundary.
         """
         if self._closed:
             raise RuntimeError("service is closed")
@@ -346,6 +410,8 @@ class VOService:
                         batch_key=self._batch_key(gray.shape),
                         payload=(gray, np.asarray(depth),
                                  float(timestamp)))
+        if deadline_s is not None:
+            item.deadline = self.scheduler._clock() + deadline_s
         # The recorded seq is now taken: later submits must never
         # reissue it.
         self.restore_seq(seq)

@@ -11,7 +11,14 @@ no dependencies beyond ``http.server``:
 ``/healthz``              ``200 ok`` / ``503 unhealthy`` from
                           :meth:`VOService.healthy` -- load-balancer
                           probe semantics, body is the JSON health
-                          section.
+                          section.  Behind a shard router the body
+                          aggregates per-shard liveness and reports
+                          ``status: degraded`` (still 200) while any
+                          shard is down or respawning in backoff.
+``/shards``               Per-shard process status (state, pid,
+                          uptime, heartbeat age, restarts, breaker)
+                          when the fronted service has a shard plane;
+                          404 for a plain ``VOService``.
 ``/slo``                  The rolling-window SLO snapshot
                           (:meth:`repro.obs.slo.SloEngine.snapshot`).
 ``/flightrecorder``       The full flight-recorder bundle: recent
@@ -69,20 +76,52 @@ class _Handler(BaseHTTPRequestHandler):
                             content_type="text/plain; version=0.0.4")
             elif self.path == "/healthz":
                 stats = service.stats()
-                healthy = bool(stats["health"]["healthy"])
+                health = dict(stats["health"])
+                healthy = bool(health["healthy"])
+                # A shard-aware service (the ShardRouter front door)
+                # aggregates per-shard liveness: still-200 "degraded"
+                # while any shard is down or respawning in backoff,
+                # because surviving shards are serving.
+                shards_status = getattr(service, "shards_status",
+                                        None)
+                degraded = False
+                if shards_status is not None:
+                    shards = shards_status()
+                    degraded = bool(shards.get("degraded"))
+                    health["shards"] = {
+                        row["shard"]: row["state"]
+                        for row in shards.get("shards", [])}
+                health["status"] = (
+                    "ok" if healthy and not degraded
+                    else "degraded" if healthy else "unhealthy")
                 self._reply(200 if healthy else 503,
-                            json.dumps(stats["health"],
-                                       default=str) + "\n")
+                            json.dumps(health, default=str) + "\n")
+            elif self.path == "/shards":
+                shards_status = getattr(service, "shards_status",
+                                        None)
+                if shards_status is None:
+                    self._reply(404, json.dumps(
+                        {"error": "service has no shard plane"})
+                        + "\n")
+                else:
+                    self._reply(200, json.dumps(shards_status(),
+                                                default=str) + "\n")
             elif self.path == "/slo":
-                self._reply(200, json.dumps(service.slo.snapshot(),
-                                            default=str) + "\n")
+                slo = getattr(service, "slo", None)
+                if slo is None:
+                    self._reply(404, json.dumps(
+                        {"error": "service has no SLO engine"})
+                        + "\n")
+                else:
+                    self._reply(200, json.dumps(slo.snapshot(),
+                                                default=str) + "\n")
             elif self.path == "/flightrecorder":
                 self._reply(200, json.dumps(service.flight.bundle(),
                                             default=str) + "\n")
             else:
                 self._reply(404, json.dumps(
                     {"error": "not found", "endpoints": [
-                        "/metrics", "/healthz", "/slo",
+                        "/metrics", "/healthz", "/shards", "/slo",
                         "/flightrecorder"]}) + "\n")
         except Exception as exc:  # noqa: BLE001 -- keep serving
             log.exception("status endpoint %s failed", self.path)

@@ -1,0 +1,67 @@
+"""Scale-out serving: supervised multi-process shards with failover.
+
+``repro.serve`` is one process; this package is the plane that makes
+it many.  A :class:`ShardRouter` front door hashes sessions onto N
+worker *processes* (each running its own
+:class:`~repro.serve.service.VOService`), and a :class:`Supervisor`
+makes worker death a recoverable event instead of an outage:
+
+* :mod:`repro.shard.placement` -- the pure policy layer: a
+  consistent-hash :class:`HashRing` (adding/removing a shard moves
+  only ~K/N sessions), :class:`RestartBackoff` (exponential respawn
+  delay, hard cap, restart budget), and
+  :func:`failover_replay_plan` (the exact ordered frame list that
+  rebuilds a session from checkpoint + captured tail + pending
+  requests, refusing gaps with :class:`ReplayGap`).
+* :mod:`repro.shard.transport` -- length-prefixed pickle framing over
+  loopback TCP with token-authenticated connect-back (works under
+  every ``multiprocessing`` start method) and a bounded-send-queue
+  :class:`MessagePump` per shard.
+* :mod:`repro.shard.worker` -- the child-process entry
+  (:func:`shard_worker_main`): serves ``frame`` / ``checkpoint`` /
+  ``export_session`` / ``restore_session`` ops and heartbeats.
+* :mod:`repro.shard.router` -- the front door: sticky ring placement,
+  per-shard circuit breakers, a pending table + capture-ring tail,
+  snapshot-based :meth:`ShardRouter.fail_over`, and elastic
+  ``add_shard``/``remove_shard`` with live session drain.
+* :mod:`repro.shard.supervisor` -- heartbeat liveness, crash/hang
+  detection (SIGKILL escalation), backoff respawn within a restart
+  budget, crash incident bundles, periodic checkpoint sweeps.
+
+``shards=0`` runs the router inline (one in-process service, no
+transport) bit-identically to the plain ``repro.serve`` path.  The
+chaos kill storm (``python -m repro.verify chaos --kill``) gates the
+whole plane on zero lost sessions under SIGKILL; see
+``docs/sharding.md``.
+"""
+
+from repro.shard.placement import (
+    HashRing,
+    ReplayGap,
+    RestartBackoff,
+    failover_replay_plan,
+)
+from repro.shard.router import SessionLost, ShardHandle, ShardRouter
+from repro.shard.supervisor import Supervisor
+from repro.shard.transport import (
+    MessagePump,
+    SendQueueFull,
+    TransportClosed,
+)
+from repro.shard.worker import ShardSpec, shard_worker_main
+
+__all__ = [
+    "HashRing",
+    "MessagePump",
+    "ReplayGap",
+    "RestartBackoff",
+    "SendQueueFull",
+    "SessionLost",
+    "ShardHandle",
+    "ShardRouter",
+    "ShardSpec",
+    "Supervisor",
+    "TransportClosed",
+    "failover_replay_plan",
+    "shard_worker_main",
+]

@@ -88,6 +88,11 @@ class CaptureRing:
         self._lock = threading.Lock()
         self._streams: Dict[str, deque] = {}
         self._dropped: Dict[str, int] = {}
+        #: Highest sequence number pruned per session (see
+        #: :meth:`prune`): pruned frames were covered by a checkpoint,
+        #: so unlike ``dropped`` they do not hurt replayability from
+        #: that checkpoint onward.
+        self._pruned: Dict[str, int] = {}
         self._frontend: Optional[str] = None
         self._config = None
         self.seeds = None
@@ -145,6 +150,51 @@ class CaptureRing:
             "message": str(exc),
         }
 
+    # -- failover tails --------------------------------------------------
+
+    def tail(self, session: str, after_seq: int) -> List[dict]:
+        """Recorded frames of ``session`` with ``seq > after_seq``.
+
+        The shard router's failover path reads this: everything the
+        session completed after its last checkpoint watermark, in
+        recording order, each entry a copy-safe reference to the
+        stored record (callers must not mutate the arrays).  Unknown
+        sessions yield an empty tail.
+        """
+        with self._lock:
+            stream = self._streams.get(session)
+            if stream is None:
+                return []
+            return [rec for rec in stream
+                    if rec["seq"] > int(after_seq)]
+
+    def prune(self, session: str, upto_seq: int) -> int:
+        """Drop frames with ``seq <= upto_seq`` (checkpoint covered).
+
+        Bounds the ring's memory between checkpoints without charging
+        the ``dropped`` counter -- a pruned prefix is recoverable from
+        the checkpoint, an overflow-dropped one is not.  Returns the
+        number of frames pruned.
+        """
+        upto_seq = int(upto_seq)
+        with self._lock:
+            stream = self._streams.get(session)
+            if stream is None:
+                return 0
+            kept = [rec for rec in stream if rec["seq"] > upto_seq]
+            pruned = len(stream) - len(kept)
+            if pruned:
+                stream.clear()
+                stream.extend(kept)
+                self._pruned[session] = max(
+                    self._pruned.get(session, 0), upto_seq)
+            return pruned
+
+    def pruned_watermark(self, session: str) -> int:
+        """Highest sequence number pruned for ``session`` (0 if none)."""
+        with self._lock:
+            return self._pruned.get(session, 0)
+
     # -- bundles ---------------------------------------------------------
 
     def sessions(self) -> List[str]:
@@ -158,6 +208,7 @@ class CaptureRing:
                 "capacity": self.capacity,
                 "frames": sum(len(s) for s in self._streams.values()),
                 "dropped": dict(self._dropped),
+                "pruned": dict(self._pruned),
             }
 
     def bundle(self, sessions: Optional[List[str]] = None,
@@ -212,6 +263,7 @@ class CaptureRing:
         with self._lock:
             self._streams.clear()
             self._dropped.clear()
+            self._pruned.clear()
 
 
 # -- offline replay -------------------------------------------------------

@@ -30,8 +30,11 @@ machinery.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import logging
+import os
+import signal
 import sys
 import threading
 import time
@@ -56,7 +59,8 @@ from repro.serve.service import _FRONTENDS, VOService
 from repro.vo.health import LOST, OK
 
 __all__ = ["ChaosConfig", "InjectedFault", "build_fault_storm",
-           "run_chaos", "run_chaos_migration", "main"]
+           "run_chaos", "run_chaos_kill", "run_chaos_migration",
+           "main"]
 
 log = logging.getLogger(__name__)
 
@@ -92,6 +96,12 @@ class ChaosConfig:
     #: index every client rendezvouses at before the worker kill and
     #: drain.  ``None`` = midpoint of the run.
     migrate_frame: Optional[int] = None
+    #: Kill storms (:func:`run_chaos_kill`): shard worker *processes*
+    #: behind the router, how many get SIGKILLed mid-stream, and the
+    #: sequence index the kill lands on (``None`` = midpoint).
+    shards: int = 3
+    kills: int = 1
+    kill_frame: Optional[int] = None
 
 
 @dataclass
@@ -789,6 +799,216 @@ def run_chaos_migration(config: ChaosConfig, incident_dir=None) -> dict:
         }
 
 
+def _kill_client(router, sid: str, sequence, client: _ChaosClient,
+                 checkpoint_stop: "_Rendezvous",
+                 kill_stop: "_Rendezvous") -> None:
+    """Closed-loop shard client with two parks: once so the
+    coordinator can checkpoint, once so it can kill.  Frames between
+    the two ride only the router's capture-ring tail -- exactly the
+    state the failover replay has to rebuild."""
+    for index, frame in enumerate(sequence.frames):
+        if index == checkpoint_stop.frame:
+            checkpoint_stop.arrive()
+        if index == kill_stop.frame:
+            kill_stop.arrive()
+        while True:
+            try:
+                result = router.submit(sid, frame.gray, frame.depth,
+                                       frame.timestamp, timeout=120)
+                client.tracked.append(index)
+                client.results.append(result)
+                client.last_ok_frame = index
+                break
+            except Backpressure as bp:
+                client.backpressure_retries += 1
+                time.sleep(max(bp.retry_after_s, 0.001))
+            except Exception as exc:  # noqa: BLE001 -- storm outcome
+                client.errors += 1
+                client.last_error_frame = index
+                log.warning("kill storm: %s frame %d failed (%s)",
+                            sid, index, type(exc).__name__)
+                break
+
+
+def run_chaos_kill(config: ChaosConfig, incident_dir=None) -> dict:
+    """SIGKILL storm against the supervised shard plane.
+
+    ``config.shards`` worker processes serve ``config.sessions``
+    closed-loop clients through a
+    :class:`~repro.shard.router.ShardRouter` under a
+    :class:`~repro.shard.supervisor.Supervisor`.  Mid-stream, after a
+    checkpoint sweep and two more frames (so the capture-ring tail is
+    non-empty), the ``config.kills`` busiest shards are SIGKILLed at
+    once.  The gate:
+
+    * **zero lost sessions** -- every session finishes;
+    * **bit-identity** -- every served trajectory equals its solo
+      (unkilled) tracker run, pose for pose;
+    * **respawn within budget** -- every victim is back ``up`` with
+      its restart budget not exhausted.
+
+    No frame or device faults are injected: the kill itself is the
+    fault, and clean inputs are what make the bit-identity comparison
+    meaningful.  Crash incident bundles land in ``incident_dir``.
+    """
+    from repro.shard import ShardRouter, ShardSpec, Supervisor
+    from repro.vo.config import TrackerConfig
+
+    if config.shards < 2:
+        raise ValueError("kill storm needs >= 2 shards (someone must "
+                         "survive)")
+    if not 0 < config.kills < config.shards:
+        raise ValueError("kills must leave at least one shard up")
+    kill_frame = (config.kill_frame if config.kill_frame is not None
+                  else max(3, config.frames // 2))
+    if not 2 < kill_frame < config.frames:
+        raise ValueError(f"kill_frame {kill_frame} outside the run "
+                         f"(3..{config.frames - 1})")
+    checkpoint_frame = kill_frame - 2
+
+    tracker_config = TrackerConfig(
+        pim_device_detect=config.device_detect)
+    if config.scale != 1.0:
+        tracker_config = dataclasses.replace(
+            tracker_config,
+            camera=tracker_config.camera.scaled(config.scale))
+    workload = build_workload(sessions=config.sessions,
+                              frames=config.frames,
+                              scale=config.scale, seed=config.seed)
+    frontend_cls = _FRONTENDS[config.frontend]
+    solo = solo_trajectories(workload, frontend_cls, tracker_config)
+
+    spec = ShardSpec(workers=config.workers,
+                     frontend=config.frontend,
+                     config=tracker_config,
+                     device_detect=config.device_detect,
+                     heartbeat_s=0.1)
+    clients = {sid: _ChaosClient(sid=sid) for sid in workload}
+    checkpoint_stop = _Rendezvous(checkpoint_frame,
+                                  parties=len(workload) + 1)
+    kill_stop = _Rendezvous(kill_frame, parties=len(workload) + 1)
+    victims: List[int] = []
+    respawn_deadline_s = 60.0
+    t0 = time.perf_counter()
+    with ShardRouter(shards=config.shards, spec=spec,
+                     incident_dir=incident_dir) as router, \
+            Supervisor(router, poll_s=0.02,
+                       heartbeat_timeout_s=5.0,
+                       incident_dir=incident_dir) as supervisor:
+        threads = [threading.Thread(
+            target=_kill_client, name=f"chaos-kill-{sid}",
+            args=(router, sid, workload[sid], clients[sid],
+                  checkpoint_stop, kill_stop))
+            for sid in workload]
+        for t in threads:
+            t.start()
+
+        # Park 1: a consistent checkpoint of every resident session.
+        checkpoint_stop.barrier.wait(timeout=120.0)
+        checkpointed = supervisor.checkpoint_now()
+        checkpoint_stop.released.set()
+
+        # Park 2: the storm.  Kill the busiest shards -- maximum
+        # sessions in flight, maximum failover work.
+        kill_stop.barrier.wait(timeout=120.0)
+        by_load = sorted(
+            (s for s, h in router.shards.items() if h.state == "up"),
+            key=lambda s: -sum(1 for p in router._placement.values()
+                               if p == s))
+        victims = by_load[:config.kills]
+        for victim in victims:
+            os.kill(router.shards[victim].pid, signal.SIGKILL)
+            log.warning("kill storm: SIGKILLed shard %d (pid %d)",
+                        victim, router.shards[victim].pid)
+        kill_stop.released.set()
+
+        for t in threads:
+            t.join()
+
+        # Victims must come back up within the restart budget.
+        respawns = {}
+        deadline = time.monotonic() + respawn_deadline_s
+        for victim in victims:
+            handle = router.shards[victim]
+            while time.monotonic() < deadline and \
+                    handle.state != "up":
+                time.sleep(0.02)
+            respawns[victim] = {
+                "state": handle.state,
+                "restarts": handle.restarts,
+                "budget_remaining": handle.backoff.remaining(),
+            }
+        wall_s = time.perf_counter() - t0
+        status = router.shards_status()
+
+    # -- the gate ---------------------------------------------------------
+    problems: List[str] = []
+    for sid in workload:
+        client = clients[sid]
+        reference = solo[sid]
+        if client.errors:
+            problems.append(f"{sid}: {client.errors} frame errors")
+        if len(client.results) != len(reference):
+            problems.append(
+                f"{sid}: tracked {len(client.results)} of "
+                f"{len(reference)} frames")
+            continue
+        for i, (result, ref) in enumerate(zip(client.results,
+                                              reference)):
+            if not (np.array_equal(result.pose.R, ref.R) and
+                    np.array_equal(result.pose.t, ref.t)):
+                problems.append(
+                    f"{sid}: pose {i} diverged from the unkilled "
+                    f"solo run")
+                break
+    if status["lost_sessions"]:
+        problems.append(
+            f"sessions lost in failover: {status['lost_sessions']}")
+    if status["failovers_total"] < 1:
+        problems.append("kill produced no failovers -- the storm "
+                        "never landed")
+    for victim, entry in respawns.items():
+        if entry["state"] != "up":
+            problems.append(
+                f"shard {victim} never respawned (state "
+                f"{entry['state']} after {respawn_deadline_s:.0f}s)")
+        elif entry["budget_remaining"] <= 0:
+            problems.append(
+                f"shard {victim} exhausted its restart budget "
+                f"recovering from one kill")
+
+    bundles = []
+    if incident_dir is not None:
+        bundles = sorted(p.name for p in
+                         Path(incident_dir).glob("shard*_*.json"))
+    return {
+        "schema": "repro.verify.chaos-kill/1",
+        **run_stamp(),
+        "seed": config.seed,
+        "ok": not problems,
+        "wall_s": wall_s,
+        "shards": config.shards,
+        "kills": victims,
+        "kill_frame": kill_frame,
+        "checkpoint_frame": checkpoint_frame,
+        "checkpointed_sessions": checkpointed,
+        "failovers_total": status["failovers_total"],
+        "lost_sessions": status["lost_sessions"],
+        "respawns": respawns,
+        "bit_identity": {"ok": not any("diverged" in p or "tracked"
+                                       in p for p in problems),
+                         "problems": problems},
+        "sessions": {sid: {
+            "sequence": workload[sid].name,
+            "tracked": len(clients[sid].results),
+            "errors": clients[sid].errors,
+            "backpressure_retries": clients[sid].backpressure_retries,
+        } for sid in workload},
+        "shards_status": status,
+        "incident_bundles": bundles,
+    }
+
+
 def main(argv=None) -> int:
     """``python -m repro.verify chaos``: run the storm, gate the SLO."""
     parser = argparse.ArgumentParser(
@@ -812,6 +1032,19 @@ def main(argv=None) -> int:
     parser.add_argument("--migrate-frame", type=int, default=None,
                         help="rendezvous frame for --migrate "
                              "(default: midpoint)")
+    parser.add_argument("--kill", action="store_true",
+                        help="run the shard kill storm instead: "
+                             "SIGKILL worker processes mid-stream, "
+                             "gate zero lost sessions, solo "
+                             "bit-identity, and respawn within the "
+                             "restart budget")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="shard worker processes for --kill")
+    parser.add_argument("--kill-count", type=int, default=1,
+                        help="how many shards get SIGKILLed")
+    parser.add_argument("--kill-frame", type=int, default=None,
+                        help="rendezvous frame for --kill "
+                             "(default: midpoint)")
     parser.add_argument("--out", default="chaos_report.json",
                         help="where to write the recovery report")
     args = parser.parse_args(argv)
@@ -821,8 +1054,28 @@ def main(argv=None) -> int:
                          workers=args.workers, frontend=args.frontend,
                          device_detect=not args.no_device_detect,
                          device_faults=args.device_faults,
-                         migrate_frame=args.migrate_frame)
+                         migrate_frame=args.migrate_frame,
+                         shards=args.shards, kills=args.kill_count,
+                         kill_frame=args.kill_frame)
     out = Path(args.out)
+    if args.kill:
+        report = run_chaos_kill(config, incident_dir=out.parent)
+        out.write_text(json.dumps(report, indent=1, sort_keys=True)
+                       + "\n")
+        print(f"chaos kill: SIGKILLed shard(s) {report['kills']} of "
+              f"{report['shards']} at frame {report['kill_frame']}; "
+              f"{report['failovers_total']} sessions failed over, "
+              f"{report['checkpointed_sessions']} checkpointed, "
+              f"{report['wall_s']:.1f}s wall")
+        print(f"respawns: {report['respawns']}")
+        print(f"report: {out}")
+        if not report["ok"]:
+            for problem in report["bit_identity"]["problems"]:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print("OK (zero lost sessions, trajectories bit-identical "
+              "to unkilled solo runs, victims respawned)")
+        return 0
     if args.migrate:
         report = run_chaos_migration(config, incident_dir=out.parent)
         out.write_text(json.dumps(report, indent=1, sort_keys=True)

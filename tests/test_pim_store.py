@@ -198,6 +198,90 @@ class TestCacheLayering:
                                        "corrupt", "writes"}
 
 
+class TestConcurrentWriters:
+    """The store directory is shared by threads *and* processes."""
+
+    def test_many_threads_race_one_entry(self, store):
+        """32 threads saving the same key: one clean entry, no temps."""
+        import threading
+
+        program = _sample_program()
+        start = threading.Barrier(32)
+        errors = []
+
+        def writer():
+            try:
+                start.wait(timeout=10)
+                for _ in range(8):
+                    store.save(_key("race"), program)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)
+                   for _ in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(store) == 1
+        leftovers = [p for p in store.root.iterdir()
+                     if ".tmp." in p.name]
+        assert leftovers == []
+        loaded = store.load(_key("race"), CONFIG)
+        assert loaded is not None
+        assert loaded.ops == program.ops
+
+    def test_many_processes_race_one_entry(self, store):
+        """Forked writers share the directory without torn entries."""
+        import multiprocessing
+
+        program = _sample_program()
+        ctx = multiprocessing.get_context("fork")
+
+        def writer():
+            # Each child re-opens the store by path, as a real shard
+            # worker would, and hammers the same content address.
+            child = ProgramStore(store.root, name="child")
+            for _ in range(16):
+                child.save(_key("mp-race"), program)
+
+        procs = [ctx.Process(target=writer, daemon=True)
+                 for _ in range(8)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        assert len(store) == 1
+        leftovers = [p for p in store.root.iterdir()
+                     if ".tmp." in p.name]
+        assert leftovers == []
+        loaded = store.load(_key("mp-race"), CONFIG)
+        assert loaded is not None
+        assert loaded.ops == program.ops
+
+    def test_identical_resave_is_skipped(self, store):
+        """Content dedup: an intact entry is never rewritten."""
+        program = _sample_program()
+        path = store.save(_key("dedup"), program)
+        w1 = store.stats()["writes"]
+        before = path.stat().st_mtime_ns
+        assert store.save(_key("dedup"), program) == path
+        assert store.stats()["writes"] == w1  # skipped, not rewritten
+        assert path.stat().st_mtime_ns == before
+
+    def test_damaged_entry_is_repaired_not_skipped(self, store):
+        """Dedup compares bytes, so a corrupted file still heals."""
+        program = _sample_program()
+        path = store.save(_key("heal"), program)
+        good = path.read_text()
+        path.write_text(good[:40])
+        store.save(_key("heal"), program)
+        assert path.read_text() == good
+        assert store.load(_key("heal"), CONFIG) is not None
+
+
 class TestLRUEviction:
     def test_eviction_counter_and_order(self):
         cache = ProgramCache(capacity=2, name="lru-test")

@@ -1,8 +1,5 @@
 """Tests for the multi-session serving layer (repro.serve)."""
 
-import threading
-import time
-
 import numpy as np
 import pytest
 
@@ -29,23 +26,6 @@ from repro.vo import EBVOTracker, PIMFrontend, TrackerConfig
 from repro.vo.tracker import FrameResult, TrackerState
 
 TINY_CAMERA = TUM_QVGA.scaled(0.25)  # 80x60: fast but real tracking
-
-
-@pytest.fixture(autouse=True)
-def no_leaked_pool_threads():
-    """Every test must stop the worker threads it started."""
-    before = {t.ident for t in threading.enumerate()}
-    yield
-    leaked = []
-    deadline = time.monotonic() + 5.0
-    while time.monotonic() < deadline:
-        leaked = [t for t in threading.enumerate()
-                  if t.ident not in before and t.is_alive()
-                  and t.name.startswith("pim-pool")]
-        if not leaked:
-            break
-        time.sleep(0.02)
-    assert not leaked, f"leaked worker threads: {leaked}"
 
 
 class FakeClock:

@@ -1,0 +1,235 @@
+"""ShardRouter: placement, inline parity, real worker processes.
+
+The expensive end-to-end cases (spawn real worker processes, stream
+frames, checkpoint, migrate) stay deliberately small -- a few
+sessions x a few frames at quarter scale -- because the properties
+they pin (bit-identity with solo runs, sticky placement, lossless
+drain) do not depend on volume.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.geometry.camera import TUM_QVGA
+from repro.serve import (
+    Backpressure,
+    StatusServer,
+    build_workload,
+    run_load,
+    service_trajectories,
+    solo_trajectories,
+    trajectories_match,
+)
+from repro.shard import SessionLost, ShardRouter, ShardSpec
+from repro.vo import PIMFrontend, TrackerConfig
+
+TINY_CAMERA = TUM_QVGA.scaled(0.25)
+CONFIG = TrackerConfig(camera=TINY_CAMERA)
+
+
+def _spec(**overrides):
+    kwargs = dict(workers=1, frontend="pim", config=CONFIG,
+                  heartbeat_s=0.1)
+    kwargs.update(overrides)
+    return ShardSpec(**kwargs)
+
+
+def _drive(router, workload):
+    """Closed-loop: every session's frames in order; returns results
+    keyed by session (submission interleaves across sessions)."""
+    results = {sid: [] for sid in workload}
+    frames = {sid: list(seq.frames) for sid, seq in workload.items()}
+    while any(frames.values()):
+        futures = []
+        for sid in sorted(frames):
+            if frames[sid]:
+                f = frames[sid].pop(0)
+                futures.append((sid, router.submit_nowait(
+                    sid, f.gray, f.depth, f.timestamp)))
+        for sid, fut in futures:
+            results[sid].append(fut.result(timeout=120))
+    return results
+
+
+class TestInlineMode:
+    def test_inline_router_matches_plain_service(self):
+        """shards=0 is the plain serve path behind the same API."""
+        workload = build_workload(sessions=2, frames=3, scale=0.25)
+        with ShardRouter(shards=0, spec=_spec()) as router:
+            assert router.inline
+            report, clients = run_load(router, workload)
+        assert report["frames_tracked"] == report["frames_submitted"]
+        served = service_trajectories(
+            [r for c in clients for r in c.results])
+        solo = solo_trajectories(workload, PIMFrontend, CONFIG)
+        assert trajectories_match(served, solo) == []
+
+    def test_inline_status_reports_mode(self):
+        with ShardRouter(shards=0, spec=_spec()) as router:
+            status = router.shards_status()
+            assert status["mode"] == "inline"
+            assert status["healthy"]
+            assert not status["degraded"]
+            assert router.stats()["shards"]["mode"] == "inline"
+
+
+class TestShardedServing:
+    def test_two_shards_bit_identical_to_solo(self):
+        workload = build_workload(sessions=3, frames=4, scale=0.25)
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            results = _drive(router, workload)
+            status = router.shards_status()
+        served = service_trajectories(
+            [r for rs in results.values() for r in rs])
+        solo = solo_trajectories(workload, PIMFrontend, CONFIG)
+        assert trajectories_match(served, solo) == []
+        assert status["mode"] == "sharded"
+        assert status["up"] == 2
+        assert status["sessions"] == 3
+        # Sticky ring placement spreads sessions over real processes.
+        assert sum(r["sessions"] for r in status["shards"]) == 3
+        assert all(r["pid"] for r in status["shards"])
+
+    def test_per_session_frames_stay_in_order(self):
+        workload = build_workload(sessions=2, frames=5, scale=0.25)
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            results = _drive(router, workload)
+        for sid, rs in results.items():
+            assert [r.frame_index for r in rs] == list(range(5))
+
+    def test_checkpoint_prunes_capture_tail(self):
+        workload = build_workload(sessions=2, frames=3, scale=0.25)
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            _drive(router, workload)
+            count = sum(router.checkpoint_shard(s)
+                        for s in router.shards)
+            assert count == 2
+            for sid in workload:
+                assert router.capture.tail(sid, 0) == []
+                assert router.capture.pruned_watermark(sid) == 3
+            assert router.shards_status()[
+                "checkpointed_sessions"] == 2
+
+    def test_remove_shard_drains_sessions_losslessly(self):
+        workload = build_workload(sessions=3, frames=4, scale=0.25)
+        frames = {sid: list(seq.frames)
+                  for sid, seq in workload.items()}
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            results = {sid: [] for sid in workload}
+            for sid in workload:  # first half on the full plane
+                for f in frames[sid][:2]:
+                    results[sid].append(router.submit(
+                        sid, f.gray, f.depth, f.timestamp,
+                        timeout=120))
+            victim = max(
+                router.shards,
+                key=lambda s: sum(1 for p in
+                                  router._placement.values()
+                                  if p == s))
+            drained = router.remove_shard(victim)
+            assert drained  # it owned at least one session
+            assert victim not in router.shards
+            for sid in workload:  # second half after the drain
+                for f in frames[sid][2:]:
+                    results[sid].append(router.submit(
+                        sid, f.gray, f.depth, f.timestamp,
+                        timeout=120))
+        served = service_trajectories(
+            [r for rs in results.values() for r in rs])
+        solo = solo_trajectories(workload, PIMFrontend, CONFIG)
+        assert trajectories_match(served, solo) == []
+
+    def test_add_shard_rebalances_only_ring_movers(self):
+        workload = build_workload(sessions=3, frames=2, scale=0.25)
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            results = {sid: [] for sid in workload}
+            frames = {sid: list(seq.frames)
+                      for sid, seq in workload.items()}
+            for sid in workload:
+                f = frames[sid][0]
+                results[sid].append(router.submit(
+                    sid, f.gray, f.depth, f.timestamp, timeout=120))
+            before = dict(router._placement)
+            new = router.add_shard()
+            assert router.shards[new].state == "up"
+            after = dict(router._placement)
+            moved = {s for s in before if before[s] != after[s]}
+            assert all(after[s] == new for s in moved)
+            for sid in workload:
+                f = frames[sid][1]
+                results[sid].append(router.submit(
+                    sid, f.gray, f.depth, f.timestamp, timeout=120))
+        served = service_trajectories(
+            [r for rs in results.values() for r in rs])
+        solo = solo_trajectories(workload, PIMFrontend, CONFIG)
+        assert trajectories_match(served, solo) == []
+
+
+class TestStatusEndpoints:
+    def test_shards_and_healthz_over_http(self):
+        workload = build_workload(sessions=1, frames=1, scale=0.25)
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            _drive(router, workload)
+            server = StatusServer(router, port=0).start()
+            try:
+                with urllib.request.urlopen(
+                        f"{server.url}/shards", timeout=10) as resp:
+                    shards = json.load(resp)
+                with urllib.request.urlopen(
+                        f"{server.url}/healthz", timeout=10) as resp:
+                    health = json.load(resp)
+            finally:
+                server.stop()
+        assert shards["mode"] == "sharded"
+        assert len(shards["shards"]) == 2
+        assert health["status"] == "ok"
+        assert set(health["shards"].values()) == {"up"}
+
+    def test_plain_service_has_no_shard_plane(self):
+        from repro.serve import VOService
+        with VOService(workers=1, frontend="float",
+                       config=CONFIG) as service:
+            server = StatusServer(service, port=0).start()
+            try:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(f"{server.url}/shards",
+                                           timeout=10)
+                assert err.value.code == 404
+            finally:
+                server.stop()
+
+
+class TestRouterGuards:
+    def test_closed_router_refuses_submission(self):
+        router = ShardRouter(shards=0, spec=_spec())
+        router.start()
+        router.close()
+        workload = build_workload(sessions=1, frames=1, scale=0.25)
+        frame = next(iter(workload.values())).frames[0]
+        with pytest.raises(RuntimeError):
+            router.submit_nowait("s", frame.gray, frame.depth)
+
+    def test_lost_session_poisoned_not_silently_reset(self):
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            router._lost_sessions["gone"] = "tail gap"
+            workload = build_workload(sessions=1, frames=1,
+                                      scale=0.25)
+            frame = next(iter(workload.values())).frames[0]
+            with pytest.raises(SessionLost):
+                router.submit_nowait("gone", frame.gray, frame.depth)
+
+    def test_no_up_shard_is_backpressure(self):
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            for handle in router.shards.values():
+                handle.state = "backoff"
+                router.ring.remove(handle.shard_id)
+            workload = build_workload(sessions=1, frames=1,
+                                      scale=0.25)
+            frame = next(iter(workload.values())).frames[0]
+            with pytest.raises(Backpressure):
+                router.submit_nowait("s", frame.gray, frame.depth)
+            for handle in router.shards.values():
+                handle.state = "up"  # let close() shut them down

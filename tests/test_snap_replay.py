@@ -9,8 +9,6 @@ not replayable rather than silently diverging.
 """
 
 import json
-import threading
-import time
 from pathlib import Path
 
 import numpy as np
@@ -31,23 +29,6 @@ from repro.snap.__main__ import main as snap_main
 from repro.vo import TrackerConfig
 
 TINY_CAMERA = TUM_QVGA.scaled(0.25)
-
-
-@pytest.fixture(autouse=True)
-def no_leaked_pool_threads():
-    """Every test must stop the worker threads it started."""
-    before = {t.ident for t in threading.enumerate()}
-    yield
-    leaked = []
-    deadline = time.monotonic() + 5.0
-    while time.monotonic() < deadline:
-        leaked = [t for t in threading.enumerate()
-                  if t.ident not in before and t.is_alive()
-                  and t.name.startswith("pim-pool")]
-        if not leaked:
-            break
-        time.sleep(0.02)
-    assert not leaked, f"leaked worker threads: {leaked}"
 
 
 @pytest.fixture()

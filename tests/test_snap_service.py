@@ -7,9 +7,6 @@ migration between services, whole-worker drain, and the health-gauge
 restore regression.
 """
 
-import threading
-import time
-
 import numpy as np
 import pytest
 
@@ -30,23 +27,6 @@ from repro.vo.frontend import FloatFrontend
 from repro.vo.health import DEGRADED, HEALTH_LEVELS, OK
 
 TINY_CAMERA = TUM_QVGA.scaled(0.25)
-
-
-@pytest.fixture(autouse=True)
-def no_leaked_pool_threads():
-    """Every test must stop the worker threads it started."""
-    before = {t.ident for t in threading.enumerate()}
-    yield
-    leaked = []
-    deadline = time.monotonic() + 5.0
-    while time.monotonic() < deadline:
-        leaked = [t for t in threading.enumerate()
-                  if t.ident not in before and t.is_alive()
-                  and t.name.startswith("pim-pool")]
-        if not leaked:
-            break
-        time.sleep(0.02)
-    assert not leaked, f"leaked worker threads: {leaked}"
 
 
 def _config():

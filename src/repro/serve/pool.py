@@ -427,7 +427,7 @@ class PoolWorker:
             # A healthy keyframe is the resume point of choice: deep
             # snapshot it before anything downstream can corrupt it.
             self.sessions.save_checkpoint(session)
-        self.sessions.checkin(session)
+        self.sessions.checkin(session, applied_seq=item.seq)
         host_s = time.perf_counter() - t0
         dwell = self.min_service_s
         if self.device_clock_hz:

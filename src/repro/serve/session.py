@@ -53,6 +53,14 @@ class Session:
     created_at: float = 0.0
     last_active: float = 0.0
     frames: int = 0
+    #: Highest caller-assigned sequence number of a frame that was
+    #: *successfully applied* to this session's state.  ``frames``
+    #: counts every processed frame (including terminal failures whose
+    #: state was rolled back), so it cannot serve as a replay
+    #: watermark; this can -- the shard plane exports it as the
+    #: checkpoint watermark so failover replays exactly the frames the
+    #: checkpoint does not cover.
+    applied_seq: int = 0
     busy: bool = False
     #: Deep snapshot of ``state`` at the last good keyframe (``None``
     #: until the first checkpoint).  A worker that fails a frame
@@ -162,11 +170,20 @@ class SessionManager:
             session.busy = True
             return session
 
-    def checkin(self, session: Session) -> None:
-        """Return a checked-out session after processing one frame."""
+    def checkin(self, session: Session,
+                applied_seq: Optional[int] = None) -> None:
+        """Return a checked-out session after processing one frame.
+
+        ``applied_seq`` is the frame's sequence number when it was
+        applied successfully; failed frames (state rolled back) pass
+        ``None`` so the applied watermark never covers them.
+        """
         with self._lock:
             session.busy = False
             session.frames += 1
+            if applied_seq is not None:
+                session.applied_seq = max(session.applied_seq,
+                                          int(applied_seq))
             session.last_active = self._clock()
 
     def save_checkpoint(self, session: Session) -> None:
@@ -226,6 +243,7 @@ class SessionManager:
                 "sid": session.sid,
                 "generation": session.generation,
                 "frames": session.frames,
+                "applied_seq": session.applied_seq,
                 "state": session.state.checkpoint(),
                 "checkpointed": (None if session.checkpointed is None
                                  else session.checkpointed.checkpoint()),
@@ -260,7 +278,12 @@ class SessionManager:
             session = Session(
                 sid=sid, generation=record["generation"], state=state,
                 created_at=now, last_active=now,
-                frames=record["frames"], checkpointed=checkpointed,
+                frames=record["frames"],
+                # Older records predate the applied watermark; frames
+                # is the best available stand-in for them.
+                applied_seq=int(record.get("applied_seq",
+                                           record["frames"])),
+                checkpointed=checkpointed,
                 checkpoint_frame=record["checkpoint_frame"],
                 force_device_reset=force_device_reset)
             self._sessions[sid] = session

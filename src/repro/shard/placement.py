@@ -183,22 +183,29 @@ class ReplayGap(RuntimeError):
 
 def failover_replay_plan(session: str, watermark: int,
                          tail: Sequence[Tuple[int, object]],
-                         pending: Sequence[Tuple[int, object]]
+                         pending: Sequence[Tuple[int, object]],
+                         holes: Iterable[int] = ()
                          ) -> List[Tuple[int, object]]:
     """Ordered ``(seq, frame)`` list that rebuilds a session's state.
 
-    ``watermark`` is the stream index covered by the restored
-    checkpoint (frames processed at export time); ``tail`` holds the
-    completed frames captured by the router after that point, and
-    ``pending`` the in-flight requests whose replies never arrived.
-    The plan is every frame past the watermark exactly once, in
+    ``watermark`` is the **applied** sequence watermark covered by the
+    restored checkpoint (max seq whose frame mutated the exported
+    state); ``tail`` holds the completed frames captured by the router
+    after that point, and ``pending`` the in-flight requests whose
+    replies never arrived.  ``holes`` are sequence numbers the router
+    *knows* never touched the session's state -- admission sheds
+    (``Backpressure``) and queue expiries (``DeadlineExceeded``) --
+    so their absence from the tail is expected, not a gap.  The plan
+    is every non-hole frame past the watermark exactly once, in
     strictly increasing sequence order -- per-session ordering across
     failover is exactly this function's output contract.
 
-    Raises :class:`ReplayGap` when the combined tail has a hole, and
-    ``ValueError`` on duplicate sequence numbers (two frames claiming
-    one slot can never both be replayed).
+    Raises :class:`ReplayGap` when the combined tail has an
+    unexplained hole, and ``ValueError`` on duplicate sequence
+    numbers (two frames claiming one slot can never both be
+    replayed).
     """
+    holes = {int(h) for h in holes}
     merged: Dict[int, object] = {}
     for seq, frame in list(tail) + list(pending):
         seq = int(seq)
@@ -212,8 +219,8 @@ def failover_replay_plan(session: str, watermark: int,
     if not merged:
         return []
     ordered = sorted(merged)
-    expected = list(range(watermark + 1, ordered[-1] + 1))
-    missing = sorted(set(expected) - set(ordered))
+    expected = set(range(watermark + 1, ordered[-1] + 1)) - holes
+    missing = sorted(expected - set(ordered))
     if missing:
         raise ReplayGap(session, watermark, missing)
     return [(seq, merged[seq]) for seq in ordered]

@@ -8,9 +8,15 @@ placement), moves frames over the length-prefixed transport with
 per-shard bounded send queues, and keeps everything it needs to
 survive a worker's death:
 
-* a per-session **sequence counter** (1-based, contiguous) -- because
-  every frame of a session carries its stream index, the exported
-  ``frames`` count of a checkpoint *is* the replay watermark;
+* a per-session **sequence counter** (1-based, contiguous) -- every
+  frame of a session carries its stream index, and the worker exports
+  the **applied** watermark with each checkpoint (the max seq whose
+  frame actually mutated the state; shed, expired and rolled-back
+  frames never advance it);
+* per-session **hole** and **taint** ledgers -- sheds/expiries never
+  touched state (replay skips them), while a terminal error rolled
+  the session back to its keyframe (replay refuses until the next
+  checkpoint covers the rollback);
 * a **pending table** of every request whose reply has not arrived,
   holding the inbound arrays so an orphaned request can be
   re-dispatched verbatim;
@@ -205,9 +211,12 @@ class ShardRouter:
             self.shards[shard_id] = self._new_handle(shard_id)
         self._max_send_queue = max_send_queue
 
-        # Routing state.  _route_lock serialises placement decisions,
-        # dispatch, and failover (a failover must see a frozen pending
-        # table); reply handling only takes the small _state_lock.
+        # Routing state.  _route_lock serialises placement decisions
+        # and dispatch; reply handling only takes the small
+        # _state_lock.  Failover takes the route lock only for its
+        # bookkeeping edges -- the restore/replay RPCs run without it,
+        # with the affected sessions parked in _failing_over so no
+        # new frame can interleave with the rebuild.
         self._route_lock = threading.RLock()
         self._state_lock = threading.Lock()
         self._placement: Dict[str, int] = {}
@@ -216,7 +225,26 @@ class ShardRouter:
         self._control: Dict[int, tuple] = {}
         self._next_id = 0
         self._lost_sessions: Dict[str, str] = {}
+        self._failing_over: set = set()
         self._failovers = 0
+        # Per-session sequence numbers that are definitively *not*
+        # part of the applied stream (guarded by _state_lock, pruned
+        # at each checkpoint):
+        #
+        # _holes  -- shed (Backpressure) or expired (DeadlineExceeded)
+        #            frames: they never touched session state, so a
+        #            failover replay plan skips them without calling
+        #            the tail gapped.
+        # _taints -- terminally-failed frames: the worker rolled the
+        #            session back to its last good keyframe, so state
+        #            past a taint is *not* a pure function of the
+        #            applied stream and cannot be rebuilt
+        #            bit-identically until the next checkpoint covers
+        #            the rollback.  Failover refuses (session lost)
+        #            rather than silently rebuilding a different
+        #            trajectory.
+        self._holes: Dict[str, set] = {}
+        self._taints: Dict[str, set] = {}
 
         # Failover inputs: latest checkpoint per session, and the
         # completed-frame tail since that checkpoint.
@@ -334,7 +362,9 @@ class ShardRouter:
             control = list(self._control.values())
             self._control.clear()
         for entry in pending:
-            if not entry.internal:
+            # Internal replay futures too: a failover thread waiting
+            # on one must unblock when the router goes away.
+            if not entry.future.done():
                 entry.future.set_exception(error)
         for _shard, future in control:
             if not future.done():
@@ -382,14 +412,29 @@ class ShardRouter:
                     pending.session, pending.seq, pending.gray,
                     pending.depth, pending.timestamp,
                     self.capture.ok_outcome(result))
-                pending.future.set_result(result)
+            pending.future.set_result(result)
             return
         exc = self._rebuild_error(pending, msg)
         if handle is not None and not isinstance(
                 exc, (Backpressure, DeadlineExceeded)):
             handle.breaker.record_fault()
         if not pending.internal:
-            pending.future.set_exception(exc)
+            # Bookkeep what this failure means for the applied
+            # stream: a shed/expiry never touched state (a *hole* the
+            # replay plan may skip), while a terminal error rolled the
+            # session back (a *taint* that poisons replay until the
+            # next checkpoint covers it).
+            with self._state_lock:
+                if isinstance(exc, (Backpressure, DeadlineExceeded)):
+                    self._holes.setdefault(
+                        pending.session, set()).add(pending.seq)
+                else:
+                    self._taints.setdefault(
+                        pending.session, set()).add(pending.seq)
+        # Internal replay futures complete too: the failover path
+        # waits on them, so a failed replay is never silently
+        # swallowed (it retries the shed or marks the session lost).
+        pending.future.set_exception(exc)
 
     @staticmethod
     def _rebuild_error(pending: _Pending, msg: dict) -> BaseException:
@@ -459,9 +504,16 @@ class ShardRouter:
         gray = np.asarray(gray)
         depth = np.asarray(depth)
         with self._route_lock:
-            lost = self._lost_sessions.get(session_id)
+            with self._state_lock:
+                lost = self._lost_sessions.get(session_id)
+                failing_over = session_id in self._failing_over
             if lost is not None:
                 raise SessionLost(session_id, lost)
+            if failing_over:
+                # The session is mid-rebuild on a new shard; admitting
+                # a frame now would interleave with the replay.  Shed
+                # -- the client retries once the failover settles.
+                raise Backpressure(depth=0, retry_after_s=0.25)
             shard_id = self._place(session_id)
             handle = self.shards[shard_id]
             if not handle.breaker.allow():
@@ -548,18 +600,54 @@ class ShardRouter:
         this periodically; it is also safe to call by hand (e.g. right
         before a planned kill in tests).
         """
+        # Taints recorded before the checkpoint request goes out are
+        # certainly covered by the cut (the frame completed -- and
+        # rolled back -- before the worker quiesced), even when no
+        # later frame advanced the applied watermark past them.
+        with self._state_lock:
+            pre_taints = {sid: set(seqs)
+                          for sid, seqs in self._taints.items()}
         reply = self._rpc(shard_id, {"op": "checkpoint"},
                           timeout_s=timeout_s)
         sessions = reply.get("sessions", {})
         for sid, entry in sessions.items():
+            watermark = int(entry["watermark"])
             with self._state_lock:
                 self._checkpoints[sid] = {
                     "record": entry["record"],
-                    "watermark": int(entry["watermark"]),
+                    "watermark": watermark,
                     "shard": shard_id,
                 }
-            self.capture.prune(sid, int(entry["watermark"]))
+                self._prune_stream_gaps(
+                    sid, watermark,
+                    covered_taints=pre_taints.get(sid, ()))
+            self.capture.prune(sid, watermark)
         return len(sessions)
+
+    def _prune_stream_gaps(self, sid: str, watermark: int,
+                           covered_taints=()) -> None:
+        """Drop hole/taint seqs a new checkpoint covers (state-lock
+        held).  A hole stays relevant until the applied watermark
+        passes it (the replay plan needs it to explain the missing
+        seq); a taint is resolved once the watermark passes it *or*
+        the checkpoint cut demonstrably postdates the rollback
+        (``covered_taints``) -- the exported state already reflects
+        it, so replay from this checkpoint is pure again."""
+        holes = self._holes.get(sid)
+        if holes:
+            kept = {s for s in holes if s > watermark}
+            if kept:
+                self._holes[sid] = kept
+            else:
+                self._holes.pop(sid, None)
+        taints = self._taints.get(sid)
+        if taints:
+            kept = {s for s in taints
+                    if s > watermark and s not in covered_taints}
+            if kept:
+                self._taints[sid] = kept
+            else:
+                self._taints.pop(sid, None)
 
     # -- failover ----------------------------------------------------------
 
@@ -572,8 +660,17 @@ class ShardRouter:
         post-checkpoint state, then re-dispatch the orphaned pending
         requests so their original client futures complete with
         results from the new shard.  Sessions that cannot be rebuilt
-        losslessly (tail gap) fail their pending futures with
-        :class:`SessionLost` and are counted, never silently reset.
+        losslessly (tail gap, post-checkpoint terminal error, failed
+        replay) fail their pending futures with :class:`SessionLost`
+        and are counted, never silently reset.
+
+        The route lock is held only for the bookkeeping edges; the
+        per-session restore/replay RPCs run without it, so failing
+        over a shard with many sessions never stalls traffic to the
+        healthy ones.  Affected sessions are parked in the
+        failing-over set meanwhile: new frames for them shed as
+        :class:`~repro.serve.scheduler.Backpressure` until their
+        rebuild settles, so nothing can interleave with the replay.
         """
         with self._route_lock:
             handle = self.shards[shard_id]
@@ -587,24 +684,38 @@ class ShardRouter:
             affected = sorted(
                 sid for sid, placed in self._placement.items()
                 if placed == shard_id)
-            moved, lost = [], []
+            with self._state_lock:
+                self._failing_over.update(affected)
+        moved, lost = [], []
+        try:
             for sid in affected:
                 try:
                     target = self._fail_over_session(sid, shard_id)
-                except (ReplayGap, SessionLost, ValueError,
-                        Backpressure, TransportClosed,
+                    with self._route_lock:
+                        self._placement[sid] = target
+                except (ReplayGap, SessionLost, ValueError, KeyError,
+                        Backpressure, TransportClosed, TimeoutError,
                         RuntimeError) as exc:
-                    self._mark_lost(sid, shard_id, str(exc))
+                    self._mark_lost(sid, str(exc))
                     lost.append(sid)
                     continue
+                finally:
+                    # Unpark as soon as this session's own rebuild
+                    # settles (placement already points at the new
+                    # owner) -- later sessions' rebuilds must not
+                    # keep shedding an already-recovered stream.
+                    with self._state_lock:
+                        self._failing_over.discard(sid)
                 moved.append(sid)
-                self._placement[sid] = target
                 self._failovers += 1
                 self._m_failovers.inc()
-            self.flight.event("shard_failover", shard=shard_id,
-                              reason=reason, moved=len(moved),
-                              lost=len(lost))
-            return {"shard": shard_id, "moved": moved, "lost": lost}
+        finally:
+            with self._state_lock:
+                self._failing_over.difference_update(affected)
+        self.flight.event("shard_failover", shard=shard_id,
+                          reason=reason, moved=len(moved),
+                          lost=len(lost))
+        return {"shard": shard_id, "moved": moved, "lost": lost}
 
     def _orphaned(self, sid: str, dead_shard: int) -> List[_Pending]:
         with self._state_lock:
@@ -613,51 +724,160 @@ class ShardRouter:
         return sorted(entries, key=lambda p: p.seq)
 
     def _fail_over_session(self, sid: str, dead_shard: int) -> int:
-        down = {s for s, h in self.shards.items() if h.state != UP}
-        target = self.ring.lookup(sid, exclude=down)
+        with self._route_lock:
+            down = {s for s, h in self.shards.items()
+                    if h.state != UP}
+            target = self.ring.lookup(sid, exclude=down)
         if target is None:
             raise SessionLost(sid, "no healthy shard to fail over to")
-        checkpoint = self._checkpoints.get(sid)
-        watermark = 0
+        with self._state_lock:
+            checkpoint = self._checkpoints.get(sid)
+            holes = set(self._holes.get(sid, ()))
+            taints = sorted(self._taints.get(sid, ()))
+        watermark = int(checkpoint["watermark"]) \
+            if checkpoint is not None else 0
+        tainted = [t for t in taints if t > watermark]
+        if tainted:
+            # A terminal error past the checkpoint rolled the session
+            # back to its last good keyframe: state from there on is
+            # not a pure function of the applied stream, so no replay
+            # can be bit-identical.  Refuse rather than rebuild a
+            # silently different trajectory.
+            raise SessionLost(
+                sid, f"frame {tainted[0]} failed terminally after "
+                     f"the last checkpoint; the rollback makes the "
+                     f"tail non-replayable")
         if checkpoint is not None:
-            watermark = int(checkpoint["watermark"])
             self._rpc(target, {"op": "restore_session",
                                "record": checkpoint["record"]})
         orphans = self._orphaned(sid, dead_shard)
         tail = [(rec["seq"], rec)
                 for rec in self.capture.tail(sid, watermark)]
         plan = failover_replay_plan(sid, watermark, tail,
-                                    [(p.seq, p) for p in orphans])
-        handle = self.shards[target]
+                                    [(p.seq, p) for p in orphans],
+                                    holes=holes)
         orphan_seqs = {p.seq for p in orphans}
+        shed_rest = False
         for seq, entry in plan:
-            if seq in orphan_seqs:
-                # A live client request: re-dispatch under its
-                # original id so the reply completes the original
-                # future.
-                entry.shard = target
-                self._send_frame(handle, entry)
-            else:
+            handle = self.shards.get(target)
+            if handle is None or handle.state != UP:
+                raise SessionLost(
+                    sid, f"failover target shard {target} went down "
+                         f"mid-rebuild")
+            if seq not in orphan_seqs:
                 # A frame the client already saw: replay purely to
-                # rebuild state, reply discarded.
-                replay = _Pending(
-                    self._alloc_id(), sid, seq, entry["gray"],
-                    entry["depth"], entry["timestamp"], None, target,
-                    internal=True)
-                with self._state_lock:
-                    self._pending[replay.req_id] = replay
-                self._send_frame(handle, replay)
+                # rebuild state.  The reply is awaited, never
+                # discarded -- a failed replay must not leave the
+                # rebuilt state silently missing this frame.
+                self._replay_frame(handle, sid, seq, entry)
+                continue
+            # A live client request: re-dispatch under its original
+            # id so the reply completes the original future.
+            if shed_rest:
+                self._shed_orphan(entry)
+                continue
+            entry.shard = target
+            try:
+                self._send_frame(handle, entry)
+            except Backpressure:
+                self._shed_orphan(entry)
+                shed_rest = True
+                continue
+            # Await the outcome so a worker-side admission shed can
+            # never let a later orphan overtake this seq: once one
+            # orphan sheds, every later one sheds too and the clients
+            # retry them in order (exactly the live-path contract).
+            try:
+                entry.future.result(timeout=60.0)
+            except Backpressure:
+                shed_rest = True
+            except DeadlineExceeded:
+                # Expired in the target's queue: the hole is already
+                # recorded and state was never touched -- later
+                # frames proceed, matching live expiry semantics.
+                pass
+            except TimeoutError as exc:
+                raise SessionLost(
+                    sid, f"re-dispatched frame {seq} did not "
+                         f"complete during failover") from exc
+            except Exception:
+                # Terminal frame error on the new shard: the client
+                # saw it and the taint is recorded; the live
+                # contract continues the stream from the restored
+                # keyframe, so later orphans still run.
+                pass
         return target
 
-    def _mark_lost(self, sid: str, dead_shard: int,
-                   reason: str) -> None:
-        self._lost_sessions[sid] = reason
-        self._m_lost.inc()
-        error = SessionLost(sid, reason)
-        for entry in self._orphaned(sid, dead_shard):
+    def _replay_frame(self, handle: ShardHandle, sid: str, seq: int,
+                      rec: dict, attempts: int = 20,
+                      timeout_s: float = 60.0) -> None:
+        """Replay one captured frame on the failover target and wait.
+
+        An admission shed (target momentarily saturated by the
+        failover storm) retries with a bounded budget; any other
+        failure -- or exhausting the budget -- aborts the rebuild so
+        the session is marked lost instead of silently serving state
+        that misses this frame.
+        """
+        for _ in range(attempts):
+            replay = _Pending(
+                self._alloc_id(), sid, seq, rec["gray"], rec["depth"],
+                rec["timestamp"], None, handle.shard_id, internal=True)
             with self._state_lock:
+                self._pending[replay.req_id] = replay
+            try:
+                self._send_frame(handle, replay)
+            except Backpressure as exc:
+                with self._state_lock:
+                    self._pending.pop(replay.req_id, None)
+                time.sleep(min(max(exc.retry_after_s, 0.01), 0.25))
+                continue
+            try:
+                replay.future.result(timeout=timeout_s)
+                return
+            except Backpressure as exc:
+                time.sleep(min(max(exc.retry_after_s, 0.01), 0.25))
+                continue
+            except TimeoutError as exc:
+                with self._state_lock:
+                    self._pending.pop(replay.req_id, None)
+                raise SessionLost(
+                    sid, f"replay of frame {seq} timed out during "
+                         f"failover") from exc
+            except Exception as exc:
+                raise SessionLost(
+                    sid, f"replay of frame {seq} failed on the "
+                         f"failover target: {exc}") from exc
+        raise SessionLost(
+            sid, f"replay of frame {seq} kept shedding on the "
+                 f"failover target")
+
+    def _shed_orphan(self, entry: _Pending) -> None:
+        """Fail one orphaned request as a shed (hole, not a loss)."""
+        with self._state_lock:
+            self._pending.pop(entry.req_id, None)
+            self._holes.setdefault(entry.session,
+                                   set()).add(entry.seq)
+        if not entry.future.done():
+            entry.future.set_exception(
+                Backpressure(depth=0, retry_after_s=0.25))
+
+    def _mark_lost(self, sid: str, reason: str) -> None:
+        error = SessionLost(sid, reason)
+        with self._state_lock:
+            self._lost_sessions[sid] = reason
+            entries = [p for p in self._pending.values()
+                       if p.session == sid]
+            for entry in entries:
                 self._pending.pop(entry.req_id, None)
-            if not entry.internal and not entry.future.done():
+            self._holes.pop(sid, None)
+            self._taints.pop(sid, None)
+            self._checkpoints.pop(sid, None)
+        self._m_lost.inc()
+        for entry in entries:
+            # Internal replay futures fail too, so a failover thread
+            # blocked on one can never hang on a lost session.
+            if not entry.future.done():
                 entry.future.set_exception(error)
         self.flight.incident("session_lost", session=sid,
                              spans=[])
@@ -676,9 +896,13 @@ class ShardRouter:
             self._spawn(handle)
             self.ring.add(shard_id)
             if rebalance:
+                with self._state_lock:
+                    parked = (set(self._failing_over) |
+                              set(self._lost_sessions))
                 movers = [sid for sid, placed
                           in self._placement.items()
                           if placed != shard_id and
+                          sid not in parked and
                           self.ring.lookup(sid) == shard_id and
                           self.shards[placed].state == UP]
                 for sid in movers:
@@ -729,6 +953,8 @@ class ShardRouter:
 
     def _migrate(self, sid: str, source: int, target: int) -> None:
         """Live-migrate one session between up shards (lossless)."""
+        with self._state_lock:
+            pre_taints = set(self._taints.get(sid, ()))
         reply = self._rpc(source, {"op": "export_session",
                                    "session": sid})
         self._rpc(target, {"op": "restore_session",
@@ -740,6 +966,8 @@ class ShardRouter:
             self._checkpoints[sid] = {"record": reply["record"],
                                       "watermark": watermark,
                                       "shard": target}
+            self._prune_stream_gaps(sid, watermark,
+                                    covered_taints=pre_taints)
         self.capture.prune(sid, watermark)
         handle = self.shards[target]
         for entry in self._orphaned(sid, source):
@@ -750,6 +978,14 @@ class ShardRouter:
                           source=source, target=target)
 
     # -- introspection -----------------------------------------------------
+
+    def shard_ids(self) -> List[int]:
+        """Stable snapshot of the shard-slot ids (safe to iterate
+        while add/remove_shard run concurrently)."""
+        if self.inline:
+            return []
+        with self._route_lock:
+            return sorted(self.shards)
 
     def shards_status(self) -> dict:
         """JSON-safe per-shard status (the ``/shards`` endpoint)."""
@@ -764,39 +1000,46 @@ class ShardRouter:
                 "lost_sessions": [],
             }
         rows = []
-        for shard_id in sorted(self.shards):
-            handle = self.shards[shard_id]
-            age = handle.heartbeat_age_s()
-            rows.append({
-                "shard": shard_id,
-                "state": handle.state,
-                "pid": handle.pid,
-                "sessions": sum(
-                    1 for placed in self._placement.values()
-                    if placed == shard_id),
-                "uptime_s": round(handle.uptime_s(), 3),
-                "heartbeat_age_s": (None if age is None
-                                    else round(age, 3)),
-                "heartbeats": handle.heartbeats,
-                "restarts": handle.restarts,
-                "restart_budget_remaining":
-                    handle.backoff.remaining(),
-                "breaker": handle.breaker.state,
-                "send_depth": (handle.pump.send_depth()
-                               if handle.pump is not None else 0),
-            })
+        with self._route_lock:
+            placement_counts: Dict[int, int] = {}
+            for placed in self._placement.values():
+                placement_counts[placed] = \
+                    placement_counts.get(placed, 0) + 1
+            n_sessions = len(self._placement)
+            for shard_id in sorted(self.shards):
+                handle = self.shards[shard_id]
+                age = handle.heartbeat_age_s()
+                rows.append({
+                    "shard": shard_id,
+                    "state": handle.state,
+                    "pid": handle.pid,
+                    "sessions": placement_counts.get(shard_id, 0),
+                    "uptime_s": round(handle.uptime_s(), 3),
+                    "heartbeat_age_s": (None if age is None
+                                        else round(age, 3)),
+                    "heartbeats": handle.heartbeats,
+                    "restarts": handle.restarts,
+                    "restart_budget_remaining":
+                        handle.backoff.remaining(),
+                    "breaker": handle.breaker.state,
+                    "send_depth": (handle.pump.send_depth()
+                                   if handle.pump is not None else 0),
+                })
+        with self._state_lock:
+            lost = sorted(self._lost_sessions)
+            n_checkpointed = len(self._checkpoints)
         up = sum(1 for r in rows if r["state"] == UP)
         degraded = any(r["state"] in (BACKOFF, FAILED) for r in rows)
         return {
             "mode": "sharded",
             "shards": rows,
             "up": up,
-            "sessions": len(self._placement),
+            "sessions": n_sessions,
             "healthy": bool(up) and not self._closed,
             "degraded": degraded,
             "failovers_total": self._failovers,
-            "lost_sessions": sorted(self._lost_sessions),
-            "checkpointed_sessions": len(self._checkpoints),
+            "lost_sessions": lost,
+            "checkpointed_sessions": n_checkpointed,
         }
 
     def stats(self) -> dict:

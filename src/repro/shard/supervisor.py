@@ -110,16 +110,28 @@ class Supervisor:
         while not self._stop.wait(self.poll_s):
             if self.router._closed:
                 return
-            for shard_id in sorted(self.router.shards):
+            # shard_ids() snapshots under the route lock -- iterating
+            # self.router.shards directly would race a concurrent
+            # add/remove_shard and RuntimeError this thread to death.
+            for shard_id in self.router.shard_ids():
                 handle = self.router.shards.get(shard_id)
                 if handle is None:
                     continue
-                if handle.state == UP:
-                    self._check_up(handle)
-                elif handle.state == BACKOFF and \
-                        time.monotonic() >= handle.respawn_at and \
-                        handle.respawn_at > 0:
-                    self._respawn(handle)
+                try:
+                    if handle.state == UP:
+                        self._check_up(handle)
+                    elif handle.state == BACKOFF and \
+                            time.monotonic() >= handle.respawn_at and \
+                            handle.respawn_at > 0:
+                        self._respawn(handle)
+                except Exception as exc:  # noqa: BLE001
+                    # One shard's bad day must never kill the monitor
+                    # thread -- that would silently end all
+                    # supervision.  Log to the flight recorder and
+                    # keep polling.
+                    self.router.flight.event(
+                        "supervisor_error", shard=shard_id,
+                        error=type(exc).__name__, message=str(exc))
 
     def _check_up(self, handle) -> None:
         reason = None
@@ -228,7 +240,7 @@ class Supervisor:
         """One checkpoint sweep over every up shard; returns sessions
         checkpointed (also callable by hand, e.g. from tests)."""
         total = 0
-        for shard_id in sorted(self.router.shards):
+        for shard_id in self.router.shard_ids():
             handle = self.router.shards.get(shard_id)
             if handle is None or handle.state != UP:
                 continue

@@ -17,7 +17,8 @@ one :class:`~repro.shard.transport.MessagePump`:
 ``checkpoint``
     Quiesce every resident session, export each one through the
     ``repro.snap`` codec, resubmit the extracted queued frames, and
-    reply with the encoded records plus per-session frame watermarks.
+    reply with the encoded records plus per-session applied-seq
+    watermarks (the max router seq each exported state covers).
     This runs *on the pump's reader thread* deliberately: no new
     frames are admitted while state is being exported, so each record
     is a consistent cut at a known watermark.
@@ -166,7 +167,15 @@ class _ShardWorker:
         future.add_done_callback(_complete)
 
     def _checkpoint_sessions(self) -> dict:
-        """Consistent per-session export of everything resident."""
+        """Consistent per-session export of everything resident.
+
+        The watermark is the session's **applied** sequence watermark
+        (max router-assigned seq whose frame mutated the exported
+        state), *not* the processed-frame count: shed/expired frames
+        never reach the state and terminally-failed ones are rolled
+        back, so only the applied watermark lines up with the router's
+        capture-tail pruning and failover replay plans.
+        """
         out = {}
         for sid in self.service.sessions.sids():
             try:
@@ -182,7 +191,7 @@ class _ShardWorker:
                 self.service.scheduler.submit(item)
             if record is not None:
                 out[sid] = {"record": encode(record),
-                            "watermark": int(record["frames"])}
+                            "watermark": int(record["applied_seq"])}
         return out
 
     def _handle_checkpoint(self, msg: dict) -> None:
@@ -215,7 +224,7 @@ class _ShardWorker:
         self._reply({"op": "result", "id": msg.get("id"),
                      "shard": self.shard_id, "ok": True,
                      "record": encode(record),
-                     "watermark": int(record["frames"]),
+                     "watermark": int(record["applied_seq"]),
                      "pending_seqs": pending})
 
     def _handle_restore_session(self, msg: dict) -> None:

@@ -202,6 +202,44 @@ class TestSessionManager:
         assert not np.array_equal(fresh.pose.t, moved_pose.t) or \
             np.allclose(moved_pose.t, 0)
 
+    def test_checkin_advances_applied_seq_only_on_success(self):
+        """frames counts every processed frame; applied_seq only the
+        ones that actually mutated state (failed frames pass None),
+        and it never moves backwards on out-of-order checkins."""
+        sm = SessionManager()
+        session = sm.checkout("cam-1")
+        sm.checkin(session, applied_seq=3)
+        assert session.frames == 1
+        assert session.applied_seq == 3
+        sm.checkout("cam-1")
+        sm.checkin(session)  # rolled-back frame: no watermark move
+        assert session.frames == 2
+        assert session.applied_seq == 3
+        sm.checkout("cam-1")
+        sm.checkin(session, applied_seq=2)  # stale: never regresses
+        assert session.applied_seq == 3
+
+    def test_applied_seq_survives_export_import_round_trip(self):
+        sm = SessionManager()
+        session = sm.checkout("cam-1")
+        sm.checkin(session, applied_seq=7)
+        record = sm.export_session("cam-1")
+        assert record["applied_seq"] == 7
+        other = SessionManager()
+        restored = other.import_session(record)
+        assert restored.applied_seq == 7
+
+    def test_import_of_pre_applied_seq_record_falls_back(self):
+        """Records exported before the applied watermark existed use
+        the frame count as the best available stand-in."""
+        sm = SessionManager()
+        session = sm.checkout("cam-1")
+        sm.checkin(session, applied_seq=5)
+        record = sm.export_session("cam-1")
+        del record["applied_seq"]
+        restored = SessionManager().import_session(record)
+        assert restored.applied_seq == record["frames"]
+
 
 class TestService:
     def test_interleaved_sessions_match_solo_runs(self):

@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.geometry.camera import TUM_QVGA
+from repro.serve.scheduler import Backpressure, DeadlineExceeded
 from repro.serve import (
     build_workload,
     service_trajectories,
@@ -37,8 +38,22 @@ def _spec(**overrides):
 def _submit_all(router, workload, frames_slice, results):
     for sid, seq in workload.items():
         for f in seq.frames[frames_slice]:
-            results[sid].append(router.submit(
-                sid, f.gray, f.depth, f.timestamp, timeout=120))
+            results[sid].append(
+                _submit_retry(router, sid, f))
+
+
+def _submit_retry(router, sid, f, timeout_s=120.0):
+    """Submit with the documented client contract: a Backpressure
+    shed (e.g. while the session is parked mid-failover) retries."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return router.submit(sid, f.gray, f.depth, f.timestamp,
+                                 timeout=timeout_s)
+        except Backpressure as exc:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(min(max(exc.retry_after_s, 0.01), 0.25))
 
 
 def _busiest_shard(router):
@@ -129,6 +144,84 @@ class TestKillFailover:
         bundle = json.loads(bundles[0].read_text())
         assert bundle["context"]["shard"] == victim
         assert bundle["context"]["lost"] == []
+
+
+class TestAppliedWatermark:
+    def test_expiry_before_checkpoint_diverges_watermark_from_count(
+            self):
+        """An expired frame burns a router seq without touching state,
+        so after the client retries, the applied seq runs *ahead* of
+        the processed-frame count.  A frames-count watermark would
+        prune the capture tail short and replay the last pre-kill
+        frame twice; the applied watermark keeps failover
+        bit-identical."""
+        workload = build_workload(sessions=2, frames=6, scale=0.25)
+        results = {sid: [] for sid in workload}
+        with ShardRouter(shards=2, spec=_spec()) as router, \
+                Supervisor(router, poll_s=0.02,
+                           heartbeat_timeout_s=5.0) as supervisor:
+            _submit_all(router, workload, slice(0, 2), results)
+            # One frame per session expires in the worker's queue (a
+            # deadline already in the past): seqs 1,2 applied, seq 3
+            # burned, then the client retries under seqs 4,5.
+            for sid, seq in workload.items():
+                f = seq.frames[2]
+                with pytest.raises(DeadlineExceeded):
+                    router.submit(sid, f.gray, f.depth, f.timestamp,
+                                  timeout=120, deadline_s=-1.0)
+            _submit_all(router, workload, slice(2, 4), results)
+            assert supervisor.checkpoint_now() == len(workload)
+            with router._state_lock:
+                # The watermark is the max *applied* seq (5), not the
+                # processed-frame count (4, which never saw the
+                # burned seq): a count watermark would leave seq 5 in
+                # the tail and replay it onto state that already
+                # contains it.
+                assert all(
+                    router._checkpoints[sid]["watermark"] == 5
+                    for sid in workload)
+                # And the checkpoint pruned the hole (3 <= 5):
+                # nothing left to explain.
+                assert router._holes == {}
+            _submit_all(router, workload, slice(4, 5), results)
+            victim = _busiest_shard(router)
+            os.kill(router.shards[victim].pid, signal.SIGKILL)
+            _wait(lambda: router._failovers > 0, what="failover")
+            _submit_all(router, workload, slice(5, 6), results)
+            assert router.shards_status()["lost_sessions"] == []
+        served = service_trajectories(
+            [r for rs in results.values() for r in rs])
+        solo = solo_trajectories(workload, PIMFrontend, CONFIG)
+        assert trajectories_match(served, solo) == []
+
+    def test_expiry_after_checkpoint_is_a_hole_not_a_replay_gap(self):
+        """A frame expired *past* the checkpoint leaves a hole in the
+        replay tail.  The router knows it never touched state, so
+        failover skips the seq instead of declaring the tail gapped
+        and losing the session."""
+        workload = build_workload(sessions=2, frames=5, scale=0.25)
+        results = {sid: [] for sid in workload}
+        with ShardRouter(shards=2, spec=_spec()) as router, \
+                Supervisor(router, poll_s=0.02,
+                           heartbeat_timeout_s=5.0) as supervisor:
+            _submit_all(router, workload, slice(0, 2), results)
+            assert supervisor.checkpoint_now() == len(workload)
+            for sid, seq in workload.items():
+                f = seq.frames[2]
+                with pytest.raises(DeadlineExceeded):
+                    router.submit(sid, f.gray, f.depth, f.timestamp,
+                                  timeout=120, deadline_s=-1.0)
+            # Seqs 4,5 ride the capture tail behind hole 3.
+            _submit_all(router, workload, slice(2, 4), results)
+            victim = _busiest_shard(router)
+            os.kill(router.shards[victim].pid, signal.SIGKILL)
+            _wait(lambda: router._failovers > 0, what="failover")
+            _submit_all(router, workload, slice(4, 5), results)
+            assert router.shards_status()["lost_sessions"] == []
+        served = service_trajectories(
+            [r for rs in results.values() for r in rs])
+        solo = solo_trajectories(workload, PIMFrontend, CONFIG)
+        assert trajectories_match(served, solo) == []
 
 
 class TestRestartBudget:

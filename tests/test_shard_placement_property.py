@@ -141,6 +141,45 @@ class TestFailoverReplayPlan:
             failover_replay_plan("s", watermark, [(seq, "a")],
                                  [(seq, "b")])
 
+    @given(watermark=st.integers(min_value=0, max_value=20),
+           length=st.integers(min_value=2, max_value=20),
+           data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_known_holes_are_skipped_not_gaps(self, watermark,
+                                              length, data):
+        """Seqs the router knows never touched state (sheds/expiries)
+        are expected absences: the plan skips them silently and never
+        lists them as missing."""
+        seqs = list(range(watermark + 1, watermark + 1 + length))
+        holes = set(data.draw(st.sets(st.sampled_from(seqs[:-1]),
+                                      min_size=1)))
+        tail = [(s, f"frame-{s}") for s in seqs if s not in holes]
+        plan = failover_replay_plan("s", watermark, tail, [],
+                                    holes=holes)
+        assert [s for s, _ in plan] == [s for s in seqs
+                                        if s not in holes]
+
+    @given(watermark=st.integers(min_value=0, max_value=20),
+           length=st.integers(min_value=3, max_value=20),
+           data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_unexplained_gap_still_refuses_despite_holes(
+            self, watermark, length, data):
+        """A hole only explains its own seq: any *other* missing seq
+        still raises ReplayGap, and the declared holes never appear
+        in the missing list."""
+        seqs = list(range(watermark + 1, watermark + 1 + length))
+        interior = seqs[:-1]
+        hole = data.draw(st.sampled_from(interior))
+        gap = data.draw(st.sampled_from(
+            [s for s in interior if s != hole]))
+        tail = [(s, None) for s in seqs if s not in (hole, gap)]
+        with pytest.raises(ReplayGap) as err:
+            failover_replay_plan("s", watermark, tail, [],
+                                 holes={hole})
+        assert gap in err.value.missing
+        assert hole not in err.value.missing
+
 
 class TestRestartBackoff:
     _params = st.fixed_dictionaries({

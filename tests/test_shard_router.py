@@ -16,6 +16,7 @@ import pytest
 from repro.geometry.camera import TUM_QVGA
 from repro.serve import (
     Backpressure,
+    DeadlineExceeded,
     StatusServer,
     build_workload,
     run_load,
@@ -233,3 +234,96 @@ class TestRouterGuards:
                 router.submit_nowait("s", frame.gray, frame.depth)
             for handle in router.shards.values():
                 handle.state = "up"  # let close() shut them down
+
+    def test_failing_over_session_sheds_new_frames(self):
+        """A session parked mid-rebuild sheds (the client retries);
+        nothing may interleave with the replay stream."""
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            workload = build_workload(sessions=1, frames=1,
+                                      scale=0.25)
+            frame = next(iter(workload.values())).frames[0]
+            with router._state_lock:
+                router._failing_over.add("s")
+            try:
+                with pytest.raises(Backpressure):
+                    router.submit_nowait("s", frame.gray, frame.depth)
+            finally:
+                with router._state_lock:
+                    router._failing_over.discard("s")
+            # Unparked: the same submit goes through.
+            fut = router.submit_nowait("s", frame.gray, frame.depth)
+            fut.result(timeout=120)
+
+
+class TestReplyPlumbing:
+    """The _on_message contract: internal replay futures always
+    complete, and failures land in the right ledger."""
+
+    def _pending(self, router, shard_id, seq, internal):
+        from repro.shard.router import _Pending
+        entry = _Pending(router._alloc_id(), "sess", seq,
+                         None, None, 0.0, None, shard_id,
+                         internal=internal)
+        with router._state_lock:
+            router._pending[entry.req_id] = entry
+        return entry
+
+    def _fail(self, router, shard_id, entry, error, **extra):
+        router._on_message(shard_id, dict(
+            {"op": "result", "id": entry.req_id, "ok": False,
+             "error": error, "message": "boom"}, **extra))
+
+    def test_internal_replay_failure_completes_the_future(self):
+        """An error reply for an internal replay must fail its future
+        -- the failover thread awaits it; silently dropping the reply
+        would leave rebuilt state missing the frame (or hang the
+        rebuild until timeout)."""
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            entry = self._pending(router, 0, 5, internal=True)
+            self._fail(router, 0, entry, "RuntimeError")
+            assert entry.future.done()
+            with pytest.raises(RuntimeError):
+                entry.future.result(timeout=0)
+            with router._state_lock:
+                # Internal outcomes never touch the client-stream
+                # ledgers: the replay is the failover's business.
+                assert "sess" not in router._taints
+                assert "sess" not in router._holes
+
+    def test_client_shed_records_a_hole(self):
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            entry = self._pending(router, 0, 7, internal=False)
+            self._fail(router, 0, entry, "DeadlineExceeded")
+            with pytest.raises(DeadlineExceeded):
+                entry.future.result(timeout=0)
+            with router._state_lock:
+                assert router._holes["sess"] == {7}
+                assert "sess" not in router._taints
+
+    def test_client_terminal_error_records_a_taint(self):
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            entry = self._pending(router, 0, 9, internal=False)
+            self._fail(router, 0, entry, "RuntimeError")
+            with pytest.raises(RuntimeError):
+                entry.future.result(timeout=0)
+            with router._state_lock:
+                assert router._taints["sess"] == {9}
+                assert "sess" not in router._holes
+
+    def test_tainted_tail_refuses_failover_as_session_lost(self):
+        """A terminal error past the checkpoint rolled the session
+        back on the worker: replay cannot be bit-identical, so the
+        failover refuses instead of rebuilding a different stream."""
+        with ShardRouter(shards=2, spec=_spec()) as router:
+            with router._state_lock:
+                router._taints["sess"] = {4}
+                router._checkpoints["sess"] = {
+                    "record": None, "watermark": 3, "shard": 0}
+            with pytest.raises(SessionLost):
+                router._fail_over_session("sess", 0)
+            # A checkpoint whose watermark passes the taint (or whose
+            # cut demonstrably postdates the rollback) prunes it --
+            # the refusal clears.
+            with router._state_lock:
+                router._prune_stream_gaps("sess", 4)
+                assert "sess" not in router._taints
